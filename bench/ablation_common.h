@@ -1,0 +1,43 @@
+#ifndef TPGNN_BENCH_ABLATION_COMMON_H_
+#define TPGNN_BENCH_ABLATION_COMMON_H_
+
+#include <vector>
+
+#include "bench_util.h"
+
+// Shared driver for the ablation studies of Figs. 3 and 4: the variants
+// {rand, w/o tem, temp, time2Vec, full} of Sec. V-F evaluated on the four
+// ablation datasets (Forum-java, HDFS, Gowalla, Brightkite).
+
+namespace tpgnn::bench {
+
+inline void RunAblation(core::Updater updater) {
+  const BenchSettings settings = LoadSettings();
+  PrintHeader(updater == core::Updater::kSum
+                  ? "Fig. 3: ablation study of TP-GNN-SUM"
+                  : "Fig. 4: ablation study of TP-GNN-GRU",
+              settings);
+  const eval::ExperimentOptions options = MakeExperimentOptions(settings);
+
+  const std::vector<core::Variant> variants = {
+      core::Variant::kRand, core::Variant::kWithoutTem, core::Variant::kTemp,
+      core::Variant::kTime2Vec, core::Variant::kFull};
+
+  const std::vector<data::DatasetSpec> specs = {
+      data::ForumJavaSpec(), data::HdfsSpec(), data::GowallaSpec(),
+      data::BrightkiteSpec()};
+  for (const data::DatasetSpec& spec : specs) {
+    data::TrainTestSplit split = PrepareDataset(spec, settings);
+    std::vector<eval::ExperimentResult> results;
+    for (core::Variant variant : variants) {
+      core::TpGnnConfig config = DefaultTpGnnConfig(updater, variant);
+      results.push_back(eval::RunExperiment(TpGnnFactory(config), split.train,
+                                            split.test, options));
+    }
+    eval::PrintResultsTable(spec.name, results);
+  }
+}
+
+}  // namespace tpgnn::bench
+
+#endif  // TPGNN_BENCH_ABLATION_COMMON_H_

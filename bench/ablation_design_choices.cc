@@ -1,0 +1,65 @@
+// Design-choice ablations beyond the paper's Figs. 3/4:
+//  * the six EdgeAgg methods of Sec. IV-C (the paper adopts Average),
+//  * the GRU vs Transformer global extractor (the paper's proposed
+//    large-graph extension, Sec. IV-C / Sec. VI future work).
+// Run on one log dataset (HDFS) and one trajectory dataset (Gowalla) at
+// half the standard scale (the grid multiplies training runs).
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+
+int main() {
+  bench::BenchSettings settings = bench::LoadSettings();
+  settings.graphs_per_dataset =
+      std::max<int64_t>(60, settings.graphs_per_dataset / 2);
+  bench::PrintHeader("Design-choice ablations: EdgeAgg and global module",
+                     settings);
+  const eval::ExperimentOptions options =
+      bench::MakeExperimentOptions(settings);
+
+  const std::vector<std::pair<std::string, core::EdgeAgg>> aggregations = {
+      {"Average (paper)", core::EdgeAgg::kAverage},
+      {"Hadamard", core::EdgeAgg::kHadamard},
+      {"Weighted-L1", core::EdgeAgg::kWeightedL1},
+      {"Weighted-L2", core::EdgeAgg::kWeightedL2},
+      {"Activation", core::EdgeAgg::kActivation},
+      {"Concatenation", core::EdgeAgg::kConcatenation},
+  };
+
+  for (const data::DatasetSpec& spec :
+       {data::HdfsSpec(), data::GowallaSpec()}) {
+    data::TrainTestSplit split = bench::PrepareDataset(spec, settings);
+
+    std::vector<eval::ExperimentResult> results;
+    for (const auto& [label, agg] : aggregations) {
+      core::TpGnnConfig config =
+          bench::DefaultTpGnnConfig(core::Updater::kSum);
+      config.edge_agg = agg;
+      eval::ExperimentResult r = eval::RunExperiment(
+          bench::TpGnnFactory(config), split.train, split.test, options);
+      r.model_name = "EdgeAgg " + label;
+      results.push_back(r);
+    }
+    {
+      core::TpGnnConfig config =
+          bench::DefaultTpGnnConfig(core::Updater::kSum);
+      config.global_module = core::GlobalModule::kTransformer;
+      eval::ExperimentResult r = eval::RunExperiment(
+          bench::TpGnnFactory(config), split.train, split.test, options);
+      r.model_name = "Transformer extractor";
+      results.push_back(r);
+    }
+    eval::PrintResultsTable(spec.name + " (TP-GNN-SUM design choices)",
+                            results);
+  }
+  return 0;
+}

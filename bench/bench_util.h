@@ -1,0 +1,105 @@
+#ifndef TPGNN_BENCH_BENCH_UTIL_H_
+#define TPGNN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "core/model.h"
+#include "data/datasets.h"
+#include "eval/experiment.h"
+#include "util/env.h"
+
+// Shared plumbing for the experiment drivers in bench/. Every driver honours
+// the same environment variables so the suite can be scaled from a quick CI
+// pass up to paper-protocol runs:
+//   TPGNN_GRAPHS  graphs generated per dataset (default 120)
+//   TPGNN_SEEDS   independent training runs per model (default 2; paper: 5)
+//   TPGNN_EPOCHS  training epochs (default 5; paper: 10)
+
+namespace tpgnn::bench {
+
+struct BenchSettings {
+  int64_t graphs_per_dataset = 240;
+  int64_t seeds = 2;
+  int64_t epochs = 10;
+  float learning_rate = 3e-3f;
+};
+
+inline BenchSettings LoadSettings() {
+  BenchSettings s;
+  s.graphs_per_dataset = GetEnvInt("TPGNN_GRAPHS", 240);
+  s.seeds = GetEnvInt("TPGNN_SEEDS", 2);
+  s.epochs = GetEnvInt("TPGNN_EPOCHS", 10);
+  // Learning rate in micro-units, e.g. TPGNN_LR_MICRO=1000 -> 1e-3.
+  s.learning_rate =
+      static_cast<float>(GetEnvInt("TPGNN_LR_MICRO", 3000)) * 1e-6f;
+  return s;
+}
+
+// Generated, filtered (>= 3 interactions, Sec. V-A) and chronologically
+// split (30/70, Sec. V-D) dataset.
+inline data::TrainTestSplit PrepareDataset(const data::DatasetSpec& spec,
+                                           const BenchSettings& settings,
+                                           uint64_t seed = 7) {
+  graph::GraphDataset dataset =
+      data::MakeDataset(spec, settings.graphs_per_dataset, seed);
+  dataset = data::FilterMinEdges(dataset, 3);
+  return data::SplitDataset(dataset, 0.3);
+}
+
+// Paper defaults (Sec. V-D): d = 32, d_t = 6.
+inline core::TpGnnConfig DefaultTpGnnConfig(core::Updater updater,
+                                            core::Variant variant =
+                                                core::Variant::kFull) {
+  core::TpGnnConfig config;
+  config.updater = updater;
+  config.variant = variant;
+  return config;
+}
+
+inline eval::ClassifierFactory TpGnnFactory(const core::TpGnnConfig& config) {
+  return [config](uint64_t seed) {
+    return std::make_unique<core::TpGnnModel>(config, seed);
+  };
+}
+
+// Discrete baselines use 5 snapshots on the log datasets and 20 on the
+// trajectory datasets (Sec. V-D).
+inline baselines::BaselineSuiteOptions SuiteOptionsFor(
+    const data::DatasetSpec& spec) {
+  baselines::BaselineSuiteOptions options;
+  options.num_snapshots =
+      spec.flavor == data::DatasetFlavor::kLogSession ? 5 : 20;
+  return options;
+}
+
+inline eval::ExperimentOptions MakeExperimentOptions(
+    const BenchSettings& settings) {
+  eval::ExperimentOptions options;
+  options.num_seeds = settings.seeds;
+  options.train.epochs = settings.epochs;
+  // The paper trains at lr 1e-3 on ~50k-graph training sets; at this
+  // repository's default 1000x-smaller scale the step count shrinks
+  // accordingly, so the default learning rate is raised to compensate
+  // (documented in EXPERIMENTS.md).
+  options.train.learning_rate = settings.learning_rate;
+  return options;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const BenchSettings& settings) {
+  std::printf("#############################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("# graphs/dataset=%lld seeds=%lld epochs=%lld (env-tunable)\n",
+              static_cast<long long>(settings.graphs_per_dataset),
+              static_cast<long long>(settings.seeds),
+              static_cast<long long>(settings.epochs));
+  std::printf("#############################################################\n");
+  std::fflush(stdout);
+}
+
+}  // namespace tpgnn::bench
+
+#endif  // TPGNN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,153 @@
+// Micro-benchmarks for the complexity analysis of Sec. IV-E:
+//   temporal propagation SUM:  O(m k)
+//   temporal propagation GRU:  O(m k^2)
+//   global temporal extractor: O(m d^2)
+// Measured with google-benchmark; the reported time should scale linearly
+// in m for all three, linearly in k for SUM, and quadratically in k (resp.
+// d) for the GRU-based components.
+
+#include <benchmark/benchmark.h>
+
+#include "core/global_extractor.h"
+#include "core/temporal_propagation.h"
+#include "graph/temporal_graph.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace core = tpgnn::core;
+namespace graph = tpgnn::graph;
+using tpgnn::Rng;
+
+namespace {
+
+graph::TemporalGraph MakeChainGraph(int64_t nodes, int64_t edges,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  graph::TemporalGraph g(nodes, 3);
+  for (int64_t v = 0; v < nodes; ++v) {
+    g.SetNodeFeature(v, {rng.UniformFloat(-1, 1), rng.UniformFloat(-1, 1),
+                         rng.UniformFloat(-1, 1)});
+  }
+  for (int64_t e = 0; e < edges; ++e) {
+    g.AddEdge(rng.UniformInt(0, nodes - 1), rng.UniformInt(0, nodes - 1),
+              static_cast<double>(e + 1));
+  }
+  return g;
+}
+
+core::TpGnnConfig PropConfig(core::Updater updater, int64_t k) {
+  core::TpGnnConfig config;
+  config.updater = updater;
+  config.embed_dim = k;
+  return config;
+}
+
+void BM_TemporalPropagationSum_Edges(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(1);
+  core::TemporalPropagation prop(PropConfig(core::Updater::kSum, 32), rng);
+  graph::TemporalGraph g = MakeChainGraph(32, m, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.Forward(g, order));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_TemporalPropagationSum_Edges)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_TemporalPropagationGru_Edges(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(1);
+  core::TemporalPropagation prop(PropConfig(core::Updater::kGru, 32), rng);
+  graph::TemporalGraph g = MakeChainGraph(32, m, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.Forward(g, order));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_TemporalPropagationGru_Edges)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_TemporalPropagationSum_Hidden(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Rng rng(1);
+  core::TemporalPropagation prop(PropConfig(core::Updater::kSum, k), rng);
+  graph::TemporalGraph g = MakeChainGraph(32, 96, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.Forward(g, order));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_TemporalPropagationSum_Hidden)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_TemporalPropagationGru_Hidden(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Rng rng(1);
+  core::TemporalPropagation prop(PropConfig(core::Updater::kGru, k), rng);
+  graph::TemporalGraph g = MakeChainGraph(32, 96, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.Forward(g, order));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_TemporalPropagationGru_Hidden)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_GlobalExtractor_Edges(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(1);
+  core::GlobalTemporalExtractor extractor(32, 32, rng);
+  graph::TemporalGraph g = MakeChainGraph(32, m, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::Tensor h =
+      tpgnn::tensor::Tensor::Uniform({32, 32}, -1, 1, rng);
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Forward(h, order));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_GlobalExtractor_Edges)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_GlobalExtractor_Hidden(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  Rng rng(1);
+  core::GlobalTemporalExtractor extractor(32, d, rng);
+  graph::TemporalGraph g = MakeChainGraph(32, 96, 2);
+  const auto order = g.ChronologicalEdges();
+  tpgnn::tensor::Tensor h =
+      tpgnn::tensor::Tensor::Uniform({32, 32}, -1, 1, rng);
+  tpgnn::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Forward(h, order));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_GlobalExtractor_Hidden)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

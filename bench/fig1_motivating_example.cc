@@ -1,0 +1,118 @@
+// Regenerates the Fig. 1 motivating example: two session networks with
+// IDENTICAL topology whose edges differ only in timestamps. An
+// order-agnostic static GNN provably assigns both the same output; TP-GNN
+// separates them, because the second (v7 -> v6) interaction happens after
+// v9's information reached v7 only in the abnormal graph.
+//
+// The driver (1) shows the untrained-distinguishability contrast, (2) shows
+// the influential-node analysis of Definition 4, and (3) trains both models
+// on a jittered dataset of the two prototypes.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/static_gnn.h"
+#include "bench_util.h"
+#include "graph/influence.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace graph = tpgnn::graph;
+namespace baselines = tpgnn::baselines;
+using tpgnn::Rng;
+
+namespace {
+
+// Fig. 1 style session network over nodes v0..v9. `abnormal` moves the
+// second (v7, v6) interaction after (v9, v8) -- same topology, different
+// edge establishment order.
+graph::TemporalGraph Fig1Graph(bool abnormal, Rng* jitter) {
+  graph::TemporalGraph g(10, 3);
+  for (int64_t v = 0; v < 10; ++v) {
+    g.SetNodeFeature(v, {static_cast<float>(v) / 10.0f, 0.5f, 0.0f});
+  }
+  auto t = [&](double base) {
+    return jitter != nullptr ? base + jitter->Uniform(0.0, 0.2) : base;
+  };
+  g.AddEdge(3, 1, t(1.0));
+  g.AddEdge(2, 1, t(2.0));
+  g.AddEdge(1, 0, t(3.0));
+  g.AddEdge(0, 7, t(4.0));
+  g.AddEdge(7, 6, t(4.9));
+  g.AddEdge(7, 6, t(abnormal ? 7.4 : 5.5));  // The order-defining edge.
+  g.AddEdge(9, 8, t(6.0));
+  g.AddEdge(8, 7, t(7.0));
+  g.AddEdge(0, 9, t(8.0));
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchSettings settings = bench::LoadSettings();
+  bench::PrintHeader("Fig. 1: motivating example", settings);
+
+  graph::TemporalGraph normal = Fig1Graph(false, nullptr);
+  graph::TemporalGraph abnormal = Fig1Graph(true, nullptr);
+
+  // (1) Untrained distinguishability.
+  Rng rng(1);
+  baselines::Gcn gcn({}, /*seed=*/3);
+  const float gcn_normal = gcn.ForwardLogit(normal, false, rng).item();
+  const float gcn_abnormal = gcn.ForwardLogit(abnormal, false, rng).item();
+  std::printf("GCN logits:    normal=%.6f abnormal=%.6f -> %s\n", gcn_normal,
+              gcn_abnormal,
+              gcn_normal == gcn_abnormal ? "IDENTICAL (cannot distinguish)"
+                                         : "different");
+  core::TpGnnModel tpgnn(bench::DefaultTpGnnConfig(core::Updater::kSum), 3);
+  const float tp_normal = tpgnn.ForwardLogit(normal, false, rng).item();
+  const float tp_abnormal = tpgnn.ForwardLogit(abnormal, false, rng).item();
+  std::printf("TP-GNN logits: normal=%.6f abnormal=%.6f -> %s\n", tp_normal,
+              tp_abnormal,
+              tp_normal == tp_abnormal ? "identical" : "DIFFERENT");
+
+  // (2) Influential-node analysis (Definition 4).
+  graph::InfluenceClosure closure_normal(normal);
+  graph::InfluenceClosure closure_abnormal(abnormal);
+  std::printf("v9 influential to v6?  normal: %s   abnormal: %s\n",
+              closure_normal.Influences(9, 6) ? "yes" : "no",
+              closure_abnormal.Influences(9, 6) ? "yes" : "no");
+  std::printf("|influencers of v6|    normal: %zu   abnormal: %zu\n",
+              closure_normal.InfluencersOf(6).size(),
+              closure_abnormal.InfluencersOf(6).size());
+
+  // (3) Train on jittered prototypes: TP-GNN separates, GCN cannot beat the
+  // all-positive predictor.
+  Rng data_rng(7);
+  graph::GraphDataset dataset;
+  for (int i = 0; i < 160; ++i) {
+    const bool neg = data_rng.Bernoulli(0.3);
+    dataset.push_back({Fig1Graph(neg, &data_rng), neg ? 0 : 1});
+  }
+  data::TrainTestSplit split = tpgnn::data::SplitDataset(dataset, 0.3);
+  eval::TrainOptions train_options;
+  train_options.epochs = settings.epochs;
+  train_options.learning_rate = settings.learning_rate;
+  train_options.seed = 1;
+
+  core::TpGnnModel tp_trained(bench::DefaultTpGnnConfig(core::Updater::kSum),
+                              11);
+  eval::TrainClassifier(tp_trained, split.train, train_options);
+  eval::Metrics tp_metrics = eval::EvaluateClassifier(tp_trained, split.test);
+
+  baselines::Gcn gcn_trained({}, 11);
+  eval::TrainClassifier(gcn_trained, split.train, train_options);
+  eval::Metrics gcn_metrics =
+      eval::EvaluateClassifier(gcn_trained, split.test);
+
+  std::printf("\nAfter training on jittered Fig.1 prototypes:\n");
+  std::printf("  TP-GNN-SUM  accuracy=%5.1f%%  F1=%5.1f%%\n",
+              100.0 * tp_metrics.accuracy, 100.0 * tp_metrics.f1);
+  std::printf("  GCN         accuracy=%5.1f%%  F1=%5.1f%%\n",
+              100.0 * gcn_metrics.accuracy, 100.0 * gcn_metrics.f1);
+  std::printf("  (all-positive predictor: accuracy=70.0%%, F1=82.4%%)\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates Fig. 3: ablation study of TP-GNN-SUM on Forum-java, HDFS,
+// Gowalla and Brightkite. Expected shape (Sec. V-F): rand < temp <
+// time2Vec < full, and w/o tem below full.
+
+#include "ablation_common.h"
+#include "core/config.h"
+
+int main() {
+  tpgnn::bench::RunAblation(tpgnn::core::Updater::kSum);
+  return 0;
+}

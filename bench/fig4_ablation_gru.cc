@@ -1,0 +1,9 @@
+// Regenerates Fig. 4: ablation study of TP-GNN-GRU (same grid as Fig. 3).
+
+#include "ablation_common.h"
+#include "core/config.h"
+
+int main() {
+  tpgnn::bench::RunAblation(tpgnn::core::Updater::kGru);
+  return 0;
+}

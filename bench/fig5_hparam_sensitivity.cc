@@ -1,0 +1,69 @@
+// Regenerates Fig. 5: hyperparameter sensitivity of TP-GNN-SUM over the GRU
+// hidden size d in {8, 16, 32, 64, 128} and the time dimension d_t in
+// {2, 4, 6, 8}, one F1 heatmap per dataset. Expected shape: F1 rises then
+// plateaus around d = 32, d_t = 6 (the paper's default).
+//
+// Grid size is env-tunable: TPGNN_FIG5_FULL=1 runs the full 5x4 grid;
+// the default trims to a 3x3 grid to bound runtime.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/env.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+
+int main() {
+  bench::BenchSettings settings = bench::LoadSettings();
+  // The grid multiplies training runs by ~9x, so this driver halves the
+  // per-cell scale by default (env values are still respected as the base).
+  settings.graphs_per_dataset = std::max<int64_t>(
+      60, settings.graphs_per_dataset / 2);
+  settings.epochs = std::max<int64_t>(4, settings.epochs / 2);
+  bench::PrintHeader("Fig. 5: hyperparameter sensitivity (TP-GNN-SUM)",
+                     settings);
+  const eval::ExperimentOptions options =
+      bench::MakeExperimentOptions(settings);
+
+  const bool full_grid = tpgnn::GetEnvInt("TPGNN_FIG5_FULL", 0) != 0;
+  const std::vector<int64_t> hidden_sizes =
+      full_grid ? std::vector<int64_t>{8, 16, 32, 64, 128}
+                : std::vector<int64_t>{8, 32, 64};
+  const std::vector<int64_t> time_dims =
+      full_grid ? std::vector<int64_t>{2, 4, 6, 8}
+                : std::vector<int64_t>{2, 6, 8};
+
+  const std::vector<data::DatasetSpec> specs = {
+      data::ForumJavaSpec(), data::HdfsSpec(), data::GowallaSpec(),
+      data::BrightkiteSpec()};
+  for (const data::DatasetSpec& spec : specs) {
+    data::TrainTestSplit split = bench::PrepareDataset(spec, settings);
+    std::printf("\n== %s: F1 Score (%%) by d (rows) x d_t (cols) ==\n",
+                spec.name.c_str());
+    std::printf("%8s", "d \\ d_t");
+    for (int64_t dt : time_dims) {
+      std::printf(" | %6lld", static_cast<long long>(dt));
+    }
+    std::printf("\n");
+    for (int64_t d : hidden_sizes) {
+      std::printf("%8lld", static_cast<long long>(d));
+      for (int64_t dt : time_dims) {
+        core::TpGnnConfig config =
+            bench::DefaultTpGnnConfig(core::Updater::kSum);
+        config.hidden_dim = d;
+        config.time_dim = dt;
+        eval::ExperimentResult result = eval::RunExperiment(
+            bench::TpGnnFactory(config), split.train, split.test, options);
+        std::printf(" | %6.2f", 100.0 * result.metrics.mean.f1);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Fig. 6: running time (per graph, microseconds) vs F1 Score of
+// the continuous DGNNs (TGAT, DyGNN, TGN, GraphMixer, TP-GNN) on four
+// datasets. Expected shape: DyGNN is the slowest everywhere; GraphMixer is
+// among the fastest; TP-GNN dominates the upper-left (fast and accurate)
+// region except on the dense Brightkite graphs where its per-edge cost
+// shows (Sec. V-G).
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace baselines = tpgnn::baselines;
+
+int main() {
+  const bench::BenchSettings settings = bench::LoadSettings();
+  bench::PrintHeader("Fig. 6: runtime vs F1 of continuous DGNNs", settings);
+  const eval::ExperimentOptions options =
+      bench::MakeExperimentOptions(settings);
+
+  const std::vector<data::DatasetSpec> specs = {
+      data::ForumJavaSpec(), data::HdfsSpec(), data::GowallaSpec(),
+      data::BrightkiteSpec()};
+  for (const data::DatasetSpec& spec : specs) {
+    data::TrainTestSplit split = bench::PrepareDataset(spec, settings);
+    baselines::ContinuousOptions c;
+    std::vector<std::pair<std::string, eval::ClassifierFactory>> models = {
+        {"TGAT",
+         [c](uint64_t seed) {
+           return std::make_unique<baselines::Tgat>(c, seed);
+         }},
+        {"DyGNN",
+         [c](uint64_t seed) {
+           return std::make_unique<baselines::DyGnn>(c, seed);
+         }},
+        {"TGN",
+         [c](uint64_t seed) {
+           return std::make_unique<baselines::Tgn>(c, seed);
+         }},
+        {"GraphMixer",
+         [c](uint64_t seed) {
+           return std::make_unique<baselines::GraphMixer>(c, seed);
+         }},
+        {"TP-GNN-SUM",
+         bench::TpGnnFactory(bench::DefaultTpGnnConfig(core::Updater::kSum))},
+        {"TP-GNN-GRU",
+         bench::TpGnnFactory(bench::DefaultTpGnnConfig(core::Updater::kGru))},
+    };
+    std::printf("\n== %s: scatter points (us/graph, F1%%) ==\n",
+                spec.name.c_str());
+    for (const auto& [name, factory] : models) {
+      eval::ExperimentResult result =
+          eval::RunExperiment(factory, split.train, split.test, options);
+      std::printf("%-12s us/graph=%9.1f  F1=%6.2f\n", name.c_str(),
+                  result.inference_micros_per_graph,
+                  100.0 * result.metrics.mean.f1);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Regenerates the Sec. V-H / Fig. 7 case study: train TP-GNN-GRU on the
+// Gowalla-flavoured trajectory dataset, pick a positive user-trajectory
+// network, then (a) swap the timestamps of an early and a late movement and
+// (b) flip the direction of a late movement. TP-GNN should recognize both
+// modified trajectories as anomalous while keeping the original positive,
+// because the modifications change the information flow (the set of
+// influential nodes).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/negative_sampling.h"
+#include "graph/influence.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace graph = tpgnn::graph;
+using tpgnn::Rng;
+
+namespace {
+
+double ProbNormal(core::TpGnnModel& model, const graph::TemporalGraph& g) {
+  Rng rng(0);
+  const float logit = model.ForwardLogit(g, false, rng).item();
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit)));
+}
+
+int64_t InfluencerCount(const graph::TemporalGraph& g, int64_t node) {
+  return static_cast<int64_t>(
+      graph::InfluenceClosure(g).InfluencersOf(node).size());
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchSettings settings = bench::LoadSettings();
+  bench::PrintHeader("Fig. 7: trajectory case study", settings);
+
+  data::TrainTestSplit split =
+      bench::PrepareDataset(data::GowallaSpec(), settings);
+  core::TpGnnModel model(bench::DefaultTpGnnConfig(core::Updater::kGru), 5);
+  eval::TrainOptions train_options;
+  train_options.epochs = settings.epochs;
+  train_options.learning_rate = settings.learning_rate;
+  train_options.seed = 5;
+  eval::TrainClassifier(model, split.train, train_options);
+  eval::Metrics metrics = eval::EvaluateClassifier(model, split.test);
+  std::printf("trained TP-GNN-GRU: test F1=%.2f%%\n\n", 100.0 * metrics.f1);
+
+  // Pick a positive trajectory from the test split.
+  const graph::LabeledGraph* positive = nullptr;
+  for (const auto& sample : split.test) {
+    if (sample.label == 1 && sample.graph.num_edges() >= 10) {
+      positive = &sample;
+      break;
+    }
+  }
+  if (positive == nullptr) {
+    std::printf("no positive test trajectory found\n");
+    return 1;
+  }
+  const graph::TemporalGraph& original = positive->graph;
+  std::printf("trajectory: %lld POIs, %lld movements\n",
+              static_cast<long long>(original.num_nodes()),
+              static_cast<long long>(original.num_edges()));
+
+  // (a) Swap the timestamps of an early and a late movement (the paper
+  // swaps t=4.3 with t=14.5).
+  graph::TemporalGraph swapped = original;
+  {
+    auto& edges = swapped.mutable_edges();
+    const size_t early = edges.size() / 8;
+    const size_t late = edges.size() - 1 - edges.size() / 8;
+    std::swap(edges[early].time, edges[late].time);
+  }
+
+  // (b) Flip the direction of a late movement.
+  graph::TemporalGraph flipped = original;
+  {
+    auto& edges = flipped.mutable_edges();
+    auto& e = edges[edges.size() - 2];
+    std::swap(e.src, e.dst);
+  }
+
+  // (c) Permute the trajectory's excursion loops in time (the anomaly
+  // class the detector is trained on; (a)/(b) are the paper's minimal
+  // single-edge edits).
+  Rng block_rng(13);
+  graph::TemporalGraph relocated = data::LoopSwapNegative(original, block_rng);
+
+  const double p_original = ProbNormal(model, original);
+  const double p_swapped = ProbNormal(model, swapped);
+  const double p_flipped = ProbNormal(model, flipped);
+  const double p_relocated = ProbNormal(model, relocated);
+  std::printf("P(normal): original=%.3f  time-swapped=%.3f  "
+              "direction-flipped=%.3f  loops-permuted=%.3f\n",
+              p_original, p_swapped, p_flipped, p_relocated);
+  std::printf("prediction: original=%s  time-swapped=%s  "
+              "direction-flipped=%s  loops-permuted=%s\n",
+              p_original > 0.5 ? "normal" : "anomalous",
+              p_swapped > 0.5 ? "normal" : "anomalous",
+              p_flipped > 0.5 ? "normal" : "anomalous",
+              p_relocated > 0.5 ? "normal" : "anomalous");
+
+  // Information-flow view: the modifications change influential-node sets.
+  const int64_t last_dst = original.ChronologicalEdges().back().dst;
+  std::printf("\n|influencers of the final POI (v%lld)|: original=%lld "
+              "time-swapped=%lld direction-flipped=%lld\n",
+              static_cast<long long>(last_dst),
+              static_cast<long long>(InfluencerCount(original, last_dst)),
+              static_cast<long long>(InfluencerCount(swapped, last_dst)),
+              static_cast<long long>(InfluencerCount(flipped, last_dst)));
+  return 0;
+}

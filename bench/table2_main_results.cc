@@ -1,0 +1,68 @@
+// Regenerates Table II: F1 / Precision / Recall of the twelve baselines and
+// TP-GNN-SUM / TP-GNN-GRU on all five datasets. The expected *shape*
+// (paper): static models < discrete DGNNs < continuous DGNNs < TP-GNN.
+//
+// Scale with TPGNN_GRAPHS / TPGNN_SEEDS / TPGNN_EPOCHS; the paper protocol
+// is 5 seeds and 10 epochs on the full datasets.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/env.h"
+
+namespace bench = tpgnn::bench;
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace baselines = tpgnn::baselines;
+
+int main() {
+  const bench::BenchSettings settings = bench::LoadSettings();
+  bench::PrintHeader("Table II: dynamic graph classification", settings);
+  const eval::ExperimentOptions options =
+      bench::MakeExperimentOptions(settings);
+
+  // Optional filters for quick partial runs, e.g.
+  //   TPGNN_DATASETS=Gowalla TPGNN_MODELS=TGN,TP-GNN ./table2_main_results
+  const std::string dataset_filter = tpgnn::GetEnvString("TPGNN_DATASETS", "");
+  const std::string model_filter = tpgnn::GetEnvString("TPGNN_MODELS", "");
+  auto matches = [](const std::string& filter, const std::string& name) {
+    if (filter.empty()) return true;
+    size_t start = 0;
+    while (start <= filter.size()) {
+      size_t comma = filter.find(',', start);
+      if (comma == std::string::npos) comma = filter.size();
+      if (name.find(filter.substr(start, comma - start)) !=
+          std::string::npos) {
+        return true;
+      }
+      start = comma + 1;
+    }
+    return false;
+  };
+
+  for (const data::DatasetSpec& spec : data::AllDatasetSpecs()) {
+    if (!matches(dataset_filter, spec.name)) continue;
+    data::TrainTestSplit split = bench::PrepareDataset(spec, settings);
+    std::vector<std::pair<std::string, eval::ClassifierFactory>> models =
+        baselines::AllBaselineFactories(bench::SuiteOptionsFor(spec));
+    models.emplace_back(
+        "TP-GNN-GRU",
+        bench::TpGnnFactory(bench::DefaultTpGnnConfig(core::Updater::kGru)));
+    models.emplace_back(
+        "TP-GNN-SUM",
+        bench::TpGnnFactory(bench::DefaultTpGnnConfig(core::Updater::kSum)));
+
+    std::vector<eval::ExperimentResult> results;
+    results.reserve(models.size());
+    for (const auto& [name, factory] : models) {
+      if (!matches(model_filter, name)) continue;
+      results.push_back(
+          eval::RunExperiment(factory, split.train, split.test, options));
+    }
+    eval::PrintResultsTable(spec.name, results);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Log anomaly detection (the paper's Forum-java motivation): build dynamic
+// session networks from a stream of simulated micro-service logs, train
+// TP-GNN-SUM, and triage new sessions, reporting the per-fault detection
+// rate.
+//
+//   $ ./build/examples/log_anomaly_detection
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/log_session_generator.h"
+#include "eval/trainer.h"
+#include "graph/temporal_graph.h"
+
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace graph = tpgnn::graph;
+using tpgnn::Rng;
+
+namespace {
+
+const char* FaultName(data::LogFault fault) {
+  switch (fault) {
+    case data::LogFault::kNone:
+      return "normal";
+    case data::LogFault::kOrderAnomaly:
+      return "order-anomaly";
+    case data::LogFault::kCrashLoop:
+      return "crash-loop";
+    case data::LogFault::kMissingStep:
+      return "missing-step";
+    case data::LogFault::kExceptionBurst:
+      return "exception-burst";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  data::LogSessionGenerator::Options options;
+  options.avg_nodes = 27;  // Forum-java shape (Table I).
+  options.avg_edges = 30;
+  options.num_event_types = 81;
+  data::LogSessionGenerator generator(options);
+
+  // Training corpus: normal sessions plus all four fault types.
+  Rng rng(123);
+  graph::GraphDataset train;
+  const std::vector<data::LogFault> faults = {
+      data::LogFault::kOrderAnomaly, data::LogFault::kCrashLoop,
+      data::LogFault::kMissingStep, data::LogFault::kExceptionBurst};
+  for (int i = 0; i < 160; ++i) {
+    if (rng.Bernoulli(0.35)) {
+      data::LogFault fault =
+          faults[static_cast<size_t>(rng.UniformInt(0, 3))];
+      train.push_back({generator.GenerateNegative(fault, rng), 0});
+    } else {
+      train.push_back({generator.GeneratePositive(rng), 1});
+    }
+  }
+
+  core::TpGnnConfig config;
+  config.updater = core::Updater::kSum;
+  core::TpGnnModel model(config, /*seed=*/1);
+  eval::TrainOptions train_options;
+  train_options.epochs = 15;
+  train_options.learning_rate = 3e-3f;
+  train_options.seed = 1;
+  std::printf("training %s on %zu sessions...\n", model.name().c_str(),
+              train.size());
+  eval::TrainResult history =
+      eval::TrainClassifier(model, train, train_options);
+  std::printf("mean BCE: %.4f (epoch 1) -> %.4f (epoch %zu)\n\n",
+              history.epoch_losses.front(), history.epoch_losses.back(),
+              history.epoch_losses.size());
+
+  // Triage fresh sessions and report per-fault detection rates.
+  std::printf("%-16s | %8s | %s\n", "session kind", "flagged", "of");
+  std::printf("%s\n", std::string(40, '-').c_str());
+  tpgnn::tensor::NoGradGuard no_grad;
+  Rng eval_rng(321);
+  const int per_kind = 40;
+  for (int kind = -1; kind < 4; ++kind) {
+    int flagged = 0;
+    for (int i = 0; i < per_kind; ++i) {
+      graph::TemporalGraph session =
+          kind < 0 ? generator.GeneratePositive(eval_rng)
+                   : generator.GenerateNegative(faults[static_cast<size_t>(kind)],
+                                                eval_rng);
+      Rng inference_rng(0);
+      float logit =
+          model.ForwardLogit(session, /*training=*/false, inference_rng)
+              .item();
+      if (logit <= 0.0f) ++flagged;  // P(normal) <= 0.5 -> anomalous.
+    }
+    const data::LogFault fault =
+        kind < 0 ? data::LogFault::kNone : faults[static_cast<size_t>(kind)];
+    std::printf("%-16s | %3d/%-4d | %s\n", FaultName(fault), flagged,
+                per_kind,
+                kind < 0 ? "(false-positive rate)" : "(detection rate)");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's Fig. 1 in miniature: two dynamic session networks with
+// identical topology but different edge establishment order. The example
+// walks through temporal propagation by hand, showing how the influential
+// node sets (Definition 4) — and therefore the learned embeddings — differ.
+//
+//   $ ./build/examples/motivating_example
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/model.h"
+#include "graph/influence.h"
+#include "graph/temporal_graph.h"
+#include "tensor/ops.h"
+
+namespace core = tpgnn::core;
+namespace graph = tpgnn::graph;
+using tpgnn::Rng;
+
+namespace {
+
+graph::TemporalGraph SessionGraph(bool abnormal) {
+  // Nodes v0..v9 are log events; a second (v7 -> v6) interaction happens
+  // either before (normal) or after (abnormal) the v9 -> v8 -> v7 chain.
+  graph::TemporalGraph g(10, 3);
+  for (int64_t v = 0; v < 10; ++v) {
+    g.SetNodeFeature(v, {static_cast<float>(v) / 10.0f, 0.5f, 0.0f});
+  }
+  g.AddEdge(3, 1, 1.0);
+  g.AddEdge(2, 1, 2.0);
+  g.AddEdge(1, 0, 3.0);
+  g.AddEdge(0, 7, 4.0);
+  g.AddEdge(7, 6, 4.9);
+  g.AddEdge(7, 6, abnormal ? 7.4 : 5.5);
+  g.AddEdge(9, 8, 6.0);
+  g.AddEdge(8, 7, 7.0);
+  g.AddEdge(0, 9, 8.0);
+  return g;
+}
+
+void PrintInfluencers(const std::string& label,
+                      const graph::TemporalGraph& g, int64_t node) {
+  graph::InfluenceClosure closure(g);
+  std::printf("%s influencers of v%lld: {", label.c_str(),
+              static_cast<long long>(node));
+  bool first = true;
+  for (int64_t u : closure.InfluencersOf(node)) {
+    std::printf("%sv%lld", first ? "" : ", ", static_cast<long long>(u));
+    first = false;
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  graph::TemporalGraph normal = SessionGraph(false);
+  graph::TemporalGraph abnormal = SessionGraph(true);
+
+  std::printf("Both graphs have %lld nodes and %lld edges with identical\n"
+              "topology; only the second (v7 -> v6) timestamp differs\n"
+              "(t=5.5 normal vs t=7.4 abnormal).\n\n",
+              static_cast<long long>(normal.num_nodes()),
+              static_cast<long long>(normal.num_edges()));
+
+  // Information-flow analysis (Definition 4).
+  PrintInfluencers("normal  ", normal, 6);
+  PrintInfluencers("abnormal", abnormal, 6);
+  std::printf("\nIn the abnormal session, v9 and v8's information reaches "
+              "v6\nthrough the delayed second (v7 -> v6) interaction.\n\n");
+
+  // Embedding analysis: an untrained TP-GNN already maps the two graphs to
+  // different representations; an order-agnostic model cannot.
+  core::TpGnnConfig config;
+  core::TpGnnModel model(config, /*seed=*/7);
+  tpgnn::tensor::Tensor g1 = model.Embed(normal);
+  tpgnn::tensor::Tensor g2 = model.Embed(abnormal);
+  float l2 = 0.0f;
+  for (int64_t i = 0; i < g1.numel(); ++i) {
+    const float d = g1.data()[static_cast<size_t>(i)] -
+                    g2.data()[static_cast<size_t>(i)];
+    l2 += d * d;
+  }
+  std::printf("||g_normal - g_abnormal||_2 = %.6f (> 0: TP-GNN separates "
+              "the pair)\n",
+              std::sqrt(l2));
+  return 0;
+}

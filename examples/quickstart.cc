@@ -1,0 +1,73 @@
+// Quickstart: build a continuous-time dynamic network by hand, train
+// TP-GNN on a small synthetic dataset, and classify the hand-built graph.
+//
+//   $ ./build/examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.h"
+#include "data/datasets.h"
+#include "eval/trainer.h"
+#include "graph/temporal_graph.h"
+#include "tensor/ops.h"
+
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace graph = tpgnn::graph;
+
+int main() {
+  // 1. A CTDN is a set of nodes with features plus timestamped directed
+  //    edges (Definition 1). Here: a five-event log session.
+  graph::TemporalGraph session(/*num_nodes=*/5, /*feature_dim=*/3);
+  session.SetNodeFeature(0, {0.00f, 1.2f, 0.0f});  // request received
+  session.SetNodeFeature(1, {0.25f, 0.8f, 0.0f});  // auth check
+  session.SetNodeFeature(2, {0.50f, 2.1f, 0.0f});  // db query
+  session.SetNodeFeature(3, {0.75f, 0.5f, 0.0f});  // render
+  session.SetNodeFeature(4, {1.00f, 0.3f, 0.0f});  // response sent
+  session.AddEdge(0, 1, 1.0);
+  session.AddEdge(1, 2, 2.2);
+  session.AddEdge(2, 3, 3.7);
+  session.AddEdge(3, 4, 4.1);
+
+  // 2. Generate a small labeled dataset (synthetic stand-in for the
+  //    paper's HDFS log corpus) and split it 30/70 chronologically.
+  graph::GraphDataset dataset =
+      data::MakeDataset(data::HdfsSpec(), /*count=*/150, /*seed=*/42);
+  data::TrainTestSplit split = data::SplitDataset(dataset, 0.3);
+  std::printf("dataset: %zu train / %zu test graphs\n", split.train.size(),
+              split.test.size());
+
+  // 3. Configure TP-GNN (paper defaults: SUM updater, d=32, d_t=6) and
+  //    train end-to-end with Adam + BCE.
+  core::TpGnnConfig config;
+  config.updater = core::Updater::kSum;
+  core::TpGnnModel model(config, /*seed=*/1);
+  std::printf("model: %s with %lld parameters\n", model.name().c_str(),
+              static_cast<long long>(model.ParameterCount()));
+
+  eval::TrainOptions train_options;
+  train_options.epochs = 8;
+  train_options.seed = 1;
+  eval::TrainResult history =
+      eval::TrainClassifier(model, split.train, train_options);
+  std::printf("loss: first epoch %.4f -> last epoch %.4f\n",
+              history.epoch_losses.front(), history.epoch_losses.back());
+
+  // 4. Evaluate on the held-out split.
+  eval::Metrics metrics = eval::EvaluateClassifier(model, split.test);
+  std::printf("test: F1=%.2f%% precision=%.2f%% recall=%.2f%%\n",
+              100.0 * metrics.f1, 100.0 * metrics.precision,
+              100.0 * metrics.recall);
+
+  // 5. Classify the hand-built session and inspect its graph embedding.
+  tpgnn::Rng rng(0);
+  float logit = model.ForwardLogit(session, /*training=*/false, rng).item();
+  const float prob = 1.0f / (1.0f + std::exp(-logit));
+  std::printf("hand-built session: P(normal) = %.3f -> %s\n", prob,
+              prob > 0.5f ? "normal" : "anomalous");
+  std::printf("graph embedding g: %s\n",
+              model.Embed(session).ToString().c_str());
+  return 0;
+}

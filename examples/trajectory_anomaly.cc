@@ -1,0 +1,90 @@
+// User-trajectory anomaly detection (the paper's Brightkite/Gowalla
+// motivation): each user's check-in stream forms a dynamic user-trajectory
+// network; TP-GNN-GRU classifies whole trajectories as normal or anomalous
+// (structurally rewired movements or temporally reordered excursions).
+//
+//   $ ./build/examples/trajectory_anomaly
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/model.h"
+#include "data/trajectory_generator.h"
+#include "eval/trainer.h"
+#include "graph/temporal_graph.h"
+
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace eval = tpgnn::eval;
+namespace graph = tpgnn::graph;
+using tpgnn::Rng;
+
+int main() {
+  data::TrajectoryGenerator::Options options;
+  options.avg_nodes = 46;  // Brightkite shape (Table I).
+  options.avg_edges = 188;
+  data::TrajectoryGenerator generator(options);
+
+  // Corpus: 70% normal users, 15% structural anomalies (impossible jumps),
+  // 15% temporal anomalies (reordered excursions).
+  Rng rng(2024);
+  graph::GraphDataset dataset;
+  for (int i = 0; i < 200; ++i) {
+    const double coin = rng.Uniform();
+    if (coin < 0.70) {
+      dataset.push_back({generator.GeneratePositive(rng), 1});
+    } else if (coin < 0.85) {
+      dataset.push_back(
+          {generator.GenerateNegative(/*temporal_fraction=*/0.0, rng), 0});
+    } else {
+      dataset.push_back(
+          {generator.GenerateNegative(/*temporal_fraction=*/1.0, rng), 0});
+    }
+  }
+  const size_t train_size = 120;
+  graph::GraphDataset train(dataset.begin(),
+                            dataset.begin() + train_size);
+  graph::GraphDataset test(dataset.begin() + train_size, dataset.end());
+
+  // The GRU updater handles the long interaction sequences of dense
+  // trajectory graphs best (Sec. V-E).
+  core::TpGnnConfig config;
+  config.updater = core::Updater::kGru;
+  core::TpGnnModel model(config, /*seed=*/3);
+  std::printf("training %s (%lld parameters) on %zu trajectories...\n",
+              model.name().c_str(),
+              static_cast<long long>(model.ParameterCount()), train.size());
+
+  eval::TrainOptions train_options;
+  train_options.epochs = 15;
+  train_options.learning_rate = 3e-3f;
+  train_options.seed = 3;
+  eval::TrainClassifier(model, train, train_options);
+
+  eval::Metrics metrics = eval::EvaluateClassifier(model, test);
+  std::printf("held-out trajectories: F1=%.2f%% precision=%.2f%% "
+              "recall=%.2f%% accuracy=%.2f%%\n",
+              100.0 * metrics.f1, 100.0 * metrics.precision,
+              100.0 * metrics.recall, 100.0 * metrics.accuracy);
+
+  // Inspect a few individual users.
+  std::printf("\nsample triage:\n");
+  tpgnn::tensor::NoGradGuard no_grad;
+  Rng inference_rng(0);
+  int shown = 0;
+  for (const graph::LabeledGraph& sample : test) {
+    if (shown >= 6) break;
+    const float logit =
+        model.ForwardLogit(sample.graph, false, inference_rng).item();
+    const double p = 1.0 / (1.0 + std::exp(-static_cast<double>(logit)));
+    std::printf("  user %d: %3lld POIs, %3lld moves, P(normal)=%.3f -> %s "
+                "(truth: %s)\n",
+                shown, static_cast<long long>(sample.graph.num_nodes()),
+                static_cast<long long>(sample.graph.num_edges()), p,
+                p > 0.5 ? "normal " : "ANOMALY",
+                sample.label == 1 ? "normal" : "anomaly");
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "baselines/baseline.h"
+
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::baselines {
+
+using tensor::Reshape;
+using tensor::Tensor;
+
+void PooledNodeClassifier::InitReadout(int64_t global_hidden_dim, Rng& rng) {
+  TPGNN_CHECK(head_ == nullptr) << "InitReadout called twice";
+  int64_t head_in = embedding_dim();
+  if (global_hidden_dim > 0) {
+    extractor_ = std::make_unique<core::GlobalTemporalExtractor>(
+        embedding_dim(), global_hidden_dim, rng);
+    RegisterChild("global_extractor", extractor_.get());
+    head_in = global_hidden_dim;
+  }
+  head_ = std::make_unique<nn::Linear>(head_in, 1, rng);
+  RegisterChild("head", head_.get());
+}
+
+Tensor PooledNodeClassifier::ForwardLogit(const graph::TemporalGraph& graph,
+                                          bool training, Rng& rng) {
+  TPGNN_CHECK(head_ != nullptr) << "subclass must call InitReadout";
+  Tensor h = NodeEmbeddings(graph, training, rng);
+  Tensor pooled = extractor_ != nullptr
+                      ? extractor_->Forward(h, graph.ChronologicalEdges())
+                      : graph::MeanPool(h);
+  Tensor logit = head_->Forward(Reshape(pooled, {1, pooled.numel()}));
+  return Reshape(logit, {1});
+}
+
+std::vector<Tensor> PooledNodeClassifier::TrainableParameters() {
+  return Parameters();
+}
+
+std::string PooledNodeClassifier::name() const {
+  return extractor_ != nullptr ? base_name() + "+G" : base_name();
+}
+
+}  // namespace tpgnn::baselines

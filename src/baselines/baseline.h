@@ -1,0 +1,54 @@
+#ifndef TPGNN_BASELINES_BASELINE_H_
+#define TPGNN_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/global_extractor.h"
+#include "eval/classifier.h"
+#include "graph/temporal_graph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Shared scaffold for the baseline models of Sec. V-B. Each baseline
+// produces per-node embeddings; the base class turns them into a graph
+// logit using Mean graph pooling (the paper's adaptation of node-level
+// baselines to graph classification, Sec. V-D) or — for the "+G" variants of
+// Table III — the paper's Global Temporal Embedding Extractor.
+
+namespace tpgnn::baselines {
+
+class PooledNodeClassifier : public nn::Module, public eval::GraphClassifier {
+ public:
+  ~PooledNodeClassifier() override = default;
+
+  tensor::Tensor ForwardLogit(const graph::TemporalGraph& graph, bool training,
+                              Rng& rng) override;
+  std::vector<tensor::Tensor> TrainableParameters() override;
+  std::string name() const override;
+
+ protected:
+  PooledNodeClassifier() = default;
+
+  // Node embedding matrix [n, embedding_dim()].
+  virtual tensor::Tensor NodeEmbeddings(const graph::TemporalGraph& graph,
+                                        bool training, Rng& rng) = 0;
+  virtual int64_t embedding_dim() const = 0;
+  virtual std::string base_name() const = 0;
+
+  // Must be called at the end of the subclass constructor (it needs
+  // embedding_dim()). `global_hidden_dim > 0` enables the "+G" readout with
+  // that GRU hidden size; otherwise Mean pooling is used.
+  void InitReadout(int64_t global_hidden_dim, Rng& rng);
+
+ private:
+  std::unique_ptr<core::GlobalTemporalExtractor> extractor_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace tpgnn::baselines
+
+#endif  // TPGNN_BASELINES_BASELINE_H_

@@ -1,0 +1,89 @@
+#include "baselines/baselines.h"
+
+#include <memory>
+
+namespace tpgnn::baselines {
+
+namespace {
+
+StaticGnnOptions ToStatic(const BaselineSuiteOptions& options) {
+  StaticGnnOptions s;
+  s.feature_dim = options.feature_dim;
+  s.hidden_dim = options.hidden_dim;
+  return s;
+}
+
+DiscreteOptions ToDiscrete(const BaselineSuiteOptions& options) {
+  DiscreteOptions d;
+  d.feature_dim = options.feature_dim;
+  d.hidden_dim = options.hidden_dim;
+  d.num_snapshots = options.num_snapshots;
+  return d;
+}
+
+ContinuousOptions ToContinuous(const BaselineSuiteOptions& options) {
+  ContinuousOptions c;
+  c.feature_dim = options.feature_dim;
+  c.hidden_dim = options.hidden_dim;
+  c.time_dim = options.time_dim;
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, eval::ClassifierFactory>>
+AllBaselineFactories(const BaselineSuiteOptions& options) {
+  const StaticGnnOptions s = ToStatic(options);
+  const DiscreteOptions d = ToDiscrete(options);
+  const ContinuousOptions c = ToContinuous(options);
+  return {
+      {"Spectral Clustering",
+       [](uint64_t seed) {
+         return std::make_unique<SpectralClustering>(/*spectrum_dim=*/8, seed);
+       }},
+      {"GCN", [s](uint64_t seed) { return std::make_unique<Gcn>(s, seed); }},
+      {"GraphSage",
+       [s](uint64_t seed) { return std::make_unique<GraphSage>(s, seed); }},
+      {"GAT", [s](uint64_t seed) { return std::make_unique<Gat>(s, seed); }},
+      {"AddGraph",
+       [d](uint64_t seed) { return std::make_unique<AddGraph>(d, seed); }},
+      {"TADDY",
+       [d](uint64_t seed) { return std::make_unique<Taddy>(d, seed); }},
+      {"EvolveGCN",
+       [d](uint64_t seed) { return std::make_unique<EvolveGcn>(d, seed); }},
+      {"GC-LSTM",
+       [d](uint64_t seed) { return std::make_unique<GcLstm>(d, seed); }},
+      {"TGN", [c](uint64_t seed) { return std::make_unique<Tgn>(c, seed); }},
+      {"DyGNN",
+       [c](uint64_t seed) { return std::make_unique<DyGnn>(c, seed); }},
+      {"TGAT", [c](uint64_t seed) { return std::make_unique<Tgat>(c, seed); }},
+      {"GraphMixer",
+       [c](uint64_t seed) { return std::make_unique<GraphMixer>(c, seed); }},
+  };
+}
+
+std::vector<std::pair<std::string, eval::ClassifierFactory>>
+ContinuousPlusGlobalFactories(const BaselineSuiteOptions& options,
+                              int64_t global_hidden_dim) {
+  const ContinuousOptions c = ToContinuous(options);
+  return {
+      {"TGAT+G",
+       [c, global_hidden_dim](uint64_t seed) {
+         return std::make_unique<Tgat>(c, seed, global_hidden_dim);
+       }},
+      {"DyGNN+G",
+       [c, global_hidden_dim](uint64_t seed) {
+         return std::make_unique<DyGnn>(c, seed, global_hidden_dim);
+       }},
+      {"TGN+G",
+       [c, global_hidden_dim](uint64_t seed) {
+         return std::make_unique<Tgn>(c, seed, global_hidden_dim);
+       }},
+      {"GraphMixer+G",
+       [c, global_hidden_dim](uint64_t seed) {
+         return std::make_unique<GraphMixer>(c, seed, global_hidden_dim);
+       }},
+  };
+}
+
+}  // namespace tpgnn::baselines

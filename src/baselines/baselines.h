@@ -1,0 +1,41 @@
+#ifndef TPGNN_BASELINES_BASELINES_H_
+#define TPGNN_BASELINES_BASELINES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/continuous.h"  // IWYU pragma: export
+#include "baselines/discrete.h"    // IWYU pragma: export
+#include "baselines/spectral.h"    // IWYU pragma: export
+#include "baselines/static_gnn.h"  // IWYU pragma: export
+#include "eval/experiment.h"
+
+// Umbrella header and factory registry for the twelve baselines of Table II.
+
+namespace tpgnn::baselines {
+
+struct BaselineSuiteOptions {
+  int64_t feature_dim = 3;
+  int64_t hidden_dim = 32;
+  int64_t time_dim = 6;
+  // Snapshot count for the discrete DGNNs: the paper uses 5 for the log
+  // datasets and 20 for the trajectory datasets (Sec. V-D).
+  int64_t num_snapshots = 5;
+};
+
+// All twelve baselines in the paper's Table II row order: four static, four
+// discrete, four continuous.
+std::vector<std::pair<std::string, eval::ClassifierFactory>>
+AllBaselineFactories(const BaselineSuiteOptions& options);
+
+// The four continuous baselines with the Global Temporal Embedding Extractor
+// readout (Table III "+G" rows). `global_hidden_dim` is the extractor's GRU
+// hidden size (32 in the paper).
+std::vector<std::pair<std::string, eval::ClassifierFactory>>
+ContinuousPlusGlobalFactories(const BaselineSuiteOptions& options,
+                              int64_t global_hidden_dim);
+
+}  // namespace tpgnn::baselines
+
+#endif  // TPGNN_BASELINES_BASELINES_H_

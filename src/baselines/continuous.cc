@@ -1,0 +1,258 @@
+#include "baselines/continuous.h"
+
+#include <algorithm>
+
+#include "graph/neighbor_index.h"
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::baselines {
+
+using graph::TemporalGraph;
+using graph::TemporalNeighbor;
+using graph::TemporalNeighborIndex;
+using tensor::Add;
+using tensor::Concat;
+using tensor::MatMul;
+using tensor::Relu;
+using tensor::Reshape;
+using tensor::Row;
+using tensor::Scale;
+using tensor::Stack;
+using tensor::Tanh;
+using tensor::Tensor;
+
+Tgat::Tgat(const ContinuousOptions& options, uint64_t seed,
+           int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  model_dim_ = options_.hidden_dim + options_.time_dim;
+  TPGNN_CHECK_EQ(model_dim_ % options_.num_heads, 0)
+      << "hidden + time dim must be divisible by the head count";
+  embed_ = std::make_unique<nn::Linear>(options_.feature_dim,
+                                        options_.hidden_dim, init_rng_);
+  RegisterChild("embed", embed_.get());
+  time_ =
+      std::make_unique<nn::BochnerTimeEncoding>(options_.time_dim, init_rng_);
+  RegisterChild("time", time_.get());
+  for (int64_t l = 0; l < options_.num_layers; ++l) {
+    attention_.push_back(std::make_unique<nn::MultiheadAttention>(
+        model_dim_, options_.num_heads, init_rng_));
+    combine_.push_back(std::make_unique<nn::Linear>(
+        model_dim_ + options_.hidden_dim, options_.hidden_dim, init_rng_));
+    const std::string suffix = std::to_string(l);
+    RegisterChild("attention" + suffix, attention_.back().get());
+    RegisterChild("combine" + suffix, combine_.back().get());
+  }
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor Tgat::NodeEmbeddings(const TemporalGraph& graph, bool /*training*/,
+                            Rng& /*rng*/) {
+  const int64_t n = graph.num_nodes();
+  const double t_end = graph.MaxTime() + 1.0;
+  TemporalNeighborIndex index(graph, /*undirected=*/true);
+
+  std::vector<Tensor> h(static_cast<size_t>(n));
+  Tensor x = embed_->Forward(graph.FeatureMatrix());
+  for (int64_t v = 0; v < n; ++v) {
+    h[static_cast<size_t>(v)] = Reshape(Row(x, v), {1, options_.hidden_dim});
+  }
+
+  Tensor phi_zero = Reshape(time_->Forward(0.0f), {1, options_.time_dim});
+  for (size_t layer = 0; layer < attention_.size(); ++layer) {
+    std::vector<Tensor> next(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) {
+      const size_t vs = static_cast<size_t>(v);
+      std::vector<TemporalNeighbor> neighbors =
+          index.Recent(v, t_end, options_.num_neighbors);
+      Tensor attended;
+      if (neighbors.empty()) {
+        attended = Tensor::Zeros({1, model_dim_});
+      } else {
+        Tensor query = Concat({h[vs], phi_zero}, /*axis=*/1);
+        std::vector<Tensor> keys;
+        keys.reserve(neighbors.size());
+        for (const TemporalNeighbor& nb : neighbors) {
+          Tensor phi = Reshape(
+              time_->Forward(static_cast<float>(t_end - nb.time)),
+              {1, options_.time_dim});
+          keys.push_back(
+              Concat({h[static_cast<size_t>(nb.node)], phi}, /*axis=*/1));
+        }
+        Tensor kv = Concat(keys, /*axis=*/0);
+        attended = attention_[layer]->Forward(query, kv, kv);
+      }
+      next[vs] = Relu(
+          combine_[layer]->Forward(Concat({attended, h[vs]}, /*axis=*/1)));
+    }
+    h = std::move(next);
+  }
+  return Concat(h, /*axis=*/0);
+}
+
+Tgn::Tgn(const ContinuousOptions& options, uint64_t seed,
+         int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  embed_ = std::make_unique<nn::Linear>(options_.feature_dim,
+                                        options_.hidden_dim, init_rng_);
+  RegisterChild("embed", embed_.get());
+  time_ = std::make_unique<nn::Time2Vec>(options_.time_dim, init_rng_);
+  RegisterChild("time", time_.get());
+  memory_updater_ = std::make_unique<nn::GruCell>(
+      options_.hidden_dim + options_.time_dim, options_.hidden_dim,
+      init_rng_);
+  RegisterChild("memory_updater", memory_updater_.get());
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor Tgn::NodeEmbeddings(const TemporalGraph& graph, bool /*training*/,
+                           Rng& /*rng*/) {
+  const int64_t n = graph.num_nodes();
+  Tensor x = embed_->Forward(graph.FeatureMatrix());
+  std::vector<Tensor> memory(static_cast<size_t>(n));
+  std::vector<double> last_update(static_cast<size_t>(n), 0.0);
+  for (int64_t v = 0; v < n; ++v) {
+    memory[static_cast<size_t>(v)] =
+        Reshape(Row(x, v), {1, options_.hidden_dim});
+  }
+  for (const graph::TemporalEdge& e : graph.ChronologicalEdges()) {
+    const size_t u = static_cast<size_t>(e.src);
+    const size_t v = static_cast<size_t>(e.dst);
+    // Interaction semantics: both memories are refreshed from the other
+    // endpoint's (pre-update) state.
+    Tensor m_u = memory[u];
+    Tensor m_v = memory[v];
+    Tensor phi_v = Reshape(
+        time_->Forward(static_cast<float>(e.time - last_update[v])),
+        {1, options_.time_dim});
+    memory[v] =
+        memory_updater_->Forward(Concat({m_u, phi_v}, /*axis=*/1), m_v);
+    Tensor phi_u = Reshape(
+        time_->Forward(static_cast<float>(e.time - last_update[u])),
+        {1, options_.time_dim});
+    memory[u] =
+        memory_updater_->Forward(Concat({m_v, phi_u}, /*axis=*/1), m_u);
+    last_update[u] = e.time;
+    last_update[v] = e.time;
+  }
+  return Concat(memory, /*axis=*/0);
+}
+
+DyGnn::DyGnn(const ContinuousOptions& options, uint64_t seed,
+             int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  embed_ = std::make_unique<nn::Linear>(options_.feature_dim,
+                                        options_.hidden_dim, init_rng_);
+  RegisterChild("embed", embed_.get());
+  interact_src_ = std::make_unique<nn::Linear>(
+      options_.hidden_dim, options_.hidden_dim, init_rng_, /*bias=*/false);
+  RegisterChild("interact_src", interact_src_.get());
+  interact_dst_ = std::make_unique<nn::Linear>(options_.hidden_dim,
+                                               options_.hidden_dim, init_rng_);
+  RegisterChild("interact_dst", interact_dst_.get());
+  update_src_ = std::make_unique<nn::LstmCell>(options_.hidden_dim,
+                                               options_.hidden_dim, init_rng_);
+  RegisterChild("update_src", update_src_.get());
+  update_dst_ = std::make_unique<nn::LstmCell>(options_.hidden_dim,
+                                               options_.hidden_dim, init_rng_);
+  RegisterChild("update_dst", update_dst_.get());
+  propagate_ = std::make_unique<nn::Linear>(options_.hidden_dim,
+                                            options_.hidden_dim, init_rng_);
+  RegisterChild("propagate", propagate_.get());
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor DyGnn::NodeEmbeddings(const TemporalGraph& graph, bool /*training*/,
+                             Rng& /*rng*/) {
+  const int64_t n = graph.num_nodes();
+  Tensor x = embed_->Forward(graph.FeatureMatrix());
+  std::vector<nn::LstmCell::State> state(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    state[static_cast<size_t>(v)] = {
+        Reshape(Row(x, v), {1, options_.hidden_dim}),
+        Tensor::Zeros({1, options_.hidden_dim})};
+  }
+  TemporalNeighborIndex index(graph, /*undirected=*/true);
+  for (const graph::TemporalEdge& e : graph.ChronologicalEdges()) {
+    const size_t u = static_cast<size_t>(e.src);
+    const size_t v = static_cast<size_t>(e.dst);
+    // Interact unit: the interaction message.
+    Tensor message = Tanh(Add(interact_src_->Forward(state[u].h),
+                              interact_dst_->Forward(state[v].h)));
+    // Update components for both endpoints.
+    state[u] = update_src_->Forward(message, state[u]);
+    state[v] = update_dst_->Forward(message, state[v]);
+    // Propagation component: recent neighbors receive a damped share.
+    Tensor shared = Scale(Tanh(propagate_->Forward(message)), 0.2f);
+    for (const TemporalNeighbor& nb :
+         index.Recent(e.dst, e.time, /*k=*/3)) {
+      const size_t w = static_cast<size_t>(nb.node);
+      if (w == u || w == v) continue;
+      state[w].h = Add(state[w].h, shared);
+    }
+  }
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    rows.push_back(state[static_cast<size_t>(v)].h);
+  }
+  return Concat(rows, /*axis=*/0);
+}
+
+GraphMixer::GraphMixer(const ContinuousOptions& options, uint64_t seed,
+                       int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  embed_ = std::make_unique<nn::Linear>(options_.feature_dim,
+                                        options_.hidden_dim, init_rng_);
+  RegisterChild("embed", embed_.get());
+  time_ = std::make_unique<nn::Time2Vec>(options_.time_dim, init_rng_);
+  RegisterChild("time", time_.get());
+  token_mlp_ = std::make_unique<nn::Linear>(
+      options_.hidden_dim + options_.time_dim, options_.hidden_dim,
+      init_rng_);
+  RegisterChild("token_mlp", token_mlp_.get());
+  node_mlp_ = std::make_unique<nn::Linear>(2 * options_.hidden_dim,
+                                           options_.hidden_dim, init_rng_);
+  RegisterChild("node_mlp", node_mlp_.get());
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor GraphMixer::NodeEmbeddings(const TemporalGraph& graph,
+                                  bool /*training*/, Rng& /*rng*/) {
+  const int64_t n = graph.num_nodes();
+  const double t_end = graph.MaxTime() + 1.0;
+  Tensor x = embed_->Forward(graph.FeatureMatrix());
+  TemporalNeighborIndex index(graph, /*undirected=*/true);
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    Tensor self = Reshape(Row(x, v), {1, options_.hidden_dim});
+    std::vector<TemporalNeighbor> neighbors =
+        index.Recent(v, t_end, options_.num_neighbors);
+    Tensor mixed;
+    if (neighbors.empty()) {
+      mixed = Tensor::Zeros({1, options_.hidden_dim});
+    } else {
+      std::vector<Tensor> tokens;
+      tokens.reserve(neighbors.size());
+      for (const TemporalNeighbor& nb : neighbors) {
+        Tensor phi =
+            Reshape(time_->Forward(static_cast<float>(t_end - nb.time)),
+                    {1, options_.time_dim});
+        Tensor token = Concat(
+            {Reshape(Row(x, nb.node), {1, options_.hidden_dim}), phi},
+            /*axis=*/1);
+        tokens.push_back(Relu(token_mlp_->Forward(token)));
+      }
+      // Mean over the token dimension (the Mixer's token mixing collapses
+      // to mean pooling in this 1-block simplification).
+      mixed = Reshape(graph::MeanPool(Concat(tokens, /*axis=*/0)),
+                      {1, options_.hidden_dim});
+    }
+    rows.push_back(Relu(node_mlp_->Forward(Concat({self, mixed}, 1))));
+  }
+  return Concat(rows, /*axis=*/0);
+}
+
+}  // namespace tpgnn::baselines

@@ -1,0 +1,142 @@
+#include "baselines/discrete.h"
+
+#include "graph/adjacency.h"
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::baselines {
+
+using tensor::Concat;
+using tensor::MatMul;
+using tensor::Relu;
+using tensor::Reshape;
+using tensor::Softmax;
+using tensor::Tensor;
+using tensor::Transpose;
+
+SnapshotSequenceClassifier::SnapshotSequenceClassifier(
+    const DiscreteOptions& options, uint64_t seed)
+    : options_(options), init_rng_(seed) {
+  TPGNN_CHECK_GT(options_.num_snapshots, 0);
+  gcn_ = std::make_unique<nn::Linear>(options_.feature_dim,
+                                      options_.hidden_dim, init_rng_);
+  RegisterChild("gcn", gcn_.get());
+  head_ = std::make_unique<nn::Linear>(options_.hidden_dim, 1, init_rng_);
+  RegisterChild("head", head_.get());
+}
+
+Tensor SnapshotSequenceClassifier::EncodeSnapshot(
+    const graph::TemporalGraph& graph, const graph::Snapshot& snapshot) {
+  Tensor adj = graph::SymmetricNormalize(graph::DenseAdjacency(
+      graph.num_nodes(), snapshot.edges, graph::AdjacencyOptions{}));
+  Tensor z = Relu(gcn_->Forward(MatMul(adj, graph.FeatureMatrix())));
+  return Reshape(graph::MeanPool(z), {1, options_.hidden_dim});
+}
+
+Tensor SnapshotSequenceClassifier::ForwardLogit(
+    const graph::TemporalGraph& graph, bool /*training*/, Rng& /*rng*/) {
+  std::vector<graph::Snapshot> snapshots =
+      graph::MakeSnapshots(graph, options_.num_snapshots);
+  std::vector<Tensor> embeddings;
+  embeddings.reserve(snapshots.size());
+  for (const graph::Snapshot& snapshot : snapshots) {
+    embeddings.push_back(EncodeSnapshot(graph, snapshot));
+  }
+  Tensor g = SequenceEmbedding(embeddings);
+  Tensor logit = head_->Forward(g);
+  return Reshape(logit, {1});
+}
+
+std::vector<Tensor> SnapshotSequenceClassifier::TrainableParameters() {
+  return Parameters();
+}
+
+EvolveGcn::EvolveGcn(const DiscreteOptions& options, uint64_t seed)
+    : SnapshotSequenceClassifier(options, seed) {
+  evolve_ = std::make_unique<nn::GruCell>(options.hidden_dim,
+                                          options.hidden_dim, init_rng());
+  RegisterChild("evolve", evolve_.get());
+}
+
+Tensor EvolveGcn::SequenceEmbedding(
+    const std::vector<Tensor>& snapshot_embeddings) {
+  // The GRU hidden state plays the role of the evolving GCN weight
+  // (diagonal simplification of EvolveGCN-H): each snapshot embedding is
+  // modulated by the current state before driving the next evolution step.
+  Tensor state = Tensor::Zeros({1, options().hidden_dim});
+  for (const Tensor& s : snapshot_embeddings) {
+    Tensor modulated = tensor::Mul(s, tensor::Tanh(state));
+    state = evolve_->Forward(tensor::Add(s, modulated), state);
+  }
+  return state;
+}
+
+GcLstm::GcLstm(const DiscreteOptions& options, uint64_t seed)
+    : SnapshotSequenceClassifier(options, seed) {
+  lstm_ = std::make_unique<nn::LstmCell>(options.hidden_dim,
+                                         options.hidden_dim, init_rng());
+  RegisterChild("lstm", lstm_.get());
+}
+
+Tensor GcLstm::SequenceEmbedding(
+    const std::vector<Tensor>& snapshot_embeddings) {
+  nn::LstmCell::State state = lstm_->InitialState(1);
+  for (const Tensor& s : snapshot_embeddings) {
+    state = lstm_->Forward(s, state);
+  }
+  return state.h;
+}
+
+AddGraph::AddGraph(const DiscreteOptions& options, uint64_t seed)
+    : SnapshotSequenceClassifier(options, seed) {
+  gru_ = std::make_unique<nn::GruCell>(options.hidden_dim, options.hidden_dim,
+                                       init_rng());
+  RegisterChild("gru", gru_.get());
+  attention_query_ = std::make_unique<nn::Linear>(options.hidden_dim, 1,
+                                                  init_rng(), /*bias=*/false);
+  RegisterChild("attention_query", attention_query_.get());
+}
+
+Tensor AddGraph::SequenceEmbedding(
+    const std::vector<Tensor>& snapshot_embeddings) {
+  Tensor state = Tensor::Zeros({1, options().hidden_dim});
+  std::vector<Tensor> history;
+  history.reserve(snapshot_embeddings.size());
+  for (const Tensor& s : snapshot_embeddings) {
+    state = gru_->Forward(s, state);
+    history.push_back(state);
+  }
+  // Attention over the hidden-state history.
+  Tensor stacked = Concat(history, /*axis=*/0);        // [T, d]
+  Tensor scores = attention_query_->Forward(stacked);  // [T, 1]
+  Tensor alpha = Softmax(Transpose(scores));           // [1, T]
+  return MatMul(alpha, stacked);                       // [1, d]
+}
+
+Taddy::Taddy(const DiscreteOptions& options, uint64_t seed)
+    : SnapshotSequenceClassifier(options, seed) {
+  positions_ = RegisterParameter(
+      "positions", Tensor::Randn({options.num_snapshots, options.hidden_dim},
+                                 0.1f, init_rng()));
+  encoder_ = std::make_unique<nn::MultiheadAttention>(options.hidden_dim,
+                                                      /*num_heads=*/2,
+                                                      init_rng());
+  RegisterChild("encoder", encoder_.get());
+  ffn_ = std::make_unique<nn::Linear>(options.hidden_dim, options.hidden_dim,
+                                      init_rng());
+  RegisterChild("ffn", ffn_.get());
+}
+
+Tensor Taddy::SequenceEmbedding(
+    const std::vector<Tensor>& snapshot_embeddings) {
+  TPGNN_CHECK_EQ(static_cast<int64_t>(snapshot_embeddings.size()),
+                 options().num_snapshots);
+  Tensor tokens =
+      tensor::Add(Concat(snapshot_embeddings, /*axis=*/0), positions_);
+  Tensor encoded = encoder_->Forward(tokens, tokens, tokens);
+  Tensor transformed = Relu(ffn_->Forward(tensor::Add(encoded, tokens)));
+  return Reshape(graph::MeanPool(transformed), {1, options().hidden_dim});
+}
+
+}  // namespace tpgnn::baselines

@@ -1,0 +1,129 @@
+#ifndef TPGNN_BASELINES_DISCRETE_H_
+#define TPGNN_BASELINES_DISCRETE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "graph/snapshot.h"
+#include "nn/attention.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Discrete DGNN baselines (Sec. V-B): the dynamic network is cropped into a
+// fixed number of static snapshots (Sec. V-D: 5 for the log datasets, 20 for
+// the trajectory datasets); a GCN encodes each snapshot and a sequence model
+// digests the snapshot sequence. Edge order *within* a snapshot is lost —
+// the information loss the paper attributes to this family.
+
+namespace tpgnn::baselines {
+
+struct DiscreteOptions {
+  int64_t feature_dim = 3;
+  int64_t hidden_dim = 32;
+  int64_t num_snapshots = 5;
+};
+
+// Base: snapshot encoder (shared one-layer GCN + mean pooling) + a
+// subclass-specific sequence model over the pooled snapshot embeddings.
+class SnapshotSequenceClassifier : public nn::Module,
+                                   public eval::GraphClassifier {
+ public:
+  tensor::Tensor ForwardLogit(const graph::TemporalGraph& graph, bool training,
+                              Rng& rng) override;
+  std::vector<tensor::Tensor> TrainableParameters() override;
+  std::string name() const override { return base_name(); }
+
+ protected:
+  SnapshotSequenceClassifier(const DiscreteOptions& options, uint64_t seed);
+
+  // Digests the per-snapshot embeddings ([1, hidden] each, chronological)
+  // into a graph embedding [1, hidden].
+  virtual tensor::Tensor SequenceEmbedding(
+      const std::vector<tensor::Tensor>& snapshot_embeddings) = 0;
+  virtual std::string base_name() const = 0;
+
+  const DiscreteOptions& options() const { return options_; }
+  Rng& init_rng() { return init_rng_; }
+
+ private:
+  // Pooled GCN embedding of one snapshot.
+  tensor::Tensor EncodeSnapshot(const graph::TemporalGraph& graph,
+                                const graph::Snapshot& snapshot);
+
+  DiscreteOptions options_;
+  Rng init_rng_;
+  std::unique_ptr<nn::Linear> gcn_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// EvolveGCN-H (Pareja et al. 2020), simplified: a GRU evolves a diagonal
+// reweighting of the GCN output across snapshots.
+class EvolveGcn : public SnapshotSequenceClassifier {
+ public:
+  EvolveGcn(const DiscreteOptions& options, uint64_t seed);
+
+ protected:
+  tensor::Tensor SequenceEmbedding(
+      const std::vector<tensor::Tensor>& snapshot_embeddings) override;
+  std::string base_name() const override { return "EvolveGCN"; }
+
+ private:
+  std::unique_ptr<nn::GruCell> evolve_;
+};
+
+// GC-LSTM (Chen et al. 2022): LSTM over snapshot embeddings.
+class GcLstm : public SnapshotSequenceClassifier {
+ public:
+  GcLstm(const DiscreteOptions& options, uint64_t seed);
+
+ protected:
+  tensor::Tensor SequenceEmbedding(
+      const std::vector<tensor::Tensor>& snapshot_embeddings) override;
+  std::string base_name() const override { return "GC-LSTM"; }
+
+ private:
+  std::unique_ptr<nn::LstmCell> lstm_;
+};
+
+// AddGraph (Zheng et al. 2019): GRU over snapshots with attention over the
+// hidden-state history.
+class AddGraph : public SnapshotSequenceClassifier {
+ public:
+  AddGraph(const DiscreteOptions& options, uint64_t seed);
+
+ protected:
+  tensor::Tensor SequenceEmbedding(
+      const std::vector<tensor::Tensor>& snapshot_embeddings) override;
+  std::string base_name() const override { return "AddGraph"; }
+
+ private:
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Linear> attention_query_;
+};
+
+// TADDY (Liu et al. 2023): transformer encoder over snapshot tokens with a
+// learned positional encoding.
+class Taddy : public SnapshotSequenceClassifier {
+ public:
+  Taddy(const DiscreteOptions& options, uint64_t seed);
+
+ protected:
+  tensor::Tensor SequenceEmbedding(
+      const std::vector<tensor::Tensor>& snapshot_embeddings) override;
+  std::string base_name() const override { return "TADDY"; }
+
+ private:
+  tensor::Tensor positions_;  // [num_snapshots, hidden]
+  std::unique_ptr<nn::MultiheadAttention> encoder_;
+  std::unique_ptr<nn::Linear> ffn_;
+};
+
+}  // namespace tpgnn::baselines
+
+#endif  // TPGNN_BASELINES_DISCRETE_H_

@@ -1,0 +1,55 @@
+#include "baselines/spectral.h"
+
+#include <algorithm>
+
+#include "graph/adjacency.h"
+#include "graph/eigen.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::baselines {
+
+using tensor::Reshape;
+using tensor::Tensor;
+
+SpectralClustering::SpectralClustering(int64_t spectrum_dim, uint64_t seed)
+    : spectrum_dim_(spectrum_dim), init_rng_(seed) {
+  TPGNN_CHECK_GT(spectrum_dim, 0);
+  head_ = std::make_unique<nn::Linear>(spectrum_dim_, 1, init_rng_);
+  RegisterChild("head", head_.get());
+}
+
+Tensor SpectralClustering::SpectralFeatures(
+    const graph::TemporalGraph& graph) const {
+  Tensor adjacency = graph::DenseAdjacency(
+      graph.num_nodes(), graph.edges(),
+      graph::AdjacencyOptions{.symmetric = true, .add_self_loops = false});
+  graph::EigenDecomposition decomposition =
+      graph::JacobiEigenDecomposition(graph::NormalizedLaplacian(adjacency));
+  std::vector<float> features(static_cast<size_t>(spectrum_dim_), 0.0f);
+  const int64_t available =
+      std::min<int64_t>(spectrum_dim_,
+                        static_cast<int64_t>(decomposition.eigenvalues.size()));
+  for (int64_t i = 0; i < available; ++i) {
+    features[static_cast<size_t>(i)] =
+        static_cast<float>(decomposition.eigenvalues[static_cast<size_t>(i)]);
+  }
+  return Tensor::FromVector({spectrum_dim_}, std::move(features));
+}
+
+Tensor SpectralClustering::ForwardLogit(const graph::TemporalGraph& graph,
+                                        bool /*training*/, Rng& /*rng*/) {
+  Tensor spectrum;
+  {
+    tensor::NoGradGuard no_grad;  // The spectrum is a constant feature.
+    spectrum = SpectralFeatures(graph);
+  }
+  Tensor logit = head_->Forward(Reshape(spectrum, {1, spectrum_dim_}));
+  return Reshape(logit, {1});
+}
+
+std::vector<Tensor> SpectralClustering::TrainableParameters() {
+  return Parameters();
+}
+
+}  // namespace tpgnn::baselines

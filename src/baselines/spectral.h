@@ -1,0 +1,44 @@
+#ifndef TPGNN_BASELINES_SPECTRAL_H_
+#define TPGNN_BASELINES_SPECTRAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Spectral Clustering baseline (Ng et al. 2001, Sec. V-B): the graph is
+// treated as undirected, node features are ignored, and the graph-level
+// representation is the spectrum (smallest eigenvalues) of the normalized
+// Laplacian — order-invariant and feature-blind, which is why the paper
+// reports it as the weakest baseline. A logistic head on the spectrum is the
+// only trainable part.
+
+namespace tpgnn::baselines {
+
+class SpectralClustering : public nn::Module, public eval::GraphClassifier {
+ public:
+  // `spectrum_dim`: number of leading (smallest) eigenvalues used.
+  SpectralClustering(int64_t spectrum_dim, uint64_t seed);
+
+  tensor::Tensor ForwardLogit(const graph::TemporalGraph& graph, bool training,
+                              Rng& rng) override;
+  std::vector<tensor::Tensor> TrainableParameters() override;
+  std::string name() const override { return "Spectral Clustering"; }
+
+  // The (constant) spectral feature vector for a graph; exposed for tests.
+  tensor::Tensor SpectralFeatures(const graph::TemporalGraph& graph) const;
+
+ private:
+  int64_t spectrum_dim_;
+  Rng init_rng_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace tpgnn::baselines
+
+#endif  // TPGNN_BASELINES_SPECTRAL_H_

@@ -1,0 +1,123 @@
+#include "baselines/static_gnn.h"
+
+#include "graph/adjacency.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::baselines {
+
+using graph::AdjacencyOptions;
+using graph::DenseAdjacency;
+using tensor::Add;
+using tensor::Concat;
+using tensor::LeakyRelu;
+using tensor::MatMul;
+using tensor::Mul;
+using tensor::Relu;
+using tensor::Softmax;
+using tensor::Tensor;
+
+Gcn::Gcn(const StaticGnnOptions& options, uint64_t seed,
+         int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  int64_t in = options_.feature_dim;
+  for (int64_t l = 0; l < options_.num_layers; ++l) {
+    layers_.push_back(
+        std::make_unique<nn::Linear>(in, options_.hidden_dim, init_rng_));
+    RegisterChild("layer" + std::to_string(l), layers_.back().get());
+    in = options_.hidden_dim;
+  }
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor Gcn::NodeEmbeddings(const graph::TemporalGraph& graph, bool /*training*/,
+                           Rng& /*rng*/) {
+  Tensor adj = graph::SymmetricNormalize(
+      DenseAdjacency(graph.num_nodes(), graph.edges(), AdjacencyOptions{}));
+  Tensor h = graph.FeatureMatrix();
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Forward(MatMul(adj, h));
+    if (l + 1 < layers_.size()) {
+      h = Relu(h);
+    }
+  }
+  return h;
+}
+
+GraphSage::GraphSage(const StaticGnnOptions& options, uint64_t seed,
+                     int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  int64_t in = options_.feature_dim;
+  for (int64_t l = 0; l < options_.num_layers; ++l) {
+    // Input is [self ++ mean-of-neighbors].
+    layers_.push_back(
+        std::make_unique<nn::Linear>(2 * in, options_.hidden_dim, init_rng_));
+    RegisterChild("layer" + std::to_string(l), layers_.back().get());
+    in = options_.hidden_dim;
+  }
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor GraphSage::NodeEmbeddings(const graph::TemporalGraph& graph,
+                                 bool /*training*/, Rng& /*rng*/) {
+  Tensor mean_adj = graph::RowNormalize(DenseAdjacency(
+      graph.num_nodes(), graph.edges(),
+      AdjacencyOptions{.symmetric = true, .add_self_loops = false}));
+  Tensor h = graph.FeatureMatrix();
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Tensor aggregated = MatMul(mean_adj, h);
+    h = layers_[l]->Forward(Concat({h, aggregated}, /*axis=*/1));
+    if (l + 1 < layers_.size()) {
+      h = Relu(h);
+    }
+  }
+  return h;
+}
+
+Gat::Gat(const StaticGnnOptions& options, uint64_t seed,
+         int64_t global_hidden_dim)
+    : options_(options), init_rng_(seed) {
+  int64_t in = options_.feature_dim;
+  for (int64_t l = 0; l < options_.num_layers; ++l) {
+    GatLayer layer;
+    layer.w = std::make_unique<nn::Linear>(in, options_.hidden_dim, init_rng_,
+                                           /*bias=*/false);
+    layer.a1 = std::make_unique<nn::Linear>(options_.hidden_dim, 1, init_rng_,
+                                            /*bias=*/false);
+    layer.a2 = std::make_unique<nn::Linear>(options_.hidden_dim, 1, init_rng_,
+                                            /*bias=*/false);
+    const std::string suffix = std::to_string(l);
+    RegisterChild("w" + suffix, layer.w.get());
+    RegisterChild("a1" + suffix, layer.a1.get());
+    RegisterChild("a2" + suffix, layer.a2.get());
+    layers_.push_back(std::move(layer));
+    in = options_.hidden_dim;
+  }
+  InitReadout(global_hidden_dim, init_rng_);
+}
+
+Tensor Gat::NodeEmbeddings(const graph::TemporalGraph& graph, bool /*training*/,
+                           Rng& /*rng*/) {
+  const int64_t n = graph.num_nodes();
+  Tensor mask =
+      DenseAdjacency(n, graph.edges(), AdjacencyOptions{});  // With loops.
+  Tensor h = graph.FeatureMatrix();
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Tensor wh = layers_[l].w->Forward(h);             // [n, d]
+    Tensor s1 = layers_[l].a1->Forward(wh);           // [n, 1]
+    Tensor s2 = layers_[l].a2->Forward(wh);           // [n, 1]
+    // scores[i][j] = s1[i] + s2[j] via broadcasting.
+    Tensor scores = LeakyRelu(Add(s1, tensor::Transpose(s2)), 0.2f);
+    // Exclude non-neighbors with a large negative penalty.
+    Tensor penalty =
+        tensor::Scale(tensor::AddScalar(mask, -1.0f), 1e9f);
+    Tensor alpha = Softmax(Add(scores, penalty));
+    h = MatMul(alpha, wh);
+    if (l + 1 < layers_.size()) {
+      h = Relu(h);
+    }
+  }
+  return h;
+}
+
+}  // namespace tpgnn::baselines

@@ -1,0 +1,88 @@
+#ifndef TPGNN_BASELINES_STATIC_GNN_H_
+#define TPGNN_BASELINES_STATIC_GNN_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/baseline.h"
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Static GNN baselines (Sec. V-B): GCN, GraphSage (MEAN aggregator), GAT.
+// Timestamps are ignored; the edge set is treated as a static undirected
+// graph with self-loops — exactly the paper's adaptation of static models.
+
+namespace tpgnn::baselines {
+
+struct StaticGnnOptions {
+  int64_t feature_dim = 3;
+  int64_t hidden_dim = 32;  // Paper sets static hidden size to 32.
+  int64_t num_layers = 2;
+};
+
+// Kipf & Welling 2017: H' = ReLU(D^{-1/2} A D^{-1/2} H W).
+class Gcn : public PooledNodeClassifier {
+ public:
+  Gcn(const StaticGnnOptions& options, uint64_t seed,
+      int64_t global_hidden_dim = 0);
+
+ protected:
+  tensor::Tensor NodeEmbeddings(const graph::TemporalGraph& graph,
+                                bool training, Rng& rng) override;
+  int64_t embedding_dim() const override { return options_.hidden_dim; }
+  std::string base_name() const override { return "GCN"; }
+
+ private:
+  StaticGnnOptions options_;
+  Rng init_rng_;
+  std::vector<std::unique_ptr<nn::Linear>> layers_;
+};
+
+// Hamilton et al. 2017 with the MEAN aggregator:
+// H' = ReLU(W [H ++ mean_neighbors(H)]).
+class GraphSage : public PooledNodeClassifier {
+ public:
+  GraphSage(const StaticGnnOptions& options, uint64_t seed,
+            int64_t global_hidden_dim = 0);
+
+ protected:
+  tensor::Tensor NodeEmbeddings(const graph::TemporalGraph& graph,
+                                bool training, Rng& rng) override;
+  int64_t embedding_dim() const override { return options_.hidden_dim; }
+  std::string base_name() const override { return "GraphSage"; }
+
+ private:
+  StaticGnnOptions options_;
+  Rng init_rng_;
+  std::vector<std::unique_ptr<nn::Linear>> layers_;
+};
+
+// Velickovic et al. 2018: additive attention over neighbors,
+// alpha_ij = softmax_j(LeakyReLU(a1^T W h_i + a2^T W h_j)).
+class Gat : public PooledNodeClassifier {
+ public:
+  Gat(const StaticGnnOptions& options, uint64_t seed,
+      int64_t global_hidden_dim = 0);
+
+ protected:
+  tensor::Tensor NodeEmbeddings(const graph::TemporalGraph& graph,
+                                bool training, Rng& rng) override;
+  int64_t embedding_dim() const override { return options_.hidden_dim; }
+  std::string base_name() const override { return "GAT"; }
+
+ private:
+  struct GatLayer {
+    std::unique_ptr<nn::Linear> w;   // No bias.
+    std::unique_ptr<nn::Linear> a1;  // [hidden] -> [1].
+    std::unique_ptr<nn::Linear> a2;
+  };
+
+  StaticGnnOptions options_;
+  Rng init_rng_;
+  std::vector<GatLayer> layers_;
+};
+
+}  // namespace tpgnn::baselines
+
+#endif  // TPGNN_BASELINES_STATIC_GNN_H_

@@ -1,0 +1,30 @@
+#include "core/config.h"
+
+namespace tpgnn::core {
+
+std::string TpGnnConfig::ModelName() const {
+  std::string name =
+      updater == Updater::kSum ? "TP-GNN-SUM" : "TP-GNN-GRU";
+  switch (variant) {
+    case Variant::kFull:
+      break;
+    case Variant::kRand:
+      name += " (rand)";
+      break;
+    case Variant::kWithoutTem:
+      name += " (w/o tem)";
+      break;
+    case Variant::kTemp:
+      name += " (temp)";
+      break;
+    case Variant::kTime2Vec:
+      name += " (time2Vec)";
+      break;
+  }
+  if (global_module == GlobalModule::kTransformer) {
+    name += " (transformer)";
+  }
+  return name;
+}
+
+}  // namespace tpgnn::core

@@ -1,0 +1,81 @@
+#include "core/global_extractor.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::core {
+
+using tensor::Add;
+using tensor::IndexSelect;
+using tensor::Reshape;
+using tensor::Scale;
+using tensor::Tensor;
+
+Tensor AggregateEdge(EdgeAgg agg, const Tensor& h_u, const Tensor& h_v) {
+  switch (agg) {
+    case EdgeAgg::kAverage:
+      return Scale(Add(h_u, h_v), 0.5f);
+    case EdgeAgg::kHadamard:
+      return tensor::Mul(h_u, h_v);
+    case EdgeAgg::kWeightedL1: {
+      Tensor diff = tensor::Sub(h_u, h_v);
+      // |x| = relu(x) + relu(-x) keeps the expression differentiable a.e.
+      return Add(tensor::Relu(diff), tensor::Relu(tensor::Neg(diff)));
+    }
+    case EdgeAgg::kWeightedL2: {
+      Tensor diff = tensor::Sub(h_u, h_v);
+      return tensor::Mul(diff, diff);
+    }
+    case EdgeAgg::kActivation:
+      return tensor::Tanh(Add(h_u, h_v));
+    case EdgeAgg::kConcatenation:
+      return tensor::Concat({h_u, h_v}, /*axis=*/0);
+  }
+  TPGNN_CHECK(false) << "unreachable";
+  return h_u;
+}
+
+int64_t EdgeAggOutputDim(EdgeAgg agg, int64_t node_dim) {
+  return agg == EdgeAgg::kConcatenation ? 2 * node_dim : node_dim;
+}
+
+GlobalTemporalExtractor::GlobalTemporalExtractor(int64_t node_dim,
+                                                 int64_t hidden_dim, Rng& rng,
+                                                 ExtractorReadout readout,
+                                                 EdgeAgg edge_agg)
+    : node_dim_(node_dim),
+      edge_dim_(EdgeAggOutputDim(edge_agg, node_dim)),
+      hidden_dim_(hidden_dim),
+      readout_(readout),
+      edge_agg_(edge_agg),
+      gru_(edge_dim_, hidden_dim, rng) {
+  RegisterChild("gru", &gru_);
+}
+
+Tensor GlobalTemporalExtractor::Forward(
+    const Tensor& node_embeddings,
+    const std::vector<graph::TemporalEdge>& edge_order) const {
+  TPGNN_CHECK_EQ(node_embeddings.dim(), 2);
+  TPGNN_CHECK_EQ(node_embeddings.size(1), node_dim_);
+
+  Tensor state = Tensor::Zeros({1, hidden_dim_});
+  std::vector<Tensor> states;
+  states.reserve(edge_order.size());
+  for (const graph::TemporalEdge& e : edge_order) {
+    Tensor endpoints = IndexSelect(node_embeddings, {e.src, e.dst});
+    Tensor edge_embedding =
+        Reshape(AggregateEdge(edge_agg_, tensor::Row(endpoints, 0),
+                              tensor::Row(endpoints, 1)),
+                {1, edge_dim_});
+    // Eqs. (7)-(10): one GRU step per edge in establishment order.
+    state = gru_.Forward(edge_embedding, state);
+    states.push_back(state);
+  }
+  if (readout_ == ExtractorReadout::kLastState || states.empty()) {
+    return Reshape(state, {hidden_dim_});
+  }
+  Tensor stacked = tensor::Concat(states, /*axis=*/0);  // [m, d]
+  return tensor::MeanAxis(stacked, /*axis=*/0);
+}
+
+}  // namespace tpgnn::core

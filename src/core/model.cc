@@ -1,0 +1,81 @@
+#include "core/model.h"
+
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::core {
+
+using tensor::Reshape;
+using tensor::Tensor;
+
+TpGnnModel::TpGnnModel(const TpGnnConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      propagation_(config_, rng_),
+      classifier_(config_.use_global_extractor() ? config_.hidden_dim
+                                                 : propagation_.output_dim(),
+                  1, rng_) {
+  RegisterChild("propagation", &propagation_);
+  if (config_.use_global_extractor()) {
+    if (config_.global_module == GlobalModule::kTransformer) {
+      transformer_ = std::make_unique<TransformerGlobalExtractor>(
+          propagation_.output_dim(), config_.hidden_dim,
+          config_.transformer_heads, rng_, config_.edge_agg);
+      RegisterChild("extractor", transformer_.get());
+    } else {
+      extractor_ = std::make_unique<GlobalTemporalExtractor>(
+          propagation_.output_dim(), config_.hidden_dim, rng_,
+          config_.extractor_readout, config_.edge_agg);
+      RegisterChild("extractor", extractor_.get());
+    }
+  }
+  RegisterChild("classifier", &classifier_);
+}
+
+std::vector<graph::TemporalEdge> TpGnnModel::EdgeOrder(
+    const graph::TemporalGraph& graph, bool training, Rng& rng) const {
+  if (config_.random_edge_order()) {
+    // rand variant: aggregation order carries no temporal meaning.
+    std::vector<graph::TemporalEdge> order = graph.edges();
+    rng.Shuffle(order);
+    return order;
+  }
+  if (training && config_.shuffle_tied_edges) {
+    return graph.ChronologicalEdgesShuffled(rng);
+  }
+  return graph.ChronologicalEdges();
+}
+
+Tensor TpGnnModel::EmbedWithOrder(
+    const graph::TemporalGraph& graph,
+    const std::vector<graph::TemporalEdge>& order) const {
+  Tensor h = propagation_.Forward(graph, order);
+  if (transformer_ != nullptr) {
+    return transformer_->Forward(h, order);
+  }
+  if (extractor_ != nullptr) {
+    return extractor_->Forward(h, order);
+  }
+  return graph::MeanPool(h);
+}
+
+Tensor TpGnnModel::Embed(const graph::TemporalGraph& graph) const {
+  return EmbedWithOrder(graph, graph.ChronologicalEdges());
+}
+
+Tensor TpGnnModel::ForwardLogit(const graph::TemporalGraph& graph,
+                                bool training, Rng& rng) {
+  const std::vector<graph::TemporalEdge> order =
+      EdgeOrder(graph, training, rng);
+  Tensor g = EmbedWithOrder(graph, order);
+  // Eq. (11): fully connected head; the sigmoid lives in the loss/decision.
+  Tensor logit = classifier_.Forward(Reshape(g, {1, g.numel()}));
+  return Reshape(logit, {1});
+}
+
+std::vector<Tensor> TpGnnModel::TrainableParameters() { return Parameters(); }
+
+std::string TpGnnModel::name() const { return config_.ModelName(); }
+
+}  // namespace tpgnn::core

@@ -1,0 +1,59 @@
+#ifndef TPGNN_CORE_MODEL_H_
+#define TPGNN_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/global_extractor.h"
+#include "core/temporal_propagation.h"
+#include "core/transformer_extractor.h"
+#include "eval/classifier.h"
+#include "graph/temporal_graph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// End-to-end TP-GNN (Fig. 2): temporal propagation -> global temporal
+// embedding extractor (or mean pooling for ablation variants) -> fully
+// connected classifier (Eq. 11). Implements the GraphClassifier interface
+// shared with the baselines.
+
+namespace tpgnn::core {
+
+class TpGnnModel : public nn::Module, public eval::GraphClassifier {
+ public:
+  TpGnnModel(const TpGnnConfig& config, uint64_t seed);
+
+  // eval::GraphClassifier:
+  tensor::Tensor ForwardLogit(const graph::TemporalGraph& graph, bool training,
+                              Rng& rng) override;
+  std::vector<tensor::Tensor> TrainableParameters() override;
+  std::string name() const override;
+
+  // Graph embedding g (Definition 2) without the classifier head. Uses the
+  // deterministic chronological edge order.
+  tensor::Tensor Embed(const graph::TemporalGraph& graph) const;
+
+  const TpGnnConfig& config() const { return config_; }
+
+ private:
+  std::vector<graph::TemporalEdge> EdgeOrder(const graph::TemporalGraph& graph,
+                                             bool training, Rng& rng) const;
+  tensor::Tensor EmbedWithOrder(
+      const graph::TemporalGraph& graph,
+      const std::vector<graph::TemporalEdge>& order) const;
+
+  TpGnnConfig config_;
+  Rng rng_;  // Initialization-time randomness; declared before the layers.
+  TemporalPropagation propagation_;
+  std::unique_ptr<GlobalTemporalExtractor> extractor_;
+  std::unique_ptr<TransformerGlobalExtractor> transformer_;
+  nn::Linear classifier_;
+};
+
+}  // namespace tpgnn::core
+
+#endif  // TPGNN_CORE_MODEL_H_

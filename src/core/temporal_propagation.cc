@@ -1,0 +1,132 @@
+#include "core/temporal_propagation.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::core {
+
+using tensor::Add;
+using tensor::Concat;
+using tensor::Reshape;
+using tensor::Row;
+using tensor::Tanh;
+using tensor::Tensor;
+
+double NormalizeTime(const TpGnnConfig& config, double t, double max_time) {
+  if (!config.normalize_time || max_time <= 0.0) return t;
+  return t / max_time * config.time_scale;
+}
+
+TemporalPropagation::TemporalPropagation(const TpGnnConfig& config, Rng& rng)
+    : config_(config),
+      embed_(config.feature_dim, config.embed_dim, rng) {
+  RegisterChild("embed", &embed_);
+  if (config_.use_time_encoding() && config_.use_temporal_propagation()) {
+    time_ = std::make_unique<nn::Time2Vec>(config_.time_dim, rng);
+    RegisterChild("time2vec", time_.get());
+  }
+  if (config_.updater == Updater::kGru &&
+      config_.use_temporal_propagation()) {
+    const int64_t input_dim =
+        config_.embed_dim + (time_ != nullptr ? config_.time_dim : 0);
+    updater_ = std::make_unique<nn::GruCell>(input_dim, config_.embed_dim, rng);
+    RegisterChild("updater", updater_.get());
+  }
+}
+
+int64_t TemporalPropagation::output_dim() const {
+  if (!config_.use_temporal_propagation()) {
+    return config_.embed_dim;
+  }
+  if (config_.updater == Updater::kSum) {
+    return config_.embed_dim + (time_ != nullptr ? config_.time_dim : 0);
+  }
+  return config_.embed_dim;
+}
+
+Tensor TemporalPropagation::Forward(
+    const graph::TemporalGraph& graph,
+    const std::vector<graph::TemporalEdge>& edge_order) const {
+  const int64_t n = graph.num_nodes();
+  TPGNN_CHECK_GT(n, 0);
+  TPGNN_CHECK_EQ(graph.feature_dim(), config_.feature_dim);
+
+  // Eq. (1): embed raw features into dense vectors.
+  Tensor x = embed_.Forward(graph.FeatureMatrix());  // [n, embed_dim]
+
+  if (!config_.use_temporal_propagation()) {
+    return Tanh(x);
+  }
+
+  const double max_time = graph.MaxTime();
+
+  if (config_.updater == Updater::kSum) {
+    // Running per-node feature (X-hat) and temporal (M-hat) vectors.
+    std::vector<Tensor> xhat(static_cast<size_t>(n));
+    std::vector<Tensor> mhat;
+    for (int64_t v = 0; v < n; ++v) {
+      xhat[static_cast<size_t>(v)] = Row(x, v);  // [embed_dim]
+    }
+    if (time_ != nullptr) {
+      mhat.assign(static_cast<size_t>(n),
+                  Tensor::Zeros({config_.time_dim}));
+    }
+    for (const graph::TemporalEdge& e : edge_order) {
+      const size_t v = static_cast<size_t>(e.dst);
+      const size_t u = static_cast<size_t>(e.src);
+      // Eq. (3): the target absorbs the source's current state. With
+      // stabilize_sum each step is squashed so dense graphs cannot blow up.
+      xhat[v] = Add(xhat[u], xhat[v]);
+      if (config_.stabilize_sum) {
+        xhat[v] = Tanh(xhat[v]);
+      }
+      if (time_ != nullptr) {
+        // Eq. (4): accumulate the interaction-time encoding.
+        const float t = static_cast<float>(
+            NormalizeTime(config_, e.time, max_time));
+        mhat[v] = Add(time_->Forward(t), mhat[v]);
+        if (config_.stabilize_sum) {
+          mhat[v] = Tanh(mhat[v]);
+        }
+      }
+    }
+    std::vector<Tensor> rows;
+    rows.reserve(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) {
+      if (time_ != nullptr) {
+        // Eq. (5): concatenate feature and temporal blocks.
+        rows.push_back(Concat(
+            {xhat[static_cast<size_t>(v)], mhat[static_cast<size_t>(v)]}, 0));
+      } else {
+        rows.push_back(xhat[static_cast<size_t>(v)]);
+      }
+    }
+    return Tanh(tensor::Stack(rows));
+  }
+
+  // GRU updater, Eq. (6): h_v <- GRU(h_v, [h_u ++ f(t)]).
+  std::vector<Tensor> h(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    h[static_cast<size_t>(v)] = Reshape(Row(x, v), {1, config_.embed_dim});
+  }
+  for (const graph::TemporalEdge& e : edge_order) {
+    const size_t v = static_cast<size_t>(e.dst);
+    const size_t u = static_cast<size_t>(e.src);
+    Tensor message = h[u];
+    if (time_ != nullptr) {
+      const float t =
+          static_cast<float>(NormalizeTime(config_, e.time, max_time));
+      Tensor ft = Reshape(time_->Forward(t), {1, config_.time_dim});
+      message = Concat({message, ft}, /*axis=*/1);
+    }
+    h[v] = updater_->Forward(message, h[v]);
+  }
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    rows.push_back(h[static_cast<size_t>(v)]);
+  }
+  return Tanh(Concat(rows, /*axis=*/0));
+}
+
+}  // namespace tpgnn::core

@@ -1,0 +1,56 @@
+#ifndef TPGNN_CORE_TEMPORAL_PROPAGATION_H_
+#define TPGNN_CORE_TEMPORAL_PROPAGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/temporal_graph.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/time_encoding.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Temporal propagation (Sec. IV-B, Algorithm 1): the paper's message-passing
+// mechanism. Edges are consumed in chronological order; each edge (u, v, t)
+// pushes the source's current state into the target, so a node's final
+// embedding aggregates exactly its influential nodes (Definition 4,
+// Theorem 1).
+
+namespace tpgnn::core {
+
+class TemporalPropagation : public nn::Module {
+ public:
+  TemporalPropagation(const TpGnnConfig& config, Rng& rng);
+
+  // Runs Algorithm 1 over `edge_order` (must be the chronological order, or
+  // the shuffled-ties order during training) and returns the local node
+  // embedding matrix H:
+  //   SUM updater: [n, embed_dim + time_dim] (Eq. 5; time block absent when
+  //                the variant disables f(t)),
+  //   GRU updater: [n, embed_dim].
+  tensor::Tensor Forward(
+      const graph::TemporalGraph& graph,
+      const std::vector<graph::TemporalEdge>& edge_order) const;
+
+  // Width of the returned embedding rows.
+  int64_t output_dim() const;
+
+  const TpGnnConfig& config() const { return config_; }
+
+ private:
+  TpGnnConfig config_;
+  nn::Linear embed_;                      // Eq. (1).
+  std::unique_ptr<nn::Time2Vec> time_;    // Eq. (2); null if disabled.
+  std::unique_ptr<nn::GruCell> updater_;  // Eq. (6); null for SUM.
+};
+
+// Normalizes edge timestamps to [0, config.time_scale] when
+// config.normalize_time is set; identity otherwise.
+double NormalizeTime(const TpGnnConfig& config, double t, double max_time);
+
+}  // namespace tpgnn::core
+
+#endif  // TPGNN_CORE_TEMPORAL_PROPAGATION_H_

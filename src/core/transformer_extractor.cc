@@ -1,0 +1,85 @@
+#include "core/transformer_extractor.h"
+
+#include <cmath>
+
+#include "core/global_extractor.h"
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::core {
+
+using tensor::Add;
+using tensor::Concat;
+using tensor::IndexSelect;
+using tensor::Relu;
+using tensor::Reshape;
+using tensor::Row;
+using tensor::Tensor;
+
+TransformerGlobalExtractor::TransformerGlobalExtractor(int64_t node_dim,
+                                                       int64_t hidden_dim,
+                                                       int64_t num_heads,
+                                                       Rng& rng,
+                                                       EdgeAgg edge_agg)
+    : node_dim_(node_dim),
+      edge_dim_(EdgeAggOutputDim(edge_agg, node_dim)),
+      hidden_dim_(hidden_dim),
+      edge_agg_(edge_agg) {
+  TPGNN_CHECK_EQ(hidden_dim % num_heads, 0);
+  input_proj_ = std::make_unique<nn::Linear>(edge_dim_, hidden_dim_, rng);
+  RegisterChild("input_proj", input_proj_.get());
+  attention_ =
+      std::make_unique<nn::MultiheadAttention>(hidden_dim_, num_heads, rng);
+  RegisterChild("attention", attention_.get());
+  ffn1_ = std::make_unique<nn::Linear>(hidden_dim_, 2 * hidden_dim_, rng);
+  RegisterChild("ffn1", ffn1_.get());
+  ffn2_ = std::make_unique<nn::Linear>(2 * hidden_dim_, hidden_dim_, rng);
+  RegisterChild("ffn2", ffn2_.get());
+}
+
+Tensor TransformerGlobalExtractor::PositionalEncoding(int64_t pos) const {
+  std::vector<float> enc(static_cast<size_t>(hidden_dim_));
+  for (int64_t i = 0; i < hidden_dim_; ++i) {
+    const double rate =
+        std::pow(10000.0, -static_cast<double>(i / 2 * 2) /
+                              static_cast<double>(hidden_dim_));
+    const double angle = static_cast<double>(pos) * rate;
+    enc[static_cast<size_t>(i)] = static_cast<float>(
+        (i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+  }
+  return Tensor::FromVector({1, hidden_dim_}, std::move(enc));
+}
+
+Tensor TransformerGlobalExtractor::Forward(
+    const Tensor& node_embeddings,
+    const std::vector<graph::TemporalEdge>& edge_order) const {
+  TPGNN_CHECK_EQ(node_embeddings.dim(), 2);
+  TPGNN_CHECK_EQ(node_embeddings.size(1), node_dim_);
+  if (edge_order.empty()) {
+    return Tensor::Zeros({hidden_dim_});
+  }
+
+  std::vector<Tensor> tokens;
+  tokens.reserve(edge_order.size());
+  int64_t pos = 0;
+  for (const graph::TemporalEdge& e : edge_order) {
+    Tensor endpoints = IndexSelect(node_embeddings, {e.src, e.dst});
+    Tensor edge_embedding =
+        Reshape(AggregateEdge(edge_agg_, Row(endpoints, 0),
+                              Row(endpoints, 1)),
+                {1, edge_dim_});
+    Tensor token =
+        Add(input_proj_->Forward(edge_embedding), PositionalEncoding(pos));
+    tokens.push_back(token);
+    ++pos;
+  }
+  Tensor sequence = Concat(tokens, /*axis=*/0);  // [m, d]
+  Tensor attended = attention_->Forward(sequence, sequence, sequence);
+  Tensor residual1 = Add(sequence, attended);
+  Tensor transformed = ffn2_->Forward(Relu(ffn1_->Forward(residual1)));
+  Tensor residual2 = Add(residual1, transformed);
+  return graph::MeanPool(residual2);
+}
+
+}  // namespace tpgnn::core

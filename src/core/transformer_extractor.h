@@ -1,0 +1,59 @@
+#ifndef TPGNN_CORE_TRANSFORMER_EXTRACTOR_H_
+#define TPGNN_CORE_TRANSFORMER_EXTRACTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/temporal_graph.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Transformer-based global temporal embedding extractor — the extension the
+// paper proposes for large dynamic graphs (Sec. IV-C: "GRU can be replaced
+// by other sequential models ... one can choose Transformer for large
+// dynamic graphs to capture longer dependencies", and Sec. VI future work).
+//
+// Edge embeddings (EdgeAgg over the endpoint embeddings) are projected to
+// the model width, a fixed sinusoidal encoding of the *establishment
+// position* is added (injecting the edge order the paper cares about), one
+// pre-norm-free encoder block (multi-head self-attention + residual + FFN +
+// residual) mixes the sequence, and mean pooling over the edge tokens yields
+// the graph embedding.
+
+namespace tpgnn::core {
+
+class TransformerGlobalExtractor : public nn::Module {
+ public:
+  TransformerGlobalExtractor(int64_t node_dim, int64_t hidden_dim,
+                             int64_t num_heads, Rng& rng,
+                             EdgeAgg edge_agg = EdgeAgg::kAverage);
+
+  // `node_embeddings`: [n, node_dim]; returns the graph embedding
+  // [hidden_dim] (zeros for an edgeless graph).
+  tensor::Tensor Forward(
+      const tensor::Tensor& node_embeddings,
+      const std::vector<graph::TemporalEdge>& edge_order) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  // Sinusoidal positional encoding for sequence position `pos` -> [1, d].
+  tensor::Tensor PositionalEncoding(int64_t pos) const;
+
+  int64_t node_dim_;
+  int64_t edge_dim_;
+  int64_t hidden_dim_;
+  EdgeAgg edge_agg_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::unique_ptr<nn::MultiheadAttention> attention_;
+  std::unique_ptr<nn::Linear> ffn1_;
+  std::unique_ptr<nn::Linear> ffn2_;
+};
+
+}  // namespace tpgnn::core
+
+#endif  // TPGNN_CORE_TRANSFORMER_EXTRACTOR_H_

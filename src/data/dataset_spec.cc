@@ -1,0 +1,65 @@
+#include "data/dataset_spec.h"
+
+namespace tpgnn::data {
+
+DatasetSpec ForumJavaSpec() {
+  DatasetSpec spec;
+  spec.name = "Forum-java";
+  spec.flavor = DatasetFlavor::kLogSession;
+  spec.default_graph_count = 172;  // 172,443 / 1000.
+  spec.negative_ratio = 0.325;
+  spec.avg_nodes = 27;
+  spec.avg_edges = 30;
+  return spec;
+}
+
+DatasetSpec HdfsSpec() {
+  DatasetSpec spec;
+  spec.name = "HDFS";
+  spec.flavor = DatasetFlavor::kLogSession;
+  spec.default_graph_count = 130;  // 130,344 / 1000.
+  spec.negative_ratio = 0.298;
+  spec.avg_nodes = 12;
+  spec.avg_edges = 31;
+  return spec;
+}
+
+DatasetSpec GowallaSpec() {
+  DatasetSpec spec;
+  spec.name = "Gowalla";
+  spec.flavor = DatasetFlavor::kTrajectory;
+  spec.default_graph_count = 106;  // 105,862 / 1000.
+  spec.negative_ratio = 0.288;
+  spec.avg_nodes = 72;
+  spec.avg_edges = 117;
+  return spec;
+}
+
+DatasetSpec FourSquareSpec() {
+  DatasetSpec spec;
+  spec.name = "FourSquare";
+  spec.flavor = DatasetFlavor::kTrajectory;
+  spec.default_graph_count = 348;  // 347,848 / 1000.
+  spec.negative_ratio = 0.303;
+  spec.avg_nodes = 61;
+  spec.avg_edges = 135;
+  return spec;
+}
+
+DatasetSpec BrightkiteSpec() {
+  DatasetSpec spec;
+  spec.name = "Brightkite";
+  spec.flavor = DatasetFlavor::kTrajectory;
+  spec.default_graph_count = 45;  // 44,693 / 1000.
+  spec.negative_ratio = 0.303;
+  spec.avg_nodes = 46;
+  spec.avg_edges = 188;
+  return spec;
+}
+
+std::vector<DatasetSpec> AllDatasetSpecs() {
+  return {ForumJavaSpec(), HdfsSpec(), GowallaSpec(), FourSquareSpec(),
+          BrightkiteSpec()};
+}
+
+}  // namespace tpgnn::data

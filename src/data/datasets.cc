@@ -1,0 +1,81 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/log_session_generator.h"
+#include "data/trajectory_generator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpgnn::data {
+
+graph::GraphDataset MakeDataset(const DatasetSpec& spec, int64_t count,
+                                uint64_t seed) {
+  if (count <= 0) count = spec.default_graph_count;
+  TPGNN_CHECK_GT(count, 0);
+  Rng rng(seed);
+
+  graph::GraphDataset dataset;
+  dataset.reserve(static_cast<size_t>(count));
+
+  if (spec.flavor == DatasetFlavor::kLogSession) {
+    LogSessionGenerator::Options options;
+    options.avg_nodes = spec.avg_nodes;
+    options.avg_edges = spec.avg_edges;
+    options.num_event_types = std::max<int64_t>(64, spec.avg_nodes * 3);
+    LogSessionGenerator generator(options);
+    for (int64_t i = 0; i < count; ++i) {
+      if (rng.Bernoulli(spec.negative_ratio)) {
+        LogFault fault = LogSessionGenerator::SampleFault(
+            spec.temporal_negative_fraction, rng);
+        dataset.push_back({generator.GenerateNegative(fault, rng), 0});
+      } else {
+        dataset.push_back({generator.GeneratePositive(rng), 1});
+      }
+    }
+  } else {
+    TrajectoryGenerator::Options options;
+    options.avg_nodes = spec.avg_nodes;
+    options.avg_edges = spec.avg_edges;
+    TrajectoryGenerator generator(options);
+    for (int64_t i = 0; i < count; ++i) {
+      if (rng.Bernoulli(spec.negative_ratio)) {
+        dataset.push_back(
+            {generator.GenerateNegative(spec.temporal_negative_fraction, rng),
+             0});
+      } else {
+        dataset.push_back({generator.GeneratePositive(rng), 1});
+      }
+    }
+  }
+  return dataset;
+}
+
+graph::GraphDataset FilterMinEdges(const graph::GraphDataset& dataset,
+                                   int64_t min_edges) {
+  graph::GraphDataset filtered;
+  filtered.reserve(dataset.size());
+  for (const graph::LabeledGraph& g : dataset) {
+    if (g.graph.num_edges() >= min_edges) {
+      filtered.push_back(g);
+    }
+  }
+  return filtered;
+}
+
+TrainTestSplit SplitDataset(const graph::GraphDataset& dataset,
+                            double train_fraction) {
+  TPGNN_CHECK_GE(train_fraction, 0.0);
+  TPGNN_CHECK_LE(train_fraction, 1.0);
+  const size_t cut = static_cast<size_t>(
+      std::llround(train_fraction * static_cast<double>(dataset.size())));
+  TrainTestSplit split;
+  split.train.assign(dataset.begin(),
+                     dataset.begin() + static_cast<int64_t>(cut));
+  split.test.assign(dataset.begin() + static_cast<int64_t>(cut),
+                    dataset.end());
+  return split;
+}
+
+}  // namespace tpgnn::data

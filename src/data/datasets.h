@@ -1,0 +1,36 @@
+#ifndef TPGNN_DATA_DATASETS_H_
+#define TPGNN_DATA_DATASETS_H_
+
+#include <cstdint>
+
+#include "data/dataset_spec.h"
+#include "graph/temporal_graph.h"
+
+// Dataset assembly: turns a DatasetSpec preset into a labeled GraphDataset
+// using the flavour-appropriate generator and negative-sampling mix.
+
+namespace tpgnn::data {
+
+// Generates `count` labeled graphs (count <= 0 uses
+// spec.default_graph_count). Deterministic in (spec, count, seed).
+graph::GraphDataset MakeDataset(const DatasetSpec& spec, int64_t count,
+                                uint64_t seed);
+
+// Drops graphs with fewer than `min_edges` interactions (the paper filters
+// sessions/users with fewer than three records).
+graph::GraphDataset FilterMinEdges(const graph::GraphDataset& dataset,
+                                   int64_t min_edges);
+
+// Chronological split: the first `train_fraction` of the dataset is the
+// training set, the remainder the test set (Sec. V-D uses 30%/70%).
+struct TrainTestSplit {
+  graph::GraphDataset train;
+  graph::GraphDataset test;
+};
+
+TrainTestSplit SplitDataset(const graph::GraphDataset& dataset,
+                            double train_fraction);
+
+}  // namespace tpgnn::data
+
+#endif  // TPGNN_DATA_DATASETS_H_

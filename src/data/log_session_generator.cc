@@ -1,0 +1,199 @@
+#include "data/log_session_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "data/negative_sampling.h"
+#include "util/logging.h"
+
+namespace tpgnn::data {
+
+using graph::TemporalGraph;
+
+LogSessionGenerator::LogSessionGenerator(const Options& options)
+    : options_(options) {
+  TPGNN_CHECK_GE(options_.avg_nodes, 3);
+  TPGNN_CHECK_GE(options_.avg_edges, options_.avg_nodes - 1)
+      << "a session visits every stage at least once";
+  TPGNN_CHECK_GE(options_.num_event_types, options_.avg_nodes * 2)
+      << "vocabulary must cover stages plus exception templates";
+}
+
+std::vector<LogSessionGenerator::Event> LogSessionGenerator::SimulateNormal(
+    Rng& rng) const {
+  const double jitter = 1.0 + options_.size_jitter * (2.0 * rng.Uniform() - 1.0);
+  // Stages of this session's workflow; every stage emits at least one event.
+  const int64_t stages = std::max<int64_t>(
+      3, static_cast<int64_t>(std::llround(
+             static_cast<double>(options_.avg_nodes) * jitter)));
+  int64_t extra_budget = std::max<int64_t>(
+      0, static_cast<int64_t>(std::llround(
+             static_cast<double>(options_.avg_edges + 1 - options_.avg_nodes) *
+             jitter)));
+  // Probability of one more bounce (revisit of the previous stage) after any
+  // emission, tuned so expected extras match the budget.
+  const double bounce_prob =
+      static_cast<double>(extra_budget) /
+      (static_cast<double>(extra_budget) + static_cast<double>(stages) + 1.0);
+
+  std::vector<Event> events;
+  double t = 0.0;
+  auto emit = [&](int64_t type, bool exception) {
+    t += -std::log(1.0 - rng.Uniform());  // Exp(1) inter-event gap.
+    Event e;
+    e.type = type;
+    e.time = t;
+    e.duration = static_cast<float>(std::exp(rng.Normal(0.0, 0.4)));
+    e.exception = exception;
+    events.push_back(e);
+  };
+
+  for (int64_t s = 0; s < stages; ++s) {
+    emit(s, /*exception=*/false);
+    // Bounces: re-emit the previous stage then this one (a retry loop),
+    // producing the repeated-edge patterns of Fig. 1.
+    while (s > 0 && extra_budget >= 2 && rng.Bernoulli(bounce_prob)) {
+      emit(s - 1, false);
+      emit(s, false);
+      extra_budget -= 2;
+    }
+  }
+  return events;
+}
+
+TemporalGraph LogSessionGenerator::BuildGraph(
+    const std::vector<Event>& events) const {
+  TPGNN_CHECK(!events.empty());
+  // Distinct event types, numbered by first appearance.
+  std::unordered_map<int64_t, int64_t> node_of_type;
+  for (const Event& e : events) {
+    node_of_type.emplace(e.type, static_cast<int64_t>(node_of_type.size()));
+  }
+  const int64_t n = static_cast<int64_t>(node_of_type.size());
+  TemporalGraph g(n, /*feature_dim=*/3);
+
+  // Aggregate per-node features: template id, mean duration, exception flag.
+  std::vector<double> duration_sum(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(n), 0);
+  std::vector<bool> exception(static_cast<size_t>(n), false);
+  for (const Event& e : events) {
+    const int64_t node = node_of_type[e.type];
+    duration_sum[static_cast<size_t>(node)] += e.duration;
+    count[static_cast<size_t>(node)] += 1;
+    if (e.exception) exception[static_cast<size_t>(node)] = true;
+  }
+  for (const auto& [type, node] : node_of_type) {
+    const size_t s = static_cast<size_t>(node);
+    g.SetNodeFeature(
+        node,
+        {static_cast<float>(type) /
+             static_cast<float>(options_.num_event_types),
+         static_cast<float>(duration_sum[s] / static_cast<double>(count[s])),
+         exception[s] ? 1.0f : 0.0f});
+  }
+
+  for (size_t i = 1; i < events.size(); ++i) {
+    g.AddEdge(node_of_type[events[i - 1].type], node_of_type[events[i].type],
+              events[i].time);
+  }
+  return g;
+}
+
+TemporalGraph LogSessionGenerator::GeneratePositive(Rng& rng) const {
+  return BuildGraph(SimulateNormal(rng));
+}
+
+TemporalGraph LogSessionGenerator::GenerateNegative(LogFault fault,
+                                                    Rng& rng) const {
+  TPGNN_CHECK(fault != LogFault::kNone);
+  std::vector<Event> events = SimulateNormal(rng);
+
+  switch (fault) {
+    case LogFault::kOrderAnomaly: {
+      // Topology-preserving: the events happened, but in an impossible
+      // order (the session's timestamps are permuted across edges).
+      return ShuffleNegative(BuildGraph(events), rng);
+    }
+    case LogFault::kCrashLoop: {
+      // Repeat the pair of events at the crash site 3-6 extra times.
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(events.size()) - 1));
+      const int64_t repeats = rng.UniformInt(3, 6);
+      double t = events.back().time;
+      std::vector<Event> looped(events.begin(),
+                                events.begin() + static_cast<int64_t>(pos) + 1);
+      for (int64_t r = 0; r < repeats; ++r) {
+        for (size_t i = pos - 1; i <= pos; ++i) {
+          Event e = events[i];
+          t += -std::log(1.0 - rng.Uniform()) * 0.2;  // Rapid-fire loop.
+          e.time = t;
+          looped.push_back(e);
+        }
+      }
+      return BuildGraph(looped);
+    }
+    case LogFault::kMissingStep: {
+      // Remove every emission of a mandatory middle stage.
+      int64_t max_type = 0;
+      for (const Event& e : events) max_type = std::max(max_type, e.type);
+      if (max_type >= 2) {
+        const int64_t victim = rng.UniformInt(1, max_type - 1);
+        events.erase(std::remove_if(events.begin(), events.end(),
+                                    [victim](const Event& e) {
+                                      return e.type == victim;
+                                    }),
+                     events.end());
+      }
+      return BuildGraph(events);
+    }
+    case LogFault::kExceptionBurst: {
+      // Insert 2-4 exception events after a random position; exception
+      // templates live in the upper half of the vocabulary.
+      const int64_t bursts = rng.UniformInt(2, 4);
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(events.size()) - 1));
+      std::vector<Event> corrupted(
+          events.begin(), events.begin() + static_cast<int64_t>(pos) + 1);
+      double t = events[pos].time;
+      for (int64_t b = 0; b < bursts; ++b) {
+        Event e;
+        e.type = rng.UniformInt(options_.num_event_types / 2,
+                                options_.num_event_types - 1);
+        t += -std::log(1.0 - rng.Uniform()) * 0.3;
+        e.time = t;
+        e.duration = static_cast<float>(std::exp(rng.Normal(0.5, 0.4)));
+        e.exception = true;
+        corrupted.push_back(e);
+      }
+      // Resume the normal tail after the burst, shifted in time.
+      for (size_t i = pos + 1; i < events.size(); ++i) {
+        Event e = events[i];
+        t += -std::log(1.0 - rng.Uniform());
+        e.time = t;
+        corrupted.push_back(e);
+      }
+      return BuildGraph(corrupted);
+    }
+    case LogFault::kNone:
+      break;
+  }
+  TPGNN_CHECK(false) << "unreachable";
+  return TemporalGraph(1, 3);
+}
+
+LogFault LogSessionGenerator::SampleFault(double temporal_fraction, Rng& rng) {
+  if (rng.Bernoulli(temporal_fraction)) {
+    return LogFault::kOrderAnomaly;
+  }
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return LogFault::kCrashLoop;
+    case 1:
+      return LogFault::kMissingStep;
+    default:
+      return LogFault::kExceptionBurst;
+  }
+}
+
+}  // namespace tpgnn::data

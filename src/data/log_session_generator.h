@@ -1,0 +1,80 @@
+#ifndef TPGNN_DATA_LOG_SESSION_GENERATOR_H_
+#define TPGNN_DATA_LOG_SESSION_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+// Synthetic dynamic session networks standing in for the Forum-java and HDFS
+// log corpora (Sec. V-A). A session is a walk through a staged workflow of
+// log-event templates; nodes are distinct events, a directed edge (u, v, t)
+// records that event v followed event u at time t (the paper's information
+// flow). Node features mirror the paper's 3-dim encoding: event template id,
+// duration, and exception flag.
+//
+// Negative sessions are produced by injecting one of four faults modelled on
+// the paper's industry fault case:
+//   kOrderAnomaly - events happen in an impossible order (topology
+//                       identical to a normal session; purely temporal).
+//   kCrashLoop        - a step pair repeats pathologically at the crash site.
+//   kMissingStep      - a mandatory workflow stage never executes.
+//   kExceptionBurst   - exception events interleave with the normal flow.
+
+namespace tpgnn::data {
+
+enum class LogFault {
+  kNone = 0,
+  kOrderAnomaly,
+  kCrashLoop,
+  kMissingStep,
+  kExceptionBurst,
+};
+
+class LogSessionGenerator {
+ public:
+  struct Options {
+    // Target average distinct events per session (Table I avg nodes).
+    int64_t avg_nodes = 27;
+    // Target average interactions per session (Table I avg edges).
+    int64_t avg_edges = 30;
+    // Global template vocabulary (stages + exception templates).
+    int64_t num_event_types = 64;
+    // Relative jitter applied to per-session sizes.
+    double size_jitter = 0.2;
+  };
+
+  explicit LogSessionGenerator(const Options& options);
+
+  // A normal session network (label 1).
+  graph::TemporalGraph GeneratePositive(Rng& rng) const;
+
+  // A faulty session network (label 0). `fault` must not be kNone.
+  graph::TemporalGraph GenerateNegative(LogFault fault, Rng& rng) const;
+
+  // Samples a fault: kOrderAnomaly with probability temporal_fraction,
+  // otherwise uniformly one of the three structural faults.
+  static LogFault SampleFault(double temporal_fraction, Rng& rng);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Event {
+    int64_t type = 0;
+    double time = 0.0;
+    float duration = 0.0f;
+    bool exception = false;
+  };
+
+  // Simulates the normal workflow for this session's jittered size.
+  std::vector<Event> SimulateNormal(Rng& rng) const;
+
+  graph::TemporalGraph BuildGraph(const std::vector<Event>& events) const;
+
+  Options options_;
+};
+
+}  // namespace tpgnn::data
+
+#endif  // TPGNN_DATA_LOG_SESSION_GENERATOR_H_

@@ -1,0 +1,181 @@
+#include "data/negative_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tpgnn::data {
+
+using graph::TemporalEdge;
+using graph::TemporalGraph;
+
+TemporalGraph RewireNegative(const TemporalGraph& positive,
+                             double edge_fraction, Rng& rng) {
+  TPGNN_CHECK_GT(edge_fraction, 0.0);
+  TPGNN_CHECK_LE(edge_fraction, 1.0);
+  TemporalGraph negative = positive;
+  const int64_t n = negative.num_nodes();
+  const int64_t m = negative.num_edges();
+  if (n < 2 || m == 0) return negative;
+
+  std::set<std::pair<int64_t, int64_t>> existing;
+  for (const TemporalEdge& e : positive.edges()) {
+    existing.insert({e.src, e.dst});
+  }
+
+  const int64_t rewire_count = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(edge_fraction * static_cast<double>(m))));
+  std::vector<TemporalEdge>& edges = negative.mutable_edges();
+  for (int64_t k = 0; k < rewire_count; ++k) {
+    const size_t idx =
+        static_cast<size_t>(rng.UniformInt(0, m - 1));
+    TemporalEdge& e = edges[idx];
+    // Try a handful of replacement targets; give up (leave unchanged) if the
+    // source is already connected to every other node.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const int64_t candidate = rng.UniformInt(0, n - 1);
+      if (candidate == e.dst || candidate == e.src) continue;
+      if (existing.count({e.src, candidate}) > 0) continue;  // Would be normal.
+      e.dst = candidate;
+      break;
+    }
+  }
+  return negative;
+}
+
+TemporalGraph ShuffleNegative(const TemporalGraph& positive, Rng& rng) {
+  TemporalGraph negative = positive;
+  std::vector<TemporalEdge>& edges = negative.mutable_edges();
+  if (edges.size() < 2) return negative;
+  std::vector<double> times;
+  times.reserve(edges.size());
+  for (const TemporalEdge& e : edges) {
+    times.push_back(e.time);
+  }
+  // Derangement-ish shuffle: retry until the assignment actually changes the
+  // chronological edge order (guaranteed to terminate for >= 2 distinct
+  // timestamps; identical timestamps cannot encode order anyway).
+  bool changed = false;
+  for (int attempt = 0; attempt < 8 && !changed; ++attempt) {
+    rng.Shuffle(times);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (times[i] != edges[i].time) changed = true;
+    }
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    edges[i].time = times[i];
+  }
+  return negative;
+}
+
+TemporalGraph BlockSwapNegative(const TemporalGraph& positive,
+                                double block_fraction, Rng& rng) {
+  TPGNN_CHECK_GT(block_fraction, 0.0);
+  TPGNN_CHECK_LE(block_fraction, 0.5);
+  std::vector<TemporalEdge> order = positive.ChronologicalEdges();
+  const int64_t m = static_cast<int64_t>(order.size());
+  const int64_t block = std::max<int64_t>(
+      1, static_cast<int64_t>(block_fraction * static_cast<double>(m)));
+  if (m < 2 * block + 1) {
+    // Too short for two disjoint blocks; fall back to a full shuffle.
+    return ShuffleNegative(positive, rng);
+  }
+  // Start positions: a in [0, m - 2*block - 1], b in (a + block, m - block].
+  const int64_t a = rng.UniformInt(0, m - 2 * block - 1);
+  const int64_t b = rng.UniformInt(a + block + 1, m - block);
+
+  std::vector<double> times;
+  times.reserve(order.size());
+  for (const TemporalEdge& e : order) {
+    times.push_back(e.time);
+  }
+  // Rebuild the order with blocks A and B exchanged.
+  std::vector<TemporalEdge> swapped;
+  swapped.reserve(order.size());
+  auto append = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      swapped.push_back(order[static_cast<size_t>(i)]);
+    }
+  };
+  append(0, a);
+  append(b, b + block);      // Block B takes A's slot.
+  append(a + block, b);      // Middle.
+  append(a, a + block);      // Block A takes B's slot.
+  append(b + block, m);
+  TPGNN_CHECK_EQ(swapped.size(), order.size());
+
+  // Reassign the sorted timestamps positionally.
+  TemporalGraph negative(positive.num_nodes(), positive.feature_dim());
+  for (int64_t v = 0; v < positive.num_nodes(); ++v) {
+    negative.SetNodeFeature(v, positive.node_feature(v));
+  }
+  for (size_t i = 0; i < swapped.size(); ++i) {
+    negative.AddEdge(swapped[i].src, swapped[i].dst, times[i]);
+  }
+  return negative;
+}
+
+// Temporal negative: the trajectory's home-anchored loops are permuted in
+// time (timestamps are reassigned positionally). Every local movement
+// remains a valid step of a walk — the chain property "src of edge i == dst
+// of edge i-1" still holds — so no single edge is anomalous; only the
+// mid/long-range order (excursions happening before their POIs were ever
+// discovered) betrays the negative. Detecting it requires integrating edge
+// order globally, the capability the paper's global temporal embedding
+// extractor provides.
+TemporalGraph LoopSwapNegative(const TemporalGraph& positive, Rng& rng) {
+  std::vector<TemporalEdge> order = positive.ChronologicalEdges();
+  if (order.size() < 6) {
+    return BlockSwapNegative(positive, /*block_fraction=*/0.2, rng);
+  }
+  const int64_t home = order.front().src;
+  // Segment starts: every edge leaving home starts a loop.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i].src == home) {
+      cuts.push_back(i);
+    }
+  }
+  // Only segments that end back at home are permutable: all but the last
+  // segment qualify (segment k ends where segment k+1 starts, i.e. home).
+  if (cuts.size() < 3) {
+    return BlockSwapNegative(positive, /*block_fraction=*/0.2, rng);
+  }
+  const size_t num_loops = cuts.size() - 1;  // Closed loops.
+  std::vector<size_t> perm(num_loops);
+  for (size_t i = 0; i < num_loops; ++i) perm[i] = i;
+  bool changed = false;
+  for (int attempt = 0; attempt < 8 && !changed; ++attempt) {
+    rng.Shuffle(perm);
+    for (size_t i = 0; i < num_loops; ++i) {
+      if (perm[i] != i) changed = true;
+    }
+  }
+
+  std::vector<TemporalEdge> swapped;
+  swapped.reserve(order.size());
+  for (size_t k : perm) {
+    swapped.insert(swapped.end(),
+                   order.begin() + static_cast<int64_t>(cuts[k]),
+                   order.begin() + static_cast<int64_t>(cuts[k + 1]));
+  }
+  // Trailing open segment keeps its slot.
+  swapped.insert(swapped.end(),
+                 order.begin() + static_cast<int64_t>(cuts[num_loops]),
+                 order.end());
+
+  TemporalGraph negative(positive.num_nodes(), positive.feature_dim());
+  for (int64_t v = 0; v < positive.num_nodes(); ++v) {
+    negative.SetNodeFeature(v, positive.node_feature(v));
+  }
+  for (size_t i = 0; i < swapped.size(); ++i) {
+    negative.AddEdge(swapped[i].src, swapped[i].dst, order[i].time);
+  }
+  return negative;
+}
+
+}  // namespace tpgnn::data

@@ -1,0 +1,52 @@
+#ifndef TPGNN_DATA_NEGATIVE_SAMPLING_H_
+#define TPGNN_DATA_NEGATIVE_SAMPLING_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+// The paper's two negative-sample constructions (Sec. V-A):
+//
+//  * "context-dependent" structural rewiring: for a small set of edges
+//    (u, v, t), replace the target with a node v' such that (u, v') is not an
+//    edge of the positive graph, producing a structurally different graph;
+//  * temporal shuffling: randomly shuffle the edge establishment order,
+//    producing a graph that is topologically identical to the positive one
+//    but temporally anomalous (only order-aware models can detect it).
+
+namespace tpgnn::data {
+
+// Rewires ceil(edge_fraction * m) randomly chosen edges. Candidate
+// replacement targets already linked from the same source in the positive
+// graph are rejected (the paper deletes such candidates); if no valid
+// replacement exists the edge is left unchanged.
+graph::TemporalGraph RewireNegative(const graph::TemporalGraph& positive,
+                                    double edge_fraction, Rng& rng);
+
+// Randomly permutes the timestamps across edges, shuffling the edge
+// establishment order while keeping topology and the multiset of timestamps.
+graph::TemporalGraph ShuffleNegative(const graph::TemporalGraph& positive,
+                                     Rng& rng);
+
+// Subtler temporal negative used by the dataset generators: two disjoint
+// blocks of the chronological edge sequence (each ~block_fraction of the
+// edges) exchange positions, and the original sorted timestamps are
+// reassigned to the new order. Topology and the timestamp multiset are
+// unchanged, within-block local order is unchanged — only the mid/long-range
+// establishment order is anomalous, which is exactly the kind of anomaly
+// (Fig. 1) that order-aware models must integrate over many edges to detect.
+graph::TemporalGraph BlockSwapNegative(const graph::TemporalGraph& positive,
+                                       double block_fraction, Rng& rng);
+
+// Temporal negative for walk-structured graphs (trajectories): the
+// anchor-based loops of the walk — maximal segments starting at the walk's
+// first node — are permuted in time, with timestamps reassigned
+// positionally. Every local movement remains a valid walk step (the chain
+// property "src of edge i == dst of edge i-1" is preserved); only the
+// mid/long-range establishment order betrays the negative. Falls back to
+// BlockSwapNegative when the walk has fewer than two closed loops.
+graph::TemporalGraph LoopSwapNegative(const graph::TemporalGraph& positive,
+                                      Rng& rng);
+
+}  // namespace tpgnn::data
+
+#endif  // TPGNN_DATA_NEGATIVE_SAMPLING_H_

@@ -1,0 +1,101 @@
+#include "data/trajectory_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/negative_sampling.h"
+#include "util/logging.h"
+
+namespace tpgnn::data {
+
+using graph::TemporalGraph;
+
+TrajectoryGenerator::TrajectoryGenerator(const Options& options)
+    : options_(options) {
+  TPGNN_CHECK_GE(options_.avg_nodes, 2);
+  TPGNN_CHECK_GE(options_.avg_edges, options_.avg_nodes)
+      << "the walk must be able to visit every POI";
+  TPGNN_CHECK_GT(options_.num_countries, 0);
+}
+
+TemporalGraph TrajectoryGenerator::GeneratePositive(Rng& rng) const {
+  const double jitter = 1.0 + options_.size_jitter * (2.0 * rng.Uniform() - 1.0);
+  const int64_t n = std::max<int64_t>(
+      2, static_cast<int64_t>(std::llround(
+             static_cast<double>(options_.avg_nodes) * jitter)));
+  const int64_t m = std::max<int64_t>(
+      n, static_cast<int64_t>(std::llround(
+             static_cast<double>(options_.avg_edges) * jitter)));
+
+  TemporalGraph g(n, /*feature_dim=*/3);
+
+  // POIs cluster around country centres; the user lives in one home country
+  // and occasionally travels.
+  const int64_t home_country = rng.UniformInt(0, options_.num_countries - 1);
+  std::vector<double> lon(static_cast<size_t>(n));
+  std::vector<double> lat(static_cast<size_t>(n));
+  for (int64_t p = 0; p < n; ++p) {
+    const int64_t country =
+        rng.Bernoulli(0.85) ? home_country
+                            : rng.UniformInt(0, options_.num_countries - 1);
+    const double centre_lon =
+        -150.0 + 60.0 * static_cast<double>(country % 6);
+    const double centre_lat = -30.0 + 20.0 * static_cast<double>(country % 4);
+    lon[static_cast<size_t>(p)] = centre_lon + rng.Normal(0.0, 3.0);
+    lat[static_cast<size_t>(p)] = centre_lat + rng.Normal(0.0, 3.0);
+    g.SetNodeFeature(
+        p, {static_cast<float>(lon[static_cast<size_t>(p)] / 180.0),
+            static_cast<float>(lat[static_cast<size_t>(p)] / 90.0),
+            static_cast<float>(country) /
+                static_cast<float>(options_.num_countries)});
+  }
+
+  // Favourite set: home plus a few recurring POIs.
+  const int64_t favourites =
+      std::min<int64_t>(n, 3 + rng.UniformInt(0, 2));
+
+  int64_t current = 0;  // Home.
+  int64_t next_unvisited = 1;
+  int64_t visited = 1;
+  double t = 0.0;
+  for (int64_t step = 0; step < m; ++step) {
+    const int64_t remaining_steps = m - step;
+    const int64_t unvisited = n - visited;
+    int64_t next;
+    if (unvisited > 0 &&
+        (unvisited >= remaining_steps ||
+         rng.Bernoulli(static_cast<double>(unvisited) /
+                       static_cast<double>(remaining_steps)))) {
+      // Exploration: nearest-by-index new POI (keeps movements local since
+      // POIs of the home country dominate).
+      next = next_unvisited++;
+      ++visited;
+    } else if (rng.Bernoulli(0.3)) {
+      next = 0;  // Return home; trajectories are sequences of home-anchored
+                 // loops (used by the temporal negative construction).
+    } else if (rng.Bernoulli(options_.favourite_bias)) {
+      next = rng.UniformInt(0, favourites - 1);  // Return to a favourite.
+    } else {
+      next = rng.UniformInt(0, visited - 1);  // Revisit any known POI.
+    }
+    if (next == current) {
+      next = (current + 1) % std::max<int64_t>(visited, 1);
+    }
+    t += -std::log(1.0 - rng.Uniform());
+    g.AddEdge(current, next, t);
+    current = next;
+  }
+  return g;
+}
+
+TemporalGraph TrajectoryGenerator::GenerateNegative(double temporal_fraction,
+                                                    Rng& rng) const {
+  TemporalGraph positive = GeneratePositive(rng);
+  if (rng.Bernoulli(temporal_fraction)) {
+    return LoopSwapNegative(positive, rng);
+  }
+  return RewireNegative(positive, options_.rewire_fraction, rng);
+}
+
+}  // namespace tpgnn::data

@@ -1,0 +1,54 @@
+#ifndef TPGNN_DATA_TRAJECTORY_GENERATOR_H_
+#define TPGNN_DATA_TRAJECTORY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+// Synthetic dynamic user-trajectory networks standing in for the Brightkite,
+// Gowalla and FourSquare check-in corpora (Sec. V-A). Nodes are POIs with
+// (longitude, latitude, country) features; a directed edge (u, v, t) records
+// the user moving from POI u to POI v at time t. A normal trajectory is a
+// home-biased exploratory walk: mostly local movements, frequent revisits of
+// a small favourite set, and occasional exploration of new POIs.
+//
+// Negatives are derived from fresh positives via the paper's two strategies
+// (see data/negative_sampling.h): context-dependent structural rewiring and
+// temporal shuffling.
+
+namespace tpgnn::data {
+
+class TrajectoryGenerator {
+ public:
+  struct Options {
+    int64_t avg_nodes = 72;   // POIs per trajectory network (Table I).
+    int64_t avg_edges = 117;  // Check-in movements (Table I).
+    int64_t num_countries = 6;
+    double size_jitter = 0.2;
+    // Fraction of revisit steps that return to the favourite set.
+    double favourite_bias = 0.6;
+    // Edges rewired when building a structural negative.
+    double rewire_fraction = 0.15;
+  };
+
+  explicit TrajectoryGenerator(const Options& options);
+
+  // A normal trajectory network (label 1). Every POI is visited at least
+  // once, so the walk has no isolated nodes.
+  graph::TemporalGraph GeneratePositive(Rng& rng) const;
+
+  // A negative (label 0): temporal (shuffled order) with probability
+  // temporal_fraction, otherwise structural (rewired edges).
+  graph::TemporalGraph GenerateNegative(double temporal_fraction,
+                                        Rng& rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace tpgnn::data
+
+#endif  // TPGNN_DATA_TRAJECTORY_GENERATOR_H_

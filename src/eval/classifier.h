@@ -1,0 +1,37 @@
+#ifndef TPGNN_EVAL_CLASSIFIER_H_
+#define TPGNN_EVAL_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Common interface of every dynamic graph classifier in this repository
+// (TP-GNN, its ablation variants, and all twelve baselines): a model maps a
+// dynamic network to a single logit; Sigmoid(logit) > 0.5 predicts the
+// positive class (Definition 3).
+
+namespace tpgnn::eval {
+
+class GraphClassifier {
+ public:
+  virtual ~GraphClassifier() = default;
+
+  // Computes the classification logit ([1] tensor) for one graph. `training`
+  // enables stochastic behaviour (e.g. shuffling of equal-timestamp edges);
+  // `rng` drives it.
+  virtual tensor::Tensor ForwardLogit(const graph::TemporalGraph& graph,
+                                      bool training, Rng& rng) = 0;
+
+  // Trainable parameters for the optimizer.
+  virtual std::vector<tensor::Tensor> TrainableParameters() = 0;
+
+  // Display name used in result tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tpgnn::eval
+
+#endif  // TPGNN_EVAL_CLASSIFIER_H_

@@ -1,0 +1,57 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpgnn::eval {
+
+ExperimentResult RunExperiment(const ClassifierFactory& factory,
+                               const graph::GraphDataset& train,
+                               const graph::GraphDataset& test,
+                               const ExperimentOptions& options) {
+  TPGNN_CHECK_GT(options.num_seeds, 0);
+  ExperimentResult result;
+  std::vector<Metrics> runs;
+  Stopwatch total_watch;
+  double inference_sum = 0.0;
+  for (int64_t s = 0; s < options.num_seeds; ++s) {
+    const uint64_t seed = options.base_seed + static_cast<uint64_t>(s);
+    std::unique_ptr<GraphClassifier> model = factory(seed);
+    if (result.model_name.empty()) {
+      result.model_name = model->name();
+    }
+    TrainOptions train_options = options.train;
+    train_options.seed = seed;
+    TrainClassifier(*model, train, train_options);
+    runs.push_back(EvaluateClassifier(*model, test));
+    inference_sum += MeasureInferenceMicros(*model, test);
+  }
+  result.metrics = Aggregate(runs);
+  result.train_seconds = total_watch.ElapsedSeconds();
+  result.inference_micros_per_graph =
+      inference_sum / static_cast<double>(options.num_seeds);
+  return result;
+}
+
+void PrintResultsTable(const std::string& title,
+                       const std::vector<ExperimentResult>& results) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-22s | %14s | %14s | %14s | %10s\n", "Model", "F1 Score",
+              "Precision", "Recall", "us/graph");
+  std::printf("%s\n", std::string(88, '-').c_str());
+  for (const ExperimentResult& r : results) {
+    std::printf("%-22s | %14s | %14s | %14s | %10.1f\n",
+                r.model_name.c_str(),
+                FormatCell(r.metrics.mean.f1, r.metrics.stddev.f1).c_str(),
+                FormatCell(r.metrics.mean.precision, r.metrics.stddev.precision)
+                    .c_str(),
+                FormatCell(r.metrics.mean.recall, r.metrics.stddev.recall)
+                    .c_str(),
+                r.inference_micros_per_graph);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace tpgnn::eval

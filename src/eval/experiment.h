@@ -1,0 +1,48 @@
+#ifndef TPGNN_EVAL_EXPERIMENT_H_
+#define TPGNN_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "graph/temporal_graph.h"
+
+// Multi-seed experiment runner: builds a fresh model per seed, trains on the
+// train split, evaluates on the test split, and aggregates mean +/- std —
+// the protocol behind every accuracy table in the paper (5 runs, Sec. V-D).
+
+namespace tpgnn::eval {
+
+using ClassifierFactory =
+    std::function<std::unique_ptr<GraphClassifier>(uint64_t seed)>;
+
+struct ExperimentOptions {
+  int64_t num_seeds = 5;
+  uint64_t base_seed = 1;
+  TrainOptions train;
+};
+
+struct ExperimentResult {
+  std::string model_name;
+  AggregateMetrics metrics;
+  double train_seconds = 0.0;
+  double inference_micros_per_graph = 0.0;
+};
+
+ExperimentResult RunExperiment(const ClassifierFactory& factory,
+                               const graph::GraphDataset& train,
+                               const graph::GraphDataset& test,
+                               const ExperimentOptions& options);
+
+// Markdown-ish table printer: one row per result with F1/Precision/Recall
+// cells formatted as mean +/- std percentages.
+void PrintResultsTable(const std::string& title,
+                       const std::vector<ExperimentResult>& results);
+
+}  // namespace tpgnn::eval
+
+#endif  // TPGNN_EVAL_EXPERIMENT_H_

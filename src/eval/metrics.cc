@@ -1,0 +1,124 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpgnn::eval {
+
+void ConfusionCounts::Add(int predicted, int actual) {
+  TPGNN_CHECK(predicted == 0 || predicted == 1);
+  TPGNN_CHECK(actual == 0 || actual == 1);
+  if (predicted == 1 && actual == 1) {
+    ++tp;
+  } else if (predicted == 1 && actual == 0) {
+    ++fp;
+  } else if (predicted == 0 && actual == 1) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+Metrics ComputeMetrics(const ConfusionCounts& c) {
+  Metrics m;
+  const double tp = static_cast<double>(c.tp);
+  if (c.tp + c.fp > 0) {
+    m.precision = tp / static_cast<double>(c.tp + c.fp);
+  }
+  if (c.tp + c.fn > 0) {
+    m.recall = tp / static_cast<double>(c.tp + c.fn);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  if (c.total() > 0) {
+    m.accuracy =
+        static_cast<double>(c.tp + c.tn) / static_cast<double>(c.total());
+  }
+  return m;
+}
+
+AggregateMetrics Aggregate(const std::vector<Metrics>& runs) {
+  AggregateMetrics agg;
+  agg.runs = static_cast<int64_t>(runs.size());
+  if (runs.empty()) return agg;
+  auto mean_of = [&](double Metrics::*field) {
+    double total = 0.0;
+    for (const Metrics& m : runs) total += m.*field;
+    return total / static_cast<double>(runs.size());
+  };
+  auto std_of = [&](double Metrics::*field, double mean) {
+    if (runs.size() < 2) return 0.0;
+    double total = 0.0;
+    for (const Metrics& m : runs) {
+      total += (m.*field - mean) * (m.*field - mean);
+    }
+    return std::sqrt(total / static_cast<double>(runs.size() - 1));
+  };
+  agg.mean.precision = mean_of(&Metrics::precision);
+  agg.mean.recall = mean_of(&Metrics::recall);
+  agg.mean.f1 = mean_of(&Metrics::f1);
+  agg.mean.accuracy = mean_of(&Metrics::accuracy);
+  agg.stddev.precision = std_of(&Metrics::precision, agg.mean.precision);
+  agg.stddev.recall = std_of(&Metrics::recall, agg.mean.recall);
+  agg.stddev.f1 = std_of(&Metrics::f1, agg.mean.f1);
+  agg.stddev.accuracy = std_of(&Metrics::accuracy, agg.mean.accuracy);
+  return agg;
+}
+
+double ComputeAuc(const std::vector<double>& scores,
+                  const std::vector<int>& labels) {
+  TPGNN_CHECK_EQ(scores.size(), labels.size());
+  // Rank-based (Mann-Whitney U): sort by score, assign average ranks to
+  // ties, AUC = (sum of positive ranks - n_pos(n_pos+1)/2) / (n_pos*n_neg).
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = 0.5 * (static_cast<double>(i) +
+                                   static_cast<double>(j)) +
+                            1.0;
+    for (size_t k = i; k <= j; ++k) {
+      rank[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  int64_t n_pos = 0;
+  int64_t n_neg = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    } else {
+      ++n_neg;
+    }
+  }
+  if (n_pos == 0 || n_neg == 0) {
+    return 0.5;
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(n_pos) *
+                       (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::string FormatCell(double mean, double stddev) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%5.2f+/-%4.2f", 100.0 * mean,
+                100.0 * stddev);
+  return std::string(buffer);
+}
+
+}  // namespace tpgnn::eval

@@ -1,0 +1,53 @@
+#ifndef TPGNN_EVAL_METRICS_H_
+#define TPGNN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Binary classification metrics (Sec. V-C). Following the paper's tables
+// (high recall / ~prevalence precision for weak baselines), precision,
+// recall and F1 are computed with respect to the positive (label 1) class.
+
+namespace tpgnn::eval {
+
+struct ConfusionCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+
+  void Add(int predicted, int actual);
+  int64_t total() const { return tp + fp + fn + tn; }
+};
+
+struct Metrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+Metrics ComputeMetrics(const ConfusionCounts& counts);
+
+// Mean and sample standard deviation over per-seed runs.
+struct AggregateMetrics {
+  Metrics mean;
+  Metrics stddev;
+  int64_t runs = 0;
+};
+
+AggregateMetrics Aggregate(const std::vector<Metrics>& runs);
+
+// "98.53 +/- 0.33" style cell (percentages).
+std::string FormatCell(double mean, double stddev);
+
+// Area under the ROC curve for raw scores (higher = more positive) against
+// binary labels; ties contribute 1/2 (Mann-Whitney formulation). Returns
+// 0.5 when either class is absent.
+double ComputeAuc(const std::vector<double>& scores,
+                  const std::vector<int>& labels);
+
+}  // namespace tpgnn::eval
+
+#endif  // TPGNN_EVAL_METRICS_H_

@@ -1,0 +1,109 @@
+#include "eval/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace tpgnn::eval {
+
+namespace {
+
+// Scales all gradients so their global L2 norm is at most `clip_norm`.
+void ClipGradNorm(std::vector<tensor::Tensor>& params, float clip_norm) {
+  double total = 0.0;
+  for (const tensor::Tensor& p : params) {
+    for (float g : p.grad()) {
+      total += static_cast<double>(g) * g;
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= static_cast<double>(clip_norm) || norm == 0.0) {
+    return;
+  }
+  const float scale = clip_norm / static_cast<float>(norm);
+  for (tensor::Tensor& p : params) {
+    for (float& g : p.MutableGrad()) {
+      g *= scale;
+    }
+  }
+}
+
+}  // namespace
+
+TrainResult TrainClassifier(GraphClassifier& model,
+                            const graph::GraphDataset& train,
+                            const TrainOptions& options) {
+  TPGNN_CHECK(!train.empty());
+  Rng rng(options.seed ^ 0x7261696e65724cULL);
+  std::vector<tensor::Tensor> params = model.TrainableParameters();
+  nn::Adam optimizer(params, options.learning_rate);
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    int64_t count = 0;
+    for (size_t idx : order) {
+      const graph::LabeledGraph& sample = train[idx];
+      if (options.max_edges > 0 &&
+          sample.graph.num_edges() > options.max_edges) {
+        continue;
+      }
+      optimizer.ZeroGrad();
+      tensor::Tensor logit =
+          model.ForwardLogit(sample.graph, /*training=*/true, rng);
+      tensor::Tensor target =
+          tensor::Tensor::Scalar(static_cast<float>(sample.label));
+      tensor::Tensor loss =
+          tensor::BinaryCrossEntropyWithLogits(logit, target);
+      loss.Backward();
+      if (options.clip_norm > 0.0f) {
+        ClipGradNorm(params, options.clip_norm);
+      }
+      optimizer.Step();
+      loss_sum += static_cast<double>(loss.item());
+      ++count;
+    }
+    result.epoch_losses.push_back(count > 0 ? loss_sum / count : 0.0);
+  }
+  return result;
+}
+
+Metrics EvaluateClassifier(GraphClassifier& model,
+                           const graph::GraphDataset& test) {
+  TPGNN_CHECK(!test.empty());
+  tensor::NoGradGuard no_grad;
+  Rng rng(0);  // Inference path must not depend on it.
+  ConfusionCounts counts;
+  for (const graph::LabeledGraph& sample : test) {
+    tensor::Tensor logit =
+        model.ForwardLogit(sample.graph, /*training=*/false, rng);
+    const int predicted = logit.item() > 0.0f ? 1 : 0;  // Sigmoid > 0.5.
+    counts.Add(predicted, sample.label);
+  }
+  return ComputeMetrics(counts);
+}
+
+double MeasureInferenceMicros(GraphClassifier& model,
+                              const graph::GraphDataset& test) {
+  TPGNN_CHECK(!test.empty());
+  tensor::NoGradGuard no_grad;
+  Rng rng(0);
+  Stopwatch watch;
+  for (const graph::LabeledGraph& sample : test) {
+    tensor::Tensor logit =
+        model.ForwardLogit(sample.graph, /*training=*/false, rng);
+    (void)logit;
+  }
+  return watch.ElapsedMicros() / static_cast<double>(test.size());
+}
+
+}  // namespace tpgnn::eval

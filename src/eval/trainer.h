@@ -1,0 +1,48 @@
+#ifndef TPGNN_EVAL_TRAINER_H_
+#define TPGNN_EVAL_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "eval/metrics.h"
+#include "graph/temporal_graph.h"
+
+// End-to-end training loop (Sec. IV-D / V-D): Adam at lr 1e-3, binary
+// cross-entropy on the sigmoid of the graph logit, one optimizer step per
+// graph, graph order reshuffled every epoch.
+
+namespace tpgnn::eval {
+
+struct TrainOptions {
+  int64_t epochs = 10;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 0;
+  // If positive, skip training graphs with more edges (runtime guard;
+  // unlimited by default).
+  int64_t max_edges = 0;
+  // Global gradient-norm clipping applied before each optimizer step;
+  // essential for the recurrent models on long edge sequences. <= 0
+  // disables.
+  float clip_norm = 5.0f;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_losses;  // Mean BCE per epoch.
+};
+
+TrainResult TrainClassifier(GraphClassifier& model,
+                            const graph::GraphDataset& train,
+                            const TrainOptions& options);
+
+// Evaluates on `test` (threshold 0.5) and returns positive-class metrics.
+Metrics EvaluateClassifier(GraphClassifier& model,
+                           const graph::GraphDataset& test);
+
+// Mean per-graph inference time in microseconds over `test`.
+double MeasureInferenceMicros(GraphClassifier& model,
+                              const graph::GraphDataset& test);
+
+}  // namespace tpgnn::eval
+
+#endif  // TPGNN_EVAL_TRAINER_H_

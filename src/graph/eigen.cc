@@ -1,0 +1,96 @@
+#include "graph/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tpgnn::graph {
+
+EigenDecomposition JacobiEigenDecomposition(const tensor::Tensor& matrix,
+                                            double tol, int max_sweeps) {
+  TPGNN_CHECK_EQ(matrix.dim(), 2);
+  TPGNN_CHECK_EQ(matrix.size(0), matrix.size(1));
+  const int64_t n = matrix.size(0);
+
+  // Working copy in double precision; v accumulates rotations.
+  std::vector<double> a(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(matrix.at({i, j})) +
+                 static_cast<double>(matrix.at({j, i})));
+    }
+  }
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto at = [&](std::vector<double>& m, int64_t i, int64_t j) -> double& {
+    return m[static_cast<size_t>(i * n + j)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        off += at(a, i, j) * at(a, i, j);
+      }
+    }
+    if (std::sqrt(2.0 * off) < tol) break;
+
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = at(a, p, p);
+        const double aqq = at(a, q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = at(a, k, p);
+          const double akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = at(a, p, k);
+          const double aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = at(v, k, p);
+          const double vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return at(a, x, x) < at(a, y, y);
+  });
+
+  EigenDecomposition result;
+  result.eigenvalues.reserve(static_cast<size_t>(n));
+  result.eigenvectors.reserve(static_cast<size_t>(n));
+  for (int64_t k : order) {
+    result.eigenvalues.push_back(at(a, k, k));
+    std::vector<double> vec(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      vec[static_cast<size_t>(i)] = at(v, i, k);
+    }
+    result.eigenvectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+}  // namespace tpgnn::graph

@@ -1,0 +1,29 @@
+#ifndef TPGNN_GRAPH_EIGEN_H_
+#define TPGNN_GRAPH_EIGEN_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Cyclic Jacobi eigendecomposition for small dense symmetric matrices
+// (session graphs have at most a few hundred nodes). Used by the Spectral
+// Clustering baseline on graph Laplacians.
+
+namespace tpgnn::graph {
+
+struct EigenDecomposition {
+  // Ascending eigenvalues.
+  std::vector<double> eigenvalues;
+  // eigenvectors[k] is the unit eigenvector for eigenvalues[k].
+  std::vector<std::vector<double>> eigenvectors;
+};
+
+// `matrix` must be square and symmetric (within tolerance). Converges to
+// off-diagonal Frobenius norm below `tol` or after `max_sweeps` full sweeps.
+EigenDecomposition JacobiEigenDecomposition(const tensor::Tensor& matrix,
+                                            double tol = 1e-10,
+                                            int max_sweeps = 64);
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_EIGEN_H_

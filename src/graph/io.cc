@@ -1,0 +1,142 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpgnn::graph {
+
+namespace {
+
+constexpr char kGraphMagic[] = "tpgnn-graph";
+constexpr char kDatasetMagic[] = "tpgnn-dataset";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status WriteGraph(std::ostream& os, const TemporalGraph& graph) {
+  os << kGraphMagic << " " << kVersion << "\n";
+  os << graph.num_nodes() << " " << graph.feature_dim() << " "
+     << graph.num_edges() << "\n";
+  os.precision(17);
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    os << "F";
+    for (float f : graph.node_feature(v)) {
+      os << " " << f;
+    }
+    os << "\n";
+  }
+  for (const TemporalEdge& e : graph.edges()) {
+    os << "E " << e.src << " " << e.dst << " " << e.time << "\n";
+  }
+  if (!os) {
+    return Status::Internal("write failed");
+  }
+  return Status::Ok();
+}
+
+Status ReadGraph(std::istream& is, TemporalGraph* out) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kGraphMagic) {
+    return Status::InvalidArgument("not a tpgnn-graph stream");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported graph version " +
+                                   std::to_string(version));
+  }
+  int64_t num_nodes = 0;
+  int64_t feature_dim = 0;
+  int64_t num_edges = 0;
+  if (!(is >> num_nodes >> feature_dim >> num_edges) || num_nodes < 0 ||
+      feature_dim <= 0 || num_edges < 0) {
+    return Status::InvalidArgument("malformed graph header");
+  }
+  TemporalGraph graph(num_nodes, feature_dim);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    std::string tag;
+    if (!(is >> tag) || tag != "F") {
+      return Status::InvalidArgument("expected feature line");
+    }
+    std::vector<float> f(static_cast<size_t>(feature_dim));
+    for (float& value : f) {
+      if (!(is >> value)) {
+        return Status::InvalidArgument("malformed feature line");
+      }
+    }
+    graph.SetNodeFeature(v, f);
+  }
+  for (int64_t e = 0; e < num_edges; ++e) {
+    std::string tag;
+    int64_t src = 0;
+    int64_t dst = 0;
+    double time = 0.0;
+    if (!(is >> tag >> src >> dst >> time) || tag != "E") {
+      return Status::InvalidArgument("malformed edge line");
+    }
+    if (src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes ||
+        time < 0.0) {
+      return Status::InvalidArgument("edge out of range");
+    }
+    graph.AddEdge(src, dst, time);
+  }
+  *out = std::move(graph);
+  return Status::Ok();
+}
+
+Status SaveDataset(const std::string& path, const GraphDataset& dataset) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  os << kDatasetMagic << " " << kVersion << "\n";
+  os << dataset.size() << "\n";
+  for (const LabeledGraph& sample : dataset) {
+    os << "G " << sample.label << "\n";
+    Status status = WriteGraph(os, sample.graph);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadDataset(const std::string& path, GraphDataset* out) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kDatasetMagic) {
+    return Status::InvalidArgument("not a tpgnn-dataset file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version");
+  }
+  size_t count = 0;
+  if (!(is >> count)) {
+    return Status::InvalidArgument("malformed dataset header");
+  }
+  GraphDataset dataset;
+  dataset.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string tag;
+    int label = 0;
+    if (!(is >> tag >> label) || tag != "G" || (label != 0 && label != 1)) {
+      return Status::InvalidArgument("malformed sample header");
+    }
+    TemporalGraph graph(1, 1);
+    Status status = ReadGraph(is, &graph);
+    if (!status.ok()) {
+      return status;
+    }
+    dataset.push_back({std::move(graph), label});
+  }
+  *out = std::move(dataset);
+  return Status::Ok();
+}
+
+}  // namespace tpgnn::graph

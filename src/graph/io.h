@@ -1,0 +1,35 @@
+#ifndef TPGNN_GRAPH_IO_H_
+#define TPGNN_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+// Plain-text serialization of CTDNs and labeled datasets, so generated
+// corpora can be inspected, versioned, and exchanged with other tools.
+//
+// Format (whitespace separated):
+//   tpgnn-graph 1
+//   <num_nodes> <feature_dim> <num_edges>
+//   F <f_0> ... <f_{q-1}>          (one line per node, in node order)
+//   E <src> <dst> <time>           (one line per edge, insertion order)
+//
+// A dataset file is:
+//   tpgnn-dataset 1
+//   <graph_count>
+//   G <label>
+//   <graph as above> ...
+
+namespace tpgnn::graph {
+
+Status WriteGraph(std::ostream& os, const TemporalGraph& graph);
+Status ReadGraph(std::istream& is, TemporalGraph* out);
+
+Status SaveDataset(const std::string& path, const GraphDataset& dataset);
+Status LoadDataset(const std::string& path, GraphDataset* out);
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_IO_H_

@@ -1,0 +1,25 @@
+#ifndef TPGNN_GRAPH_POOLING_H_
+#define TPGNN_GRAPH_POOLING_H_
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+// Graph-level readouts over a node embedding matrix H of shape [n, d].
+// The paper's baselines use Mean pooling (Sec. V-D) to turn node/edge
+// representations into graph representations.
+
+namespace tpgnn::graph {
+
+// Column-wise mean -> [d]. Differentiable.
+inline tensor::Tensor MeanPool(const tensor::Tensor& node_embeddings) {
+  return tensor::MeanAxis(node_embeddings, /*axis=*/0);
+}
+
+// Column-wise sum -> [d]. Differentiable.
+inline tensor::Tensor SumPool(const tensor::Tensor& node_embeddings) {
+  return tensor::SumAxis(node_embeddings, /*axis=*/0);
+}
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_POOLING_H_

@@ -1,0 +1,41 @@
+#include "graph/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpgnn::graph {
+
+std::vector<Snapshot> MakeSnapshots(const TemporalGraph& graph,
+                                    int64_t num_snapshots, SnapshotMode mode) {
+  TPGNN_CHECK_GT(num_snapshots, 0);
+  const double max_time = graph.MaxTime();
+  // Guard against all-zero timestamps: use a unit horizon so every edge
+  // lands in the first window.
+  const double horizon = max_time > 0.0 ? max_time : 1.0;
+  const double width = horizon / static_cast<double>(num_snapshots);
+
+  std::vector<Snapshot> snapshots(static_cast<size_t>(num_snapshots));
+  for (int64_t s = 0; s < num_snapshots; ++s) {
+    snapshots[static_cast<size_t>(s)].window_start =
+        width * static_cast<double>(s);
+    snapshots[static_cast<size_t>(s)].window_end =
+        width * static_cast<double>(s + 1);
+  }
+
+  for (const TemporalEdge& e : graph.ChronologicalEdges()) {
+    int64_t slot = static_cast<int64_t>(std::floor(e.time / width));
+    slot = std::clamp<int64_t>(slot, 0, num_snapshots - 1);
+    if (mode == SnapshotMode::kWindow) {
+      snapshots[static_cast<size_t>(slot)].edges.push_back(e);
+    } else {
+      for (int64_t s = slot; s < num_snapshots; ++s) {
+        snapshots[static_cast<size_t>(s)].edges.push_back(e);
+      }
+    }
+  }
+  return snapshots;
+}
+
+}  // namespace tpgnn::graph

@@ -1,0 +1,37 @@
+#ifndef TPGNN_GRAPH_SNAPSHOT_H_
+#define TPGNN_GRAPH_SNAPSHOT_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+// Discretiser for snapshot-based (discrete) DGNN baselines: crops a CTDN
+// into a fixed number of static snapshots by equal-width time windows
+// (Sec. V-D of the paper). Edge order inside a window is lost by design —
+// this is exactly the information loss the paper attributes to discrete
+// DGNNs.
+
+namespace tpgnn::graph {
+
+struct Snapshot {
+  // Edges whose timestamps fall in this window (window mode) or in all
+  // windows up to and including this one (cumulative mode).
+  std::vector<TemporalEdge> edges;
+  double window_start = 0.0;
+  double window_end = 0.0;
+};
+
+enum class SnapshotMode {
+  kWindow,      // Each snapshot holds only its own window's edges.
+  kCumulative,  // Each snapshot holds all edges up to its window end.
+};
+
+// Splits [0, MaxTime] into `num_snapshots` equal windows. Always returns
+// exactly `num_snapshots` snapshots (possibly with empty edge lists).
+std::vector<Snapshot> MakeSnapshots(const TemporalGraph& graph,
+                                    int64_t num_snapshots,
+                                    SnapshotMode mode = SnapshotMode::kWindow);
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_SNAPSHOT_H_

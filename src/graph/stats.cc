@@ -1,0 +1,37 @@
+#include "graph/stats.h"
+
+#include <cstdio>
+
+namespace tpgnn::graph {
+
+DatasetStats ComputeDatasetStats(const GraphDataset& dataset) {
+  DatasetStats s;
+  s.graph_count = static_cast<int64_t>(dataset.size());
+  if (dataset.empty()) return s;
+  int64_t negatives = 0;
+  double nodes = 0.0;
+  double edges = 0.0;
+  for (const LabeledGraph& g : dataset) {
+    if (g.label == 0) ++negatives;
+    nodes += static_cast<double>(g.graph.num_nodes());
+    edges += static_cast<double>(g.graph.num_edges());
+  }
+  s.negative_ratio =
+      static_cast<double>(negatives) / static_cast<double>(dataset.size());
+  s.avg_nodes = nodes / static_cast<double>(dataset.size());
+  s.avg_edges = edges / static_cast<double>(dataset.size());
+  s.feature_dim = dataset.front().graph.feature_dim();
+  return s;
+}
+
+std::string FormatStatsRow(const std::string& name, const DatasetStats& s) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-12s | %7lld | %5.1f%% | %6.1f | %6.1f | %lld", name.c_str(),
+                static_cast<long long>(s.graph_count),
+                100.0 * s.negative_ratio, s.avg_nodes, s.avg_edges,
+                static_cast<long long>(s.feature_dim));
+  return std::string(buffer);
+}
+
+}  // namespace tpgnn::graph

@@ -1,0 +1,28 @@
+#ifndef TPGNN_GRAPH_STATS_H_
+#define TPGNN_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/temporal_graph.h"
+
+// Dataset-level statistics (Table I of the paper).
+
+namespace tpgnn::graph {
+
+struct DatasetStats {
+  int64_t graph_count = 0;
+  double negative_ratio = 0.0;
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;
+  int64_t feature_dim = 0;
+};
+
+DatasetStats ComputeDatasetStats(const GraphDataset& dataset);
+
+// One Table-I style row, e.g.
+// "Forum-java | 400 | 32.5% | 27.0 | 30.1 | 3".
+std::string FormatStatsRow(const std::string& name, const DatasetStats& s);
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_STATS_H_

@@ -1,0 +1,88 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpgnn::graph {
+
+TemporalGraph::TemporalGraph(int64_t num_nodes, int64_t feature_dim)
+    : num_nodes_(num_nodes), feature_dim_(feature_dim) {
+  TPGNN_CHECK_GE(num_nodes, 0);
+  TPGNN_CHECK_GT(feature_dim, 0);
+  features_.assign(static_cast<size_t>(num_nodes),
+                   std::vector<float>(static_cast<size_t>(feature_dim), 0.0f));
+}
+
+void TemporalGraph::SetNodeFeature(int64_t node, const std::vector<float>& f) {
+  TPGNN_CHECK_GE(node, 0);
+  TPGNN_CHECK_LT(node, num_nodes_);
+  TPGNN_CHECK_EQ(static_cast<int64_t>(f.size()), feature_dim_);
+  features_[static_cast<size_t>(node)] = f;
+}
+
+void TemporalGraph::AddEdge(int64_t src, int64_t dst, double time) {
+  TPGNN_CHECK_GE(src, 0);
+  TPGNN_CHECK_LT(src, num_nodes_);
+  TPGNN_CHECK_GE(dst, 0);
+  TPGNN_CHECK_LT(dst, num_nodes_);
+  TPGNN_CHECK_GE(time, 0.0);
+  edges_.push_back({src, dst, time});
+}
+
+std::vector<TemporalEdge> TemporalGraph::ChronologicalEdges() const {
+  std::vector<TemporalEdge> sorted = edges_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+std::vector<TemporalEdge> TemporalGraph::ChronologicalEdgesShuffled(
+    Rng& rng) const {
+  std::vector<TemporalEdge> sorted = ChronologicalEdges();
+  // Permute runs of equal timestamps.
+  size_t start = 0;
+  while (start < sorted.size()) {
+    size_t end = start + 1;
+    while (end < sorted.size() && sorted[end].time == sorted[start].time) {
+      ++end;
+    }
+    if (end - start > 1) {
+      for (size_t i = end - start; i > 1; --i) {
+        size_t j = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+        std::swap(sorted[start + i - 1], sorted[start + j]);
+      }
+    }
+    start = end;
+  }
+  return sorted;
+}
+
+const std::vector<float>& TemporalGraph::node_feature(int64_t node) const {
+  TPGNN_CHECK_GE(node, 0);
+  TPGNN_CHECK_LT(node, num_nodes_);
+  return features_[static_cast<size_t>(node)];
+}
+
+tensor::Tensor TemporalGraph::FeatureMatrix() const {
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(num_nodes_ * feature_dim_));
+  for (const auto& f : features_) {
+    data.insert(data.end(), f.begin(), f.end());
+  }
+  return tensor::Tensor::FromVector({num_nodes_, feature_dim_},
+                                    std::move(data));
+}
+
+double TemporalGraph::MaxTime() const {
+  double max_t = 0.0;
+  for (const TemporalEdge& e : edges_) {
+    max_t = std::max(max_t, e.time);
+  }
+  return max_t;
+}
+
+}  // namespace tpgnn::graph

@@ -1,0 +1,83 @@
+#ifndef TPGNN_GRAPH_TEMPORAL_GRAPH_H_
+#define TPGNN_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Continuous-time dynamic network (CTDN), Definition 1 of the paper:
+// G = (V, E^T, X, T). Nodes carry a q-dimensional feature vector; edges are
+// directed, timestamped interactions (u, v, t) where the direction denotes
+// information flow.
+
+namespace tpgnn::graph {
+
+struct TemporalEdge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  double time = 0.0;
+
+  friend bool operator==(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+class TemporalGraph {
+ public:
+  TemporalGraph(int64_t num_nodes, int64_t feature_dim);
+
+  // --- Construction -------------------------------------------------------
+
+  // Overwrites the feature vector of `node`; `f.size()` must equal
+  // feature_dim().
+  void SetNodeFeature(int64_t node, const std::vector<float>& f);
+
+  // Appends a timestamped edge. Endpoints must be valid node ids; time must
+  // be non-negative.
+  void AddEdge(int64_t src, int64_t dst, double time);
+
+  // --- Accessors ------------------------------------------------------------
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  int64_t feature_dim() const { return feature_dim_; }
+
+  // Edges in insertion order.
+  const std::vector<TemporalEdge>& edges() const { return edges_; }
+  std::vector<TemporalEdge>& mutable_edges() { return edges_; }
+
+  // Edges sorted ascending by timestamp (stable: insertion order breaks
+  // ties). This is the order consumed by temporal propagation (Alg. 1).
+  std::vector<TemporalEdge> ChronologicalEdges() const;
+
+  // Chronological order, but with ties at equal timestamps randomly permuted
+  // (Sec. V-D: the model shuffles same-timestamp edges each epoch).
+  std::vector<TemporalEdge> ChronologicalEdgesShuffled(Rng& rng) const;
+
+  const std::vector<float>& node_feature(int64_t node) const;
+
+  // Dense [num_nodes, feature_dim] feature matrix (no gradient).
+  tensor::Tensor FeatureMatrix() const;
+
+  // Largest timestamp; 0 for edgeless graphs.
+  double MaxTime() const;
+
+ private:
+  int64_t num_nodes_;
+  int64_t feature_dim_;
+  std::vector<std::vector<float>> features_;
+  std::vector<TemporalEdge> edges_;
+};
+
+// A graph with its binary classification label (1 = positive/normal,
+// 0 = negative/anomalous), Definition 3.
+struct LabeledGraph {
+  TemporalGraph graph;
+  int label = 1;
+};
+
+using GraphDataset = std::vector<LabeledGraph>;
+
+}  // namespace tpgnn::graph
+
+#endif  // TPGNN_GRAPH_TEMPORAL_GRAPH_H_

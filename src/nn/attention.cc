@@ -1,0 +1,83 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <string>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+using tensor::Add;
+using tensor::AddScalar;
+using tensor::Concat;
+using tensor::MatMul;
+using tensor::Scale;
+using tensor::Softmax;
+using tensor::Tensor;
+using tensor::Transpose;
+
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, const Tensor* mask) {
+  TPGNN_CHECK_EQ(q.dim(), 2);
+  TPGNN_CHECK_EQ(k.dim(), 2);
+  TPGNN_CHECK_EQ(v.dim(), 2);
+  TPGNN_CHECK_EQ(q.size(1), k.size(1));
+  TPGNN_CHECK_EQ(k.size(0), v.size(0));
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(q.size(1)));
+  Tensor scores = Scale(MatMul(q, Transpose(k)), scale);
+  if (mask != nullptr) {
+    TPGNN_CHECK_EQ(mask->size(0), q.size(0));
+    TPGNN_CHECK_EQ(mask->size(1), k.size(0));
+    // mask==0 -> large negative additive penalty.
+    Tensor penalty = Scale(AddScalar(mask->Detach(), -1.0f), 1e9f);
+    scores = Add(scores, penalty);
+  }
+  Tensor attn = Softmax(scores);
+  return MatMul(attn, v);
+}
+
+MultiheadAttention::MultiheadAttention(int64_t model_dim, int64_t num_heads,
+                                       Rng& rng)
+    : model_dim_(model_dim), num_heads_(num_heads) {
+  TPGNN_CHECK_GT(num_heads, 0);
+  TPGNN_CHECK_EQ(model_dim % num_heads, 0)
+      << "model_dim must be divisible by num_heads";
+  head_dim_ = model_dim / num_heads;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    wq_.push_back(std::make_unique<Linear>(model_dim_, head_dim_, rng,
+                                           /*bias=*/false));
+    wk_.push_back(std::make_unique<Linear>(model_dim_, head_dim_, rng,
+                                           /*bias=*/false));
+    wv_.push_back(std::make_unique<Linear>(model_dim_, head_dim_, rng,
+                                           /*bias=*/false));
+    const std::string suffix = std::to_string(h);
+    RegisterChild("wq" + suffix, wq_.back().get());
+    RegisterChild("wk" + suffix, wk_.back().get());
+    RegisterChild("wv" + suffix, wv_.back().get());
+  }
+  wo_ = std::make_unique<Linear>(model_dim_, model_dim_, rng);
+  RegisterChild("wo", wo_.get());
+}
+
+Tensor MultiheadAttention::Forward(const Tensor& q, const Tensor& k,
+                                   const Tensor& v,
+                                   const Tensor* mask) const {
+  TPGNN_CHECK_EQ(q.size(1), model_dim_);
+  TPGNN_CHECK_EQ(k.size(1), model_dim_);
+  TPGNN_CHECK_EQ(v.size(1), model_dim_);
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const size_t hs = static_cast<size_t>(h);
+    Tensor qh = wq_[hs]->Forward(q);
+    Tensor kh = wk_[hs]->Forward(k);
+    Tensor vh = wv_[hs]->Forward(v);
+    heads.push_back(ScaledDotProductAttention(qh, kh, vh, mask));
+  }
+  Tensor combined = Concat(heads, /*axis=*/1);
+  return wo_->Forward(combined);
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,49 @@
+#ifndef TPGNN_NN_ATTENTION_H_
+#define TPGNN_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+
+// Scaled dot-product attention:
+//   Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V
+// `mask`, when provided, is a [nq, nk] tensor of {0, 1}; zero entries are
+// excluded from attention (each query must keep at least one visible key).
+tensor::Tensor ScaledDotProductAttention(const tensor::Tensor& q,
+                                         const tensor::Tensor& k,
+                                         const tensor::Tensor& v,
+                                         const tensor::Tensor* mask = nullptr);
+
+// Multi-head attention with per-head projections and an output projection.
+// Used by the TGAT and TADDY baselines.
+class MultiheadAttention : public Module {
+ public:
+  MultiheadAttention(int64_t model_dim, int64_t num_heads, Rng& rng);
+
+  // q: [nq, model_dim], k/v: [nk, model_dim] -> [nq, model_dim].
+  tensor::Tensor Forward(const tensor::Tensor& q, const tensor::Tensor& k,
+                         const tensor::Tensor& v,
+                         const tensor::Tensor* mask = nullptr) const;
+
+  int64_t model_dim() const { return model_dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::vector<std::unique_ptr<Linear>> wq_;
+  std::vector<std::unique_ptr<Linear>> wk_;
+  std::vector<std::unique_ptr<Linear>> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_ATTENTION_H_

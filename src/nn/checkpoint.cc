@@ -1,0 +1,90 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace tpgnn::nn {
+
+namespace {
+
+constexpr char kMagic[] = "tpgnn-params";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  auto named = module.NamedParameters();
+  os << kMagic << " " << kVersion << "\n" << named.size() << "\n";
+  os.precision(9);
+  for (const auto& [name, p] : named) {
+    os << name << " " << p.numel();
+    for (float v : p.data()) {
+      os << " " << v;
+    }
+    os << "\n";
+  }
+  if (!os) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != kMagic) {
+    return Status::InvalidArgument("not a tpgnn-params file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+
+  std::map<std::string, std::vector<float>> stored;
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    int64_t numel = 0;
+    if (!(is >> name >> numel) || numel < 0) {
+      return Status::InvalidArgument("malformed parameter header");
+    }
+    std::vector<float> values(static_cast<size_t>(numel));
+    for (float& v : values) {
+      if (!(is >> v)) {
+        return Status::InvalidArgument("malformed parameter values: " + name);
+      }
+    }
+    if (!stored.emplace(name, std::move(values)).second) {
+      return Status::InvalidArgument("duplicate parameter: " + name);
+    }
+  }
+
+  auto named = module.NamedParameters();
+  if (named.size() != stored.size()) {
+    return Status::FailedPrecondition(
+        "parameter count mismatch: module has " +
+        std::to_string(named.size()) + ", checkpoint has " +
+        std::to_string(stored.size()));
+  }
+  for (auto& [name, p] : named) {
+    auto it = stored.find(name);
+    if (it == stored.end()) {
+      return Status::FailedPrecondition("missing parameter: " + name);
+    }
+    if (static_cast<int64_t>(it->second.size()) != p.numel()) {
+      return Status::FailedPrecondition("shape mismatch for: " + name);
+    }
+    p.MutableData() = it->second;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpgnn::nn

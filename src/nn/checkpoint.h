@@ -1,0 +1,27 @@
+#ifndef TPGNN_NN_CHECKPOINT_H_
+#define TPGNN_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+// Plain-text model checkpoints: parameters are stored by their registered
+// names, so loading verifies the architecture (name and shape) matches.
+//
+// Format:
+//   tpgnn-params 1
+//   <parameter_count>
+//   <name> <numel> <v_0> ... <v_{numel-1}>     (one line per parameter)
+
+namespace tpgnn::nn {
+
+Status SaveParameters(const Module& module, const std::string& path);
+
+// Loads values into `module`'s existing parameters; fails if any stored
+// name is missing or has a different element count (and vice versa).
+Status LoadParameters(Module& module, const std::string& path);
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_CHECKPOINT_H_

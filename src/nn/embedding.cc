@@ -1,0 +1,21 @@
+#include "nn/embedding.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  TPGNN_CHECK_GT(num_embeddings, 0);
+  TPGNN_CHECK_GT(dim, 0);
+  weight_ = RegisterParameter(
+      "weight",
+      tensor::Tensor::Randn({num_embeddings, dim}, /*stddev=*/0.1f, rng));
+}
+
+tensor::Tensor Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return tensor::IndexSelect(weight_, indices);
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,31 @@
+#ifndef TPGNN_NN_EMBEDDING_H_
+#define TPGNN_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+
+// Learned lookup table mapping integer ids to dense vectors.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  // indices in [0, num_embeddings) -> [indices.size(), dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& indices) const;
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  tensor::Tensor weight_;  // [num_embeddings, dim]
+};
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_EMBEDDING_H_

@@ -1,0 +1,55 @@
+#include "nn/gru_cell.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+using tensor::Add;
+using tensor::MatMul;
+using tensor::Mul;
+using tensor::Sigmoid;
+using tensor::Sub;
+using tensor::Tanh;
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  TPGNN_CHECK_GT(input_size, 0);
+  TPGNN_CHECK_GT(hidden_size, 0);
+  auto w = [&]() {
+    return ScaledUniform({input_size, hidden_size}, hidden_size, rng);
+  };
+  auto u = [&]() {
+    return ScaledUniform({hidden_size, hidden_size}, hidden_size, rng);
+  };
+  auto b = [&]() { return ScaledUniform({hidden_size}, hidden_size, rng); };
+  wz_ = RegisterParameter("wz", w());
+  uz_ = RegisterParameter("uz", u());
+  bz_ = RegisterParameter("bz", b());
+  wr_ = RegisterParameter("wr", w());
+  ur_ = RegisterParameter("ur", u());
+  br_ = RegisterParameter("br", b());
+  wn_ = RegisterParameter("wn", w());
+  un_ = RegisterParameter("un", u());
+  bn_ = RegisterParameter("bn", b());
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  TPGNN_CHECK_EQ(x.dim(), 2);
+  TPGNN_CHECK_EQ(h.dim(), 2);
+  TPGNN_CHECK_EQ(x.size(1), input_size_);
+  TPGNN_CHECK_EQ(h.size(1), hidden_size_);
+  TPGNN_CHECK_EQ(x.size(0), h.size(0));
+
+  Tensor z = Sigmoid(Add(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
+  Tensor r = Sigmoid(Add(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
+  Tensor n = Tanh(Add(Add(MatMul(x, wn_), Mul(r, MatMul(h, un_))), bn_));
+  Tensor keep = Mul(z, h);
+  Tensor ones = Tensor::Ones({1, hidden_size_});
+  Tensor update = Mul(Sub(ones, z), n);
+  return Add(keep, update);
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,38 @@
+#ifndef TPGNN_NN_GRU_CELL_H_
+#define TPGNN_NN_GRU_CELL_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+
+// Gated recurrent unit cell (Cho et al. 2014):
+//   z = sigmoid(x Wz + h Uz + bz)
+//   r = sigmoid(x Wr + h Ur + br)
+//   n = tanh(x Wn + r o (h Un) + bn)
+//   h' = z o h + (1 - z) o n
+// matching Eqs. (7)-(10) of the TP-GNN paper (there S plays the role of h and
+// the update gate retains the previous state).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  // x: [batch, input_size], h: [batch, hidden_size] -> [batch, hidden_size].
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  tensor::Tensor wz_, uz_, bz_;
+  tensor::Tensor wr_, ur_, br_;
+  tensor::Tensor wn_, un_, bn_;
+};
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_GRU_CELL_H_

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+tensor::Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  TPGNN_CHECK_GT(fan_in + fan_out, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::Uniform({fan_in, fan_out}, -bound, bound, rng);
+}
+
+tensor::Tensor ScaledUniform(const tensor::Shape& shape, int64_t fan_in,
+                             Rng& rng) {
+  TPGNN_CHECK_GT(fan_in, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return tensor::Tensor::Uniform(shape, -bound, bound, rng);
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,21 @@
+#ifndef TPGNN_NN_INIT_H_
+#define TPGNN_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Weight initialization schemes.
+
+namespace tpgnn::nn {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+tensor::Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// Uniform in (-1/sqrt(fan_in), 1/sqrt(fan_in)); PyTorch's default for
+// recurrent cells and linear biases.
+tensor::Tensor ScaledUniform(const tensor::Shape& shape, int64_t fan_in,
+                             Rng& rng);
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_INIT_H_

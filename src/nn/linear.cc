@@ -1,0 +1,33 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  TPGNN_CHECK_GT(in_features, 0);
+  TPGNN_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter(
+        "bias", ScaledUniform({out_features}, in_features, rng));
+  }
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  TPGNN_CHECK_EQ(x.dim(), 2);
+  TPGNN_CHECK_EQ(x.size(1), in_features_);
+  tensor::Tensor y = tensor::MatMul(x, weight_);
+  if (has_bias_) {
+    y = tensor::Add(y, bias_);
+  }
+  return y;
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,34 @@
+#ifndef TPGNN_NN_LINEAR_H_
+#define TPGNN_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+
+// Affine map y = x W + b for x of shape [batch, in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  // x: [batch, in_features] -> [batch, out_features].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const tensor::Tensor& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  tensor::Tensor weight_;  // [in, out]
+  tensor::Tensor bias_;    // [out]
+};
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_LINEAR_H_

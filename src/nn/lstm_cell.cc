@@ -1,0 +1,62 @@
+#include "nn/lstm_cell.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+using tensor::Add;
+using tensor::MatMul;
+using tensor::Mul;
+using tensor::Sigmoid;
+using tensor::Tanh;
+using tensor::Tensor;
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  TPGNN_CHECK_GT(input_size, 0);
+  TPGNN_CHECK_GT(hidden_size, 0);
+  auto w = [&]() {
+    return ScaledUniform({input_size, hidden_size}, hidden_size, rng);
+  };
+  auto u = [&]() {
+    return ScaledUniform({hidden_size, hidden_size}, hidden_size, rng);
+  };
+  auto b = [&]() { return ScaledUniform({hidden_size}, hidden_size, rng); };
+  wi_ = RegisterParameter("wi", w());
+  ui_ = RegisterParameter("ui", u());
+  bi_ = RegisterParameter("bi", b());
+  wf_ = RegisterParameter("wf", w());
+  uf_ = RegisterParameter("uf", u());
+  bf_ = RegisterParameter("bf", b());
+  wg_ = RegisterParameter("wg", w());
+  ug_ = RegisterParameter("ug", u());
+  bg_ = RegisterParameter("bg", b());
+  wo_ = RegisterParameter("wo", w());
+  uo_ = RegisterParameter("uo", u());
+  bo_ = RegisterParameter("bo", b());
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
+  TPGNN_CHECK_EQ(x.dim(), 2);
+  TPGNN_CHECK_EQ(x.size(1), input_size_);
+  TPGNN_CHECK_EQ(state.h.size(1), hidden_size_);
+  TPGNN_CHECK_EQ(state.h.size(0), x.size(0));
+
+  const Tensor& h = state.h;
+  Tensor i = Sigmoid(Add(Add(MatMul(x, wi_), MatMul(h, ui_)), bi_));
+  Tensor f = Sigmoid(Add(Add(MatMul(x, wf_), MatMul(h, uf_)), bf_));
+  Tensor g = Tanh(Add(Add(MatMul(x, wg_), MatMul(h, ug_)), bg_));
+  Tensor o = Sigmoid(Add(Add(MatMul(x, wo_), MatMul(h, uo_)), bo_));
+  Tensor c_next = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h_next = Mul(o, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return {Tensor::Zeros({batch, hidden_size_}),
+          Tensor::Zeros({batch, hidden_size_})};
+}
+
+}  // namespace tpgnn::nn

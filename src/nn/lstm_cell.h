@@ -1,0 +1,45 @@
+#ifndef TPGNN_NN_LSTM_CELL_H_
+#define TPGNN_NN_LSTM_CELL_H_
+
+#include <utility>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+
+// Long short-term memory cell:
+//   i = sigmoid(x Wi + h Ui + bi)      f = sigmoid(x Wf + h Uf + bf)
+//   g = tanh(x Wg + h Ug + bg)         o = sigmoid(x Wo + h Uo + bo)
+//   c' = f o c + i o g                 h' = o o tanh(c')
+// Used by the GC-LSTM and DyGNN baselines.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  struct State {
+    tensor::Tensor h;  // [batch, hidden]
+    tensor::Tensor c;  // [batch, hidden]
+  };
+
+  State Forward(const tensor::Tensor& x, const State& state) const;
+
+  // Zero-initialized state for the given batch size.
+  State InitialState(int64_t batch) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  tensor::Tensor wi_, ui_, bi_;
+  tensor::Tensor wf_, uf_, bf_;
+  tensor::Tensor wg_, ug_, bg_;
+  tensor::Tensor wo_, uo_, bo_;
+};
+
+}  // namespace tpgnn::nn
+
+#endif  // TPGNN_NN_LSTM_CELL_H_

@@ -1,0 +1,57 @@
+#include "nn/time_encoding.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tpgnn::nn {
+
+using tensor::AddScalar;
+using tensor::Concat;
+using tensor::Cos;
+using tensor::Scale;
+using tensor::Sin;
+using tensor::Stack;
+using tensor::Tensor;
+
+Time2Vec::Time2Vec(int64_t dim, Rng& rng) : dim_(dim) {
+  TPGNN_CHECK_GE(dim, 2) << "Time2Vec needs a linear plus >=1 periodic dim";
+  w0_ = RegisterParameter("w0", Tensor::Uniform({1}, -1.0f, 1.0f, rng));
+  phi0_ = RegisterParameter("phi0", Tensor::Uniform({1}, -1.0f, 1.0f, rng));
+  w_ = RegisterParameter("w", Tensor::Uniform({dim - 1}, 0.0f, 1.0f, rng));
+  phi_ = RegisterParameter(
+      "phi", Tensor::Uniform({dim - 1}, 0.0f, 2.0f * static_cast<float>(M_PI),
+                             rng));
+}
+
+Tensor Time2Vec::Forward(float t) const {
+  Tensor linear = tensor::Add(Scale(w0_, t), phi0_);
+  Tensor periodic = Sin(tensor::Add(Scale(w_, t), phi_));
+  return Concat({linear, periodic}, /*axis=*/0);
+}
+
+Tensor Time2Vec::Forward(const std::vector<float>& ts) const {
+  TPGNN_CHECK(!ts.empty());
+  std::vector<Tensor> rows;
+  rows.reserve(ts.size());
+  for (float t : ts) {
+    rows.push_back(Forward(t));
+  }
+  return Stack(rows);
+}
+
+BochnerTimeEncoding::BochnerTimeEncoding(int64_t dim, Rng& rng) : dim_(dim) {
+  TPGNN_CHECK_GE(dim, 1);
+  w_ = RegisterParameter("w", Tensor::Uniform({dim}, 0.0f, 1.0f, rng));
+  phi_ = RegisterParameter(
+      "phi",
+      Tensor::Uniform({dim}, 0.0f, 2.0f * static_cast<float>(M_PI), rng));
+}
+
+Tensor BochnerTimeEncoding::Forward(float t) const {
+  const float scale = std::sqrt(1.0f / static_cast<float>(dim_));
+  return Scale(Cos(tensor::Add(Scale(w_, t), phi_)), scale);
+}
+
+}  // namespace tpgnn::nn

@@ -1,0 +1,699 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tpgnn::tensor {
+
+namespace {
+
+// Creates the op result and, when needed, attaches the autograd node built by
+// `make_backward` (only invoked if some input requires grad and gradients are
+// enabled, so no closure is allocated on inference paths).
+template <typename MakeBackward>
+Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
+                  const Shape& shape, std::vector<float> data,
+                  MakeBackward&& make_backward) {
+  bool requires_grad = false;
+  if (GradEnabled()) {
+    for (const Tensor& t : inputs) {
+      requires_grad = requires_grad || t.requires_grad();
+    }
+  }
+  Tensor out = Tensor::FromVector(shape, std::move(data), false);
+  if (requires_grad) {
+    out.impl()->requires_grad = true;
+    auto node = std::make_shared<AutogradNode>();
+    node->op_name = name;
+    node->inputs.reserve(inputs.size());
+    for (const Tensor& t : inputs) {
+      node->inputs.push_back(t.impl());
+    }
+    node->backward = make_backward();
+    out.impl()->grad_fn = std::move(node);
+  }
+  return out;
+}
+
+// Row-major strides of `in` aligned to broadcast shape `out`; stride 0 marks
+// broadcast (repeated) axes.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  std::vector<int64_t> in_strides(in.size());
+  int64_t acc = 1;
+  for (size_t i = in.size(); i-- > 0;) {
+    in_strides[i] = acc;
+    acc *= in[i];
+  }
+  std::vector<int64_t> strides(out.size(), 0);
+  size_t offset = out.size() - in.size();
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == 1 && out[offset + i] != 1) {
+      strides[offset + i] = 0;
+    } else {
+      strides[offset + i] = in_strides[i];
+    }
+  }
+  return strides;
+}
+
+// Iterates all flat indices of `shape`, calling fn(out_flat, a_off, b_off).
+template <typename Fn>
+void ForEachBroadcast(const Shape& shape, const std::vector<int64_t>& sa,
+                      const std::vector<int64_t>& sb, Fn&& fn) {
+  const int64_t n = Numel(shape);
+  if (n == 0) return;
+  const size_t rank = shape.size();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    fn(i, oa, ob);
+    for (size_t ax = rank; ax-- > 0;) {
+      ++idx[ax];
+      oa += sa[ax];
+      ob += sb[ax];
+      if (idx[ax] < shape[ax]) break;
+      idx[ax] = 0;
+      oa -= sa[ax] * shape[ax];
+      ob -= sb[ax] * shape[ax];
+    }
+  }
+}
+
+// Shared implementation for broadcasting binary elementwise operators.
+// `fwd(x, y)` computes the value; `dfda`/`dfdb` compute partial derivatives
+// from the input values.
+template <typename Fwd, typename Dfda, typename Dfdb>
+Tensor BinaryEw(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
+                Dfda dfda, Dfdb dfdb) {
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  const int64_t n = Numel(out_shape);
+  std::vector<float> out(static_cast<size_t>(n));
+  const std::vector<float>& ad = a.data();
+  const std::vector<float>& bd = b.data();
+
+  const bool same_shape = a.shape() == b.shape();
+  if (same_shape) {
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = fwd(ad[static_cast<size_t>(i)],
+                                        bd[static_cast<size_t>(i)]);
+    }
+  } else {
+    const auto sa = BroadcastStrides(a.shape(), out_shape);
+    const auto sb = BroadcastStrides(b.shape(), out_shape);
+    ForEachBroadcast(out_shape, sa, sb,
+                     [&](int64_t i, int64_t oa, int64_t ob) {
+                       out[static_cast<size_t>(i)] =
+                           fwd(ad[static_cast<size_t>(oa)],
+                               bd[static_cast<size_t>(ob)]);
+                     });
+  }
+
+  return MakeResult(name, {a, b}, out_shape, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    auto b_impl = b.impl();
+    Shape shape = out_shape;
+    return [a_impl, b_impl, shape, dfda, dfdb,
+            same_shape](const std::vector<float>& grad_out) {
+      const bool need_a = a_impl->requires_grad;
+      const bool need_b = b_impl->requires_grad;
+      if (need_a) a_impl->EnsureGrad();
+      if (need_b) b_impl->EnsureGrad();
+      const std::vector<float>& ad = a_impl->data;
+      const std::vector<float>& bd = b_impl->data;
+      if (same_shape) {
+        const int64_t n = static_cast<int64_t>(grad_out.size());
+        for (int64_t i = 0; i < n; ++i) {
+          const size_t s = static_cast<size_t>(i);
+          if (need_a) a_impl->grad[s] += dfda(ad[s], bd[s]) * grad_out[s];
+          if (need_b) b_impl->grad[s] += dfdb(ad[s], bd[s]) * grad_out[s];
+        }
+      } else {
+        const auto sa = BroadcastStrides(a_impl->shape, shape);
+        const auto sb = BroadcastStrides(b_impl->shape, shape);
+        ForEachBroadcast(shape, sa, sb,
+                         [&](int64_t i, int64_t oa, int64_t ob) {
+                           const size_t si = static_cast<size_t>(i);
+                           const size_t sao = static_cast<size_t>(oa);
+                           const size_t sbo = static_cast<size_t>(ob);
+                           if (need_a) {
+                             a_impl->grad[sao] +=
+                                 dfda(ad[sao], bd[sbo]) * grad_out[si];
+                           }
+                           if (need_b) {
+                             b_impl->grad[sbo] +=
+                                 dfdb(ad[sao], bd[sbo]) * grad_out[si];
+                           }
+                         });
+      }
+    };
+  });
+}
+
+// Shared implementation for unary elementwise operators. `dfdx(x, y)`
+// receives both the input and the already computed output value.
+template <typename Fwd, typename Dfdx>
+Tensor UnaryEw(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const std::vector<float>& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = fwd(ad[static_cast<size_t>(i)]);
+  }
+  return MakeResult(name, {a}, a.shape(), std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl, dfdx, fwd](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      const std::vector<float>& ad = a_impl->data;
+      for (size_t i = 0; i < grad_out.size(); ++i) {
+        const float x = ad[i];
+        a_impl->grad[i] += dfdx(x, fwd(x)) * grad_out[i];
+      }
+    };
+  });
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const int64_t db =
+        i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    TPGNN_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast: " << ShapeToString(a) << " vs "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryEw(
+      "Add", a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryEw(
+      "Sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryEw(
+      "Mul", a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryEw(
+      "Div", a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryEw(
+      "Scale", a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryEw(
+      "AddScalar", a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor Pow(const Tensor& a, float exponent) {
+  return UnaryEw(
+      "Pow", a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float) {
+        return exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryEw(
+      "Neg", a, [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryEw(
+      "Exp", a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryEw(
+      "Log", a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryEw(
+      "Sqrt", a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryEw(
+      "Sin", a, [](float x) { return std::sin(x); },
+      [](float x, float) { return std::cos(x); });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryEw(
+      "Cos", a, [](float x) { return std::cos(x); },
+      [](float x, float) { return -std::sin(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryEw(
+      "Tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryEw(
+      "Sigmoid", a,
+      [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryEw(
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryEw(
+      "LeakyRelu", a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Reshape(const Tensor& a, const Shape& new_shape) {
+  TPGNN_CHECK_EQ(Numel(new_shape), a.numel())
+      << "Reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(new_shape);
+  std::vector<float> out = a.data();
+  return MakeResult("Reshape", {a}, new_shape, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl](const std::vector<float>& grad_out) {
+      a_impl->AccumulateGrad(grad_out);
+    };
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  TPGNN_CHECK_EQ(a.dim(), 2) << "Transpose requires a 2-D tensor";
+  const int64_t n = a.size(0);
+  const int64_t m = a.size(1);
+  std::vector<float> out(static_cast<size_t>(n * m));
+  const std::vector<float>& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out[static_cast<size_t>(j * n + i)] = ad[static_cast<size_t>(i * m + j)];
+    }
+  }
+  return MakeResult("Transpose", {a}, {m, n}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl, n, m](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          a_impl->grad[static_cast<size_t>(i * m + j)] +=
+              grad_out[static_cast<size_t>(j * n + i)];
+        }
+      }
+    };
+  });
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  TPGNN_CHECK(!parts.empty());
+  const int64_t rank = parts[0].dim();
+  TPGNN_CHECK(rank == 1 || rank == 2) << "Concat supports 1-D/2-D tensors";
+  TPGNN_CHECK_GE(axis, 0);
+  TPGNN_CHECK_LT(axis, rank);
+  for (const Tensor& p : parts) {
+    TPGNN_CHECK_EQ(p.dim(), rank);
+    for (int64_t ax = 0; ax < rank; ++ax) {
+      if (ax != axis) TPGNN_CHECK_EQ(p.size(ax), parts[0].size(ax));
+    }
+  }
+
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(axis)] = 0;
+  for (const Tensor& p : parts) {
+    out_shape[static_cast<size_t>(axis)] += p.size(axis);
+  }
+
+  const int64_t total = Numel(out_shape);
+  std::vector<float> out(static_cast<size_t>(total));
+  if (rank == 1 || axis == 0) {
+    size_t cursor = 0;
+    for (const Tensor& p : parts) {
+      std::copy(p.data().begin(), p.data().end(), out.begin() + cursor);
+      cursor += p.data().size();
+    }
+  } else {  // rank == 2, axis == 1
+    const int64_t rows = out_shape[0];
+    const int64_t out_cols = out_shape[1];
+    int64_t col_offset = 0;
+    for (const Tensor& p : parts) {
+      const int64_t cols = p.size(1);
+      const std::vector<float>& pd = p.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        std::copy(pd.begin() + r * cols, pd.begin() + (r + 1) * cols,
+                  out.begin() + r * out_cols + col_offset);
+      }
+      col_offset += cols;
+    }
+  }
+
+  return MakeResult("Concat", parts, out_shape, std::move(out), [&]() {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    Shape shape = out_shape;
+    return [impls, shape, axis, rank](const std::vector<float>& grad_out) {
+      if (rank == 1 || axis == 0) {
+        size_t cursor = 0;
+        for (const auto& impl : impls) {
+          if (impl->requires_grad) {
+            impl->EnsureGrad();
+            for (size_t i = 0; i < impl->data.size(); ++i) {
+              impl->grad[i] += grad_out[cursor + i];
+            }
+          }
+          cursor += impl->data.size();
+        }
+      } else {
+        const int64_t rows = shape[0];
+        const int64_t out_cols = shape[1];
+        int64_t col_offset = 0;
+        for (const auto& impl : impls) {
+          const int64_t cols = impl->shape[1];
+          if (impl->requires_grad) {
+            impl->EnsureGrad();
+            for (int64_t r = 0; r < rows; ++r) {
+              for (int64_t c = 0; c < cols; ++c) {
+                impl->grad[static_cast<size_t>(r * cols + c)] +=
+                    grad_out[static_cast<size_t>(r * out_cols + col_offset +
+                                                 c)];
+              }
+            }
+          }
+          col_offset += cols;
+        }
+      }
+    };
+  });
+}
+
+Tensor Stack(const std::vector<Tensor>& rows) {
+  TPGNN_CHECK(!rows.empty());
+  const int64_t m = rows[0].numel();
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(rows.size());
+  for (const Tensor& r : rows) {
+    TPGNN_CHECK_EQ(r.dim(), 1) << "Stack expects 1-D tensors";
+    TPGNN_CHECK_EQ(r.numel(), m);
+    reshaped.push_back(Reshape(r, {1, m}));
+  }
+  return Concat(reshaped, /*axis=*/0);
+}
+
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
+  const int64_t rank = a.dim();
+  TPGNN_CHECK(rank == 1 || rank == 2) << "IndexSelect supports 1-D/2-D";
+  const int64_t n = a.size(0);
+  const int64_t cols = rank == 2 ? a.size(1) : 1;
+  std::vector<float> out(indices.size() * static_cast<size_t>(cols));
+  const std::vector<float>& ad = a.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    TPGNN_CHECK_GE(row, 0);
+    TPGNN_CHECK_LT(row, n);
+    std::copy(ad.begin() + row * cols, ad.begin() + (row + 1) * cols,
+              out.begin() + static_cast<int64_t>(i) * cols);
+  }
+  Shape out_shape =
+      rank == 2 ? Shape{static_cast<int64_t>(indices.size()), cols}
+                : Shape{static_cast<int64_t>(indices.size())};
+  return MakeResult("IndexSelect", {a}, out_shape, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    std::vector<int64_t> idx = indices;
+    return [a_impl, idx, cols](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      for (size_t i = 0; i < idx.size(); ++i) {
+        for (int64_t c = 0; c < cols; ++c) {
+          a_impl->grad[static_cast<size_t>(idx[i] * cols + c)] +=
+              grad_out[i * static_cast<size_t>(cols) +
+                       static_cast<size_t>(c)];
+        }
+      }
+    };
+  });
+}
+
+Tensor Row(const Tensor& a, int64_t row) {
+  TPGNN_CHECK_EQ(a.dim(), 2);
+  Tensor selected = IndexSelect(a, {row});
+  return Reshape(selected, {a.size(1)});
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TPGNN_CHECK_EQ(a.dim(), 2);
+  TPGNN_CHECK_EQ(b.dim(), 2);
+  TPGNN_CHECK_EQ(a.size(1), b.size(0))
+      << "MatMul " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t n = a.size(0);
+  const int64_t k = a.size(1);
+  const int64_t m = b.size(1);
+  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  const std::vector<float>& ad = a.data();
+  const std::vector<float>& bd = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = ad[static_cast<size_t>(i * k + kk)];
+      if (av == 0.0f) continue;
+      const float* brow = bd.data() + kk * m;
+      float* orow = out.data() + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return MakeResult("MatMul", {a, b}, {n, m}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    auto b_impl = b.impl();
+    return [a_impl, b_impl, n, k, m](const std::vector<float>& grad_out) {
+      const std::vector<float>& ad = a_impl->data;
+      const std::vector<float>& bd = b_impl->data;
+      if (a_impl->requires_grad) {
+        a_impl->EnsureGrad();
+        // dA = dC x B^T
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            float acc = 0.0f;
+            const float* grow = grad_out.data() + i * m;
+            const float* brow = bd.data() + kk * m;
+            for (int64_t j = 0; j < m; ++j) {
+              acc += grow[j] * brow[j];
+            }
+            a_impl->grad[static_cast<size_t>(i * k + kk)] += acc;
+          }
+        }
+      }
+      if (b_impl->requires_grad) {
+        b_impl->EnsureGrad();
+        // dB = A^T x dC
+        for (int64_t kk = 0; kk < k; ++kk) {
+          for (int64_t i = 0; i < n; ++i) {
+            const float av = ad[static_cast<size_t>(i * k + kk)];
+            if (av == 0.0f) continue;
+            const float* grow = grad_out.data() + i * m;
+            float* brow = b_impl->grad.data() + kk * m;
+            for (int64_t j = 0; j < m; ++j) {
+              brow[j] += av * grow[j];
+            }
+          }
+        }
+      }
+    };
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  std::vector<float> out{static_cast<float>(acc)};
+  return MakeResult("Sum", {a}, {1}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      for (float& g : a_impl->grad) g += grad_out[0];
+    };
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  TPGNN_CHECK_GT(a.numel(), 0);
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return Scale(Sum(a), inv);
+}
+
+Tensor SumAxis(const Tensor& a, int64_t axis) {
+  TPGNN_CHECK_EQ(a.dim(), 2);
+  TPGNN_CHECK(axis == 0 || axis == 1);
+  const int64_t n = a.size(0);
+  const int64_t m = a.size(1);
+  const std::vector<float>& ad = a.data();
+  if (axis == 0) {
+    std::vector<float> out(static_cast<size_t>(m), 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        out[static_cast<size_t>(j)] += ad[static_cast<size_t>(i * m + j)];
+      }
+    }
+    return MakeResult("SumAxis0", {a}, {m}, std::move(out), [&]() {
+      auto a_impl = a.impl();
+      return [a_impl, n, m](const std::vector<float>& grad_out) {
+        a_impl->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < m; ++j) {
+            a_impl->grad[static_cast<size_t>(i * m + j)] +=
+                grad_out[static_cast<size_t>(j)];
+          }
+        }
+      };
+    });
+  }
+  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out[static_cast<size_t>(i)] += ad[static_cast<size_t>(i * m + j)];
+    }
+  }
+  return MakeResult("SumAxis1", {a}, {n}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl, n, m](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          a_impl->grad[static_cast<size_t>(i * m + j)] +=
+              grad_out[static_cast<size_t>(i)];
+        }
+      }
+    };
+  });
+}
+
+Tensor MeanAxis(const Tensor& a, int64_t axis) {
+  TPGNN_CHECK_EQ(a.dim(), 2);
+  const int64_t denom = axis == 0 ? a.size(0) : a.size(1);
+  TPGNN_CHECK_GT(denom, 0);
+  return Scale(SumAxis(a, axis), 1.0f / static_cast<float>(denom));
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int64_t rank = a.dim();
+  TPGNN_CHECK(rank == 1 || rank == 2);
+  const int64_t rows = rank == 2 ? a.size(0) : 1;
+  const int64_t cols = rank == 2 ? a.size(1) : a.size(0);
+  TPGNN_CHECK_GT(cols, 0);
+  const std::vector<float>& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in_row = ad.data() + r * cols;
+    float* out_row = out.data() + r * cols;
+    float max_v = in_row[0];
+    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in_row[c]);
+    float total = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      out_row[c] = std::exp(in_row[c] - max_v);
+      total += out_row[c];
+    }
+    for (int64_t c = 0; c < cols; ++c) out_row[c] /= total;
+  }
+  std::vector<float> saved = out;
+  return MakeResult("Softmax", {a}, a.shape(), std::move(out), [&]() {
+    auto a_impl = a.impl();
+    std::vector<float> y = std::move(saved);
+    return [a_impl, y, rows, cols](const std::vector<float>& grad_out) {
+      a_impl->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* yr = y.data() + r * cols;
+        const float* gr = grad_out.data() + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += yr[c] * gr[c];
+        for (int64_t c = 0; c < cols; ++c) {
+          a_impl->grad[static_cast<size_t>(r * cols + c)] +=
+              yr[c] * (gr[c] - dot);
+        }
+      }
+    };
+  });
+}
+
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const Tensor& targets) {
+  TPGNN_CHECK_EQ(logits.numel(), targets.numel());
+  TPGNN_CHECK_GT(logits.numel(), 0);
+  const std::vector<float>& x = logits.data();
+  const std::vector<float>& t = targets.data();
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    // max(x, 0) - x*t + log(1 + exp(-|x|)) : numerically stable BCE.
+    loss += std::max(x[i], 0.0f) - x[i] * t[i] +
+            std::log1p(std::exp(-std::abs(x[i])));
+  }
+  loss /= static_cast<double>(x.size());
+  std::vector<float> out{static_cast<float>(loss)};
+  return MakeResult("BCEWithLogits", {logits}, {1}, std::move(out), [&]() {
+    auto logits_impl = logits.impl();
+    std::vector<float> targets_copy = t;
+    return [logits_impl, targets_copy](const std::vector<float>& grad_out) {
+      logits_impl->EnsureGrad();
+      const float scale =
+          grad_out[0] / static_cast<float>(logits_impl->data.size());
+      for (size_t i = 0; i < logits_impl->data.size(); ++i) {
+        const float sig = 1.0f / (1.0f + std::exp(-logits_impl->data[i]));
+        logits_impl->grad[i] += scale * (sig - targets_copy[i]);
+      }
+    };
+  });
+}
+
+int64_t Argmax(const Tensor& a) {
+  TPGNN_CHECK_GT(a.numel(), 0);
+  const std::vector<float>& ad = a.data();
+  return static_cast<int64_t>(
+      std::max_element(ad.begin(), ad.end()) - ad.begin());
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float av = a.data()[static_cast<size_t>(i)];
+    const float bv = b.data()[static_cast<size_t>(i)];
+    if (std::abs(av - bv) > atol + rtol * std::abs(bv)) return false;
+  }
+  return true;
+}
+
+}  // namespace tpgnn::tensor

@@ -1,0 +1,91 @@
+#ifndef TPGNN_TENSOR_OPS_H_
+#define TPGNN_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Differentiable operators over Tensor. All functions are pure: they return
+// fresh tensors and never mutate inputs. When gradients are enabled
+// (GradEnabled()) and at least one input requires grad, the result carries an
+// autograd node so Tensor::Backward() reaches the inputs.
+//
+// Elementwise binary operators support NumPy-style broadcasting (shapes are
+// right-aligned; dimensions of size one repeat). Axis arguments are
+// non-negative.
+
+namespace tpgnn::tensor {
+
+// Broadcast result shape; CHECK-fails on incompatible shapes.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+// --- Elementwise binary (broadcasting) -------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// --- Scalar forms -----------------------------------------------------------
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+// Elementwise power with a constant exponent; for non-integer exponents the
+// base must be positive.
+Tensor Pow(const Tensor& a, float exponent);
+
+// --- Elementwise unary -------------------------------------------------------
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope);
+
+// --- Shape manipulation ------------------------------------------------------
+// Copying reshape; Numel must be preserved.
+Tensor Reshape(const Tensor& a, const Shape& new_shape);
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+// Concatenation of 1-D tensors (axis 0) or 2-D tensors (axis 0 or 1).
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+// Stacks equal-length 1-D tensors into a [n, m] matrix (one per row).
+Tensor Stack(const std::vector<Tensor>& rows);
+// Gathers rows (dim 0) of a 1-D or 2-D tensor.
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices);
+// Row `row` of a 2-D tensor as a 1-D tensor.
+Tensor Row(const Tensor& a, int64_t row);
+
+// --- Linear algebra -----------------------------------------------------------
+// [n, k] x [k, m] -> [n, m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// --- Reductions -----------------------------------------------------------------
+// Sum/mean over all elements -> scalar [1].
+Tensor Sum(const Tensor& a);
+Tensor Mean(const Tensor& a);
+// Sum/mean of a 2-D tensor along `axis` (0 -> [cols], 1 -> [rows]).
+Tensor SumAxis(const Tensor& a, int64_t axis);
+Tensor MeanAxis(const Tensor& a, int64_t axis);
+
+// --- Normalization / losses -------------------------------------------------------
+// Softmax over the last axis of a 1-D or 2-D tensor (per row for 2-D).
+Tensor Softmax(const Tensor& a);
+// Numerically stable mean binary cross-entropy over logits; `targets` is
+// same-numel, gradient does not flow into targets.
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const Tensor& targets);
+
+// --- Non-differentiable helpers -----------------------------------------------------
+// Index of the largest element (flat).
+int64_t Argmax(const Tensor& a);
+// True when |a - b| <= atol + rtol * |b| elementwise (shapes must match).
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace tpgnn::tensor
+
+#endif  // TPGNN_TENSOR_OPS_H_

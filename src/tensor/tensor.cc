@@ -1,0 +1,264 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tpgnn::tensor {
+
+int64_t Numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TPGNN_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    grad.assign(data.size(), 0.0f);
+  }
+}
+
+void TensorImpl::AccumulateGrad(const std::vector<float>& g) {
+  TPGNN_CHECK_EQ(g.size(), data.size());
+  EnsureGrad();
+  for (size_t i = 0; i < g.size(); ++i) {
+    grad[i] += g[i];
+  }
+}
+
+namespace {
+
+thread_local int no_grad_depth = 0;
+
+std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape,
+                                     std::vector<float> values,
+                                     bool requires_grad) {
+  TPGNN_CHECK_EQ(Numel(shape), static_cast<int64_t>(values.size()))
+      << "shape " << ShapeToString(shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad && GradEnabled();
+  return impl;
+}
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+
+bool GradEnabled() { return no_grad_depth == 0; }
+
+Tensor::Tensor() : impl_(MakeImpl({0}, {}, false)) {}
+
+Tensor::Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(Numel(shape)), value);
+  return Tensor(MakeImpl(shape, std::move(values), requires_grad));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  return Tensor(MakeImpl(shape, std::move(values), requires_grad));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::Uniform(const Shape& shape, float lo, float hi, Rng& rng,
+                       bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(Numel(shape)));
+  for (float& v : values) {
+    v = rng.UniformFloat(lo, hi);
+  }
+  return Tensor(MakeImpl(shape, std::move(values), requires_grad));
+}
+
+Tensor Tensor::Randn(const Shape& shape, float stddev, Rng& rng,
+                     bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(Numel(shape)));
+  for (float& v : values) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return Tensor(MakeImpl(shape, std::move(values), requires_grad));
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  std::vector<float> values(static_cast<size_t>(n * n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    values[static_cast<size_t>(i * n + i)] = 1.0f;
+  }
+  return Tensor(MakeImpl({n, n}, std::move(values), false));
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  TPGNN_CHECK(impl != nullptr);
+  return Tensor(std::move(impl));
+}
+
+const Shape& Tensor::shape() const { return impl_->shape; }
+
+int64_t Tensor::dim() const { return static_cast<int64_t>(impl_->shape.size()); }
+
+int64_t Tensor::size(int64_t axis) const {
+  TPGNN_CHECK_GE(axis, 0);
+  TPGNN_CHECK_LT(axis, dim());
+  return impl_->shape[static_cast<size_t>(axis)];
+}
+
+int64_t Tensor::numel() const { return impl_->numel(); }
+
+float Tensor::item() const {
+  TPGNN_CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
+  return impl_->data[0];
+}
+
+int64_t RowMajorOffset(const Shape& shape,
+                       std::initializer_list<int64_t> index) {
+  TPGNN_CHECK_EQ(shape.size(), index.size());
+  int64_t offset = 0;
+  size_t axis = 0;
+  for (int64_t i : index) {
+    TPGNN_CHECK_GE(i, 0);
+    TPGNN_CHECK_LT(i, shape[axis]);
+    offset = offset * shape[axis] + i;
+    ++axis;
+  }
+  return offset;
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return impl_->data[static_cast<size_t>(RowMajorOffset(impl_->shape, index))];
+}
+
+float& Tensor::MutableAt(std::initializer_list<int64_t> index) {
+  return impl_->data[static_cast<size_t>(RowMajorOffset(impl_->shape, index))];
+}
+
+const std::vector<float>& Tensor::data() const { return impl_->data; }
+
+std::vector<float>& Tensor::MutableData() { return impl_->data; }
+
+bool Tensor::requires_grad() const { return impl_->requires_grad; }
+
+void Tensor::set_requires_grad(bool value) {
+  TPGNN_CHECK(impl_->grad_fn == nullptr)
+      << "set_requires_grad is only valid on leaf tensors";
+  impl_->requires_grad = value;
+}
+
+void Tensor::Backward() {
+  TPGNN_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  TPGNN_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+
+  // Topological order over AutogradNodes: reverse postorder of a DFS that
+  // follows input edges. Every consumer then precedes its producers, so each
+  // node sees its output's fully accumulated gradient.
+  std::vector<std::shared_ptr<TensorImpl>> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<std::shared_ptr<TensorImpl>, size_t>> stack;
+  if (impl_->grad_fn != nullptr) {
+    stack.emplace_back(impl_, 0);
+    visited.insert(impl_.get());
+  }
+  while (!stack.empty()) {
+    std::shared_ptr<TensorImpl> node = stack.back().first;
+    size_t next_child = stack.back().second;
+    const auto& inputs = node->grad_fn->inputs;
+    bool descended = false;
+    while (next_child < inputs.size()) {
+      const std::shared_ptr<TensorImpl>& child = inputs[next_child];
+      ++next_child;
+      if (child->grad_fn != nullptr && visited.insert(child.get()).second) {
+        stack.back().second = next_child;
+        stack.emplace_back(child, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (const auto& node : order) {
+    node->EnsureGrad();
+    node->grad_fn->backward(node->grad);
+  }
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TPGNN_CHECK(impl_->requires_grad);
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::MutableGrad() {
+  TPGNN_CHECK(impl_->requires_grad);
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+Tensor Tensor::GradTensor() const {
+  return FromVector(shape(), grad(), /*requires_grad=*/false);
+}
+
+void Tensor::ZeroGrad() {
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  return FromVector(shape(), impl_->data, /*requires_grad=*/false);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor copy = FromVector(shape(), impl_->data, /*requires_grad=*/false);
+  copy.impl_->requires_grad = impl_->requires_grad;
+  return copy;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape()) << " {";
+  const int64_t limit = std::min<int64_t>(numel(), 16);
+  for (int64_t i = 0; i < limit; ++i) {
+    if (i > 0) os << ", ";
+    os << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > limit) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tpgnn::tensor

@@ -1,0 +1,157 @@
+#ifndef TPGNN_TENSOR_TENSOR_H_
+#define TPGNN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+// A small dense float32 tensor library with reverse-mode autograd.
+//
+// Tensors are row-major and contiguous. A Tensor is a cheap, value-semantic
+// handle onto a shared TensorImpl; copying a Tensor aliases storage. All
+// operators (see tensor/ops.h) are pure functions that return fresh tensors
+// and, when gradients are enabled, record an AutogradNode so that
+// Tensor::Backward() can propagate gradients to every leaf that has
+// requires_grad set.
+
+namespace tpgnn::tensor {
+
+using Shape = std::vector<int64_t>;
+
+// Number of elements described by a shape (product of dims; 1 for rank 0).
+int64_t Numel(const Shape& shape);
+
+// Human-readable form, e.g. "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+struct TensorImpl;
+
+// One recorded operation in the autograd tape. `backward` receives the
+// gradient of the loss w.r.t. this node's output and accumulates gradients
+// into the input impls it captured.
+struct AutogradNode {
+  std::string op_name;
+  // Producers of this node's inputs; traversed during Backward().
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::function<void(const std::vector<float>& grad_output)> backward;
+};
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  bool requires_grad = false;
+  // Lazily materialized; same length as data once touched.
+  std::vector<float> grad;
+  // Null for leaves and for results computed under NoGradGuard.
+  std::shared_ptr<AutogradNode> grad_fn;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  void EnsureGrad();
+  void AccumulateGrad(const std::vector<float>& g);
+};
+
+// RAII guard that disables gradient recording on the current thread.
+// Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+// True unless at least one NoGradGuard is live on this thread.
+bool GradEnabled();
+
+class Tensor {
+ public:
+  // An empty (rank-1, zero-length) tensor.
+  Tensor();
+
+  // --- Factory functions -------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  // Takes ownership of `values`; Numel(shape) must equal values.size().
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  // Scalar (shape [1]).
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Uniform in [lo, hi).
+  static Tensor Uniform(const Shape& shape, float lo, float hi, Rng& rng,
+                        bool requires_grad = false);
+  // Standard normal scaled by stddev.
+  static Tensor Randn(const Shape& shape, float stddev, Rng& rng,
+                      bool requires_grad = false);
+  // Identity matrix [n, n].
+  static Tensor Eye(int64_t n);
+
+  // Wraps an existing impl (used by ops).
+  static Tensor FromImpl(std::shared_ptr<TensorImpl> impl);
+
+  // --- Introspection ------------------------------------------------------
+
+  const Shape& shape() const;
+  int64_t dim() const;
+  int64_t size(int64_t axis) const;
+  int64_t numel() const;
+  bool defined() const { return impl_ != nullptr; }
+
+  // Value of a single-element tensor.
+  float item() const;
+  // Element access by multi-index (rank must match).
+  float at(std::initializer_list<int64_t> index) const;
+  float& MutableAt(std::initializer_list<int64_t> index);
+
+  const std::vector<float>& data() const;
+  std::vector<float>& MutableData();
+
+  // --- Autograd -----------------------------------------------------------
+
+  bool requires_grad() const;
+  // Only valid on leaves (tensors without grad_fn).
+  void set_requires_grad(bool value);
+
+  // Runs reverse-mode differentiation from this tensor, which must be a
+  // scalar (numel == 1). Gradients accumulate into impl->grad of every
+  // reachable tensor that requires grad.
+  void Backward();
+
+  // Gradient buffer (materializes zeros if absent). CHECK-fails unless
+  // requires_grad.
+  const std::vector<float>& grad() const;
+  // Mutable gradient buffer (e.g. for gradient clipping).
+  std::vector<float>& MutableGrad();
+  Tensor GradTensor() const;
+  void ZeroGrad();
+
+  // A leaf copy sharing no autograd history (data is copied).
+  Tensor Detach() const;
+  // Deep copy with identical flags (autograd history not copied).
+  Tensor Clone() const;
+
+  std::string ToString() const;
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<TensorImpl> impl);
+
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// Offset of a multi-index into row-major storage.
+int64_t RowMajorOffset(const Shape& shape,
+                       std::initializer_list<int64_t> index);
+
+}  // namespace tpgnn::tensor
+
+#endif  // TPGNN_TENSOR_TENSOR_H_

@@ -1,0 +1,26 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace tpgnn {
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') {
+    return default_value;
+  }
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    return default_value;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value) {
+  const char* value = std::getenv(name.c_str());
+  return value != nullptr ? std::string(value) : default_value;
+}
+
+}  // namespace tpgnn

@@ -1,0 +1,23 @@
+#ifndef TPGNN_UTIL_ENV_H_
+#define TPGNN_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+// Environment-variable helpers used by the benchmark harness so that
+// experiment scale (graph counts, epochs, seeds) can be tuned without
+// recompiling.
+
+namespace tpgnn {
+
+// Returns the integer value of the environment variable `name`, or
+// `default_value` if it is unset or unparsable.
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+
+// Returns the value of the environment variable `name`, or `default_value`.
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value);
+
+}  // namespace tpgnn
+
+#endif  // TPGNN_UTIL_ENV_H_

@@ -1,0 +1,96 @@
+#ifndef TPGNN_UTIL_LOGGING_H_
+#define TPGNN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Lightweight logging and invariant-checking macros.
+//
+// CHECK-style macros are active in all build types (they do not depend on
+// NDEBUG): a failed check indicates API misuse or a broken internal invariant
+// and aborts after printing the failing condition and its source location.
+// LOG(level) writes a single formatted line to stderr.
+
+namespace tpgnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+// Minimum level that is actually emitted; settable for tests/quiet runs.
+LogLevel& MinLogLevel();
+
+const char* LevelName(LogLevel level);
+
+// Accumulates one log line and flushes it (with a newline) on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+};
+
+// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a fully-built ostream chain so CHECK can be used in expression
+// position; operator& binds more loosely than operator<<.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+}  // namespace tpgnn
+
+#define TPGNN_LOG_DEBUG ::tpgnn::LogLevel::kDebug
+#define TPGNN_LOG_INFO ::tpgnn::LogLevel::kInfo
+#define TPGNN_LOG_WARNING ::tpgnn::LogLevel::kWarning
+#define TPGNN_LOG_ERROR ::tpgnn::LogLevel::kError
+
+#define LOG(level)                                                       \
+  ::tpgnn::internal_logging::LogMessage(__FILE__, __LINE__,              \
+                                        TPGNN_LOG_##level)               \
+      .stream()
+
+#define TPGNN_CHECK(condition)                                           \
+  (condition) ? (void)0                                                  \
+              : ::tpgnn::internal_logging::Voidify() &                   \
+                    ::tpgnn::internal_logging::FatalLogMessage(          \
+                        __FILE__, __LINE__, #condition)                  \
+                        .stream()
+
+#define TPGNN_CHECK_OP(op, a, b)                                         \
+  TPGNN_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define TPGNN_CHECK_EQ(a, b) TPGNN_CHECK_OP(==, a, b)
+#define TPGNN_CHECK_NE(a, b) TPGNN_CHECK_OP(!=, a, b)
+#define TPGNN_CHECK_LT(a, b) TPGNN_CHECK_OP(<, a, b)
+#define TPGNN_CHECK_LE(a, b) TPGNN_CHECK_OP(<=, a, b)
+#define TPGNN_CHECK_GT(a, b) TPGNN_CHECK_OP(>, a, b)
+#define TPGNN_CHECK_GE(a, b) TPGNN_CHECK_OP(>=, a, b)
+
+#endif  // TPGNN_UTIL_LOGGING_H_

@@ -1,0 +1,28 @@
+#ifndef TPGNN_UTIL_STOPWATCH_H_
+#define TPGNN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tpgnn {
+
+// Monotonic wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpgnn
+
+#endif  // TPGNN_UTIL_STOPWATCH_H_

@@ -1,0 +1,131 @@
+#include "baselines/continuous.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace tpgnn::baselines {
+namespace {
+
+using graph::TemporalGraph;
+using tensor::Tensor;
+
+ContinuousOptions SmallOptions() {
+  ContinuousOptions options;
+  options.hidden_dim = 8;
+  options.time_dim = 4;  // hidden + time = 12, divisible by 2 heads.
+  options.num_neighbors = 5;
+  return options;
+}
+
+TemporalGraph SmallGraph() {
+  TemporalGraph g(5, 3);
+  for (int64_t v = 0; v < 5; ++v) {
+    g.SetNodeFeature(v, {0.1f * static_cast<float>(v), 0.3f, 0.0f});
+  }
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 3.0);
+  g.AddEdge(3, 4, 4.0);
+  g.AddEdge(4, 0, 5.0);
+  return g;
+}
+
+template <typename Model>
+void ExpectBasicContract(Model& model, const std::string& expected_name) {
+  Rng rng(1);
+  TemporalGraph g = SmallGraph();
+  Tensor logit = model.ForwardLogit(g, false, rng);
+  EXPECT_EQ(logit.numel(), 1);
+  EXPECT_TRUE(std::isfinite(logit.item()));
+  EXPECT_EQ(model.name(), expected_name);
+  tensor::BinaryCrossEntropyWithLogits(logit, Tensor::Scalar(1.0f)).Backward();
+  float total = 0.0f;
+  for (const auto& p : model.TrainableParameters()) {
+    for (float gv : p.grad()) total += gv * gv;
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(TgatTest, BasicContract) {
+  Tgat model(SmallOptions(), 1);
+  ExpectBasicContract(model, "TGAT");
+}
+
+TEST(TgnTest, BasicContract) {
+  Tgn model(SmallOptions(), 2);
+  ExpectBasicContract(model, "TGN");
+}
+
+TEST(DyGnnTest, BasicContract) {
+  DyGnn model(SmallOptions(), 3);
+  ExpectBasicContract(model, "DyGNN");
+}
+
+TEST(GraphMixerTest, BasicContract) {
+  GraphMixer model(SmallOptions(), 4);
+  ExpectBasicContract(model, "GraphMixer");
+}
+
+TEST(ContinuousModelsTest, SensitiveToTimestamps) {
+  // Unlike the static family, continuous models react to pure timestamp
+  // changes with identical topology.
+  TemporalGraph g1 = SmallGraph();
+  TemporalGraph g2 = SmallGraph();
+  for (auto& e : g2.mutable_edges()) {
+    e.time = 6.0 - e.time;  // Reverse the order.
+  }
+  Rng rng(1);
+  Tgn tgn(SmallOptions(), 5);
+  EXPECT_NE(tgn.ForwardLogit(g1, false, rng).item(),
+            tgn.ForwardLogit(g2, false, rng).item());
+  Tgat tgat(SmallOptions(), 6);
+  EXPECT_NE(tgat.ForwardLogit(g1, false, rng).item(),
+            tgat.ForwardLogit(g2, false, rng).item());
+  DyGnn dygnn(SmallOptions(), 7);
+  EXPECT_NE(dygnn.ForwardLogit(g1, false, rng).item(),
+            dygnn.ForwardLogit(g2, false, rng).item());
+  GraphMixer mixer(SmallOptions(), 8);
+  EXPECT_NE(mixer.ForwardLogit(g1, false, rng).item(),
+            mixer.ForwardLogit(g2, false, rng).item());
+}
+
+TEST(ContinuousModelsTest, PlusGlobalVariantsWork) {
+  Rng rng(1);
+  TemporalGraph g = SmallGraph();
+  Tgat tgat(SmallOptions(), 9, /*global_hidden_dim=*/8);
+  EXPECT_EQ(tgat.name(), "TGAT+G");
+  EXPECT_TRUE(std::isfinite(tgat.ForwardLogit(g, false, rng).item()));
+  GraphMixer mixer(SmallOptions(), 10, /*global_hidden_dim=*/8);
+  EXPECT_EQ(mixer.name(), "GraphMixer+G");
+  EXPECT_TRUE(std::isfinite(mixer.ForwardLogit(g, false, rng).item()));
+}
+
+TEST(ContinuousModelsTest, HandlesEdgelessGraph) {
+  Rng rng(1);
+  TemporalGraph g(3, 3);
+  Tgat tgat(SmallOptions(), 11);
+  EXPECT_TRUE(std::isfinite(tgat.ForwardLogit(g, false, rng).item()));
+  Tgn tgn(SmallOptions(), 12);
+  EXPECT_TRUE(std::isfinite(tgn.ForwardLogit(g, false, rng).item()));
+  GraphMixer mixer(SmallOptions(), 13);
+  EXPECT_TRUE(std::isfinite(mixer.ForwardLogit(g, false, rng).item()));
+  DyGnn dygnn(SmallOptions(), 14);
+  EXPECT_TRUE(std::isfinite(dygnn.ForwardLogit(g, false, rng).item()));
+}
+
+TEST(ContinuousModelsTest, SelfLoopGraph) {
+  Rng rng(1);
+  TemporalGraph g(2, 3);
+  g.AddEdge(0, 0, 1.0);
+  g.AddEdge(0, 1, 2.0);
+  Tgn tgn(SmallOptions(), 15);
+  EXPECT_TRUE(std::isfinite(tgn.ForwardLogit(g, false, rng).item()));
+  DyGnn dygnn(SmallOptions(), 16);
+  EXPECT_TRUE(std::isfinite(dygnn.ForwardLogit(g, false, rng).item()));
+}
+
+}  // namespace
+}  // namespace tpgnn::baselines

@@ -1,0 +1,124 @@
+#include "baselines/discrete.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace tpgnn::baselines {
+namespace {
+
+using graph::TemporalGraph;
+using tensor::Tensor;
+
+DiscreteOptions SmallOptions() {
+  DiscreteOptions options;
+  options.hidden_dim = 8;
+  options.num_snapshots = 4;
+  return options;
+}
+
+TemporalGraph SmallGraph() {
+  TemporalGraph g(5, 3);
+  for (int64_t v = 0; v < 5; ++v) {
+    g.SetNodeFeature(v, {0.1f * static_cast<float>(v), 0.3f, 0.0f});
+  }
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 3.0);
+  g.AddEdge(2, 3, 6.0);
+  g.AddEdge(3, 4, 9.0);
+  g.AddEdge(4, 0, 10.0);
+  return g;
+}
+
+template <typename Model>
+void ExpectBasicContract(Model& model, const std::string& expected_name) {
+  Rng rng(1);
+  TemporalGraph g = SmallGraph();
+  Tensor logit = model.ForwardLogit(g, false, rng);
+  EXPECT_EQ(logit.numel(), 1);
+  EXPECT_TRUE(std::isfinite(logit.item()));
+  EXPECT_EQ(model.name(), expected_name);
+  tensor::BinaryCrossEntropyWithLogits(logit, Tensor::Scalar(0.0f)).Backward();
+  float total = 0.0f;
+  for (const auto& p : model.TrainableParameters()) {
+    for (float gv : p.grad()) total += gv * gv;
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(EvolveGcnTest, BasicContract) {
+  EvolveGcn model(SmallOptions(), 1);
+  ExpectBasicContract(model, "EvolveGCN");
+}
+
+TEST(GcLstmTest, BasicContract) {
+  GcLstm model(SmallOptions(), 2);
+  ExpectBasicContract(model, "GC-LSTM");
+}
+
+TEST(AddGraphTest, BasicContract) {
+  AddGraph model(SmallOptions(), 3);
+  ExpectBasicContract(model, "AddGraph");
+}
+
+TEST(TaddyTest, BasicContract) {
+  Taddy model(SmallOptions(), 4);
+  ExpectBasicContract(model, "TADDY");
+}
+
+TEST(DiscreteModelsTest, SeeCrossSnapshotOrderButNotWithinWindowOrder) {
+  // Two graphs whose edges differ only in order *within* one snapshot window
+  // are indistinguishable; moving an edge *across* windows changes the
+  // logit. This is exactly the information loss the paper describes.
+  DiscreteOptions options = SmallOptions();
+  options.num_snapshots = 2;  // Windows [0,5) and [5,10].
+  TemporalGraph base(4, 3);
+  base.SetNodeFeature(0, {0.9f, 0.1f, 0.0f});
+  base.SetNodeFeature(1, {0.2f, 0.7f, 1.0f});
+  base.SetNodeFeature(2, {0.5f, 0.4f, 0.0f});
+  base.SetNodeFeature(3, {0.3f, 0.8f, 1.0f});
+  base.AddEdge(0, 1, 1.0);
+  base.AddEdge(1, 2, 2.0);
+  base.AddEdge(2, 3, 7.0);
+
+  // Swap order within window 1 (times 1 and 2 swap).
+  TemporalGraph within = base;
+  within.mutable_edges()[0].time = 2.0;
+  within.mutable_edges()[1].time = 1.0;
+
+  // Move the first edge into window 2.
+  TemporalGraph across = base;
+  across.mutable_edges()[0].time = 8.0;
+
+  Rng rng(1);
+  GcLstm model(options, 5);
+  const float base_logit = model.ForwardLogit(base, false, rng).item();
+  EXPECT_EQ(model.ForwardLogit(within, false, rng).item(), base_logit);
+  EXPECT_NE(model.ForwardLogit(across, false, rng).item(), base_logit);
+}
+
+TEST(DiscreteModelsTest, SnapshotCountChangesBehaviour) {
+  DiscreteOptions few = SmallOptions();
+  few.num_snapshots = 2;
+  DiscreteOptions many = SmallOptions();
+  many.num_snapshots = 8;
+  Rng rng(1);
+  AddGraph model_few(few, 6);
+  AddGraph model_many(many, 6);
+  TemporalGraph g = SmallGraph();
+  // Same seed, different discretisation: different models.
+  EXPECT_NE(model_few.ForwardLogit(g, false, rng).item(),
+            model_many.ForwardLogit(g, false, rng).item());
+}
+
+TEST(DiscreteModelsTest, HandlesEdgelessGraph) {
+  Rng rng(1);
+  TemporalGraph g(3, 3);
+  EvolveGcn model(SmallOptions(), 7);
+  EXPECT_TRUE(std::isfinite(model.ForwardLogit(g, false, rng).item()));
+}
+
+}  // namespace
+}  // namespace tpgnn::baselines

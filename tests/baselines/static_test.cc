@@ -1,0 +1,137 @@
+#include "baselines/static_gnn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/spectral.h"
+#include "tensor/ops.h"
+
+namespace tpgnn::baselines {
+namespace {
+
+using graph::TemporalGraph;
+using tensor::Tensor;
+
+TemporalGraph SmallGraph() {
+  TemporalGraph g(4, 3);
+  g.SetNodeFeature(0, {0.1f, 0.5f, 0.0f});
+  g.SetNodeFeature(1, {0.2f, 0.4f, 0.0f});
+  g.SetNodeFeature(2, {0.3f, 0.3f, 1.0f});
+  g.SetNodeFeature(3, {0.4f, 0.2f, 0.0f});
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 3.0);
+  return g;
+}
+
+StaticGnnOptions SmallOptions() {
+  StaticGnnOptions options;
+  options.hidden_dim = 8;
+  return options;
+}
+
+template <typename Model>
+void ExpectBasicContract(Model& model) {
+  Rng rng(1);
+  TemporalGraph g = SmallGraph();
+  Tensor logit = model.ForwardLogit(g, /*training=*/false, rng);
+  EXPECT_EQ(logit.numel(), 1);
+  EXPECT_TRUE(std::isfinite(logit.item()));
+  // Gradient must reach every parameter.
+  tensor::BinaryCrossEntropyWithLogits(logit, Tensor::Scalar(1.0f)).Backward();
+  float total = 0.0f;
+  for (const auto& p : model.TrainableParameters()) {
+    for (float gv : p.grad()) total += gv * gv;
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(GcnTest, BasicContract) {
+  Gcn model(SmallOptions(), 1);
+  ExpectBasicContract(model);
+  EXPECT_EQ(model.name(), "GCN");
+}
+
+TEST(GraphSageTest, BasicContract) {
+  GraphSage model(SmallOptions(), 2);
+  ExpectBasicContract(model);
+  EXPECT_EQ(model.name(), "GraphSage");
+}
+
+TEST(GatTest, BasicContract) {
+  Gat model(SmallOptions(), 3);
+  ExpectBasicContract(model);
+  EXPECT_EQ(model.name(), "GAT");
+}
+
+TEST(StaticModelsTest, BlindToTimestampPermutation) {
+  // The defining property of the static baselines: identical topology with
+  // different timestamps yields the *same* logit.
+  TemporalGraph g1 = SmallGraph();
+  TemporalGraph g2 = SmallGraph();
+  g2.mutable_edges()[0].time = 3.0;
+  g2.mutable_edges()[2].time = 1.0;
+  Rng rng(1);
+  Gcn gcn(SmallOptions(), 4);
+  EXPECT_EQ(gcn.ForwardLogit(g1, false, rng).item(),
+            gcn.ForwardLogit(g2, false, rng).item());
+  GraphSage sage(SmallOptions(), 5);
+  EXPECT_EQ(sage.ForwardLogit(g1, false, rng).item(),
+            sage.ForwardLogit(g2, false, rng).item());
+  Gat gat(SmallOptions(), 6);
+  EXPECT_EQ(gat.ForwardLogit(g1, false, rng).item(),
+            gat.ForwardLogit(g2, false, rng).item());
+}
+
+TEST(StaticModelsTest, SensitiveToStructure) {
+  TemporalGraph g1 = SmallGraph();
+  TemporalGraph g2 = SmallGraph();
+  g2.mutable_edges()[2].dst = 0;  // Rewire.
+  Rng rng(1);
+  Gcn gcn(SmallOptions(), 7);
+  EXPECT_NE(gcn.ForwardLogit(g1, false, rng).item(),
+            gcn.ForwardLogit(g2, false, rng).item());
+}
+
+TEST(StaticModelsTest, GlobalReadoutVariantHasExtraParams) {
+  Gcn plain(SmallOptions(), 8);
+  Gcn plus_g(SmallOptions(), 8, /*global_hidden_dim=*/8);
+  EXPECT_EQ(plus_g.name(), "GCN+G");
+  EXPECT_GT(plus_g.ParameterCount(), plain.ParameterCount());
+}
+
+TEST(SpectralTest, BasicContract) {
+  SpectralClustering model(8, 1);
+  ExpectBasicContract(model);
+  EXPECT_EQ(model.name(), "Spectral Clustering");
+}
+
+TEST(SpectralTest, IgnoresNodeFeatures) {
+  TemporalGraph g1 = SmallGraph();
+  TemporalGraph g2 = SmallGraph();
+  g2.SetNodeFeature(0, {9.0f, 9.0f, 9.0f});
+  SpectralClustering model(8, 2);
+  Rng rng(1);
+  EXPECT_EQ(model.ForwardLogit(g1, false, rng).item(),
+            model.ForwardLogit(g2, false, rng).item());
+}
+
+TEST(SpectralTest, SpectrumDetectsDisconnection) {
+  TemporalGraph connected(4, 3);
+  connected.AddEdge(0, 1, 1.0);
+  connected.AddEdge(1, 2, 2.0);
+  connected.AddEdge(2, 3, 3.0);
+  TemporalGraph disconnected(4, 3);
+  disconnected.AddEdge(0, 1, 1.0);
+  disconnected.AddEdge(2, 3, 2.0);
+  SpectralClustering model(4, 3);
+  Tensor f1 = model.SpectralFeatures(connected);
+  Tensor f2 = model.SpectralFeatures(disconnected);
+  // Second eigenvalue (algebraic connectivity) ~0 only when disconnected.
+  EXPECT_GT(f1.at({1}), 1e-4f);
+  EXPECT_NEAR(f2.at({1}), 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace tpgnn::baselines

@@ -1,0 +1,86 @@
+#include "baselines/baselines.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "eval/trainer.h"
+
+namespace tpgnn::baselines {
+namespace {
+
+TEST(SuiteTest, TwelveBaselinesInPaperOrder) {
+  auto factories = AllBaselineFactories({});
+  ASSERT_EQ(factories.size(), 12u);
+  EXPECT_EQ(factories.front().first, "Spectral Clustering");
+  EXPECT_EQ(factories.back().first, "GraphMixer");
+  std::set<std::string> names;
+  for (const auto& [name, factory] : factories) {
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 12u);  // All distinct.
+}
+
+TEST(SuiteTest, FactoriesBuildModelsMatchingNames) {
+  BaselineSuiteOptions options;
+  options.hidden_dim = 8;
+  options.time_dim = 4;
+  options.num_snapshots = 3;
+  for (const auto& [name, factory] : AllBaselineFactories(options)) {
+    auto model = factory(/*seed=*/1);
+    EXPECT_EQ(model->name(), name);
+  }
+}
+
+TEST(SuiteTest, EveryBaselineRunsOnRealisticGraphs) {
+  BaselineSuiteOptions options;
+  options.hidden_dim = 8;
+  options.time_dim = 4;
+  options.num_snapshots = 3;
+  auto dataset = data::MakeDataset(data::HdfsSpec(), 4, /*seed=*/5);
+  Rng rng(1);
+  for (const auto& [name, factory] : AllBaselineFactories(options)) {
+    auto model = factory(2);
+    for (const auto& sample : dataset) {
+      float logit = model->ForwardLogit(sample.graph, false, rng).item();
+      EXPECT_TRUE(std::isfinite(logit)) << name;
+    }
+  }
+}
+
+TEST(SuiteTest, PlusGlobalFactories) {
+  BaselineSuiteOptions options;
+  options.hidden_dim = 8;
+  options.time_dim = 4;
+  auto factories = ContinuousPlusGlobalFactories(options, /*global=*/8);
+  ASSERT_EQ(factories.size(), 4u);
+  for (const auto& [name, factory] : factories) {
+    auto model = factory(1);
+    EXPECT_EQ(model->name(), name);
+    EXPECT_NE(name.find("+G"), std::string::npos);
+  }
+}
+
+TEST(SuiteTest, BaselinesAreTrainable) {
+  // Every baseline must train without crashing and produce a valid metric.
+  BaselineSuiteOptions options;
+  options.hidden_dim = 8;
+  options.time_dim = 4;
+  options.num_snapshots = 3;
+  auto dataset = data::MakeDataset(data::HdfsSpec(), 20, /*seed=*/6);
+  auto split = data::SplitDataset(dataset, 0.5);
+  eval::TrainOptions train_options;
+  train_options.epochs = 1;
+  for (const auto& [name, factory] : AllBaselineFactories(options)) {
+    auto model = factory(3);
+    eval::TrainClassifier(*model, split.train, train_options);
+    eval::Metrics m = eval::EvaluateClassifier(*model, split.test);
+    EXPECT_GE(m.accuracy, 0.0) << name;
+    EXPECT_LE(m.accuracy, 1.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::baselines

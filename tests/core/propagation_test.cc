@@ -1,0 +1,188 @@
+#include "core/temporal_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace tpgnn::core {
+namespace {
+
+using graph::TemporalGraph;
+using tensor::Shape;
+using tensor::Tensor;
+
+TpGnnConfig SmallConfig(Updater updater) {
+  TpGnnConfig config;
+  config.updater = updater;
+  config.feature_dim = 3;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.hidden_dim = 8;
+  return config;
+}
+
+TemporalGraph Fig1StyleGraph() {
+  TemporalGraph g(4, 3);
+  for (int64_t v = 0; v < 4; ++v) {
+    g.SetNodeFeature(v, {static_cast<float>(v) * 0.1f, 0.5f, 0.0f});
+  }
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 3.0);
+  return g;
+}
+
+TEST(TemporalPropagationTest, SumOutputShapeIncludesTimeBlock) {
+  Rng rng(1);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  TemporalPropagation prop(config, rng);
+  EXPECT_EQ(prop.output_dim(), 12);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor h = prop.Forward(g, g.ChronologicalEdges());
+  EXPECT_EQ(h.shape(), (Shape{4, 12}));
+}
+
+TEST(TemporalPropagationTest, GruOutputShape) {
+  Rng rng(2);
+  TpGnnConfig config = SmallConfig(Updater::kGru);
+  TemporalPropagation prop(config, rng);
+  EXPECT_EQ(prop.output_dim(), 8);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor h = prop.Forward(g, g.ChronologicalEdges());
+  EXPECT_EQ(h.shape(), (Shape{4, 8}));
+}
+
+TEST(TemporalPropagationTest, TempVariantHasNoTimeBlock) {
+  Rng rng(3);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  config.variant = Variant::kTemp;
+  TemporalPropagation prop(config, rng);
+  EXPECT_EQ(prop.output_dim(), 8);
+}
+
+TEST(TemporalPropagationTest, WithoutTemSkipsPropagation) {
+  Rng rng(4);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  config.variant = Variant::kWithoutTem;
+  TemporalPropagation prop(config, rng);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor h = prop.Forward(g, g.ChronologicalEdges());
+  // No propagation: isolated node embedding equals the edge-connected ones'
+  // function of raw features only — H must not depend on the edges.
+  TemporalGraph no_edges(4, 3);
+  for (int64_t v = 0; v < 4; ++v) {
+    no_edges.SetNodeFeature(v, g.node_feature(v));
+  }
+  Tensor h2 = prop.Forward(no_edges, no_edges.ChronologicalEdges());
+  EXPECT_TRUE(tensor::AllClose(h, h2, 1e-7f, 1e-7f));
+}
+
+TEST(TemporalPropagationTest, OutputBoundedByTanh) {
+  Rng rng(5);
+  TemporalPropagation prop(SmallConfig(Updater::kSum), rng);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor h = prop.Forward(g, g.ChronologicalEdges());
+  for (float v : h.data()) {
+    EXPECT_LE(std::abs(v), 1.0f);
+  }
+}
+
+TEST(TemporalPropagationTest, EdgeOrderMattersWithIdenticalTopology) {
+  // The Fig. 1 motivation: same edges, different timestamps -> different H.
+  Rng rng(6);
+  for (Updater updater : {Updater::kSum, Updater::kGru}) {
+    TemporalPropagation prop(SmallConfig(updater), rng);
+    TemporalGraph g1(3, 3);
+    g1.SetNodeFeature(0, {0.1f, 0.2f, 0.3f});
+    g1.SetNodeFeature(1, {0.4f, 0.5f, 0.6f});
+    g1.SetNodeFeature(2, {0.7f, 0.8f, 0.9f});
+    g1.AddEdge(0, 1, 1.0);
+    g1.AddEdge(1, 2, 2.0);
+    TemporalGraph g2 = g1;
+    g2.mutable_edges()[0].time = 2.0;
+    g2.mutable_edges()[1].time = 1.0;
+    Tensor h1 = prop.Forward(g1, g1.ChronologicalEdges());
+    Tensor h2 = prop.Forward(g2, g2.ChronologicalEdges());
+    EXPECT_FALSE(tensor::AllClose(h1, h2, 1e-6f, 1e-6f))
+        << "updater " << static_cast<int>(updater);
+  }
+}
+
+TEST(TemporalPropagationTest, RepeatedEdgeRefreshesTarget) {
+  // After 8 -> 7 fires, a second 7 -> 6 edge must change 6's embedding
+  // (long temporal dependency, Sec. I limitation 2).
+  Rng rng(7);
+  TemporalPropagation prop(SmallConfig(Updater::kGru), rng);
+  TemporalGraph base(4, 3);
+  base.AddEdge(1, 0, 1.0);  // 7->6 analogue.
+  base.AddEdge(2, 1, 2.0);  // 8->7.
+  TemporalGraph with_refresh = base;
+  with_refresh.AddEdge(1, 0, 3.0);  // Second 7->6 after 8's info arrived.
+  Tensor h1 = prop.Forward(base, base.ChronologicalEdges());
+  Tensor h2 =
+      prop.Forward(with_refresh, with_refresh.ChronologicalEdges());
+  // Node 0's row must differ.
+  Tensor row1 = tensor::Row(h1, 0);
+  Tensor row2 = tensor::Row(h2, 0);
+  EXPECT_FALSE(tensor::AllClose(row1, row2, 1e-6f, 1e-6f));
+}
+
+TEST(TemporalPropagationTest, GradFlowsToEmbeddingAndTimeParams) {
+  Rng rng(8);
+  TemporalPropagation prop(SmallConfig(Updater::kSum), rng);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor h = prop.Forward(g, g.ChronologicalEdges());
+  tensor::Sum(tensor::Mul(h, h)).Backward();
+  for (const auto& [name, p] : prop.NamedParameters()) {
+    float grad_norm = 0.0f;
+    for (float gv : p.grad()) grad_norm += gv * gv;
+    EXPECT_GT(grad_norm, 0.0f) << "no gradient reached " << name;
+  }
+}
+
+TEST(TemporalPropagationTest, GradCheckSumUpdater) {
+  Rng rng(9);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  config.embed_dim = 4;
+  config.time_dim = 2;
+  TemporalPropagation prop(config, rng);
+  TemporalGraph g = Fig1StyleGraph();
+  auto r = tpgnn::testing::GradCheck(
+      [&](const std::vector<Tensor>&) {
+        Tensor h = prop.Forward(g, g.ChronologicalEdges());
+        return tensor::Sum(tensor::Mul(h, h));
+      },
+      prop.Parameters());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(TemporalPropagationTest, GradCheckGruUpdater) {
+  Rng rng(10);
+  TpGnnConfig config = SmallConfig(Updater::kGru);
+  config.embed_dim = 4;
+  config.time_dim = 2;
+  TemporalPropagation prop(config, rng);
+  TemporalGraph g = Fig1StyleGraph();
+  auto r = tpgnn::testing::GradCheck(
+      [&](const std::vector<Tensor>&) {
+        Tensor h = prop.Forward(g, g.ChronologicalEdges());
+        return tensor::Sum(tensor::Mul(h, h));
+      },
+      prop.Parameters(), /*eps=*/1e-2f, /*tol=*/3e-2f);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(NormalizeTimeTest, ScalesToConfiguredRange) {
+  TpGnnConfig config;
+  config.normalize_time = true;
+  config.time_scale = 10.0;
+  EXPECT_DOUBLE_EQ(NormalizeTime(config, 50.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(NormalizeTime(config, 100.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(NormalizeTime(config, 5.0, 0.0), 5.0);  // Degenerate.
+  config.normalize_time = false;
+  EXPECT_DOUBLE_EQ(NormalizeTime(config, 50.0, 100.0), 50.0);
+}
+
+}  // namespace
+}  // namespace tpgnn::core

@@ -1,0 +1,131 @@
+// Property test for Theorem 1: for any nodes u, v, u is influential to v
+// (Definition 4) if and only if v's local embedding h(v) depends on the
+// input feature vector X(u). The oracle is the brute-force valid-path
+// closure in graph/influence.h; the subject is the actual temporal
+// propagation implementation (both updaters).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/temporal_propagation.h"
+#include "graph/influence.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tpgnn::core {
+namespace {
+
+using graph::InfluenceClosure;
+using graph::TemporalGraph;
+using tensor::Tensor;
+
+TpGnnConfig Config(Updater updater) {
+  TpGnnConfig config;
+  config.updater = updater;
+  config.feature_dim = 3;
+  config.embed_dim = 6;
+  config.time_dim = 3;
+  return config;
+}
+
+TemporalGraph RandomGraph(int64_t n, int64_t m, Rng& rng) {
+  TemporalGraph g(n, 3);
+  // Small base features keep the SUM updater's accumulated sums inside
+  // tanh's active range (path counts grow multiplicatively), so a genuine
+  // dependence is never hidden by saturation.
+  for (int64_t v = 0; v < n; ++v) {
+    g.SetNodeFeature(v,
+                     {rng.UniformFloat(-0.05f, 0.05f),
+                      rng.UniformFloat(-0.05f, 0.05f),
+                      rng.UniformFloat(-0.05f, 0.05f)});
+  }
+  for (int64_t e = 0; e < m; ++e) {
+    int64_t src = rng.UniformInt(0, n - 1);
+    int64_t dst = rng.UniformInt(0, n - 1);
+    while (dst == src) dst = rng.UniformInt(0, n - 1);
+    g.AddEdge(src, dst, static_cast<double>(e + 1));  // Distinct times.
+  }
+  return g;
+}
+
+// Rows of H that change when X(u) is perturbed.
+std::vector<bool> DependentRows(const TemporalPropagation& prop,
+                                TemporalGraph g, int64_t u) {
+  const auto order = g.ChronologicalEdges();
+  Tensor h_before = prop.Forward(g, order);
+  std::vector<float> f = g.node_feature(u);
+  f[0] += 0.8f;
+  f[1] -= 0.6f;
+  f[2] += 0.7f;
+  g.SetNodeFeature(u, f);
+  Tensor h_after = prop.Forward(g, order);
+  std::vector<bool> changed(static_cast<size_t>(g.num_nodes()), false);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    for (int64_t c = 0; c < h_before.size(1); ++c) {
+      if (std::abs(h_before.at({v, c}) - h_after.at({v, c})) > 1e-6f) {
+        changed[static_cast<size_t>(v)] = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+class Theorem1Test : public ::testing::TestWithParam<Updater> {};
+
+TEST_P(Theorem1Test, InfluenceEqualsDependenceOnRandomGraphs) {
+  Rng rng(2024);
+  TemporalPropagation prop(Config(GetParam()), rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    TemporalGraph g = RandomGraph(/*n=*/7, /*m=*/10, rng);
+    InfluenceClosure closure(g);
+    for (int64_t u = 0; u < g.num_nodes(); ++u) {
+      std::vector<bool> dependent = DependentRows(prop, g, u);
+      for (int64_t v = 0; v < g.num_nodes(); ++v) {
+        const bool expected =
+            v == u || closure.Influences(u, v);  // X(u) always reaches h(u).
+        EXPECT_EQ(dependent[static_cast<size_t>(v)], expected)
+            << "trial " << trial << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(Theorem1Test, ChainPropagatesAllTheWay) {
+  Rng rng(7);
+  TemporalPropagation prop(Config(GetParam()), rng);
+  TemporalGraph g(5, 3);
+  for (int64_t i = 0; i + 1 < 5; ++i) {
+    g.AddEdge(i, i + 1, static_cast<double>(i + 1));
+  }
+  std::vector<bool> dependent = DependentRows(prop, g, 0);
+  for (int64_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(dependent[static_cast<size_t>(v)]) << "v=" << v;
+  }
+}
+
+TEST_P(Theorem1Test, ReverseChainDoesNotPropagate) {
+  Rng rng(8);
+  TemporalPropagation prop(Config(GetParam()), rng);
+  // Edges in decreasing time: 3->2 at t=3 fires BEFORE 2->1 consumes it?
+  // No: 2->1 is at t=2, processed first, so node 0's info never moves.
+  TemporalGraph g(4, 3);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(0, 1, 3.0);
+  std::vector<bool> dependent = DependentRows(prop, g, 0);
+  EXPECT_TRUE(dependent[0]);
+  EXPECT_TRUE(dependent[1]);   // Direct edge 0->1.
+  EXPECT_FALSE(dependent[2]);  // 1->2 fired before 0's info reached 1.
+  EXPECT_FALSE(dependent[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothUpdaters, Theorem1Test,
+                         ::testing::Values(Updater::kSum, Updater::kGru),
+                         [](const ::testing::TestParamInfo<Updater>& info) {
+                           return info.param == Updater::kSum ? "SUM" : "GRU";
+                         });
+
+}  // namespace
+}  // namespace tpgnn::core

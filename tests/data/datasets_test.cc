@@ -1,0 +1,122 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace tpgnn::data {
+namespace {
+
+TEST(DatasetSpecTest, AllFivePresets) {
+  auto specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "Forum-java");
+  EXPECT_EQ(specs[1].name, "HDFS");
+  EXPECT_EQ(specs[2].name, "Gowalla");
+  EXPECT_EQ(specs[3].name, "FourSquare");
+  EXPECT_EQ(specs[4].name, "Brightkite");
+}
+
+TEST(DatasetSpecTest, TableIStatisticsEncoded) {
+  DatasetSpec forum = ForumJavaSpec();
+  EXPECT_EQ(forum.avg_nodes, 27);
+  EXPECT_EQ(forum.avg_edges, 30);
+  EXPECT_NEAR(forum.negative_ratio, 0.325, 1e-9);
+  DatasetSpec bk = BrightkiteSpec();
+  EXPECT_EQ(bk.avg_nodes, 46);
+  EXPECT_EQ(bk.avg_edges, 188);
+  EXPECT_EQ(bk.flavor, DatasetFlavor::kTrajectory);
+}
+
+TEST(MakeDatasetTest, CountAndLabels) {
+  auto ds = MakeDataset(HdfsSpec(), 200, /*seed=*/1);
+  EXPECT_EQ(ds.size(), 200u);
+  graph::DatasetStats stats = graph::ComputeDatasetStats(ds);
+  EXPECT_NEAR(stats.negative_ratio, 0.298, 0.08);
+  EXPECT_EQ(stats.feature_dim, 3);
+}
+
+TEST(MakeDatasetTest, StatisticsMatchTableIShape) {
+  auto ds = MakeDataset(ForumJavaSpec(), 300, /*seed=*/2);
+  graph::DatasetStats stats = graph::ComputeDatasetStats(ds);
+  EXPECT_NEAR(stats.avg_nodes, 27.0, 4.0);
+  EXPECT_NEAR(stats.avg_edges, 30.0, 6.0);
+}
+
+TEST(MakeDatasetTest, TrajectoryFlavor) {
+  auto ds = MakeDataset(BrightkiteSpec(), 50, /*seed=*/3);
+  graph::DatasetStats stats = graph::ComputeDatasetStats(ds);
+  EXPECT_NEAR(stats.avg_nodes, 46.0, 8.0);
+  EXPECT_NEAR(stats.avg_edges, 188.0, 25.0);
+}
+
+TEST(MakeDatasetTest, DefaultCountFromSpec) {
+  auto ds = MakeDataset(BrightkiteSpec(), 0, /*seed=*/4);
+  EXPECT_EQ(static_cast<int64_t>(ds.size()),
+            BrightkiteSpec().default_graph_count);
+}
+
+TEST(MakeDatasetTest, DeterministicInSeed) {
+  auto a = MakeDataset(HdfsSpec(), 20, 7);
+  auto b = MakeDataset(HdfsSpec(), 20, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges());
+  }
+  auto c = MakeDataset(HdfsSpec(), 20, 8);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != c[i].label ||
+        a[i].graph.num_edges() != c[i].graph.num_edges()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FilterMinEdgesTest, DropsSmallGraphs) {
+  graph::GraphDataset ds;
+  graph::TemporalGraph small(2, 3);
+  small.AddEdge(0, 1, 1.0);
+  ds.push_back({small, 1});
+  graph::TemporalGraph big(3, 3);
+  big.AddEdge(0, 1, 1.0);
+  big.AddEdge(1, 2, 2.0);
+  big.AddEdge(2, 0, 3.0);
+  ds.push_back({big, 0});
+  auto filtered = FilterMinEdges(ds, 3);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].label, 0);
+}
+
+TEST(SplitDatasetTest, ThirtySeventySplit) {
+  auto ds = MakeDataset(HdfsSpec(), 100, 5);
+  auto split = SplitDataset(ds, 0.3);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_EQ(split.test.size(), 70u);
+}
+
+TEST(SplitDatasetTest, DegenerateFractions) {
+  auto ds = MakeDataset(HdfsSpec(), 10, 6);
+  EXPECT_EQ(SplitDataset(ds, 0.0).train.size(), 0u);
+  EXPECT_EQ(SplitDataset(ds, 1.0).test.size(), 0u);
+}
+
+TEST(MakeDatasetTest, BothSplitsContainBothClasses) {
+  auto ds = MakeDataset(GowallaSpec(), 120, 9);
+  auto split = SplitDataset(ds, 0.3);
+  auto has_both = [](const graph::GraphDataset& part) {
+    bool pos = false;
+    bool neg = false;
+    for (const auto& g : part) {
+      (g.label == 1 ? pos : neg) = true;
+    }
+    return pos && neg;
+  };
+  EXPECT_TRUE(has_both(split.train));
+  EXPECT_TRUE(has_both(split.test));
+}
+
+}  // namespace
+}  // namespace tpgnn::data

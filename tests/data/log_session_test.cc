@@ -1,0 +1,164 @@
+#include "data/log_session_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::data {
+namespace {
+
+LogSessionGenerator::Options ForumOptions() {
+  LogSessionGenerator::Options options;
+  options.avg_nodes = 27;
+  options.avg_edges = 30;
+  options.num_event_types = 81;
+  return options;
+}
+
+TEST(LogSessionTest, PositiveSizesNearTargets) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(1);
+  double nodes = 0.0;
+  double edges = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto g = gen.GeneratePositive(rng);
+    nodes += static_cast<double>(g.num_nodes());
+    edges += static_cast<double>(g.num_edges());
+  }
+  EXPECT_NEAR(nodes / trials, 27.0, 4.0);
+  EXPECT_NEAR(edges / trials, 30.0, 5.0);
+}
+
+TEST(LogSessionTest, HdfsShapeHasManyRepeats) {
+  LogSessionGenerator::Options options;
+  options.avg_nodes = 12;
+  options.avg_edges = 31;
+  options.num_event_types = 64;
+  LogSessionGenerator gen(options);
+  Rng rng(2);
+  double nodes = 0.0;
+  double edges = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto g = gen.GeneratePositive(rng);
+    nodes += static_cast<double>(g.num_nodes());
+    edges += static_cast<double>(g.num_edges());
+  }
+  EXPECT_NEAR(nodes / trials, 12.0, 3.0);
+  EXPECT_NEAR(edges / trials, 31.0, 6.0);
+  EXPECT_GT(edges / nodes, 1.8);  // Edge/node ratio from repeated loops.
+}
+
+TEST(LogSessionTest, TimestampsStrictlyIncreaseInPositives) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(3);
+  auto g = gen.GeneratePositive(rng);
+  auto edges = g.ChronologicalEdges();
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i].time, edges[i - 1].time);
+  }
+}
+
+TEST(LogSessionTest, PositiveHasNoExceptionFlags) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(4);
+  auto g = gen.GeneratePositive(rng);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.node_feature(v)[2], 0.0f);
+  }
+}
+
+TEST(LogSessionTest, TimestampShuffleKeepsTopology) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(5);
+  auto g = gen.GenerateNegative(LogFault::kOrderAnomaly, rng);
+  EXPECT_GT(g.num_edges(), 0);
+  // Edges are consecutive-event pairs in some normal session: each node has
+  // positive degree.
+  std::set<int64_t> touched;
+  for (const auto& e : g.edges()) {
+    touched.insert(e.src);
+    touched.insert(e.dst);
+  }
+  EXPECT_EQ(static_cast<int64_t>(touched.size()), g.num_nodes());
+}
+
+TEST(LogSessionTest, CrashLoopRepeatsAnEdgePathologically) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(6);
+  auto max_multiplicity = [](const graph::TemporalGraph& g) {
+    std::map<std::pair<int64_t, int64_t>, int> counts;
+    int best = 0;
+    for (const auto& e : g.edges()) {
+      best = std::max(best, ++counts[{e.src, e.dst}]);
+    }
+    return best;
+  };
+  // A crash loop replays the same step pair 3-6 times, so some edge pair
+  // repeats far more often than in any normal session.
+  for (int i = 0; i < 20; ++i) {
+    auto neg = gen.GenerateNegative(LogFault::kCrashLoop, rng);
+    EXPECT_GE(max_multiplicity(neg), 4);
+  }
+  double pos_max = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    pos_max += max_multiplicity(gen.GeneratePositive(rng));
+  }
+  EXPECT_LT(pos_max / 20.0, 4.0);
+}
+
+TEST(LogSessionTest, ExceptionBurstSetsExceptionFeature) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(7);
+  auto g = gen.GenerateNegative(LogFault::kExceptionBurst, rng);
+  bool has_exception = false;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_feature(v)[2] == 1.0f) has_exception = true;
+  }
+  EXPECT_TRUE(has_exception);
+}
+
+TEST(LogSessionTest, MissingStepShrinksDistinctEvents) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng(8);
+  double pos_nodes = 0.0;
+  double neg_nodes = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    pos_nodes += static_cast<double>(gen.GeneratePositive(rng).num_nodes());
+    neg_nodes += static_cast<double>(
+        gen.GenerateNegative(LogFault::kMissingStep, rng).num_nodes());
+  }
+  EXPECT_LT(neg_nodes / 100.0, pos_nodes / 100.0);
+}
+
+TEST(LogSessionTest, SampleFaultRespectsTemporalFraction) {
+  Rng rng(9);
+  int temporal = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (LogSessionGenerator::SampleFault(0.5, rng) ==
+        LogFault::kOrderAnomaly) {
+      ++temporal;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(temporal) / n, 0.5, 0.03);
+}
+
+TEST(LogSessionTest, DeterministicGivenSameRngSeed) {
+  LogSessionGenerator gen(ForumOptions());
+  Rng rng1(42);
+  Rng rng2(42);
+  auto g1 = gen.GeneratePositive(rng1);
+  auto g2 = gen.GeneratePositive(rng2);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (size_t i = 0; i < g1.edges().size(); ++i) {
+    EXPECT_EQ(g1.edges()[i], g2.edges()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::data

@@ -1,0 +1,267 @@
+#include "data/negative_sampling.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::data {
+namespace {
+
+using graph::TemporalEdge;
+using graph::TemporalGraph;
+
+TemporalGraph MakeChain(int64_t n) {
+  TemporalGraph g(n, 3);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1, static_cast<double>(i + 1));
+  }
+  return g;
+}
+
+TEST(RewireNegativeTest, KeepsCounts) {
+  Rng rng(1);
+  TemporalGraph pos = MakeChain(10);
+  TemporalGraph neg = RewireNegative(pos, 0.3, rng);
+  EXPECT_EQ(neg.num_nodes(), pos.num_nodes());
+  EXPECT_EQ(neg.num_edges(), pos.num_edges());
+}
+
+TEST(RewireNegativeTest, IntroducesNonNormalEdge) {
+  Rng rng(2);
+  TemporalGraph pos = MakeChain(10);
+  std::set<std::pair<int64_t, int64_t>> normal;
+  for (const TemporalEdge& e : pos.edges()) normal.insert({e.src, e.dst});
+  TemporalGraph neg = RewireNegative(pos, 0.3, rng);
+  int new_edges = 0;
+  for (const TemporalEdge& e : neg.edges()) {
+    if (normal.count({e.src, e.dst}) == 0) ++new_edges;
+  }
+  EXPECT_GT(new_edges, 0);
+}
+
+TEST(RewireNegativeTest, RewiredEdgesNeverDuplicateNormalPairs) {
+  Rng rng(3);
+  TemporalGraph pos = MakeChain(12);
+  std::set<std::pair<int64_t, int64_t>> normal;
+  for (const TemporalEdge& e : pos.edges()) normal.insert({e.src, e.dst});
+  for (int trial = 0; trial < 20; ++trial) {
+    TemporalGraph neg = RewireNegative(pos, 0.25, rng);
+    for (size_t i = 0; i < neg.edges().size(); ++i) {
+      const TemporalEdge& e = neg.edges()[i];
+      const TemporalEdge& orig = pos.edges()[i];
+      if (e.dst != orig.dst) {
+        // Rewired: must not coincide with a normal pair.
+        EXPECT_EQ(normal.count({e.src, e.dst}), 0u);
+      }
+    }
+  }
+}
+
+TEST(RewireNegativeTest, PreservesTimestamps) {
+  Rng rng(4);
+  TemporalGraph pos = MakeChain(8);
+  TemporalGraph neg = RewireNegative(pos, 0.5, rng);
+  for (size_t i = 0; i < neg.edges().size(); ++i) {
+    EXPECT_EQ(neg.edges()[i].time, pos.edges()[i].time);
+  }
+}
+
+TEST(RewireNegativeTest, TinyGraphUnchanged) {
+  Rng rng(5);
+  TemporalGraph pos(1, 3);
+  TemporalGraph neg = RewireNegative(pos, 0.5, rng);
+  EXPECT_EQ(neg.num_edges(), 0);
+}
+
+TEST(ShuffleNegativeTest, PreservesTopologyAndTimestampMultiset) {
+  Rng rng(6);
+  TemporalGraph pos = MakeChain(10);
+  TemporalGraph neg = ShuffleNegative(pos, rng);
+  ASSERT_EQ(neg.num_edges(), pos.num_edges());
+  std::multiset<double> pos_times;
+  std::multiset<double> neg_times;
+  for (size_t i = 0; i < pos.edges().size(); ++i) {
+    EXPECT_EQ(neg.edges()[i].src, pos.edges()[i].src);
+    EXPECT_EQ(neg.edges()[i].dst, pos.edges()[i].dst);
+    pos_times.insert(pos.edges()[i].time);
+    neg_times.insert(neg.edges()[i].time);
+  }
+  EXPECT_EQ(pos_times, neg_times);
+}
+
+TEST(ShuffleNegativeTest, ChangesChronologicalOrder) {
+  Rng rng(7);
+  TemporalGraph pos = MakeChain(20);
+  TemporalGraph neg = ShuffleNegative(pos, rng);
+  auto pos_order = pos.ChronologicalEdges();
+  auto neg_order = neg.ChronologicalEdges();
+  bool differs = false;
+  for (size_t i = 0; i < pos_order.size(); ++i) {
+    if (!(pos_order[i] == neg_order[i])) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BlockSwapNegativeTest, PreservesTopologyAndTimestampMultiset) {
+  Rng rng(10);
+  TemporalGraph pos = MakeChain(30);
+  TemporalGraph neg = BlockSwapNegative(pos, 0.2, rng);
+  ASSERT_EQ(neg.num_edges(), pos.num_edges());
+  std::multiset<std::pair<int64_t, int64_t>> pos_pairs;
+  std::multiset<std::pair<int64_t, int64_t>> neg_pairs;
+  std::multiset<double> pos_times;
+  std::multiset<double> neg_times;
+  for (const TemporalEdge& e : pos.edges()) {
+    pos_pairs.insert({e.src, e.dst});
+    pos_times.insert(e.time);
+  }
+  for (const TemporalEdge& e : neg.edges()) {
+    neg_pairs.insert({e.src, e.dst});
+    neg_times.insert(e.time);
+  }
+  EXPECT_EQ(pos_pairs, neg_pairs);
+  EXPECT_EQ(pos_times, neg_times);
+}
+
+TEST(BlockSwapNegativeTest, SwapsExactlyTwoBlocks) {
+  Rng rng(11);
+  TemporalGraph pos = MakeChain(40);  // 39 edges, distinct times.
+  TemporalGraph neg = BlockSwapNegative(pos, 0.2, rng);
+  auto pos_order = pos.ChronologicalEdges();
+  auto neg_order = neg.ChronologicalEdges();
+  // Some positions changed (the two blocks) and some are fixed.
+  int changed = 0;
+  for (size_t i = 0; i < pos_order.size(); ++i) {
+    if (!(pos_order[i].src == neg_order[i].src &&
+          pos_order[i].dst == neg_order[i].dst)) {
+      ++changed;
+    }
+  }
+  const int block = static_cast<int>(0.2 * 39);
+  EXPECT_GE(changed, 2);           // At least the two blocks moved.
+  EXPECT_LE(changed, 2 * block + 2);
+  EXPECT_LT(changed, static_cast<int>(pos_order.size()));
+}
+
+TEST(BlockSwapNegativeTest, WithinBlockOrderPreserved) {
+  // The relative order of any two edges from the same original block is
+  // preserved; we check the whole sequence is a block-reordering by
+  // verifying each original edge appears exactly once.
+  Rng rng(12);
+  TemporalGraph pos = MakeChain(25);
+  TemporalGraph neg = BlockSwapNegative(pos, 0.2, rng);
+  auto pos_order = pos.ChronologicalEdges();
+  auto neg_order = neg.ChronologicalEdges();
+  std::multiset<std::pair<int64_t, int64_t>> pos_set;
+  std::multiset<std::pair<int64_t, int64_t>> neg_set;
+  for (const auto& e : pos_order) pos_set.insert({e.src, e.dst});
+  for (const auto& e : neg_order) neg_set.insert({e.src, e.dst});
+  EXPECT_EQ(pos_set, neg_set);
+}
+
+TEST(BlockSwapNegativeTest, TinyGraphFallsBackToShuffle) {
+  Rng rng(13);
+  TemporalGraph pos = MakeChain(3);  // 2 edges only.
+  TemporalGraph neg = BlockSwapNegative(pos, 0.4, rng);
+  EXPECT_EQ(neg.num_edges(), pos.num_edges());
+}
+
+TEST(BlockSwapNegativeTest, PreservesNodeFeatures) {
+  Rng rng(14);
+  TemporalGraph pos = MakeChain(20);
+  pos.SetNodeFeature(5, {1.0f, 2.0f, 3.0f});
+  TemporalGraph neg = BlockSwapNegative(pos, 0.2, rng);
+  EXPECT_EQ(neg.node_feature(5), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+// A walk 0 -> a -> 0 -> b -> 0 ... with three closed home-anchored loops.
+TemporalGraph MakeLoopWalk() {
+  TemporalGraph g(7, 3);
+  int64_t current = 0;
+  double t = 0.0;
+  for (int64_t loop = 0; loop < 3; ++loop) {
+    const int64_t a = 1 + loop * 2;
+    const int64_t b = 2 + loop * 2;
+    for (int64_t next : {a, b, int64_t{0}}) {
+      t += 1.0;
+      g.AddEdge(current, next, t);
+      current = next;
+    }
+  }
+  return g;
+}
+
+TEST(LoopSwapNegativeTest, PreservesWalkChainProperty) {
+  Rng rng(20);
+  TemporalGraph pos = MakeLoopWalk();
+  for (int trial = 0; trial < 10; ++trial) {
+    TemporalGraph neg = LoopSwapNegative(pos, rng);
+    auto edges = neg.ChronologicalEdges();
+    ASSERT_EQ(edges.size(), pos.edges().size());
+    for (size_t i = 1; i < edges.size(); ++i) {
+      EXPECT_EQ(edges[i].src, edges[i - 1].dst);
+    }
+  }
+}
+
+TEST(LoopSwapNegativeTest, PreservesTopologyAndTimestamps) {
+  Rng rng(21);
+  TemporalGraph pos = MakeLoopWalk();
+  TemporalGraph neg = LoopSwapNegative(pos, rng);
+  std::multiset<std::pair<int64_t, int64_t>> pos_pairs;
+  std::multiset<std::pair<int64_t, int64_t>> neg_pairs;
+  std::multiset<double> pos_times;
+  std::multiset<double> neg_times;
+  for (const TemporalEdge& e : pos.edges()) {
+    pos_pairs.insert({e.src, e.dst});
+    pos_times.insert(e.time);
+  }
+  for (const TemporalEdge& e : neg.edges()) {
+    neg_pairs.insert({e.src, e.dst});
+    neg_times.insert(e.time);
+  }
+  EXPECT_EQ(pos_pairs, neg_pairs);
+  EXPECT_EQ(pos_times, neg_times);
+}
+
+TEST(LoopSwapNegativeTest, PermutesLoopOrder) {
+  Rng rng(22);
+  TemporalGraph pos = MakeLoopWalk();
+  bool changed = false;
+  for (int trial = 0; trial < 10 && !changed; ++trial) {
+    TemporalGraph neg = LoopSwapNegative(pos, rng);
+    auto pos_order = pos.ChronologicalEdges();
+    auto neg_order = neg.ChronologicalEdges();
+    for (size_t i = 0; i < pos_order.size(); ++i) {
+      if (pos_order[i].dst != neg_order[i].dst) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(LoopSwapNegativeTest, FewLoopsFallsBackGracefully) {
+  // Single loop: 0 -> 1 -> 2 -> 0 three times would be one cut... build a
+  // walk with a single home departure so the loop permutation cannot apply.
+  Rng rng(23);
+  TemporalGraph pos(4, 3);
+  pos.AddEdge(0, 1, 1.0);
+  pos.AddEdge(1, 2, 2.0);
+  pos.AddEdge(2, 3, 3.0);
+  pos.AddEdge(3, 1, 4.0);
+  pos.AddEdge(1, 2, 5.0);
+  pos.AddEdge(2, 3, 6.0);
+  TemporalGraph neg = LoopSwapNegative(pos, rng);
+  EXPECT_EQ(neg.num_edges(), pos.num_edges());  // Fallback block swap.
+}
+
+TEST(ShuffleNegativeTest, SingleEdgeGraphUnchanged) {
+  Rng rng(8);
+  TemporalGraph pos(2, 3);
+  pos.AddEdge(0, 1, 1.0);
+  TemporalGraph neg = ShuffleNegative(pos, rng);
+  EXPECT_EQ(neg.edges()[0].time, 1.0);
+}
+
+}  // namespace
+}  // namespace tpgnn::data

@@ -1,0 +1,144 @@
+#include "data/trajectory_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::data {
+namespace {
+
+TrajectoryGenerator::Options GowallaOptions() {
+  TrajectoryGenerator::Options options;
+  options.avg_nodes = 72;
+  options.avg_edges = 117;
+  return options;
+}
+
+TEST(TrajectoryTest, SizesNearTargets) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(1);
+  double nodes = 0.0;
+  double edges = 0.0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    auto g = gen.GeneratePositive(rng);
+    nodes += static_cast<double>(g.num_nodes());
+    edges += static_cast<double>(g.num_edges());
+  }
+  EXPECT_NEAR(nodes / trials, 72.0, 8.0);
+  EXPECT_NEAR(edges / trials, 117.0, 12.0);
+}
+
+TEST(TrajectoryTest, EveryPoiIsVisited) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = gen.GeneratePositive(rng);
+    std::set<int64_t> touched;
+    for (const auto& e : g.edges()) {
+      touched.insert(e.src);
+      touched.insert(e.dst);
+    }
+    EXPECT_EQ(static_cast<int64_t>(touched.size()), g.num_nodes());
+  }
+}
+
+TEST(TrajectoryTest, WalkIsConnectedSequence) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(3);
+  auto g = gen.GeneratePositive(rng);
+  auto edges = g.ChronologicalEdges();
+  for (size_t i = 1; i < edges.size(); ++i) {
+    // Consecutive movements chain: destination of step i-1 is source of i.
+    EXPECT_EQ(edges[i].src, edges[i - 1].dst);
+  }
+}
+
+TEST(TrajectoryTest, TimestampsStrictlyIncrease) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(4);
+  auto g = gen.GeneratePositive(rng);
+  auto edges = g.ChronologicalEdges();
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i].time, edges[i - 1].time);
+  }
+}
+
+TEST(TrajectoryTest, FeaturesWithinGeographicBounds) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(5);
+  auto g = gen.GeneratePositive(rng);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    const auto& f = g.node_feature(v);
+    EXPECT_GE(f[0], -1.5f);  // lon / 180 with noise.
+    EXPECT_LE(f[0], 1.5f);
+    EXPECT_GE(f[1], -1.5f);
+    EXPECT_LE(f[1], 1.5f);
+    EXPECT_GE(f[2], 0.0f);  // country / num_countries.
+    EXPECT_LT(f[2], 1.0f);
+  }
+}
+
+TEST(TrajectoryTest, RevisitsAreCommon) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(6);
+  auto g = gen.GeneratePositive(rng);
+  std::set<std::pair<int64_t, int64_t>> distinct;
+  for (const auto& e : g.edges()) {
+    distinct.insert({e.src, e.dst});
+  }
+  // Many movements repeat (favourite POIs): distinct pairs < total edges.
+  EXPECT_LT(static_cast<int64_t>(distinct.size()), g.num_edges());
+}
+
+TEST(TrajectoryTest, TemporalNegativeKeepsChainButChangesOrder) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng pos_rng = rng;  // Same stream: negative corrupts this positive.
+    auto pos = gen.GeneratePositive(pos_rng);
+    auto neg = gen.GenerateNegative(/*temporal_fraction=*/1.0, rng);
+    // The loop swap keeps every local movement valid: no single edge is
+    // anomalous even in time order (unlike a full shuffle).
+    auto edges = neg.ChronologicalEdges();
+    for (size_t i = 1; i < edges.size(); ++i) {
+      EXPECT_EQ(edges[i].src, edges[i - 1].dst) << "trial " << trial;
+    }
+    // But the establishment order differs from the positive twin.
+    auto pos_edges = pos.ChronologicalEdges();
+    ASSERT_EQ(pos_edges.size(), edges.size());
+    bool order_changed = false;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!(pos_edges[i] == edges[i])) order_changed = true;
+    }
+    EXPECT_TRUE(order_changed) << "trial " << trial;
+  }
+}
+
+TEST(TrajectoryTest, StructuralNegativeBreaksChain) {
+  TrajectoryGenerator gen(GowallaOptions());
+  Rng rng(8);
+  auto g = gen.GenerateNegative(/*temporal_fraction=*/0.0, rng);
+  // Rewired edges break the src==prev.dst chain at insertion order level.
+  const auto& edges = g.edges();
+  bool chain_broken = false;
+  for (size_t i = 1; i < edges.size(); ++i) {
+    if (edges[i].src != edges[i - 1].dst) chain_broken = true;
+  }
+  EXPECT_TRUE(chain_broken);
+}
+
+TEST(TrajectoryTest, MinimumSizeGraph) {
+  TrajectoryGenerator::Options options;
+  options.avg_nodes = 2;
+  options.avg_edges = 3;
+  options.size_jitter = 0.0;
+  TrajectoryGenerator gen(options);
+  Rng rng(9);
+  auto g = gen.GeneratePositive(rng);
+  EXPECT_GE(g.num_nodes(), 2);
+  EXPECT_GE(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace tpgnn::data

@@ -1,0 +1,48 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace tpgnn::eval {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.9, 0.8, 0.1, 0.2}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1, 0.2, 0.9, 0.8}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, SingleClassGivesHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, TieBetweenClassesCountsHalf) {
+  // Pairs: pos 0.5 vs neg 0.5 -> 1/2; pos 0.5 vs neg 0.1 -> 1. AUC = 0.75.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  std::vector<double> scores = {0.1, 0.7, 0.3, 0.9, 0.5};
+  std::vector<int> labels = {0, 1, 0, 1, 1};
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(100.0 * s - 3.0);
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels),
+                   ComputeAuc(transformed, labels));
+}
+
+}  // namespace
+}  // namespace tpgnn::eval

@@ -1,0 +1,103 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::eval {
+namespace {
+
+TEST(ConfusionCountsTest, AddRoutesToCells) {
+  ConfusionCounts c;
+  c.Add(1, 1);
+  c.Add(1, 0);
+  c.Add(0, 1);
+  c.Add(0, 0);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.total(), 4);
+}
+
+TEST(MetricsTest, PerfectClassifier) {
+  ConfusionCounts c;
+  c.tp = 10;
+  c.tn = 5;
+  Metrics m = ComputeMetrics(c);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, AllPositivePredictor) {
+  // Predicting everything positive with 70% prevalence: precision 0.7,
+  // recall 1.0, F1 ~ 0.8235 (the paper's weak-baseline signature).
+  ConfusionCounts c;
+  c.tp = 70;
+  c.fp = 30;
+  Metrics m = ComputeMetrics(c);
+  EXPECT_NEAR(m.precision, 0.7, 1e-9);
+  EXPECT_NEAR(m.recall, 1.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2 * 0.7 / 1.7, 1e-9);
+}
+
+TEST(MetricsTest, ZeroDenominatorsAreSafe) {
+  ConfusionCounts c;  // Empty.
+  Metrics m = ComputeMetrics(c);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+  c.tn = 10;  // Never predicts positive.
+  m = ComputeMetrics(c);
+  EXPECT_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.accuracy, 1.0);
+}
+
+TEST(MetricsTest, KnownMixedCase) {
+  ConfusionCounts c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  c.tn = 6;
+  Metrics m = ComputeMetrics(c);
+  EXPECT_NEAR(m.precision, 0.8, 1e-9);
+  EXPECT_NEAR(m.recall, 8.0 / 12.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-9);
+  EXPECT_NEAR(m.accuracy, 0.7, 1e-9);
+}
+
+TEST(AggregateTest, MeanAndStddev) {
+  Metrics a;
+  a.f1 = 0.9;
+  a.precision = 0.8;
+  Metrics b;
+  b.f1 = 0.7;
+  b.precision = 0.6;
+  AggregateMetrics agg = Aggregate({a, b});
+  EXPECT_EQ(agg.runs, 2);
+  EXPECT_NEAR(agg.mean.f1, 0.8, 1e-9);
+  EXPECT_NEAR(agg.stddev.f1, std::sqrt(0.02), 1e-9);
+  EXPECT_NEAR(agg.mean.precision, 0.7, 1e-9);
+}
+
+TEST(AggregateTest, SingleRunHasZeroStddev) {
+  Metrics a;
+  a.f1 = 0.5;
+  AggregateMetrics agg = Aggregate({a});
+  EXPECT_EQ(agg.stddev.f1, 0.0);
+}
+
+TEST(AggregateTest, EmptyRuns) {
+  AggregateMetrics agg = Aggregate({});
+  EXPECT_EQ(agg.runs, 0);
+  EXPECT_EQ(agg.mean.f1, 0.0);
+}
+
+TEST(FormatCellTest, PercentFormatting) {
+  EXPECT_EQ(FormatCell(0.9853, 0.0033), "98.53+/-0.33");
+}
+
+}  // namespace
+}  // namespace tpgnn::eval

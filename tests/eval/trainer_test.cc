@@ -1,0 +1,91 @@
+#include "eval/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "data/datasets.h"
+#include "eval/experiment.h"
+
+namespace tpgnn::eval {
+namespace {
+
+core::TpGnnConfig TinyConfig() {
+  core::TpGnnConfig config;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.hidden_dim = 8;
+  return config;
+}
+
+graph::GraphDataset TinyDataset(int64_t count) {
+  return data::MakeDataset(data::HdfsSpec(), count, /*seed=*/21);
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  core::TpGnnModel model(TinyConfig(), 1);
+  TrainOptions options;
+  options.epochs = 10;
+  options.learning_rate = 5e-3f;
+  options.seed = 1;
+  TrainResult result = TrainClassifier(model, TinyDataset(60), options);
+  ASSERT_EQ(result.epoch_losses.size(), 10u);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+}
+
+TEST(TrainerTest, MaxEdgesSkipsLargeGraphs) {
+  core::TpGnnModel model(TinyConfig(), 2);
+  TrainOptions options;
+  options.epochs = 1;
+  options.max_edges = 1;  // Skips effectively everything.
+  TrainResult result = TrainClassifier(model, TinyDataset(10), options);
+  EXPECT_EQ(result.epoch_losses[0], 0.0);
+}
+
+TEST(TrainerTest, EvaluateProducesValidMetrics) {
+  core::TpGnnModel model(TinyConfig(), 3);
+  Metrics m = EvaluateClassifier(model, TinyDataset(30));
+  EXPECT_GE(m.accuracy, 0.0);
+  EXPECT_LE(m.accuracy, 1.0);
+  EXPECT_GE(m.f1, 0.0);
+  EXPECT_LE(m.f1, 1.0);
+}
+
+TEST(TrainerTest, MeasureInferenceIsPositive) {
+  core::TpGnnModel model(TinyConfig(), 4);
+  EXPECT_GT(MeasureInferenceMicros(model, TinyDataset(5)), 0.0);
+}
+
+TEST(ExperimentTest, RunAggregatesSeeds) {
+  auto dataset = TinyDataset(60);
+  auto split = data::SplitDataset(dataset, 0.5);
+  ClassifierFactory factory = [](uint64_t seed) {
+    return std::make_unique<core::TpGnnModel>(TinyConfig(), seed);
+  };
+  ExperimentOptions options;
+  options.num_seeds = 2;
+  options.train.epochs = 3;
+  ExperimentResult result =
+      RunExperiment(factory, split.train, split.test, options);
+  EXPECT_EQ(result.model_name, "TP-GNN-SUM");
+  EXPECT_EQ(result.metrics.runs, 2);
+  EXPECT_GT(result.metrics.mean.accuracy, 0.3);
+  EXPECT_GT(result.inference_micros_per_graph, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicAcrossInvocations) {
+  auto dataset = TinyDataset(40);
+  auto split = data::SplitDataset(dataset, 0.5);
+  ClassifierFactory factory = [](uint64_t seed) {
+    return std::make_unique<core::TpGnnModel>(TinyConfig(), seed);
+  };
+  ExperimentOptions options;
+  options.num_seeds = 1;
+  options.train.epochs = 2;
+  ExperimentResult a = RunExperiment(factory, split.train, split.test, options);
+  ExperimentResult b = RunExperiment(factory, split.train, split.test, options);
+  EXPECT_DOUBLE_EQ(a.metrics.mean.f1, b.metrics.mean.f1);
+  EXPECT_DOUBLE_EQ(a.metrics.mean.precision, b.metrics.mean.precision);
+}
+
+}  // namespace
+}  // namespace tpgnn::eval

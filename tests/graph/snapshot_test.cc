@@ -1,0 +1,70 @@
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::graph {
+namespace {
+
+TemporalGraph MakeGraph() {
+  TemporalGraph g(4, 1);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 4.0);
+  g.AddEdge(2, 3, 9.0);
+  g.AddEdge(3, 0, 10.0);
+  return g;
+}
+
+TEST(SnapshotTest, WindowModePartitionsEdges) {
+  auto snaps = MakeSnapshots(MakeGraph(), 2, SnapshotMode::kWindow);
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].edges.size(), 2u);  // t=1, t=4 in [0,5).
+  EXPECT_EQ(snaps[1].edges.size(), 2u);  // t=9, t=10.
+}
+
+TEST(SnapshotTest, EveryEdgeAssignedExactlyOnce) {
+  auto snaps = MakeSnapshots(MakeGraph(), 5, SnapshotMode::kWindow);
+  size_t total = 0;
+  for (const auto& s : snaps) total += s.edges.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(SnapshotTest, CumulativeModeGrows) {
+  auto snaps = MakeSnapshots(MakeGraph(), 4, SnapshotMode::kCumulative);
+  ASSERT_EQ(snaps.size(), 4u);
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].edges.size(), snaps[i - 1].edges.size());
+  }
+  EXPECT_EQ(snaps.back().edges.size(), 4u);
+}
+
+TEST(SnapshotTest, MaxTimeEdgeLandsInLastWindow) {
+  auto snaps = MakeSnapshots(MakeGraph(), 10, SnapshotMode::kWindow);
+  EXPECT_FALSE(snaps.back().edges.empty());
+}
+
+TEST(SnapshotTest, WindowBoundsCoverHorizon) {
+  auto snaps = MakeSnapshots(MakeGraph(), 4);
+  EXPECT_DOUBLE_EQ(snaps.front().window_start, 0.0);
+  EXPECT_DOUBLE_EQ(snaps.back().window_end, 10.0);
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snaps[i].window_start, snaps[i - 1].window_end);
+  }
+}
+
+TEST(SnapshotTest, EdgelessGraphYieldsEmptySnapshots) {
+  TemporalGraph g(3, 1);
+  auto snaps = MakeSnapshots(g, 3);
+  ASSERT_EQ(snaps.size(), 3u);
+  for (const auto& s : snaps) EXPECT_TRUE(s.edges.empty());
+}
+
+TEST(SnapshotTest, AllZeroTimestampsGoToFirstWindow) {
+  TemporalGraph g(3, 1);
+  g.AddEdge(0, 1, 0.0);
+  g.AddEdge(1, 2, 0.0);
+  auto snaps = MakeSnapshots(g, 4);
+  EXPECT_EQ(snaps[0].edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tpgnn::graph

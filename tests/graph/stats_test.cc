@@ -1,0 +1,65 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/pooling.h"
+#include "tensor/ops.h"
+
+namespace tpgnn::graph {
+namespace {
+
+GraphDataset MakeDataset() {
+  GraphDataset ds;
+  TemporalGraph g1(4, 3);
+  g1.AddEdge(0, 1, 1.0);
+  g1.AddEdge(1, 2, 2.0);
+  ds.push_back({g1, 1});
+  TemporalGraph g2(2, 3);
+  g2.AddEdge(0, 1, 1.0);
+  ds.push_back({g2, 0});
+  return ds;
+}
+
+TEST(StatsTest, EmptyDataset) {
+  DatasetStats s = ComputeDatasetStats({});
+  EXPECT_EQ(s.graph_count, 0);
+  EXPECT_EQ(s.negative_ratio, 0.0);
+}
+
+TEST(StatsTest, ComputesAverages) {
+  DatasetStats s = ComputeDatasetStats(MakeDataset());
+  EXPECT_EQ(s.graph_count, 2);
+  EXPECT_DOUBLE_EQ(s.negative_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_nodes, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_edges, 1.5);
+  EXPECT_EQ(s.feature_dim, 3);
+}
+
+TEST(StatsTest, FormatRowContainsFields) {
+  DatasetStats s = ComputeDatasetStats(MakeDataset());
+  std::string row = FormatStatsRow("Demo", s);
+  EXPECT_NE(row.find("Demo"), std::string::npos);
+  EXPECT_NE(row.find("50.0%"), std::string::npos);
+}
+
+TEST(PoolingTest, MeanPoolAveragesRows) {
+  tensor::Tensor h = tensor::Tensor::FromVector({2, 3}, {1, 2, 3, 3, 4, 5});
+  tensor::Tensor pooled = MeanPool(h);
+  EXPECT_EQ(pooled.shape(), (tensor::Shape{3}));
+  EXPECT_EQ(pooled.data(), (std::vector<float>{2, 3, 4}));
+}
+
+TEST(PoolingTest, SumPoolAddsRows) {
+  tensor::Tensor h = tensor::Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(SumPool(h).data(), (std::vector<float>{4, 6}));
+}
+
+TEST(PoolingTest, PoolingIsDifferentiable) {
+  tensor::Tensor h =
+      tensor::Tensor::FromVector({2, 2}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  tensor::Sum(MeanPool(h)).Backward();
+  EXPECT_FLOAT_EQ(h.grad()[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace tpgnn::graph

@@ -1,0 +1,113 @@
+#include "graph/temporal_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tpgnn::graph {
+namespace {
+
+TEST(TemporalGraphTest, EmptyGraph) {
+  TemporalGraph g(0, 3);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.MaxTime(), 0.0);
+}
+
+TEST(TemporalGraphTest, AddEdgesAndCount) {
+  TemporalGraph g(3, 2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(0, 1, 3.0);  // Repeated pair at a later time is allowed.
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.MaxTime(), 3.0);
+}
+
+TEST(TemporalGraphTest, FeaturesDefaultToZero) {
+  TemporalGraph g(2, 3);
+  EXPECT_EQ(g.node_feature(0), (std::vector<float>{0, 0, 0}));
+}
+
+TEST(TemporalGraphTest, SetNodeFeature) {
+  TemporalGraph g(2, 2);
+  g.SetNodeFeature(1, {1.5f, -2.0f});
+  EXPECT_EQ(g.node_feature(1), (std::vector<float>{1.5f, -2.0f}));
+  tensor::Tensor x = g.FeatureMatrix();
+  EXPECT_EQ(x.shape(), (tensor::Shape{2, 2}));
+  EXPECT_EQ(x.at({1, 0}), 1.5f);
+  EXPECT_EQ(x.at({0, 0}), 0.0f);
+}
+
+TEST(TemporalGraphTest, ChronologicalSortIsStable) {
+  TemporalGraph g(4, 1);
+  g.AddEdge(0, 1, 5.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 5.0);
+  g.AddEdge(3, 0, 3.0);
+  auto sorted = g.ChronologicalEdges();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].time, 1.0);
+  EXPECT_EQ(sorted[1].time, 3.0);
+  // Ties keep insertion order: (0,1,5) before (2,3,5).
+  EXPECT_EQ(sorted[2].src, 0);
+  EXPECT_EQ(sorted[3].src, 2);
+}
+
+TEST(TemporalGraphTest, ShuffledEdgesPermuteOnlyTies) {
+  TemporalGraph g(6, 1);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 2.0);
+  g.AddEdge(3, 4, 2.0);
+  g.AddEdge(4, 5, 3.0);
+  Rng rng(1);
+  bool saw_permutation = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto shuffled = g.ChronologicalEdgesShuffled(rng);
+    ASSERT_EQ(shuffled.size(), 5u);
+    // Global chronological order must hold.
+    for (size_t i = 1; i < shuffled.size(); ++i) {
+      EXPECT_LE(shuffled[i - 1].time, shuffled[i].time);
+    }
+    // Endpoints of the tie block are fixed.
+    EXPECT_EQ(shuffled[0].src, 0);
+    EXPECT_EQ(shuffled[4].src, 4);
+    // The tie block must contain the same three edges.
+    std::set<int64_t> mid = {shuffled[1].src, shuffled[2].src,
+                             shuffled[3].src};
+    EXPECT_EQ(mid, (std::set<int64_t>{1, 2, 3}));
+    if (shuffled[1].src != 1 || shuffled[2].src != 2) {
+      saw_permutation = true;
+    }
+  }
+  EXPECT_TRUE(saw_permutation);
+}
+
+TEST(TemporalGraphTest, EdgeEquality) {
+  TemporalEdge a{0, 1, 2.0};
+  TemporalEdge b{0, 1, 2.0};
+  TemporalEdge c{0, 1, 3.0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TemporalGraphDeathTest, RejectsInvalidEndpoint) {
+  TemporalGraph g(2, 1);
+  EXPECT_DEATH(g.AddEdge(0, 2, 1.0), "Check failed");
+  EXPECT_DEATH(g.AddEdge(-1, 0, 1.0), "Check failed");
+}
+
+TEST(TemporalGraphDeathTest, RejectsNegativeTime) {
+  TemporalGraph g(2, 1);
+  EXPECT_DEATH(g.AddEdge(0, 1, -0.5), "Check failed");
+}
+
+TEST(TemporalGraphDeathTest, RejectsWrongFeatureDim) {
+  TemporalGraph g(2, 3);
+  EXPECT_DEATH(g.SetNodeFeature(0, {1.0f}), "Check failed");
+}
+
+}  // namespace
+}  // namespace tpgnn::graph

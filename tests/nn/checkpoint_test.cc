@@ -1,0 +1,95 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tpgnn::nn {
+namespace {
+
+class TwoLayer : public Module {
+ public:
+  explicit TwoLayer(uint64_t seed) : rng_(seed), fc1_(4, 8, rng_),
+                                     fc2_(8, 2, rng_) {
+    RegisterChild("fc1", &fc1_);
+    RegisterChild("fc2", &fc2_);
+  }
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const {
+    return fc2_.Forward(tensor::Relu(fc1_.Forward(x)));
+  }
+
+ private:
+  Rng rng_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+TEST(CheckpointTest, SaveLoadRestoresOutputs) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt.txt";
+  TwoLayer source(1);
+  Rng rng(9);
+  tensor::Tensor x = tensor::Tensor::Uniform({3, 4}, -1, 1, rng);
+  tensor::Tensor expected = source.Forward(x);
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+
+  TwoLayer target(2);  // Different init.
+  EXPECT_FALSE(tensor::AllClose(target.Forward(x), expected, 1e-5f, 1e-5f));
+  ASSERT_TRUE(LoadParameters(target, path).ok());
+  EXPECT_TRUE(tensor::AllClose(target.Forward(x), expected, 1e-6f, 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ArchitectureMismatchIsRejected) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt2.txt";
+  TwoLayer source(1);
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+  Rng rng(3);
+  GruCell other(4, 8, rng);
+  Status status = LoadParameters(other, path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  TwoLayer model(1);
+  EXPECT_EQ(LoadParameters(model, "/nonexistent/ckpt.txt").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, CorruptFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt3.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage contents", f);
+  std::fclose(f);
+  TwoLayer model(1);
+  EXPECT_FALSE(LoadParameters(model, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripPreservesExactValuesApproximately) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt4.txt";
+  Rng rng(5);
+  Linear fc(3, 3, rng);
+  std::vector<float> before = fc.Parameters()[0].data();
+  ASSERT_TRUE(SaveParameters(fc, path).ok());
+  Rng rng2(6);
+  Linear fc2(3, 3, rng2);
+  ASSERT_TRUE(LoadParameters(fc2, path).ok());
+  std::vector<float> after = fc2.Parameters()[0].data();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-6f);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tpgnn::nn

@@ -1,0 +1,65 @@
+#ifndef TPGNN_TESTS_TESTING_GRADCHECK_H_
+#define TPGNN_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Numerical gradient checking for autograd ops: compares analytic gradients
+// produced by Tensor::Backward() against central finite differences.
+
+namespace tpgnn::testing {
+
+struct GradCheckResult {
+  bool ok = true;
+  std::string message;
+};
+
+// `fn` maps the given parameters to a scalar tensor and must be
+// deterministic. Every parameter must be a leaf with requires_grad set.
+inline GradCheckResult GradCheck(
+    const std::function<tensor::Tensor(const std::vector<tensor::Tensor>&)>&
+        fn,
+    std::vector<tensor::Tensor> params, float eps = 1e-3f, float tol = 2e-2f) {
+  using tensor::Tensor;
+  for (Tensor& p : params) {
+    p.ZeroGrad();
+  }
+  Tensor loss = fn(params);
+  if (loss.numel() != 1) {
+    return {false, "loss is not scalar"};
+  }
+  loss.Backward();
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = params[pi];
+    const std::vector<float> analytic = p.grad();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const size_t s = static_cast<size_t>(i);
+      const float original = p.MutableData()[s];
+      p.MutableData()[s] = original + eps;
+      const float plus = fn(params).item();
+      p.MutableData()[s] = original - eps;
+      const float minus = fn(params).item();
+      p.MutableData()[s] = original;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float diff = std::abs(numeric - analytic[s]);
+      const float scale = std::max(1.0f, std::max(std::abs(numeric),
+                                                  std::abs(analytic[s])));
+      if (diff / scale > tol) {
+        return {false, "param " + std::to_string(pi) + " elem " +
+                           std::to_string(i) + ": analytic " +
+                           std::to_string(analytic[s]) + " vs numeric " +
+                           std::to_string(numeric)};
+      }
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace tpgnn::testing
+
+#endif  // TPGNN_TESTS_TESTING_GRADCHECK_H_

@@ -1,0 +1,49 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn {
+namespace {
+
+TEST(EnvTest, MissingVariableReturnsDefault) {
+  unsetenv("TPGNN_TEST_MISSING");
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_MISSING", 42), 42);
+  EXPECT_EQ(GetEnvString("TPGNN_TEST_MISSING", "d"), "d");
+}
+
+TEST(EnvTest, ParsesInteger) {
+  setenv("TPGNN_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_INT", 0), 123);
+  unsetenv("TPGNN_TEST_INT");
+}
+
+TEST(EnvTest, ParsesNegativeInteger) {
+  setenv("TPGNN_TEST_INT", "-5", 1);
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_INT", 0), -5);
+  unsetenv("TPGNN_TEST_INT");
+}
+
+TEST(EnvTest, UnparsableFallsBackToDefault) {
+  setenv("TPGNN_TEST_INT", "abc", 1);
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_INT", 7), 7);
+  setenv("TPGNN_TEST_INT", "12x", 1);
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_INT", 7), 7);
+  unsetenv("TPGNN_TEST_INT");
+}
+
+TEST(EnvTest, EmptyValueFallsBackToDefault) {
+  setenv("TPGNN_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvInt("TPGNN_TEST_INT", 9), 9);
+  unsetenv("TPGNN_TEST_INT");
+}
+
+TEST(EnvTest, StringValue) {
+  setenv("TPGNN_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("TPGNN_TEST_STR", "d"), "hello");
+  unsetenv("TPGNN_TEST_STR");
+}
+
+}  // namespace
+}  // namespace tpgnn
