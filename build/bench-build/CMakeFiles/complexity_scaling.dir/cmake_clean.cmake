@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/complexity_scaling"
+  "../bench/complexity_scaling.pdb"
+  "CMakeFiles/complexity_scaling.dir/complexity_scaling.cc.o"
+  "CMakeFiles/complexity_scaling.dir/complexity_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

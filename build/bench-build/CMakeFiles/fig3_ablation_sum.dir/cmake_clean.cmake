@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_ablation_sum"
+  "../bench/fig3_ablation_sum.pdb"
+  "CMakeFiles/fig3_ablation_sum.dir/fig3_ablation_sum.cc.o"
+  "CMakeFiles/fig3_ablation_sum.dir/fig3_ablation_sum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ablation_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

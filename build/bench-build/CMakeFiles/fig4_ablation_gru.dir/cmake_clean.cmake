@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ablation_gru"
+  "../bench/fig4_ablation_gru.pdb"
+  "CMakeFiles/fig4_ablation_gru.dir/fig4_ablation_gru.cc.o"
+  "CMakeFiles/fig4_ablation_gru.dir/fig4_ablation_gru.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ablation_gru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

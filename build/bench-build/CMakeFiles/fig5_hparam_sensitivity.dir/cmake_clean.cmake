@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hparam_sensitivity"
+  "../bench/fig5_hparam_sensitivity.pdb"
+  "CMakeFiles/fig5_hparam_sensitivity.dir/fig5_hparam_sensitivity.cc.o"
+  "CMakeFiles/fig5_hparam_sensitivity.dir/fig5_hparam_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hparam_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_runtime"
+  "../bench/fig6_runtime.pdb"
+  "CMakeFiles/fig6_runtime.dir/fig6_runtime.cc.o"
+  "CMakeFiles/fig6_runtime.dir/fig6_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_main_results"
+  "../bench/table2_main_results.pdb"
+  "CMakeFiles/table2_main_results.dir/table2_main_results.cc.o"
+  "CMakeFiles/table2_main_results.dir/table2_main_results.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

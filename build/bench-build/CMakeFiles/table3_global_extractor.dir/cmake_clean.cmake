@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_global_extractor"
+  "../bench/table3_global_extractor.pdb"
+  "CMakeFiles/table3_global_extractor.dir/table3_global_extractor.cc.o"
+  "CMakeFiles/table3_global_extractor.dir/table3_global_extractor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_global_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_global_extractor.
+# This may be replaced when dependencies are built.

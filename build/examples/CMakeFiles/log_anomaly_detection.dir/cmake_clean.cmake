@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_anomaly_detection.dir/log_anomaly_detection.cc.o"
+  "CMakeFiles/log_anomaly_detection.dir/log_anomaly_detection.cc.o.d"
+  "log_anomaly_detection"
+  "log_anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

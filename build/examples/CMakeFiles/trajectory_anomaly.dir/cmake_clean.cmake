@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_anomaly.dir/trajectory_anomaly.cc.o"
+  "CMakeFiles/trajectory_anomaly.dir/trajectory_anomaly.cc.o.d"
+  "trajectory_anomaly"
+  "trajectory_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/baselines/continuous.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/continuous.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/continuous.cc.o.d"
+  "/root/repo/src/baselines/discrete.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/discrete.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/discrete.cc.o.d"
+  "/root/repo/src/baselines/spectral.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/spectral.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/spectral.cc.o.d"
+  "/root/repo/src/baselines/static_gnn.cc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/static_gnn.cc.o" "gcc" "src/baselines/CMakeFiles/tpgnn_baselines.dir/static_gnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpgnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tpgnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tpgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_baselines.dir/baseline.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/tpgnn_baselines.dir/baselines.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/tpgnn_baselines.dir/continuous.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/continuous.cc.o.d"
+  "CMakeFiles/tpgnn_baselines.dir/discrete.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/discrete.cc.o.d"
+  "CMakeFiles/tpgnn_baselines.dir/spectral.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/spectral.cc.o.d"
+  "CMakeFiles/tpgnn_baselines.dir/static_gnn.cc.o"
+  "CMakeFiles/tpgnn_baselines.dir/static_gnn.cc.o.d"
+  "libtpgnn_baselines.a"
+  "libtpgnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

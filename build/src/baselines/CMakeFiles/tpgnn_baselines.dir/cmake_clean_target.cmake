@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpgnn_baselines.a"
+)

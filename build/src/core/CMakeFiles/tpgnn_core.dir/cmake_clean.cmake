@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_core.dir/config.cc.o"
+  "CMakeFiles/tpgnn_core.dir/config.cc.o.d"
+  "CMakeFiles/tpgnn_core.dir/global_extractor.cc.o"
+  "CMakeFiles/tpgnn_core.dir/global_extractor.cc.o.d"
+  "CMakeFiles/tpgnn_core.dir/model.cc.o"
+  "CMakeFiles/tpgnn_core.dir/model.cc.o.d"
+  "CMakeFiles/tpgnn_core.dir/temporal_propagation.cc.o"
+  "CMakeFiles/tpgnn_core.dir/temporal_propagation.cc.o.d"
+  "CMakeFiles/tpgnn_core.dir/transformer_extractor.cc.o"
+  "CMakeFiles/tpgnn_core.dir/transformer_extractor.cc.o.d"
+  "libtpgnn_core.a"
+  "libtpgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_spec.cc" "src/data/CMakeFiles/tpgnn_data.dir/dataset_spec.cc.o" "gcc" "src/data/CMakeFiles/tpgnn_data.dir/dataset_spec.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/tpgnn_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/tpgnn_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/log_session_generator.cc" "src/data/CMakeFiles/tpgnn_data.dir/log_session_generator.cc.o" "gcc" "src/data/CMakeFiles/tpgnn_data.dir/log_session_generator.cc.o.d"
+  "/root/repo/src/data/negative_sampling.cc" "src/data/CMakeFiles/tpgnn_data.dir/negative_sampling.cc.o" "gcc" "src/data/CMakeFiles/tpgnn_data.dir/negative_sampling.cc.o.d"
+  "/root/repo/src/data/trajectory_generator.cc" "src/data/CMakeFiles/tpgnn_data.dir/trajectory_generator.cc.o" "gcc" "src/data/CMakeFiles/tpgnn_data.dir/trajectory_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tpgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

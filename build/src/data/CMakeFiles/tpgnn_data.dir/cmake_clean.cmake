@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_data.dir/dataset_spec.cc.o"
+  "CMakeFiles/tpgnn_data.dir/dataset_spec.cc.o.d"
+  "CMakeFiles/tpgnn_data.dir/datasets.cc.o"
+  "CMakeFiles/tpgnn_data.dir/datasets.cc.o.d"
+  "CMakeFiles/tpgnn_data.dir/log_session_generator.cc.o"
+  "CMakeFiles/tpgnn_data.dir/log_session_generator.cc.o.d"
+  "CMakeFiles/tpgnn_data.dir/negative_sampling.cc.o"
+  "CMakeFiles/tpgnn_data.dir/negative_sampling.cc.o.d"
+  "CMakeFiles/tpgnn_data.dir/trajectory_generator.cc.o"
+  "CMakeFiles/tpgnn_data.dir/trajectory_generator.cc.o.d"
+  "libtpgnn_data.a"
+  "libtpgnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/tpgnn_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/tpgnn_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/tpgnn_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/tpgnn_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/trainer.cc" "src/eval/CMakeFiles/tpgnn_eval.dir/trainer.cc.o" "gcc" "src/eval/CMakeFiles/tpgnn_eval.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tpgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tpgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

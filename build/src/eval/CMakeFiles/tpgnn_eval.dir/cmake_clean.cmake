@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_eval.dir/experiment.cc.o"
+  "CMakeFiles/tpgnn_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/tpgnn_eval.dir/metrics.cc.o"
+  "CMakeFiles/tpgnn_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tpgnn_eval.dir/trainer.cc.o"
+  "CMakeFiles/tpgnn_eval.dir/trainer.cc.o.d"
+  "libtpgnn_eval.a"
+  "libtpgnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

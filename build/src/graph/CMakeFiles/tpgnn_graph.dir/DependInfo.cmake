@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/adjacency.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/adjacency.cc.o.d"
+  "/root/repo/src/graph/eigen.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/eigen.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/eigen.cc.o.d"
+  "/root/repo/src/graph/influence.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/influence.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/influence.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/neighbor_index.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/neighbor_index.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/neighbor_index.cc.o.d"
+  "/root/repo/src/graph/snapshot.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/snapshot.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/snapshot.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/graph/CMakeFiles/tpgnn_graph.dir/temporal_graph.cc.o" "gcc" "src/graph/CMakeFiles/tpgnn_graph.dir/temporal_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

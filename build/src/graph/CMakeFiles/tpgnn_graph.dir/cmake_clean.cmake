@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_graph.dir/adjacency.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/eigen.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/eigen.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/influence.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/influence.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/io.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/io.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/neighbor_index.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/neighbor_index.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/snapshot.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/snapshot.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/stats.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/stats.cc.o.d"
+  "CMakeFiles/tpgnn_graph.dir/temporal_graph.cc.o"
+  "CMakeFiles/tpgnn_graph.dir/temporal_graph.cc.o.d"
+  "libtpgnn_graph.a"
+  "libtpgnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

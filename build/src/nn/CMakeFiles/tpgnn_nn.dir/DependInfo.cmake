@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/gru_cell.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/gru_cell.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/lstm_cell.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/time_encoding.cc" "src/nn/CMakeFiles/tpgnn_nn.dir/time_encoding.cc.o" "gcc" "src/nn/CMakeFiles/tpgnn_nn.dir/time_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

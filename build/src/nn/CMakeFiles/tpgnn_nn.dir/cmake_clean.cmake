@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_nn.dir/attention.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/attention.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/embedding.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/gru_cell.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/gru_cell.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/init.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/init.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/linear.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/lstm_cell.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/lstm_cell.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/module.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/module.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tpgnn_nn.dir/time_encoding.cc.o"
+  "CMakeFiles/tpgnn_nn.dir/time_encoding.cc.o.d"
+  "libtpgnn_nn.a"
+  "libtpgnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

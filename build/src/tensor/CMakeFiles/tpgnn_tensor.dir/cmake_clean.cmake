@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_tensor.dir/ops.cc.o"
+  "CMakeFiles/tpgnn_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/tpgnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tpgnn_tensor.dir/tensor.cc.o.d"
+  "libtpgnn_tensor.a"
+  "libtpgnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpgnn_util.dir/env.cc.o"
+  "CMakeFiles/tpgnn_util.dir/env.cc.o.d"
+  "CMakeFiles/tpgnn_util.dir/logging.cc.o"
+  "CMakeFiles/tpgnn_util.dir/logging.cc.o.d"
+  "CMakeFiles/tpgnn_util.dir/rng.cc.o"
+  "CMakeFiles/tpgnn_util.dir/rng.cc.o.d"
+  "CMakeFiles/tpgnn_util.dir/status.cc.o"
+  "CMakeFiles/tpgnn_util.dir/status.cc.o.d"
+  "libtpgnn_util.a"
+  "libtpgnn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpgnn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_continuous_test.dir/continuous_test.cc.o"
+  "CMakeFiles/baselines_continuous_test.dir/continuous_test.cc.o.d"
+  "baselines_continuous_test"
+  "baselines_continuous_test.pdb"
+  "baselines_continuous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_discrete_test.dir/discrete_test.cc.o"
+  "CMakeFiles/baselines_discrete_test.dir/discrete_test.cc.o.d"
+  "baselines_discrete_test"
+  "baselines_discrete_test.pdb"
+  "baselines_discrete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_discrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

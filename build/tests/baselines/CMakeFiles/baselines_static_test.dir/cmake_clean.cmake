@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_static_test.dir/static_test.cc.o"
+  "CMakeFiles/baselines_static_test.dir/static_test.cc.o.d"
+  "baselines_static_test"
+  "baselines_static_test.pdb"
+  "baselines_static_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_suite_test.dir/suite_test.cc.o"
+  "CMakeFiles/baselines_suite_test.dir/suite_test.cc.o.d"
+  "baselines_suite_test"
+  "baselines_suite_test.pdb"
+  "baselines_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

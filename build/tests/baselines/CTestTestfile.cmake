@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baselines
+# Build directory: /root/repo/build/tests/baselines
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines/baselines_static_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines/baselines_discrete_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines/baselines_continuous_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines/baselines_suite_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_theorem1_test.dir/theorem1_test.cc.o"
+  "CMakeFiles/core_theorem1_test.dir/theorem1_test.cc.o.d"
+  "core_theorem1_test"
+  "core_theorem1_test.pdb"
+  "core_theorem1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_theorem1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_theorem1_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_extensions_test[1]_include.cmake")

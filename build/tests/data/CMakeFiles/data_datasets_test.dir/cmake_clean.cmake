@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_datasets_test.dir/datasets_test.cc.o"
+  "CMakeFiles/data_datasets_test.dir/datasets_test.cc.o.d"
+  "data_datasets_test"
+  "data_datasets_test.pdb"
+  "data_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_log_session_test.dir/log_session_test.cc.o"
+  "CMakeFiles/data_log_session_test.dir/log_session_test.cc.o.d"
+  "data_log_session_test"
+  "data_log_session_test.pdb"
+  "data_log_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_log_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

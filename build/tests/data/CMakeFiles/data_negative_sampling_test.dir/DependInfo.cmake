@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/negative_sampling_test.cc" "tests/data/CMakeFiles/data_negative_sampling_test.dir/negative_sampling_test.cc.o" "gcc" "tests/data/CMakeFiles/data_negative_sampling_test.dir/negative_sampling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tpgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tpgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_negative_sampling_test.dir/negative_sampling_test.cc.o"
+  "CMakeFiles/data_negative_sampling_test.dir/negative_sampling_test.cc.o.d"
+  "data_negative_sampling_test"
+  "data_negative_sampling_test.pdb"
+  "data_negative_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_negative_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_trajectory_test.dir/trajectory_test.cc.o"
+  "CMakeFiles/data_trajectory_test.dir/trajectory_test.cc.o.d"
+  "data_trajectory_test"
+  "data_trajectory_test.pdb"
+  "data_trajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/data
+# Build directory: /root/repo/build/tests/data
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/data/data_negative_sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/data/data_log_session_test[1]_include.cmake")
+include("/root/repo/build/tests/data/data_trajectory_test[1]_include.cmake")
+include("/root/repo/build/tests/data/data_datasets_test[1]_include.cmake")

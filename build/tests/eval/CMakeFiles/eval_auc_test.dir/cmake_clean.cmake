@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_auc_test.dir/auc_test.cc.o"
+  "CMakeFiles/eval_auc_test.dir/auc_test.cc.o.d"
+  "eval_auc_test"
+  "eval_auc_test.pdb"
+  "eval_auc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_auc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_eigen_test.dir/eigen_test.cc.o"
+  "CMakeFiles/graph_eigen_test.dir/eigen_test.cc.o.d"
+  "graph_eigen_test"
+  "graph_eigen_test.pdb"
+  "graph_eigen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

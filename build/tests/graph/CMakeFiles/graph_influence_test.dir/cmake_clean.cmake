@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_influence_test.dir/influence_test.cc.o"
+  "CMakeFiles/graph_influence_test.dir/influence_test.cc.o.d"
+  "graph_influence_test"
+  "graph_influence_test.pdb"
+  "graph_influence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_influence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

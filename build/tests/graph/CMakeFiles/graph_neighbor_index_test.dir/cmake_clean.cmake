@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_neighbor_index_test.dir/neighbor_index_test.cc.o"
+  "CMakeFiles/graph_neighbor_index_test.dir/neighbor_index_test.cc.o.d"
+  "graph_neighbor_index_test"
+  "graph_neighbor_index_test.pdb"
+  "graph_neighbor_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_neighbor_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

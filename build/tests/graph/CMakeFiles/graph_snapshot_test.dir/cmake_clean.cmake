@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_snapshot_test.dir/snapshot_test.cc.o"
+  "CMakeFiles/graph_snapshot_test.dir/snapshot_test.cc.o.d"
+  "graph_snapshot_test"
+  "graph_snapshot_test.pdb"
+  "graph_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

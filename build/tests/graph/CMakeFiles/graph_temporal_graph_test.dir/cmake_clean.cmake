@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_temporal_graph_test.dir/temporal_graph_test.cc.o"
+  "CMakeFiles/graph_temporal_graph_test.dir/temporal_graph_test.cc.o.d"
+  "graph_temporal_graph_test"
+  "graph_temporal_graph_test.pdb"
+  "graph_temporal_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_temporal_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/graph
+# Build directory: /root/repo/build/tests/graph
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph/graph_temporal_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_adjacency_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_eigen_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_neighbor_index_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_influence_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/graph/graph_io_test[1]_include.cmake")

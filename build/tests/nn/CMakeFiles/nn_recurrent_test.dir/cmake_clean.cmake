@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_recurrent_test.dir/recurrent_test.cc.o"
+  "CMakeFiles/nn_recurrent_test.dir/recurrent_test.cc.o.d"
+  "nn_recurrent_test"
+  "nn_recurrent_test.pdb"
+  "nn_recurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_recurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/nn
+# Build directory: /root/repo/build/tests/nn
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nn/nn_module_test[1]_include.cmake")
+include("/root/repo/build/tests/nn/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn/nn_recurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/nn/nn_attention_test[1]_include.cmake")
+include("/root/repo/build/tests/nn/nn_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/nn/nn_checkpoint_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_autograd_test.dir/autograd_test.cc.o"
+  "CMakeFiles/tensor_autograd_test.dir/autograd_test.cc.o.d"
+  "tensor_autograd_test"
+  "tensor_autograd_test.pdb"
+  "tensor_autograd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_autograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

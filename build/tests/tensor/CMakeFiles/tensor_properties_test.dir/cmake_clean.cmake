@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_properties_test.dir/properties_test.cc.o"
+  "CMakeFiles/tensor_properties_test.dir/properties_test.cc.o.d"
+  "tensor_properties_test"
+  "tensor_properties_test.pdb"
+  "tensor_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
