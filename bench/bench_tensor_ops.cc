@@ -1,0 +1,96 @@
+// Hot-kernel microbenchmarks: square MatMul (forward and forward+backward)
+// at the sizes the models actually hit, plus one full GRU cell step. Run
+// directly (`build/bench/bench_tensor_ops`); not registered with ctest.
+//
+// ns/op is reported by the google-benchmark runner; the MatMul fast-path
+// acceptance bar for this repo is >= 2x the seed kernel at 128x128x128.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "nn/gru_cell.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using tpgnn::Rng;
+using tpgnn::tensor::Tensor;
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                    bool requires_grad = false) {
+  Rng rng(seed);
+  return Tensor::Uniform({rows, cols}, -1.0f, 1.0f, rng, requires_grad);
+}
+
+void BM_MatMulForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  tpgnn::tensor::NoGradGuard no_grad;
+  Tensor a = RandomMatrix(n, n, 1);
+  Tensor b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    Tensor c = tpgnn::tensor::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulForward)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomMatrix(n, n, 1, /*requires_grad=*/true);
+  Tensor b = RandomMatrix(n, n, 2, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = tpgnn::tensor::Sum(tpgnn::tensor::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.MutableGrad().data());
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
+}
+BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GruCellStep(benchmark::State& state) {
+  const int64_t hidden = state.range(0);
+  Rng rng(3);
+  tpgnn::nn::GruCell cell(hidden, hidden, rng);
+  tpgnn::tensor::NoGradGuard no_grad;
+  Tensor x = RandomMatrix(1, hidden, 4);
+  Tensor h = RandomMatrix(1, hidden, 5);
+  for (auto _ : state) {
+    Tensor next = cell.Forward(x, h);
+    benchmark::DoNotOptimize(next.data().data());
+  }
+}
+BENCHMARK(BM_GruCellStep)->Arg(32)->Arg(64);
+
+void BM_SigmoidForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomMatrix(n, n, 6, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = tpgnn::tensor::Sum(tpgnn::tensor::Sigmoid(a));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.MutableGrad().data());
+    a.ZeroGrad();
+  }
+}
+BENCHMARK(BM_SigmoidForwardBackward)->Arg(128);
+
+void BM_TanhForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomMatrix(n, n, 7, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = tpgnn::tensor::Sum(tpgnn::tensor::Tanh(a));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.MutableGrad().data());
+    a.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TanhForwardBackward)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

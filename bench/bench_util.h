@@ -2,21 +2,31 @@
 #define TPGNN_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "core/model.h"
 #include "data/datasets.h"
 #include "eval/experiment.h"
 #include "util/env.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 // Shared plumbing for the experiment drivers in bench/. Every driver honours
 // the same environment variables so the suite can be scaled from a quick CI
 // pass up to paper-protocol runs:
-//   TPGNN_GRAPHS  graphs generated per dataset (default 120)
-//   TPGNN_SEEDS   independent training runs per model (default 2; paper: 5)
-//   TPGNN_EPOCHS  training epochs (default 5; paper: 10)
+//   TPGNN_GRAPHS       graphs generated per dataset (default 120)
+//   TPGNN_SEEDS        independent training runs per model (default 2; paper: 5)
+//   TPGNN_EPOCHS       training epochs (default 5; paper: 10)
+//   TPGNN_NUM_THREADS  worker threads for (model, dataset, seed) cells
+//                      (default: hardware concurrency; 1 = serial seed path)
+//   TPGNN_BENCH_JSON   path of the machine-readable timing record
+//                      (default BENCH_parallel.json in the working dir)
 
 namespace tpgnn::bench {
 
@@ -92,11 +102,110 @@ inline void PrintHeader(const std::string& title,
                         const BenchSettings& settings) {
   std::printf("#############################################################\n");
   std::printf("# %s\n", title.c_str());
-  std::printf("# graphs/dataset=%lld seeds=%lld epochs=%lld (env-tunable)\n",
+  std::printf("# graphs/dataset=%lld seeds=%lld epochs=%lld threads=%d"
+              " (env-tunable)\n",
               static_cast<long long>(settings.graphs_per_dataset),
               static_cast<long long>(settings.seeds),
-              static_cast<long long>(settings.epochs));
+              static_cast<long long>(settings.epochs),
+              ThreadPool::DefaultNumThreads());
   std::printf("#############################################################\n");
+  std::fflush(stdout);
+}
+
+// --- Parallel cell execution + timing record ------------------------------
+
+// One independently timed (dataset, model) unit of work; seeds parallelize
+// inside RunExperiment, so with T threads the harness keeps T cells/seeds in
+// flight at once.
+struct BenchCell {
+  std::string dataset;
+  std::string model;
+  double seconds = 0.0;
+};
+
+// Runs every (model) cell of one dataset on the global pool and returns the
+// results in model order (bit-identical to the serial loop; see
+// eval::RunExperiment for the determinism argument).
+inline std::vector<eval::ExperimentResult> RunCellsParallel(
+    const std::string& dataset_name,
+    const std::vector<std::pair<std::string, eval::ClassifierFactory>>& models,
+    const data::TrainTestSplit& split, const eval::ExperimentOptions& options,
+    std::vector<BenchCell>& cells) {
+  struct Cell {
+    eval::ExperimentResult result;
+    double seconds = 0.0;
+  };
+  std::vector<Cell> run = ParallelMap<Cell>(
+      ThreadPool::Global(), static_cast<int64_t>(models.size()), /*grain=*/1,
+      [&](int64_t i) {
+        Stopwatch watch;
+        Cell cell;
+        cell.result = eval::RunExperiment(models[static_cast<size_t>(i)].second,
+                                          split.train, split.test, options);
+        cell.seconds = watch.ElapsedSeconds();
+        return cell;
+      });
+  std::vector<eval::ExperimentResult> results;
+  results.reserve(run.size());
+  for (size_t i = 0; i < run.size(); ++i) {
+    cells.push_back({dataset_name, models[i].first, run[i].seconds});
+    results.push_back(std::move(run[i].result));
+  }
+  return results;
+}
+
+// Appends this driver's run to the BENCH_parallel.json record (an array with
+// one single-line object per driver; re-running a driver replaces its line).
+// serial_seconds_est is the sum of per-cell wall times — what the run would
+// have cost end to end on one thread.
+inline void WriteBenchParallelJson(const std::string& driver,
+                                   const std::vector<BenchCell>& cells,
+                                   double wall_seconds) {
+  const std::string path =
+      GetEnvString("TPGNN_BENCH_JSON", "BENCH_parallel.json");
+  double serial_est = 0.0;
+  for (const BenchCell& c : cells) serial_est += c.seconds;
+
+  std::ostringstream line;
+  line << "{\"driver\": \"" << driver
+       << "\", \"threads\": " << ThreadPool::DefaultNumThreads()
+       << ", \"wall_seconds\": " << wall_seconds
+       << ", \"serial_seconds_est\": " << serial_est << ", \"speedup\": "
+       << (wall_seconds > 0.0 ? serial_est / wall_seconds : 0.0)
+       << ", \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line << ", ";
+    line << "{\"dataset\": \"" << cells[i].dataset << "\", \"model\": \""
+         << cells[i].model << "\", \"seconds\": " << cells[i].seconds << "}";
+  }
+  line << "]}";
+
+  // Keep the other drivers' lines; replace ours if present.
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string existing;
+    const std::string marker = "{\"driver\": \"" + driver + "\"";
+    while (std::getline(in, existing)) {
+      if (existing.rfind("{\"driver\": ", 0) == 0 &&
+          existing.rfind(marker, 0) != 0) {
+        kept.push_back(existing);
+      }
+    }
+  }
+  kept.push_back(line.str());
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (size_t i = 0; i < kept.size(); ++i) {
+    out << kept[i] << (i + 1 < kept.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::printf("[bench] %s: wall=%.2fs serial_est=%.2fs speedup=%.2fx "
+              "threads=%d -> %s\n",
+              driver.c_str(), wall_seconds, serial_est,
+              wall_seconds > 0.0 ? serial_est / wall_seconds : 0.0,
+              ThreadPool::DefaultNumThreads(), path.c_str());
   std::fflush(stdout);
 }
 

@@ -26,6 +26,8 @@ int main() {
   const std::vector<data::DatasetSpec> specs = {
       data::ForumJavaSpec(), data::HdfsSpec(), data::GowallaSpec(),
       data::BrightkiteSpec()};
+  tpgnn::Stopwatch wall;
+  std::vector<bench::BenchCell> cells;
   for (const data::DatasetSpec& spec : specs) {
     data::TrainTestSplit split = bench::PrepareDataset(spec, settings);
     baselines::ContinuousOptions c;
@@ -51,16 +53,19 @@ int main() {
         {"TP-GNN-GRU",
          bench::TpGnnFactory(bench::DefaultTpGnnConfig(core::Updater::kGru))},
     };
+    // Cells run concurrently on the pool; scatter points print in model
+    // order once the dataset drains.
+    std::vector<eval::ExperimentResult> results =
+        bench::RunCellsParallel(spec.name, models, split, options, cells);
     std::printf("\n== %s: scatter points (us/graph, F1%%) ==\n",
                 spec.name.c_str());
-    for (const auto& [name, factory] : models) {
-      eval::ExperimentResult result =
-          eval::RunExperiment(factory, split.train, split.test, options);
-      std::printf("%-12s us/graph=%9.1f  F1=%6.2f\n", name.c_str(),
-                  result.inference_micros_per_graph,
-                  100.0 * result.metrics.mean.f1);
+    for (size_t i = 0; i < models.size(); ++i) {
+      std::printf("%-12s us/graph=%9.1f  F1=%6.2f\n", models[i].first.c_str(),
+                  results[i].inference_micros_per_graph,
+                  100.0 * results[i].metrics.mean.f1);
       std::fflush(stdout);
     }
   }
+  bench::WriteBenchParallelJson("fig6_runtime", cells, wall.ElapsedSeconds());
   return 0;
 }

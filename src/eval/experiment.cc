@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tpgnn::eval {
 
@@ -13,20 +14,40 @@ ExperimentResult RunExperiment(const ClassifierFactory& factory,
                                const ExperimentOptions& options) {
   TPGNN_CHECK_GT(options.num_seeds, 0);
   ExperimentResult result;
-  std::vector<Metrics> runs;
   Stopwatch total_watch;
+
+  // Seeds are independent (fresh model, private RNG streams), so they run
+  // as parallel cells on the global pool. Every per-seed output lands in
+  // slot s, and the aggregation below walks slots in seed order, so the
+  // result is bit-identical to the serial loop for any thread count.
+  struct SeedRun {
+    std::string model_name;
+    Metrics metrics;
+    double inference_micros = 0.0;
+  };
+  std::vector<SeedRun> seed_runs = ParallelMap<SeedRun>(
+      ThreadPool::Global(), options.num_seeds, /*grain=*/1, [&](int64_t s) {
+        const uint64_t seed = options.base_seed + static_cast<uint64_t>(s);
+        std::unique_ptr<GraphClassifier> model = factory(seed);
+        TrainOptions train_options = options.train;
+        train_options.seed = seed;
+        TrainClassifier(*model, train, train_options);
+        SeedRun run;
+        run.model_name = model->name();
+        run.metrics = EvaluateClassifier(*model, test);
+        run.inference_micros = MeasureInferenceMicros(*model, test);
+        return run;
+      });
+
+  std::vector<Metrics> runs;
+  runs.reserve(seed_runs.size());
   double inference_sum = 0.0;
-  for (int64_t s = 0; s < options.num_seeds; ++s) {
-    const uint64_t seed = options.base_seed + static_cast<uint64_t>(s);
-    std::unique_ptr<GraphClassifier> model = factory(seed);
+  for (const SeedRun& run : seed_runs) {
     if (result.model_name.empty()) {
-      result.model_name = model->name();
+      result.model_name = run.model_name;
     }
-    TrainOptions train_options = options.train;
-    train_options.seed = seed;
-    TrainClassifier(*model, train, train_options);
-    runs.push_back(EvaluateClassifier(*model, test));
-    inference_sum += MeasureInferenceMicros(*model, test);
+    runs.push_back(run.metrics);
+    inference_sum += run.inference_micros;
   }
   result.metrics = Aggregate(runs);
   result.train_seconds = total_watch.ElapsedSeconds();

@@ -1,13 +1,16 @@
 #include "eval/trainer.h"
 
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <optional>
 
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tpgnn::eval {
 
@@ -33,12 +36,21 @@ void ClipGradNorm(std::vector<tensor::Tensor>& params, float clip_norm) {
   }
 }
 
-}  // namespace
+// Deterministic per-graph RNG seed for batched training: a function of
+// (run seed, epoch, position in the shuffled order) only, never of which
+// thread executes the graph.
+uint64_t GraphSeed(uint64_t seed, int64_t epoch, int64_t position) {
+  uint64_t state = seed ^ 0x62617463686c6f6fULL;
+  state += 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(epoch + 1);
+  state += 0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(position + 1);
+  return SplitMix64(state);
+}
 
-TrainResult TrainClassifier(GraphClassifier& model,
-                            const graph::GraphDataset& train,
-                            const TrainOptions& options) {
-  TPGNN_CHECK(!train.empty());
+// The seed trainer, verbatim: one Adam step per graph, a single RNG stream
+// consumed sequentially by shuffling and the training-mode forward passes.
+TrainResult TrainSerial(GraphClassifier& model,
+                        const graph::GraphDataset& train,
+                        const TrainOptions& options) {
   Rng rng(options.seed ^ 0x7261696e65724cULL);
   std::vector<tensor::Tensor> params = model.TrainableParameters();
   nn::Adam optimizer(params, options.learning_rate);
@@ -77,33 +89,181 @@ TrainResult TrainClassifier(GraphClassifier& model,
   return result;
 }
 
+// Mini-batch gradient accumulation: graphs within a batch run
+// forward+backward concurrently on per-graph tapes; each worker redirects
+// parameter gradients into a thread-private ShadowGradScope, and the main
+// thread reduces the per-graph shadow buffers in batch order before the
+// single Adam step. Identical results for any num_threads.
+TrainResult TrainBatched(GraphClassifier& model,
+                         const graph::GraphDataset& train,
+                         const TrainOptions& options, int num_threads) {
+  Rng shuffle_rng(options.seed ^ 0x7261696e65724cULL);
+  std::vector<tensor::Tensor> params = model.TrainableParameters();
+  std::vector<std::shared_ptr<tensor::TensorImpl>> param_impls;
+  param_impls.reserve(params.size());
+  for (const tensor::Tensor& p : params) {
+    param_impls.push_back(p.impl());
+  }
+  nn::Adam optimizer(params, options.learning_rate);
+
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  if (num_threads > 0 && num_threads != ThreadPool::DefaultNumThreads()) {
+    local_pool.emplace(num_threads);
+    pool = &*local_pool;
+  } else {
+    pool = &ThreadPool::Global();
+  }
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  const int64_t batch_size = options.batch_size;
+
+  TrainResult result;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    // The max_edges filter is applied on the main thread so batch
+    // boundaries (and thus step count and RNG positions) are
+    // schedule-independent.
+    std::vector<size_t> epoch_order;
+    epoch_order.reserve(order.size());
+    for (size_t idx : order) {
+      if (options.max_edges > 0 &&
+          train[idx].graph.num_edges() > options.max_edges) {
+        continue;
+      }
+      epoch_order.push_back(idx);
+    }
+
+    double loss_sum = 0.0;
+    const int64_t total = static_cast<int64_t>(epoch_order.size());
+    for (int64_t start = 0; start < total; start += batch_size) {
+      const int64_t bsize = std::min<int64_t>(batch_size, total - start);
+      optimizer.ZeroGrad();
+
+      // Per-graph outputs, indexed by position within the batch.
+      std::vector<float> batch_losses(static_cast<size_t>(bsize), 0.0f);
+      std::vector<std::vector<std::vector<float>>> shadow(
+          static_cast<size_t>(bsize));
+
+      pool->ParallelFor(0, bsize, /*grain=*/1, [&](int64_t bi) {
+        const size_t idx = epoch_order[static_cast<size_t>(start + bi)];
+        const graph::LabeledGraph& sample = train[idx];
+        Rng graph_rng(GraphSeed(options.seed, epoch, start + bi));
+        tensor::ShadowGradScope scope(param_impls);
+        tensor::Tensor logit =
+            model.ForwardLogit(sample.graph, /*training=*/true, graph_rng);
+        tensor::Tensor target =
+            tensor::Tensor::Scalar(static_cast<float>(sample.label));
+        tensor::Tensor loss =
+            tensor::BinaryCrossEntropyWithLogits(logit, target);
+        loss.Backward();
+        batch_losses[static_cast<size_t>(bi)] = loss.item();
+        std::vector<std::vector<float>> grads(param_impls.size());
+        for (size_t p = 0; p < param_impls.size(); ++p) {
+          grads[p] = scope.shadow_grad(p);
+        }
+        shadow[static_cast<size_t>(bi)] = std::move(grads);
+      });
+
+      // Deterministic reduction: batch order first, parameter order second.
+      for (int64_t bi = 0; bi < bsize; ++bi) {
+        const auto& grads = shadow[static_cast<size_t>(bi)];
+        for (size_t p = 0; p < param_impls.size(); ++p) {
+          const std::vector<float>& g = grads[p];
+          if (g.empty()) continue;
+          param_impls[p]->AccumulateGrad(g);
+        }
+        loss_sum += static_cast<double>(batch_losses[static_cast<size_t>(bi)]);
+      }
+
+      if (options.clip_norm > 0.0f) {
+        ClipGradNorm(params, options.clip_norm);
+      }
+      optimizer.Step();
+    }
+    result.epoch_losses.push_back(
+        total > 0 ? loss_sum / static_cast<double>(total) : 0.0);
+  }
+  return result;
+}
+
+// Resolves the evaluation pool: the global one (honouring
+// TPGNN_NUM_THREADS) unless the caller pinned an explicit thread count.
+ThreadPool* ResolvePool(int num_threads,
+                        std::optional<ThreadPool>& local_pool) {
+  if (num_threads > 0 && num_threads != ThreadPool::DefaultNumThreads()) {
+    local_pool.emplace(num_threads);
+    return &*local_pool;
+  }
+  return &ThreadPool::Global();
+}
+
+}  // namespace
+
+TrainResult TrainClassifier(GraphClassifier& model,
+                            const graph::GraphDataset& train,
+                            const TrainOptions& options) {
+  TPGNN_CHECK(!train.empty());
+  TPGNN_CHECK_GE(options.batch_size, 1);
+  if (options.batch_size == 1) {
+    // Bit-exact seed path; threads cannot help inside a one-graph batch.
+    return TrainSerial(model, train, options);
+  }
+  const int num_threads = options.num_threads <= 0
+                              ? ThreadPool::DefaultNumThreads()
+                              : static_cast<int>(options.num_threads);
+  return TrainBatched(model, train, options, num_threads);
+}
+
 Metrics EvaluateClassifier(GraphClassifier& model,
-                           const graph::GraphDataset& test) {
+                           const graph::GraphDataset& test, int num_threads) {
   TPGNN_CHECK(!test.empty());
-  tensor::NoGradGuard no_grad;
-  Rng rng(0);  // Inference path must not depend on it.
+  const int64_t n = static_cast<int64_t>(test.size());
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = ResolvePool(num_threads, local_pool);
+  // One slot per graph; slot i only ever holds graph i's prediction, so the
+  // reduction below is independent of scheduling.
+  std::vector<int> predicted(static_cast<size_t>(n), 0);
+  const int64_t grain =
+      std::max<int64_t>(1, n / (4 * static_cast<int64_t>(pool->num_threads())));
+  pool->ParallelFor(0, n, grain, [&](int64_t i) {
+    tensor::NoGradGuard no_grad;  // Per worker thread, not per call site.
+    Rng rng(0);  // Inference path must not depend on it.
+    tensor::Tensor logit = model.ForwardLogit(
+        test[static_cast<size_t>(i)].graph, /*training=*/false, rng);
+    predicted[static_cast<size_t>(i)] = logit.item() > 0.0f ? 1 : 0;
+  });
   ConfusionCounts counts;
-  for (const graph::LabeledGraph& sample : test) {
-    tensor::Tensor logit =
-        model.ForwardLogit(sample.graph, /*training=*/false, rng);
-    const int predicted = logit.item() > 0.0f ? 1 : 0;  // Sigmoid > 0.5.
-    counts.Add(predicted, sample.label);
+  for (int64_t i = 0; i < n; ++i) {
+    counts.Add(predicted[static_cast<size_t>(i)],
+               test[static_cast<size_t>(i)].label);
   }
   return ComputeMetrics(counts);
 }
 
 double MeasureInferenceMicros(GraphClassifier& model,
-                              const graph::GraphDataset& test) {
+                              const graph::GraphDataset& test,
+                              int num_threads) {
   TPGNN_CHECK(!test.empty());
-  tensor::NoGradGuard no_grad;
-  Rng rng(0);
-  Stopwatch watch;
-  for (const graph::LabeledGraph& sample : test) {
-    tensor::Tensor logit =
-        model.ForwardLogit(sample.graph, /*training=*/false, rng);
+  const int64_t n = static_cast<int64_t>(test.size());
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = ResolvePool(num_threads, local_pool);
+  std::vector<double> micros(static_cast<size_t>(n), 0.0);
+  const int64_t grain =
+      std::max<int64_t>(1, n / (4 * static_cast<int64_t>(pool->num_threads())));
+  pool->ParallelFor(0, n, grain, [&](int64_t i) {
+    tensor::NoGradGuard no_grad;
+    Rng rng(0);
+    Stopwatch watch;
+    tensor::Tensor logit = model.ForwardLogit(
+        test[static_cast<size_t>(i)].graph, /*training=*/false, rng);
     (void)logit;
-  }
-  return watch.ElapsedMicros() / static_cast<double>(test.size());
+    micros[static_cast<size_t>(i)] = watch.ElapsedMicros();
+  });
+  double total = 0.0;
+  for (double m : micros) total += m;
+  return total / static_cast<double>(n);
 }
 
 }  // namespace tpgnn::eval

@@ -9,8 +9,21 @@
 #include "graph/temporal_graph.h"
 
 // End-to-end training loop (Sec. IV-D / V-D): Adam at lr 1e-3, binary
-// cross-entropy on the sigmoid of the graph logit, one optimizer step per
-// graph, graph order reshuffled every epoch.
+// cross-entropy on the sigmoid of the graph logit, graph order reshuffled
+// every epoch.
+//
+// Two execution modes (see DESIGN.md §"Threading model"):
+//  * batch_size == 1 (default): the exact seed behaviour — one optimizer
+//    step per graph, a single sequential RNG stream shared by shuffling and
+//    the forward passes.
+//  * batch_size > 1: mini-batch gradient accumulation. Workers run
+//    forward+backward on per-graph autograd tapes concurrently with
+//    parameter gradients redirected into thread-private shadow buffers
+//    (tensor::ShadowGradScope); the main thread then sums the shadow
+//    buffers in batch order and takes one Adam step. Shuffling stays on the
+//    main thread and each graph's RNG is derived from (seed, epoch,
+//    position), so a given (seed, batch_size) run is bit-identical
+//    regardless of num_threads.
 
 namespace tpgnn::eval {
 
@@ -25,6 +38,12 @@ struct TrainOptions {
   // essential for the recurrent models on long edge sequences. <= 0
   // disables.
   float clip_norm = 5.0f;
+  // Graphs per optimizer step. 1 reproduces the seed trainer exactly.
+  int64_t batch_size = 1;
+  // Worker threads for intra-batch forward/backward. <= 0 resolves to
+  // ThreadPool::DefaultNumThreads() (TPGNN_NUM_THREADS). Ignored when
+  // batch_size == 1.
+  int64_t num_threads = 1;
 };
 
 struct TrainResult {
@@ -36,12 +55,20 @@ TrainResult TrainClassifier(GraphClassifier& model,
                             const TrainOptions& options);
 
 // Evaluates on `test` (threshold 0.5) and returns positive-class metrics.
+// Graphs are sharded across threads (inference is NoGradGuard-pure per
+// graph); confusion counts are reduced in dataset order, so the result is
+// bit-identical to the serial path for any thread count. num_threads <= 0
+// uses the global pool (TPGNN_NUM_THREADS); otherwise a dedicated pool of
+// exactly that size.
 Metrics EvaluateClassifier(GraphClassifier& model,
-                           const graph::GraphDataset& test);
+                           const graph::GraphDataset& test,
+                           int num_threads = 0);
 
-// Mean per-graph inference time in microseconds over `test`.
+// Mean per-graph inference time in microseconds over `test`, measured
+// per graph on the worker that runs it and averaged in dataset order.
 double MeasureInferenceMicros(GraphClassifier& model,
-                              const graph::GraphDataset& test);
+                              const graph::GraphDataset& test,
+                              int num_threads = 0);
 
 }  // namespace tpgnn::eval
 

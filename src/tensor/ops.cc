@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <utility>
 
 #include "util/logging.h"
@@ -12,7 +13,10 @@ namespace {
 
 // Creates the op result and, when needed, attaches the autograd node built by
 // `make_backward` (only invoked if some input requires grad and gradients are
-// enabled, so no closure is allocated on inference paths).
+// enabled, so no closure is allocated on inference paths). `make_backward`
+// may optionally take the output impl so the closure can read the saved
+// forward activations instead of recomputing them; the raw pointer is safe
+// because the output impl owns the node that owns the closure.
 template <typename MakeBackward>
 Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
                   const Shape& shape, std::vector<float> data,
@@ -32,7 +36,11 @@ Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
     for (const Tensor& t : inputs) {
       node->inputs.push_back(t.impl());
     }
-    node->backward = make_backward();
+    if constexpr (std::is_invocable_v<MakeBackward&, TensorImpl*>) {
+      node->backward = make_backward(out.impl().get());
+    } else {
+      node->backward = make_backward();
+    }
     out.impl()->grad_fn = std::move(node);
   }
   return out;
@@ -116,35 +124,40 @@ Tensor BinaryEw(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
     auto a_impl = a.impl();
     auto b_impl = b.impl();
     Shape shape = out_shape;
-    return [a_impl, b_impl, shape, dfda, dfdb,
+    // Strides are computed once here instead of on every backward call.
+    std::vector<int64_t> sa;
+    std::vector<int64_t> sb;
+    if (!same_shape) {
+      sa = BroadcastStrides(a.shape(), out_shape);
+      sb = BroadcastStrides(b.shape(), out_shape);
+    }
+    return [a_impl, b_impl, shape, sa, sb, dfda, dfdb,
             same_shape](const std::vector<float>& grad_out) {
       const bool need_a = a_impl->requires_grad;
       const bool need_b = b_impl->requires_grad;
-      if (need_a) a_impl->EnsureGrad();
-      if (need_b) b_impl->EnsureGrad();
+      std::vector<float>* ag = need_a ? &GradBufferFor(*a_impl) : nullptr;
+      std::vector<float>* bg = need_b ? &GradBufferFor(*b_impl) : nullptr;
       const std::vector<float>& ad = a_impl->data;
       const std::vector<float>& bd = b_impl->data;
       if (same_shape) {
         const int64_t n = static_cast<int64_t>(grad_out.size());
         for (int64_t i = 0; i < n; ++i) {
           const size_t s = static_cast<size_t>(i);
-          if (need_a) a_impl->grad[s] += dfda(ad[s], bd[s]) * grad_out[s];
-          if (need_b) b_impl->grad[s] += dfdb(ad[s], bd[s]) * grad_out[s];
+          if (need_a) (*ag)[s] += dfda(ad[s], bd[s]) * grad_out[s];
+          if (need_b) (*bg)[s] += dfdb(ad[s], bd[s]) * grad_out[s];
         }
       } else {
-        const auto sa = BroadcastStrides(a_impl->shape, shape);
-        const auto sb = BroadcastStrides(b_impl->shape, shape);
         ForEachBroadcast(shape, sa, sb,
                          [&](int64_t i, int64_t oa, int64_t ob) {
                            const size_t si = static_cast<size_t>(i);
                            const size_t sao = static_cast<size_t>(oa);
                            const size_t sbo = static_cast<size_t>(ob);
                            if (need_a) {
-                             a_impl->grad[sao] +=
+                             (*ag)[sao] +=
                                  dfda(ad[sao], bd[sbo]) * grad_out[si];
                            }
                            if (need_b) {
-                             b_impl->grad[sbo] +=
+                             (*bg)[sbo] +=
                                  dfdb(ad[sao], bd[sbo]) * grad_out[si];
                            }
                          });
@@ -153,8 +166,9 @@ Tensor BinaryEw(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
   });
 }
 
-// Shared implementation for unary elementwise operators. `dfdx(x, y)`
-// receives both the input and the already computed output value.
+// Shared implementation for unary elementwise operators whose derivative is
+// a function of the input alone; `dfdx(x)` must not re-run the forward
+// computation.
 template <typename Fwd, typename Dfdx>
 Tensor UnaryEw(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
   const int64_t n = a.numel();
@@ -165,15 +179,40 @@ Tensor UnaryEw(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
   }
   return MakeResult(name, {a}, a.shape(), std::move(out), [&]() {
     auto a_impl = a.impl();
-    return [a_impl, dfdx, fwd](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
+    return [a_impl, dfdx](const std::vector<float>& grad_out) {
+      std::vector<float>& ag = GradBufferFor(*a_impl);
       const std::vector<float>& ad = a_impl->data;
       for (size_t i = 0; i < grad_out.size(); ++i) {
-        const float x = ad[i];
-        a_impl->grad[i] += dfdx(x, fwd(x)) * grad_out[i];
+        ag[i] += dfdx(ad[i]) * grad_out[i];
       }
     };
   });
+}
+
+// Unary elementwise operators whose derivative is a function of the output
+// alone (Sigmoid, Tanh, Exp, Sqrt): the backward closure reads the saved
+// forward activations from the output impl instead of recomputing the
+// transcendental per element.
+template <typename Fwd, typename Dfdy>
+Tensor UnaryEwFromOutput(const char* name, const Tensor& a, Fwd fwd,
+                         Dfdy dfdy) {
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const std::vector<float>& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = fwd(ad[static_cast<size_t>(i)]);
+  }
+  return MakeResult(
+      name, {a}, a.shape(), std::move(out), [&](TensorImpl* out_impl) {
+        auto a_impl = a.impl();
+        return [a_impl, out_impl, dfdy](const std::vector<float>& grad_out) {
+          std::vector<float>& ag = GradBufferFor(*a_impl);
+          const std::vector<float>& y = out_impl->data;
+          for (size_t i = 0; i < grad_out.size(); ++i) {
+            ag[i] += dfdy(y[i]) * grad_out[i];
+          }
+        };
+      });
 }
 
 }  // namespace
@@ -221,84 +260,81 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor Scale(const Tensor& a, float s) {
   return UnaryEw(
-      "Scale", a, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+      "Scale", a, [s](float x) { return x * s; }, [s](float) { return s; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryEw(
       "AddScalar", a, [s](float x) { return x + s; },
-      [](float, float) { return 1.0f; });
+      [](float) { return 1.0f; });
 }
 
 Tensor Pow(const Tensor& a, float exponent) {
   return UnaryEw(
       "Pow", a, [exponent](float x) { return std::pow(x, exponent); },
-      [exponent](float x, float) {
+      [exponent](float x) {
         return exponent * std::pow(x, exponent - 1.0f);
       });
 }
 
 Tensor Neg(const Tensor& a) {
   return UnaryEw(
-      "Neg", a, [](float x) { return -x; },
-      [](float, float) { return -1.0f; });
+      "Neg", a, [](float x) { return -x; }, [](float) { return -1.0f; });
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryEw(
+  return UnaryEwFromOutput(
       "Exp", a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+      [](float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryEw(
       "Log", a, [](float x) { return std::log(x); },
-      [](float x, float) { return 1.0f / x; });
+      [](float x) { return 1.0f / x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return UnaryEw(
+  return UnaryEwFromOutput(
       "Sqrt", a, [](float x) { return std::sqrt(x); },
-      [](float, float y) { return 0.5f / y; });
+      [](float y) { return 0.5f / y; });
 }
 
 Tensor Sin(const Tensor& a) {
   return UnaryEw(
       "Sin", a, [](float x) { return std::sin(x); },
-      [](float x, float) { return std::cos(x); });
+      [](float x) { return std::cos(x); });
 }
 
 Tensor Cos(const Tensor& a) {
   return UnaryEw(
       "Cos", a, [](float x) { return std::cos(x); },
-      [](float x, float) { return -std::sin(x); });
+      [](float x) { return -std::sin(x); });
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryEw(
+  return UnaryEwFromOutput(
       "Tanh", a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+      [](float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryEw(
-      "Sigmoid", a,
-      [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
+  return UnaryEwFromOutput(
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
 }
 
 Tensor Relu(const Tensor& a) {
   return UnaryEw(
       "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+      [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   return UnaryEw(
       "LeakyRelu", a,
       [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
-      [negative_slope](float x, float) {
+      [negative_slope](float x) {
         return x > 0.0f ? 1.0f : negative_slope;
       });
 }
@@ -311,7 +347,10 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
   return MakeResult("Reshape", {a}, new_shape, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl](const std::vector<float>& grad_out) {
-      a_impl->AccumulateGrad(grad_out);
+      std::vector<float>& ag = GradBufferFor(*a_impl);
+      for (size_t i = 0; i < grad_out.size(); ++i) {
+        ag[i] += grad_out[i];
+      }
     };
   });
 }
@@ -330,10 +369,10 @@ Tensor Transpose(const Tensor& a) {
   return MakeResult("Transpose", {a}, {m, n}, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl, n, m](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
+      std::vector<float>& ag = GradBufferFor(*a_impl);
       for (int64_t i = 0; i < n; ++i) {
         for (int64_t j = 0; j < m; ++j) {
-          a_impl->grad[static_cast<size_t>(i * m + j)] +=
+          ag[static_cast<size_t>(i * m + j)] +=
               grad_out[static_cast<size_t>(j * n + i)];
         }
       }
@@ -393,9 +432,9 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
         size_t cursor = 0;
         for (const auto& impl : impls) {
           if (impl->requires_grad) {
-            impl->EnsureGrad();
+            std::vector<float>& ig = GradBufferFor(*impl);
             for (size_t i = 0; i < impl->data.size(); ++i) {
-              impl->grad[i] += grad_out[cursor + i];
+              ig[i] += grad_out[cursor + i];
             }
           }
           cursor += impl->data.size();
@@ -407,10 +446,10 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
         for (const auto& impl : impls) {
           const int64_t cols = impl->shape[1];
           if (impl->requires_grad) {
-            impl->EnsureGrad();
+            std::vector<float>& ig = GradBufferFor(*impl);
             for (int64_t r = 0; r < rows; ++r) {
               for (int64_t c = 0; c < cols; ++c) {
-                impl->grad[static_cast<size_t>(r * cols + c)] +=
+                ig[static_cast<size_t>(r * cols + c)] +=
                     grad_out[static_cast<size_t>(r * out_cols + col_offset +
                                                  c)];
               }
@@ -457,10 +496,10 @@ Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
     auto a_impl = a.impl();
     std::vector<int64_t> idx = indices;
     return [a_impl, idx, cols](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
+      std::vector<float>& ag = GradBufferFor(*a_impl);
       for (size_t i = 0; i < idx.size(); ++i) {
         for (int64_t c = 0; c < cols; ++c) {
-          a_impl->grad[static_cast<size_t>(idx[i] * cols + c)] +=
+          ag[static_cast<size_t>(idx[i] * cols + c)] +=
               grad_out[i * static_cast<size_t>(cols) +
                        static_cast<size_t>(c)];
         }
@@ -475,6 +514,124 @@ Tensor Row(const Tensor& a, int64_t row) {
   return Reshape(selected, {a.size(1)});
 }
 
+namespace {
+
+// C += A x B (row-major; C [n, m], A [n, k], B [k, m]). ikj order with a
+// 4-wide k tile: four B rows stream against one resident C row, so C is
+// loaded/stored once per four multiply-adds instead of once per one as in
+// the naive ikj loop, and the four independent products give the
+// vectorizer ILP to chew on. All-zero tiles (one-hot / padded rows) are
+// skipped like the scalar kernel skipped zero elements.
+void GemmAccumulate(const float* __restrict__ a, const float* __restrict__ b,
+                    float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
+  constexpr int64_t kTile = 4;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* __restrict__ crow = c + i * m;
+    int64_t kk = 0;
+    for (; kk + kTile <= k; kk += kTile) {
+      const float a0 = arow[kk];
+      const float a1 = arow[kk + 1];
+      const float a2 = arow[kk + 2];
+      const float a3 = arow[kk + 3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* b0 = b + kk * m;
+      const float* b1 = b0 + m;
+      const float* b2 = b1 + m;
+      const float* b3 = b2 + m;
+      for (int64_t j = 0; j < m; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * m;
+      for (int64_t j = 0; j < m; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// C += A x B^T (row-major; C [n, k], A [n, m], B [k, m]): rows of C are
+// dot products of contiguous rows, computed four at a time so each A row is
+// read once per four outputs. This is the dA = dC x B^T backward GEMM.
+void GemmAccumulateNT(const float* __restrict__ a, const float* __restrict__ b,
+                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
+  constexpr int64_t kTile = 4;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * m;
+    float* __restrict__ crow = c + i * k;
+    int64_t kk = 0;
+    for (; kk + kTile <= k; kk += kTile) {
+      const float* b0 = b + kk * m;
+      const float* b1 = b0 + m;
+      const float* b2 = b1 + m;
+      const float* b3 = b2 + m;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      float acc2 = 0.0f;
+      float acc3 = 0.0f;
+      for (int64_t j = 0; j < m; ++j) {
+        const float av = arow[j];
+        acc0 += av * b0[j];
+        acc1 += av * b1[j];
+        acc2 += av * b2[j];
+        acc3 += av * b3[j];
+      }
+      crow[kk] += acc0;
+      crow[kk + 1] += acc1;
+      crow[kk + 2] += acc2;
+      crow[kk + 3] += acc3;
+    }
+    for (; kk < k; ++kk) {
+      const float* brow = b + kk * m;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < m; ++j) {
+        acc += arow[j] * brow[j];
+      }
+      crow[kk] += acc;
+    }
+  }
+}
+
+// C += A^T x B (row-major; C [k, m], A [n, k], B [n, m]): four A rows are
+// folded into the resident C row per pass. This is the dB = A^T x dC
+// backward GEMM.
+void GemmAccumulateTN(const float* __restrict__ a, const float* __restrict__ b,
+                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
+  constexpr int64_t kTile = 4;
+  for (int64_t kk = 0; kk < k; ++kk) {
+    float* __restrict__ crow = c + kk * m;
+    int64_t i = 0;
+    for (; i + kTile <= n; i += kTile) {
+      const float a0 = a[i * k + kk];
+      const float a1 = a[(i + 1) * k + kk];
+      const float a2 = a[(i + 2) * k + kk];
+      const float a3 = a[(i + 3) * k + kk];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* b0 = b + i * m;
+      const float* b1 = b0 + m;
+      const float* b2 = b1 + m;
+      const float* b3 = b2 + m;
+      for (int64_t j = 0; j < m; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; i < n; ++i) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TPGNN_CHECK_EQ(a.dim(), 2);
   TPGNN_CHECK_EQ(b.dim(), 2);
@@ -485,54 +642,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t k = a.size(1);
   const int64_t m = b.size(1);
   std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
-  const std::vector<float>& ad = a.data();
-  const std::vector<float>& bd = b.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = ad[static_cast<size_t>(i * k + kk)];
-      if (av == 0.0f) continue;
-      const float* brow = bd.data() + kk * m;
-      float* orow = out.data() + i * m;
-      for (int64_t j = 0; j < m; ++j) {
-        orow[j] += av * brow[j];
-      }
-    }
-  }
+  GemmAccumulate(a.data().data(), b.data().data(), out.data(), n, k, m);
   return MakeResult("MatMul", {a, b}, {n, m}, std::move(out), [&]() {
     auto a_impl = a.impl();
     auto b_impl = b.impl();
     return [a_impl, b_impl, n, k, m](const std::vector<float>& grad_out) {
-      const std::vector<float>& ad = a_impl->data;
-      const std::vector<float>& bd = b_impl->data;
       if (a_impl->requires_grad) {
-        a_impl->EnsureGrad();
         // dA = dC x B^T
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            float acc = 0.0f;
-            const float* grow = grad_out.data() + i * m;
-            const float* brow = bd.data() + kk * m;
-            for (int64_t j = 0; j < m; ++j) {
-              acc += grow[j] * brow[j];
-            }
-            a_impl->grad[static_cast<size_t>(i * k + kk)] += acc;
-          }
-        }
+        GemmAccumulateNT(grad_out.data(), b_impl->data.data(),
+                         GradBufferFor(*a_impl).data(), n, k, m);
       }
       if (b_impl->requires_grad) {
-        b_impl->EnsureGrad();
         // dB = A^T x dC
-        for (int64_t kk = 0; kk < k; ++kk) {
-          for (int64_t i = 0; i < n; ++i) {
-            const float av = ad[static_cast<size_t>(i * k + kk)];
-            if (av == 0.0f) continue;
-            const float* grow = grad_out.data() + i * m;
-            float* brow = b_impl->grad.data() + kk * m;
-            for (int64_t j = 0; j < m; ++j) {
-              brow[j] += av * grow[j];
-            }
-          }
-        }
+        GemmAccumulateTN(a_impl->data.data(), grad_out.data(),
+                         GradBufferFor(*b_impl).data(), n, k, m);
       }
     };
   });
@@ -545,8 +668,7 @@ Tensor Sum(const Tensor& a) {
   return MakeResult("Sum", {a}, {1}, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
-      for (float& g : a_impl->grad) g += grad_out[0];
+      for (float& g : GradBufferFor(*a_impl)) g += grad_out[0];
     };
   });
 }
@@ -573,10 +695,10 @@ Tensor SumAxis(const Tensor& a, int64_t axis) {
     return MakeResult("SumAxis0", {a}, {m}, std::move(out), [&]() {
       auto a_impl = a.impl();
       return [a_impl, n, m](const std::vector<float>& grad_out) {
-        a_impl->EnsureGrad();
+        std::vector<float>& ag = GradBufferFor(*a_impl);
         for (int64_t i = 0; i < n; ++i) {
           for (int64_t j = 0; j < m; ++j) {
-            a_impl->grad[static_cast<size_t>(i * m + j)] +=
+            ag[static_cast<size_t>(i * m + j)] +=
                 grad_out[static_cast<size_t>(j)];
           }
         }
@@ -592,10 +714,10 @@ Tensor SumAxis(const Tensor& a, int64_t axis) {
   return MakeResult("SumAxis1", {a}, {n}, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl, n, m](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
+      std::vector<float>& ag = GradBufferFor(*a_impl);
       for (int64_t i = 0; i < n; ++i) {
         for (int64_t j = 0; j < m; ++j) {
-          a_impl->grad[static_cast<size_t>(i * m + j)] +=
+          ag[static_cast<size_t>(i * m + j)] +=
               grad_out[static_cast<size_t>(i)];
         }
       }
@@ -630,24 +752,25 @@ Tensor Softmax(const Tensor& a) {
     }
     for (int64_t c = 0; c < cols; ++c) out_row[c] /= total;
   }
-  std::vector<float> saved = out;
-  return MakeResult("Softmax", {a}, a.shape(), std::move(out), [&]() {
-    auto a_impl = a.impl();
-    std::vector<float> y = std::move(saved);
-    return [a_impl, y, rows, cols](const std::vector<float>& grad_out) {
-      a_impl->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* yr = y.data() + r * cols;
-        const float* gr = grad_out.data() + r * cols;
-        float dot = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) dot += yr[c] * gr[c];
-        for (int64_t c = 0; c < cols; ++c) {
-          a_impl->grad[static_cast<size_t>(r * cols + c)] +=
-              yr[c] * (gr[c] - dot);
-        }
-      }
-    };
-  });
+  return MakeResult(
+      "Softmax", {a}, a.shape(), std::move(out), [&](TensorImpl* out_impl) {
+        auto a_impl = a.impl();
+        return [a_impl, out_impl, rows,
+                cols](const std::vector<float>& grad_out) {
+          std::vector<float>& ag = GradBufferFor(*a_impl);
+          // Saved forward activations live in the output impl; no copy.
+          const std::vector<float>& y = out_impl->data;
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* yr = y.data() + r * cols;
+            const float* gr = grad_out.data() + r * cols;
+            float dot = 0.0f;
+            for (int64_t c = 0; c < cols; ++c) dot += yr[c] * gr[c];
+            for (int64_t c = 0; c < cols; ++c) {
+              ag[static_cast<size_t>(r * cols + c)] += yr[c] * (gr[c] - dot);
+            }
+          }
+        };
+      });
 }
 
 Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
@@ -668,12 +791,12 @@ Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
     auto logits_impl = logits.impl();
     std::vector<float> targets_copy = t;
     return [logits_impl, targets_copy](const std::vector<float>& grad_out) {
-      logits_impl->EnsureGrad();
+      std::vector<float>& lg = GradBufferFor(*logits_impl);
       const float scale =
           grad_out[0] / static_cast<float>(logits_impl->data.size());
       for (size_t i = 0; i < logits_impl->data.size(); ++i) {
         const float sig = 1.0f / (1.0f + std::exp(-logits_impl->data[i]));
-        logits_impl->grad[i] += scale * (sig - targets_copy[i]);
+        lg[i] += scale * (sig - targets_copy[i]);
       }
     };
   });

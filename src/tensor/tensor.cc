@@ -45,6 +45,7 @@ void TensorImpl::AccumulateGrad(const std::vector<float>& g) {
 namespace {
 
 thread_local int no_grad_depth = 0;
+thread_local ShadowGradScope* shadow_scope = nullptr;
 
 std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape,
                                      std::vector<float> values,
@@ -64,6 +65,45 @@ NoGradGuard::NoGradGuard() { ++no_grad_depth; }
 NoGradGuard::~NoGradGuard() { --no_grad_depth; }
 
 bool GradEnabled() { return no_grad_depth == 0; }
+
+ShadowGradScope::ShadowGradScope(
+    const std::vector<std::shared_ptr<TensorImpl>>& shadowed) {
+  TPGNN_CHECK(shadow_scope == nullptr)
+      << "nested ShadowGradScope on one thread";
+  shadowed_.reserve(shadowed.size());
+  for (const auto& impl : shadowed) {
+    TPGNN_CHECK(impl != nullptr);
+    shadowed_.push_back(impl.get());
+  }
+  buffers_.resize(shadowed_.size());
+  shadow_scope = this;
+}
+
+ShadowGradScope::~ShadowGradScope() { shadow_scope = nullptr; }
+
+const std::vector<float>& ShadowGradScope::shadow_grad(size_t i) const {
+  TPGNN_CHECK_LT(i, buffers_.size());
+  return buffers_[i];
+}
+
+std::vector<float>& GradBufferFor(TensorImpl& impl) {
+  if (shadow_scope != nullptr) {
+    // Linear scan: the shadowed set is the model's parameter list (tens of
+    // entries) and backward touches each parameter a handful of times per
+    // tape, so this stays cheaper than hashing for real models.
+    for (size_t i = 0; i < shadow_scope->shadowed_.size(); ++i) {
+      if (shadow_scope->shadowed_[i] == &impl) {
+        std::vector<float>& buffer = shadow_scope->buffers_[i];
+        if (buffer.size() != impl.data.size()) {
+          buffer.assign(impl.data.size(), 0.0f);
+        }
+        return buffer;
+      }
+    }
+  }
+  impl.EnsureGrad();
+  return impl.grad;
+}
 
 Tensor::Tensor() : impl_(MakeImpl({0}, {}, false)) {}
 
@@ -174,9 +214,18 @@ void Tensor::set_requires_grad(bool value) {
 }
 
 void Tensor::Backward() {
-  TPGNN_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  TPGNN_CHECK_EQ(numel(), 1)
+      << "Backward() requires a scalar loss (got shape "
+      << ShapeToString(impl_->shape) << "); reduce with Sum()/Mean() first";
   TPGNN_CHECK(impl_->requires_grad)
       << "Backward() on a tensor that does not require grad";
+  if (impl_->grad_fn != nullptr) {
+    TPGNN_CHECK(!impl_->grad_fn->backward_invoked)
+        << "Backward() called twice on the same tape (op "
+        << impl_->grad_fn->op_name
+        << "); recompute the forward pass to build a fresh tape";
+    impl_->grad_fn->backward_invoked = true;
+  }
 
   // Topological order over AutogradNodes: reverse postorder of a DFS that
   // follows input edges. Every consumer then precedes its producers, so each

@@ -39,6 +39,9 @@ struct AutogradNode {
   // Producers of this node's inputs; traversed during Backward().
   std::vector<std::shared_ptr<TensorImpl>> inputs;
   std::function<void(const std::vector<float>& grad_output)> backward;
+  // Set by Tensor::Backward() on the root so a second Backward() over the
+  // same tape fails fast instead of silently double-accumulating.
+  bool backward_invoked = false;
 };
 
 struct TensorImpl {
@@ -68,6 +71,47 @@ class NoGradGuard {
 
 // True unless at least one NoGradGuard is live on this thread.
 bool GradEnabled();
+
+// RAII scope that redirects gradient accumulation for a fixed set of impls
+// (typically the shared model parameters) into thread-private shadow
+// buffers. While a scope is live on a thread, every backward closure that
+// would write into `impl->grad` of a shadowed impl writes into the scope's
+// buffer instead, so several threads can run Backward() over tapes sharing
+// the same parameters without racing. Non-shadowed impls (per-graph
+// intermediates, which are thread-private by construction) accumulate into
+// `impl->grad` as usual.
+//
+// After the concurrent section, the owner drains each scope with
+// `shadow_grads()` and sums the buffers into the real parameter gradients
+// in a deterministic order (see eval::TrainClassifier).
+//
+// At most one scope may be live per thread.
+class ShadowGradScope {
+ public:
+  explicit ShadowGradScope(
+      const std::vector<std::shared_ptr<TensorImpl>>& shadowed);
+  ~ShadowGradScope();
+
+  ShadowGradScope(const ShadowGradScope&) = delete;
+  ShadowGradScope& operator=(const ShadowGradScope&) = delete;
+
+  // Shadow buffer for the i-th shadowed impl (order of the constructor
+  // argument). Empty if no gradient reached it.
+  const std::vector<float>& shadow_grad(size_t i) const;
+  size_t size() const { return shadowed_.size(); }
+
+ private:
+  friend std::vector<float>& GradBufferFor(TensorImpl& impl);
+
+  std::vector<TensorImpl*> shadowed_;
+  std::vector<std::vector<float>> buffers_;
+};
+
+// The buffer backward closures must accumulate into for `impl` on the
+// current thread: a live ShadowGradScope's buffer if `impl` is shadowed,
+// otherwise `impl->grad`. Zero-initialized to `impl->data.size()` on first
+// touch, like EnsureGrad().
+std::vector<float>& GradBufferFor(TensorImpl& impl);
 
 class Tensor {
  public:

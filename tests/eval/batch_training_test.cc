@@ -1,0 +1,109 @@
+// Determinism contracts of the parallel trainer and evaluator:
+//  * batch_size=1 (any thread count) is the exact seed trainer.
+//  * A given (seed, batch_size) training run is bit-identical regardless of
+//    num_threads.
+//  * Evaluation metrics are bit-identical between 1 thread and N threads.
+
+#include "eval/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "data/datasets.h"
+
+namespace tpgnn::eval {
+namespace {
+
+core::TpGnnConfig TinyConfig() {
+  core::TpGnnConfig config;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.hidden_dim = 8;
+  return config;
+}
+
+graph::GraphDataset TinyDataset(int64_t count) {
+  return data::MakeDataset(data::HdfsSpec(), count, /*seed=*/21);
+}
+
+TrainResult TrainWith(int64_t batch_size, int64_t num_threads,
+                      int64_t epochs = 3) {
+  core::TpGnnModel model(TinyConfig(), 7);
+  TrainOptions options;
+  options.epochs = epochs;
+  options.learning_rate = 5e-3f;
+  options.seed = 11;
+  options.batch_size = batch_size;
+  options.num_threads = num_threads;
+  return TrainClassifier(model, TinyDataset(40), options);
+}
+
+TEST(BatchTrainingTest, BatchSizeOneReproducesSeedTrainerExactly) {
+  // The seed trainer is TrainOptions' default configuration; batch_size=1
+  // must route to the identical serial path whatever num_threads says.
+  core::TpGnnModel seed_model(TinyConfig(), 7);
+  TrainOptions seed_options;
+  seed_options.epochs = 3;
+  seed_options.learning_rate = 5e-3f;
+  seed_options.seed = 11;
+  TrainResult seed = TrainClassifier(seed_model, TinyDataset(40), seed_options);
+
+  TrainResult serial = TrainWith(/*batch_size=*/1, /*num_threads=*/1);
+  TrainResult threaded = TrainWith(/*batch_size=*/1, /*num_threads=*/4);
+  ASSERT_EQ(seed.epoch_losses.size(), serial.epoch_losses.size());
+  for (size_t e = 0; e < seed.epoch_losses.size(); ++e) {
+    EXPECT_DOUBLE_EQ(seed.epoch_losses[e], serial.epoch_losses[e]);
+    EXPECT_DOUBLE_EQ(seed.epoch_losses[e], threaded.epoch_losses[e]);
+  }
+}
+
+TEST(BatchTrainingTest, BatchedTrainingIsThreadCountInvariant) {
+  TrainResult one_thread = TrainWith(/*batch_size=*/4, /*num_threads=*/1);
+  TrainResult four_threads = TrainWith(/*batch_size=*/4, /*num_threads=*/4);
+  TrainResult three_threads = TrainWith(/*batch_size=*/4, /*num_threads=*/3);
+  ASSERT_EQ(one_thread.epoch_losses.size(), four_threads.epoch_losses.size());
+  for (size_t e = 0; e < one_thread.epoch_losses.size(); ++e) {
+    // Bit-identical: the per-graph tapes and the batch-order reduction do
+    // the same float operations in the same order for any thread count.
+    EXPECT_EQ(one_thread.epoch_losses[e], four_threads.epoch_losses[e]);
+    EXPECT_EQ(one_thread.epoch_losses[e], three_threads.epoch_losses[e]);
+  }
+}
+
+TEST(BatchTrainingTest, BatchedTrainingLearns) {
+  TrainResult result =
+      TrainWith(/*batch_size=*/4, /*num_threads=*/4, /*epochs=*/8);
+  ASSERT_EQ(result.epoch_losses.size(), 8u);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+}
+
+TEST(BatchTrainingTest, MaxEdgesFilterAppliesInBatchedMode) {
+  core::TpGnnModel model(TinyConfig(), 2);
+  TrainOptions options;
+  options.epochs = 1;
+  options.max_edges = 1;  // Skips effectively everything.
+  options.batch_size = 4;
+  options.num_threads = 2;
+  TrainResult result = TrainClassifier(model, TinyDataset(10), options);
+  EXPECT_EQ(result.epoch_losses[0], 0.0);
+}
+
+TEST(BatchTrainingTest, EvaluationIsBitIdenticalAcrossThreadCounts) {
+  core::TpGnnModel model(TinyConfig(), 3);
+  graph::GraphDataset test = TinyDataset(30);
+  Metrics serial = EvaluateClassifier(model, test, /*num_threads=*/1);
+  Metrics threaded = EvaluateClassifier(model, test, /*num_threads=*/4);
+  EXPECT_EQ(serial.precision, threaded.precision);
+  EXPECT_EQ(serial.recall, threaded.recall);
+  EXPECT_EQ(serial.f1, threaded.f1);
+  EXPECT_EQ(serial.accuracy, threaded.accuracy);
+}
+
+TEST(BatchTrainingTest, ParallelInferenceMeasurementIsPositive) {
+  core::TpGnnModel model(TinyConfig(), 4);
+  EXPECT_GT(MeasureInferenceMicros(model, TinyDataset(6), /*num_threads=*/4),
+            0.0);
+}
+
+}  // namespace
+}  // namespace tpgnn::eval

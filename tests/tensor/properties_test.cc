@@ -181,6 +181,13 @@ TEST(TensorDeathTest, BackwardOnNonScalar) {
   EXPECT_DEATH(b.Backward(), "scalar");
 }
 
+TEST(TensorDeathTest, BackwardTwiceOnSameTape) {
+  Tensor a = Tensor::Ones({2}, true);
+  Tensor loss = Sum(Add(a, a));
+  loss.Backward();
+  EXPECT_DEATH(loss.Backward(), "twice");
+}
+
 TEST(TensorDeathTest, ItemOnMultiElement) {
   Tensor a = Tensor::Zeros({2});
   EXPECT_DEATH(a.item(), "single-element");
