@@ -1,13 +1,17 @@
 #include "core/global_extractor.h"
 
+#include <cmath>
+
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace tpgnn::core {
 
 using tensor::Add;
-using tensor::IndexSelect;
+using tensor::ConstRowSpan;
+using tensor::GatherRows;
 using tensor::Reshape;
+using tensor::RowSpanOf;
 using tensor::Scale;
 using tensor::Tensor;
 
@@ -29,7 +33,10 @@ Tensor AggregateEdge(EdgeAgg agg, const Tensor& h_u, const Tensor& h_v) {
     case EdgeAgg::kActivation:
       return tensor::Tanh(Add(h_u, h_v));
     case EdgeAgg::kConcatenation:
-      return tensor::Concat({h_u, h_v}, /*axis=*/0);
+      // Vectors concatenate along axis 0; batched [m, k] endpoint matrices
+      // concatenate per row (axis 1). Elementwise aggregations above work on
+      // either rank unchanged.
+      return tensor::Concat({h_u, h_v}, /*axis=*/h_u.dim() == 2 ? 1 : 0);
   }
   TPGNN_CHECK(false) << "unreachable";
   return h_u;
@@ -38,6 +45,47 @@ Tensor AggregateEdge(EdgeAgg agg, const Tensor& h_u, const Tensor& h_v) {
 int64_t EdgeAggOutputDim(EdgeAgg agg, int64_t node_dim) {
   return agg == EdgeAgg::kConcatenation ? 2 * node_dim : node_dim;
 }
+
+namespace {
+
+// Raw counterpart of AggregateEdge for the zero-copy inference path: writes
+// the edge embedding for endpoint rows `u` and `v` (each `k` wide) into
+// `out`. Mirrors the tensor ops' elementwise expressions exactly so the
+// values match the recorded path bitwise.
+void AggregateEdgeInto(EdgeAgg agg, const float* u, const float* v, int64_t k,
+                       float* out) {
+  switch (agg) {
+    case EdgeAgg::kAverage:
+      for (int64_t i = 0; i < k; ++i) out[i] = (u[i] + v[i]) * 0.5f;
+      return;
+    case EdgeAgg::kHadamard:
+      for (int64_t i = 0; i < k; ++i) out[i] = u[i] * v[i];
+      return;
+    case EdgeAgg::kWeightedL1:
+      for (int64_t i = 0; i < k; ++i) {
+        const float diff = u[i] - v[i];
+        const float neg = -diff;
+        out[i] = (diff > 0.0f ? diff : 0.0f) + (neg > 0.0f ? neg : 0.0f);
+      }
+      return;
+    case EdgeAgg::kWeightedL2:
+      for (int64_t i = 0; i < k; ++i) {
+        const float diff = u[i] - v[i];
+        out[i] = diff * diff;
+      }
+      return;
+    case EdgeAgg::kActivation:
+      for (int64_t i = 0; i < k; ++i) out[i] = std::tanh(u[i] + v[i]);
+      return;
+    case EdgeAgg::kConcatenation:
+      for (int64_t i = 0; i < k; ++i) out[i] = u[i];
+      for (int64_t i = 0; i < k; ++i) out[k + i] = v[i];
+      return;
+  }
+  TPGNN_CHECK(false) << "unreachable";
+}
+
+}  // namespace
 
 GlobalTemporalExtractor::GlobalTemporalExtractor(int64_t node_dim,
                                                  int64_t hidden_dim, Rng& rng,
@@ -58,24 +106,76 @@ Tensor GlobalTemporalExtractor::Forward(
   TPGNN_CHECK_EQ(node_embeddings.dim(), 2);
   TPGNN_CHECK_EQ(node_embeddings.size(1), node_dim_);
 
+  if (!tensor::GradEnabled()) {
+    return ForwardInference(node_embeddings, edge_order);
+  }
+
+  const int64_t m = static_cast<int64_t>(edge_order.size());
   Tensor state = Tensor::Zeros({1, hidden_dim_});
+  if (m == 0) {
+    return Reshape(state, {hidden_dim_});
+  }
+
+  // Hoist the per-edge endpoint lookups into two gathers and aggregate all
+  // edge embeddings at matrix level; per-row values are identical to the old
+  // per-edge Row/AggregateEdge chain, at O(1) recorded ops instead of O(m).
+  std::vector<int64_t> srcs(static_cast<size_t>(m));
+  std::vector<int64_t> dsts(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    srcs[static_cast<size_t>(i)] = edge_order[static_cast<size_t>(i)].src;
+    dsts[static_cast<size_t>(i)] = edge_order[static_cast<size_t>(i)].dst;
+  }
+  Tensor hu = GatherRows(node_embeddings, srcs);        // [m, k]
+  Tensor hv = GatherRows(node_embeddings, dsts);        // [m, k]
+  Tensor edges = AggregateEdge(edge_agg_, hu, hv);      // [m, edge_dim]
+
   std::vector<Tensor> states;
   states.reserve(edge_order.size());
-  for (const graph::TemporalEdge& e : edge_order) {
-    Tensor endpoints = IndexSelect(node_embeddings, {e.src, e.dst});
-    Tensor edge_embedding =
-        Reshape(AggregateEdge(edge_agg_, tensor::Row(endpoints, 0),
-                              tensor::Row(endpoints, 1)),
-                {1, edge_dim_});
+  for (int64_t i = 0; i < m; ++i) {
+    Tensor edge_embedding = GatherRows(edges, {i});     // [1, edge_dim]
     // Eqs. (7)-(10): one GRU step per edge in establishment order.
     state = gru_.Forward(edge_embedding, state);
     states.push_back(state);
   }
-  if (readout_ == ExtractorReadout::kLastState || states.empty()) {
+  if (readout_ == ExtractorReadout::kLastState) {
     return Reshape(state, {hidden_dim_});
   }
   Tensor stacked = tensor::Concat(states, /*axis=*/0);  // [m, d]
   return tensor::MeanAxis(stacked, /*axis=*/0);
+}
+
+Tensor GlobalTemporalExtractor::ForwardInference(
+    const Tensor& node_embeddings,
+    const std::vector<graph::TemporalEdge>& edge_order) const {
+  // Zero-copy path: the GRU state, the staged edge embedding, and the mean
+  // accumulator live in flat buffers; no tensors are created per edge. The
+  // accumulation order matches Concat + SumAxis(0) + Scale, so the readout
+  // is bit-identical to the recorded path.
+  std::vector<float> state(static_cast<size_t>(hidden_dim_), 0.0f);
+  if (edge_order.empty()) {
+    return Tensor::FromVector({hidden_dim_}, std::move(state));
+  }
+  std::vector<float> edge_emb(static_cast<size_t>(edge_dim_));
+  std::vector<float> acc(static_cast<size_t>(hidden_dim_), 0.0f);
+  nn::GruScratch scratch;
+  for (const graph::TemporalEdge& e : edge_order) {
+    ConstRowSpan u = RowSpanOf(node_embeddings, e.src);
+    ConstRowSpan v = RowSpanOf(node_embeddings, e.dst);
+    AggregateEdgeInto(edge_agg_, u.data, v.data, node_dim_, edge_emb.data());
+    gru_.StepInto(edge_emb.data(), state.data(), state.data(), scratch);
+    if (readout_ == ExtractorReadout::kMeanState) {
+      for (int64_t j = 0; j < hidden_dim_; ++j) {
+        acc[static_cast<size_t>(j)] += state[static_cast<size_t>(j)];
+      }
+    }
+  }
+  if (readout_ == ExtractorReadout::kLastState) {
+    return Tensor::FromVector({hidden_dim_}, std::move(state));
+  }
+  const float inv =
+      1.0f / static_cast<float>(static_cast<int64_t>(edge_order.size()));
+  for (float& a : acc) a *= inv;
+  return Tensor::FromVector({hidden_dim_}, std::move(acc));
 }
 
 }  // namespace tpgnn::core

@@ -45,6 +45,13 @@ class GlobalTemporalExtractor : public nn::Module {
   EdgeAgg edge_agg() const { return edge_agg_; }
 
  private:
+  // Allocation-free GRU sweep used when gradients are disabled; runs the
+  // same kernels as the recorded path (GruCell::StepInto), so the returned
+  // embedding is bit-identical to Forward.
+  tensor::Tensor ForwardInference(
+      const tensor::Tensor& node_embeddings,
+      const std::vector<graph::TemporalEdge>& edge_order) const;
+
   int64_t node_dim_;
   int64_t edge_dim_;
   int64_t hidden_dim_;

@@ -41,6 +41,15 @@ class TemporalPropagation : public nn::Module {
   const TpGnnConfig& config() const { return config_; }
 
  private:
+  // Allocation-free propagation used when gradients are disabled: node state
+  // is mutated in place through zero-copy row views (tensor/tensor.h),
+  // running the same kernels as the recorded path so results are
+  // bit-identical to Forward. `x` is the freshly embedded [n, embed_dim]
+  // matrix, consumed as the initial state.
+  tensor::Tensor ForwardInference(
+      tensor::Tensor x, const std::vector<graph::TemporalEdge>& edge_order,
+      double max_time) const;
+
   TpGnnConfig config_;
   nn::Linear embed_;                      // Eq. (1).
   std::unique_ptr<nn::Time2Vec> time_;    // Eq. (2); null if disabled.

@@ -7,6 +7,7 @@
 
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
+#include "util/buffer_pool.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -159,20 +160,23 @@ TrainResult TrainBatched(GraphClassifier& model,
             tensor::BinaryCrossEntropyWithLogits(logit, target);
         loss.Backward();
         batch_losses[static_cast<size_t>(bi)] = loss.item();
+        // Move the shadow buffers out instead of copying; they are handed
+        // back to the pool after the reduction below.
         std::vector<std::vector<float>> grads(param_impls.size());
         for (size_t p = 0; p < param_impls.size(); ++p) {
-          grads[p] = scope.shadow_grad(p);
+          grads[p] = scope.TakeShadowGrad(p);
         }
         shadow[static_cast<size_t>(bi)] = std::move(grads);
       });
 
       // Deterministic reduction: batch order first, parameter order second.
       for (int64_t bi = 0; bi < bsize; ++bi) {
-        const auto& grads = shadow[static_cast<size_t>(bi)];
+        auto& grads = shadow[static_cast<size_t>(bi)];
         for (size_t p = 0; p < param_impls.size(); ++p) {
-          const std::vector<float>& g = grads[p];
+          std::vector<float>& g = grads[p];
           if (g.empty()) continue;
           param_impls[p]->AccumulateGrad(g);
+          util::ReleaseBuffer(std::move(g));
         }
         loss_sum += static_cast<double>(batch_losses[static_cast<size_t>(bi)]);
       }

@@ -1,18 +1,23 @@
 #include "nn/gru_cell.h"
 
+#include <cmath>
+
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace tpgnn::nn {
 
-using tensor::Add;
+using tensor::Affine;
+using tensor::Affine2;
+using tensor::GruBlend;
 using tensor::MatMul;
-using tensor::Mul;
+using tensor::MulAdd;
 using tensor::Sigmoid;
-using tensor::Sub;
 using tensor::Tanh;
 using tensor::Tensor;
+using tensor::internal::GemmAccumulate;
 
 GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
     : input_size_(input_size), hidden_size_(hidden_size) {
@@ -43,13 +48,55 @@ Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
   TPGNN_CHECK_EQ(h.size(1), hidden_size_);
   TPGNN_CHECK_EQ(x.size(0), h.size(0));
 
-  Tensor z = Sigmoid(Add(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
-  Tensor r = Sigmoid(Add(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
-  Tensor n = Tanh(Add(Add(MatMul(x, wn_), Mul(r, MatMul(h, un_))), bn_));
-  Tensor keep = Mul(z, h);
-  Tensor ones = Tensor::Ones({1, hidden_size_});
-  Tensor update = Mul(Sub(ones, z), n);
-  return Add(keep, update);
+  Tensor z = Sigmoid(Affine2(x, wz_, h, uz_, bz_));
+  Tensor r = Sigmoid(Affine2(x, wr_, h, ur_, br_));
+  Tensor n = Tanh(MulAdd(r, MatMul(h, un_), Affine(x, wn_, bn_)));
+  return GruBlend(z, h, n);
+}
+
+void GruCell::StepInto(const float* x, const float* h, float* out,
+                       GruScratch& s) const {
+  const int64_t d = hidden_size_;
+  const int64_t k = input_size_;
+  s.z.assign(static_cast<size_t>(d), 0.0f);
+  s.r.assign(static_cast<size_t>(d), 0.0f);
+  s.n.assign(static_cast<size_t>(d), 0.0f);
+  s.hu.assign(static_cast<size_t>(d), 0.0f);
+  s.xn.assign(static_cast<size_t>(d), 0.0f);
+
+  // Gates: mirror Affine2's kernel order (x*W accumulated first, then h*U,
+  // bias last) so the values match the recorded Forward bitwise.
+  GemmAccumulate(x, wz_.data().data(), s.z.data(), 1, k, d);
+  GemmAccumulate(h, uz_.data().data(), s.z.data(), 1, d, d);
+  const float* bz = bz_.data().data();
+  for (int64_t j = 0; j < d; ++j) {
+    s.z[static_cast<size_t>(j)] =
+        1.0f / (1.0f + std::exp(-(s.z[static_cast<size_t>(j)] + bz[j])));
+  }
+  GemmAccumulate(x, wr_.data().data(), s.r.data(), 1, k, d);
+  GemmAccumulate(h, ur_.data().data(), s.r.data(), 1, d, d);
+  const float* br = br_.data().data();
+  for (int64_t j = 0; j < d; ++j) {
+    s.r[static_cast<size_t>(j)] =
+        1.0f / (1.0f + std::exp(-(s.r[static_cast<size_t>(j)] + br[j])));
+  }
+
+  // Candidate: tanh(r o (h Un) + (x Wn + bn)), associating exactly like
+  // Tanh(MulAdd(r, MatMul(h, un), Affine(x, wn, bn))).
+  GemmAccumulate(h, un_.data().data(), s.hu.data(), 1, d, d);
+  GemmAccumulate(x, wn_.data().data(), s.xn.data(), 1, k, d);
+  const float* bn = bn_.data().data();
+  for (int64_t j = 0; j < d; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const float xb = s.xn[sj] + bn[j];
+    s.n[sj] = std::tanh(s.r[sj] * s.hu[sj] + xb);
+  }
+
+  // Blend reads h[j] before writing out[j], so out may alias h.
+  for (int64_t j = 0; j < d; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    out[j] = s.z[sj] * h[j] + (1.0f - s.z[sj]) * s.n[sj];
+  }
 }
 
 }  // namespace tpgnn::nn

@@ -1,11 +1,19 @@
 #ifndef TPGNN_NN_GRU_CELL_H_
 #define TPGNN_NN_GRU_CELL_H_
 
+#include <vector>
+
 #include "nn/module.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace tpgnn::nn {
+
+// Reusable scratch for GruCell::StepInto; holding one per propagation loop
+// keeps the per-edge inference step allocation-free after the first edge.
+struct GruScratch {
+  std::vector<float> z, r, n, hu, xn;
+};
 
 // Gated recurrent unit cell (Cho et al. 2014):
 //   z = sigmoid(x Wz + h Uz + bz)
@@ -21,6 +29,14 @@ class GruCell : public Module {
   // x: [batch, input_size], h: [batch, hidden_size] -> [batch, hidden_size].
   tensor::Tensor Forward(const tensor::Tensor& x,
                          const tensor::Tensor& h) const;
+
+  // Raw single-row step for the zero-copy inference path: x [input_size],
+  // h [hidden_size], out [hidden_size]. Runs the same GEMM kernels and
+  // elementwise formulas as Forward, in the same order, so the result is
+  // bit-identical to the recorded path. `out` may alias `h` (in-place state
+  // update); no autograd, no heap allocation once `scratch` is warm.
+  void StepInto(const float* x, const float* h, float* out,
+                GruScratch& scratch) const;
 
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }

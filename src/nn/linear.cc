@@ -23,11 +23,11 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
   TPGNN_CHECK_EQ(x.dim(), 2);
   TPGNN_CHECK_EQ(x.size(1), in_features_);
-  tensor::Tensor y = tensor::MatMul(x, weight_);
   if (has_bias_) {
-    y = tensor::Add(y, bias_);
+    // One recorded op and one buffer; bit-identical to MatMul + Add.
+    return tensor::Affine(x, weight_, bias_);
   }
-  return y;
+  return tensor::MatMul(x, weight_);
 }
 
 }  // namespace tpgnn::nn

@@ -41,6 +41,15 @@ Tensor Time2Vec::Forward(const std::vector<float>& ts) const {
   return Stack(rows);
 }
 
+void Time2Vec::EvalInto(float t, float* out) const {
+  out[0] = w0_.data()[0] * t + phi0_.data()[0];
+  const float* w = w_.data().data();
+  const float* phi = phi_.data().data();
+  for (int64_t j = 0; j < dim_ - 1; ++j) {
+    out[j + 1] = std::sin(w[j] * t + phi[j]);
+  }
+}
+
 BochnerTimeEncoding::BochnerTimeEncoding(int64_t dim, Rng& rng) : dim_(dim) {
   TPGNN_CHECK_GE(dim, 1);
   w_ = RegisterParameter("w", Tensor::Uniform({dim}, 0.0f, 1.0f, rng));

@@ -23,6 +23,11 @@ class Time2Vec : public Module {
   // Encodes a batch of timestamps -> [ts.size(), dim].
   tensor::Tensor Forward(const std::vector<float>& ts) const;
 
+  // Raw encoding into out[0..dim) for the zero-copy inference path; computes
+  // the same expressions as Forward(float) elementwise, so the values are
+  // bit-identical. No autograd, no allocation.
+  void EvalInto(float t, float* out) const;
+
   int64_t dim() const { return dim_; }
 
  private:

@@ -2,25 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <type_traits>
 #include <utility>
 
+#include "tensor/gemm.h"
+#include "util/buffer_pool.h"
 #include "util/logging.h"
 
 namespace tpgnn::tensor {
 
+using internal::GemmAccumulate;
+using internal::GemmAccumulateNT;
+using internal::GemmAccumulateTN;
+
 namespace {
+
+// Pooled output buffer for an op result (zero-filled; see util/buffer_pool.h).
+std::vector<float> OutBuffer(int64_t n) {
+  return util::AcquireBuffer(static_cast<size_t>(n));
+}
+
+// Pooled copy of an existing buffer.
+std::vector<float> PooledCopy(const std::vector<float>& src) {
+  std::vector<float> out = util::AcquireBuffer(src.size());
+  std::copy(src.begin(), src.end(), out.begin());
+  return out;
+}
 
 // Creates the op result and, when needed, attaches the autograd node built by
 // `make_backward` (only invoked if some input requires grad and gradients are
 // enabled, so no closure is allocated on inference paths). `make_backward`
 // may optionally take the output impl so the closure can read the saved
 // forward activations instead of recomputing them; the raw pointer is safe
-// because the output impl owns the node that owns the closure.
-template <typename MakeBackward>
-Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
-                  const Shape& shape, std::vector<float> data,
-                  MakeBackward&& make_backward) {
+// because the output impl owns the node that owns the closure. Nodes come
+// from the thread's recycle list (AcquireAutogradNode), and `inputs` is
+// templated so brace-enclosed call sites pass a stack-backed
+// initializer_list instead of heap-allocating a std::vector per op.
+template <typename Inputs, typename MakeBackward>
+Tensor MakeResultImpl(const char* name, const Inputs& inputs,
+                      const Shape& shape, std::vector<float> data,
+                      MakeBackward&& make_backward) {
   bool requires_grad = false;
   if (GradEnabled()) {
     for (const Tensor& t : inputs) {
@@ -30,7 +52,7 @@ Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
   Tensor out = Tensor::FromVector(shape, std::move(data), false);
   if (requires_grad) {
     out.impl()->requires_grad = true;
-    auto node = std::make_shared<AutogradNode>();
+    std::shared_ptr<AutogradNode> node = AcquireAutogradNode();
     node->op_name = name;
     node->inputs.reserve(inputs.size());
     for (const Tensor& t : inputs) {
@@ -44,6 +66,22 @@ Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
     out.impl()->grad_fn = std::move(node);
   }
   return out;
+}
+
+template <typename MakeBackward>
+Tensor MakeResult(const char* name, std::initializer_list<Tensor> inputs,
+                  const Shape& shape, std::vector<float> data,
+                  MakeBackward&& make_backward) {
+  return MakeResultImpl(name, inputs, shape, std::move(data),
+                        std::forward<MakeBackward>(make_backward));
+}
+
+template <typename MakeBackward>
+Tensor MakeResult(const char* name, const std::vector<Tensor>& inputs,
+                  const Shape& shape, std::vector<float> data,
+                  MakeBackward&& make_backward) {
+  return MakeResultImpl(name, inputs, shape, std::move(data),
+                        std::forward<MakeBackward>(make_backward));
 }
 
 // Row-major strides of `in` aligned to broadcast shape `out`; stride 0 marks
@@ -99,7 +137,7 @@ Tensor BinaryEw(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
                 Dfda dfda, Dfdb dfdb) {
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   const int64_t n = Numel(out_shape);
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = OutBuffer(n);
   const std::vector<float>& ad = a.data();
   const std::vector<float>& bd = b.data();
 
@@ -172,7 +210,7 @@ Tensor BinaryEw(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
 template <typename Fwd, typename Dfdx>
 Tensor UnaryEw(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
   const int64_t n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = OutBuffer(n);
   const std::vector<float>& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     out[static_cast<size_t>(i)] = fwd(ad[static_cast<size_t>(i)]);
@@ -197,7 +235,7 @@ template <typename Fwd, typename Dfdy>
 Tensor UnaryEwFromOutput(const char* name, const Tensor& a, Fwd fwd,
                          Dfdy dfdy) {
   const int64_t n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = OutBuffer(n);
   const std::vector<float>& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     out[static_cast<size_t>(i)] = fwd(ad[static_cast<size_t>(i)]);
@@ -343,7 +381,7 @@ Tensor Reshape(const Tensor& a, const Shape& new_shape) {
   TPGNN_CHECK_EQ(Numel(new_shape), a.numel())
       << "Reshape " << ShapeToString(a.shape()) << " -> "
       << ShapeToString(new_shape);
-  std::vector<float> out = a.data();
+  std::vector<float> out = PooledCopy(a.data());
   return MakeResult("Reshape", {a}, new_shape, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl](const std::vector<float>& grad_out) {
@@ -359,7 +397,7 @@ Tensor Transpose(const Tensor& a) {
   TPGNN_CHECK_EQ(a.dim(), 2) << "Transpose requires a 2-D tensor";
   const int64_t n = a.size(0);
   const int64_t m = a.size(1);
-  std::vector<float> out(static_cast<size_t>(n * m));
+  std::vector<float> out = OutBuffer(n * m);
   const std::vector<float>& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < m; ++j) {
@@ -400,7 +438,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   }
 
   const int64_t total = Numel(out_shape);
-  std::vector<float> out(static_cast<size_t>(total));
+  std::vector<float> out = OutBuffer(total);
   if (rank == 1 || axis == 0) {
     size_t cursor = 0;
     for (const Tensor& p : parts) {
@@ -464,15 +502,30 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 
 Tensor Stack(const std::vector<Tensor>& rows) {
   TPGNN_CHECK(!rows.empty());
+  const int64_t n = static_cast<int64_t>(rows.size());
   const int64_t m = rows[0].numel();
-  std::vector<Tensor> reshaped;
-  reshaped.reserve(rows.size());
-  for (const Tensor& r : rows) {
+  std::vector<float> out = OutBuffer(n * m);
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& r = rows[static_cast<size_t>(i)];
     TPGNN_CHECK_EQ(r.dim(), 1) << "Stack expects 1-D tensors";
     TPGNN_CHECK_EQ(r.numel(), m);
-    reshaped.push_back(Reshape(r, {1, m}));
+    std::copy(r.data().begin(), r.data().end(), out.begin() + i * m);
   }
-  return Concat(reshaped, /*axis=*/0);
+  return MakeResult("Stack", rows, {n, m}, std::move(out), [&]() {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(rows.size());
+    for (const Tensor& r : rows) impls.push_back(r.impl());
+    return [impls, m](const std::vector<float>& grad_out) {
+      for (size_t i = 0; i < impls.size(); ++i) {
+        if (!impls[i]->requires_grad) continue;
+        std::vector<float>& rg = GradBufferFor(*impls[i]);
+        const float* g = grad_out.data() + static_cast<int64_t>(i) * m;
+        for (int64_t c = 0; c < m; ++c) {
+          rg[static_cast<size_t>(c)] += g[c];
+        }
+      }
+    };
+  });
 }
 
 Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
@@ -480,7 +533,8 @@ Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
   TPGNN_CHECK(rank == 1 || rank == 2) << "IndexSelect supports 1-D/2-D";
   const int64_t n = a.size(0);
   const int64_t cols = rank == 2 ? a.size(1) : 1;
-  std::vector<float> out(indices.size() * static_cast<size_t>(cols));
+  std::vector<float> out =
+      OutBuffer(static_cast<int64_t>(indices.size()) * cols);
   const std::vector<float>& ad = a.data();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t row = indices[i];
@@ -510,127 +564,100 @@ Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
 
 Tensor Row(const Tensor& a, int64_t row) {
   TPGNN_CHECK_EQ(a.dim(), 2);
-  Tensor selected = IndexSelect(a, {row});
-  return Reshape(selected, {a.size(1)});
+  TPGNN_CHECK_GE(row, 0);
+  TPGNN_CHECK_LT(row, a.size(0));
+  const int64_t cols = a.size(1);
+  std::vector<float> out = OutBuffer(cols);
+  const float* src = a.data().data() + row * cols;
+  std::copy(src, src + cols, out.begin());
+  return MakeResult("Row", {a}, {cols}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    return [a_impl, row, cols](const std::vector<float>& grad_out) {
+      std::vector<float>& ag = GradBufferFor(*a_impl);
+      float* dst = ag.data() + row * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        dst[c] += grad_out[static_cast<size_t>(c)];
+      }
+    };
+  });
 }
 
-namespace {
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  TPGNN_CHECK_EQ(a.dim(), 2) << "GatherRows requires a matrix";
+  const int64_t n = a.size(0);
+  const int64_t cols = a.size(1);
+  const int64_t k = static_cast<int64_t>(indices.size());
+  std::vector<float> out = OutBuffer(k * cols);
+  const std::vector<float>& ad = a.data();
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t row = indices[static_cast<size_t>(i)];
+    TPGNN_CHECK_GE(row, 0);
+    TPGNN_CHECK_LT(row, n);
+    std::copy(ad.begin() + row * cols, ad.begin() + (row + 1) * cols,
+              out.begin() + i * cols);
+  }
+  return MakeResult("GatherRows", {a}, {k, cols}, std::move(out), [&]() {
+    auto a_impl = a.impl();
+    std::vector<int64_t> idx = indices;
+    return [a_impl, idx, cols](const std::vector<float>& grad_out) {
+      std::vector<float>& ag = GradBufferFor(*a_impl);
+      for (size_t i = 0; i < idx.size(); ++i) {
+        float* dst = ag.data() + idx[i] * cols;
+        const float* g = grad_out.data() + static_cast<int64_t>(i) * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          dst[c] += g[c];
+        }
+      }
+    };
+  });
+}
 
-// C += A x B (row-major; C [n, m], A [n, k], B [k, m]). ikj order with a
-// 4-wide k tile: four B rows stream against one resident C row, so C is
-// loaded/stored once per four multiply-adds instead of once per one as in
-// the naive ikj loop, and the four independent products give the
-// vectorizer ILP to chew on. All-zero tiles (one-hot / padded rows) are
-// skipped like the scalar kernel skipped zero elements.
-void GemmAccumulate(const float* __restrict__ a, const float* __restrict__ b,
-                    float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* __restrict__ crow = c + i * m;
-    int64_t kk = 0;
-    for (; kk + kTile <= k; kk += kTile) {
-      const float a0 = arow[kk];
-      const float a1 = arow[kk + 1];
-      const float a2 = arow[kk + 2];
-      const float a3 = arow[kk + 3];
-      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-      const float* b0 = b + kk * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += av * brow[j];
-      }
+Tensor ScatterRowAdd(const Tensor& base, const std::vector<int64_t>& indices,
+                     const Tensor& updates) {
+  TPGNN_CHECK_EQ(base.dim(), 2) << "ScatterRowAdd requires matrices";
+  TPGNN_CHECK_EQ(updates.dim(), 2);
+  const int64_t n = base.size(0);
+  const int64_t cols = base.size(1);
+  TPGNN_CHECK_EQ(updates.size(1), cols);
+  TPGNN_CHECK_EQ(updates.size(0), static_cast<int64_t>(indices.size()));
+  std::vector<float> out = PooledCopy(base.data());
+  const std::vector<float>& ud = updates.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    TPGNN_CHECK_GE(row, 0);
+    TPGNN_CHECK_LT(row, n);
+    float* dst = out.data() + row * cols;
+    const float* src = ud.data() + static_cast<int64_t>(i) * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[c] += src[c];
     }
   }
+  return MakeResult(
+      "ScatterRowAdd", {base, updates}, base.shape(), std::move(out), [&]() {
+        auto base_impl = base.impl();
+        auto updates_impl = updates.impl();
+        std::vector<int64_t> idx = indices;
+        return [base_impl, updates_impl, idx,
+                cols](const std::vector<float>& grad_out) {
+          if (base_impl->requires_grad) {
+            std::vector<float>& bg = GradBufferFor(*base_impl);
+            for (size_t i = 0; i < grad_out.size(); ++i) {
+              bg[i] += grad_out[i];
+            }
+          }
+          if (updates_impl->requires_grad) {
+            std::vector<float>& ug = GradBufferFor(*updates_impl);
+            for (size_t i = 0; i < idx.size(); ++i) {
+              float* dst = ug.data() + static_cast<int64_t>(i) * cols;
+              const float* g = grad_out.data() + idx[i] * cols;
+              for (int64_t c = 0; c < cols; ++c) {
+                dst[c] += g[c];
+              }
+            }
+          }
+        };
+      });
 }
-
-// C += A x B^T (row-major; C [n, k], A [n, m], B [k, m]): rows of C are
-// dot products of contiguous rows, computed four at a time so each A row is
-// read once per four outputs. This is the dA = dC x B^T backward GEMM.
-void GemmAccumulateNT(const float* __restrict__ a, const float* __restrict__ b,
-                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * m;
-    float* __restrict__ crow = c + i * k;
-    int64_t kk = 0;
-    for (; kk + kTile <= k; kk += kTile) {
-      const float* b0 = b + kk * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      float acc0 = 0.0f;
-      float acc1 = 0.0f;
-      float acc2 = 0.0f;
-      float acc3 = 0.0f;
-      for (int64_t j = 0; j < m; ++j) {
-        const float av = arow[j];
-        acc0 += av * b0[j];
-        acc1 += av * b1[j];
-        acc2 += av * b2[j];
-        acc3 += av * b3[j];
-      }
-      crow[kk] += acc0;
-      crow[kk + 1] += acc1;
-      crow[kk + 2] += acc2;
-      crow[kk + 3] += acc3;
-    }
-    for (; kk < k; ++kk) {
-      const float* brow = b + kk * m;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < m; ++j) {
-        acc += arow[j] * brow[j];
-      }
-      crow[kk] += acc;
-    }
-  }
-}
-
-// C += A^T x B (row-major; C [k, m], A [n, k], B [n, m]): four A rows are
-// folded into the resident C row per pass. This is the dB = A^T x dC
-// backward GEMM.
-void GemmAccumulateTN(const float* __restrict__ a, const float* __restrict__ b,
-                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t kk = 0; kk < k; ++kk) {
-    float* __restrict__ crow = c + kk * m;
-    int64_t i = 0;
-    for (; i + kTile <= n; i += kTile) {
-      const float a0 = a[i * k + kk];
-      const float a1 = a[(i + 1) * k + kk];
-      const float a2 = a[(i + 2) * k + kk];
-      const float a3 = a[(i + 3) * k + kk];
-      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-      const float* b0 = b + i * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; i < n; ++i) {
-      const float av = a[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + i * m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   TPGNN_CHECK_EQ(a.dim(), 2);
@@ -641,7 +668,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = a.size(0);
   const int64_t k = a.size(1);
   const int64_t m = b.size(1);
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  std::vector<float> out = OutBuffer(n * m);
   GemmAccumulate(a.data().data(), b.data().data(), out.data(), n, k, m);
   return MakeResult("MatMul", {a, b}, {n, m}, std::move(out), [&]() {
     auto a_impl = a.impl();
@@ -661,10 +688,225 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   });
 }
 
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& b) {
+  TPGNN_CHECK_EQ(x.dim(), 2);
+  TPGNN_CHECK_EQ(w.dim(), 2);
+  TPGNN_CHECK_EQ(x.size(1), w.size(0))
+      << "Affine " << ShapeToString(x.shape()) << " x "
+      << ShapeToString(w.shape());
+  const int64_t n = x.size(0);
+  const int64_t k = x.size(1);
+  const int64_t m = w.size(1);
+  TPGNN_CHECK_EQ(b.numel(), m);
+  std::vector<float> out = OutBuffer(n * m);
+  GemmAccumulate(x.data().data(), w.data().data(), out.data(), n, k, m);
+  const float* bias = b.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      row[j] += bias[j];
+    }
+  }
+  return MakeResult("Affine", {x, w, b}, {n, m}, std::move(out), [&]() {
+    auto x_impl = x.impl();
+    auto w_impl = w.impl();
+    auto b_impl = b.impl();
+    return [x_impl, w_impl, b_impl, n, k,
+            m](const std::vector<float>& grad_out) {
+      if (x_impl->requires_grad) {
+        GemmAccumulateNT(grad_out.data(), w_impl->data.data(),
+                         GradBufferFor(*x_impl).data(), n, k, m);
+      }
+      if (w_impl->requires_grad) {
+        GemmAccumulateTN(x_impl->data.data(), grad_out.data(),
+                         GradBufferFor(*w_impl).data(), n, k, m);
+      }
+      if (b_impl->requires_grad) {
+        std::vector<float>& bg = GradBufferFor(*b_impl);
+        for (int64_t i = 0; i < n; ++i) {
+          const float* g = grad_out.data() + i * m;
+          for (int64_t j = 0; j < m; ++j) {
+            bg[static_cast<size_t>(j)] += g[j];
+          }
+        }
+      }
+    };
+  });
+}
+
+Tensor Affine2(const Tensor& x, const Tensor& w, const Tensor& h,
+               const Tensor& u, const Tensor& b) {
+  TPGNN_CHECK_EQ(x.dim(), 2);
+  TPGNN_CHECK_EQ(w.dim(), 2);
+  TPGNN_CHECK_EQ(h.dim(), 2);
+  TPGNN_CHECK_EQ(u.dim(), 2);
+  TPGNN_CHECK_EQ(x.size(1), w.size(0));
+  TPGNN_CHECK_EQ(h.size(1), u.size(0));
+  TPGNN_CHECK_EQ(x.size(0), h.size(0));
+  const int64_t n = x.size(0);
+  const int64_t kx = x.size(1);
+  const int64_t kh = h.size(1);
+  const int64_t m = w.size(1);
+  TPGNN_CHECK_EQ(u.size(1), m);
+  TPGNN_CHECK_EQ(b.numel(), m);
+  std::vector<float> out = OutBuffer(n * m);
+  GemmAccumulate(x.data().data(), w.data().data(), out.data(), n, kx, m);
+  GemmAccumulate(h.data().data(), u.data().data(), out.data(), n, kh, m);
+  const float* bias = b.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      row[j] += bias[j];
+    }
+  }
+  return MakeResult(
+      "Affine2", {x, w, h, u, b}, {n, m}, std::move(out), [&]() {
+        auto x_impl = x.impl();
+        auto w_impl = w.impl();
+        auto h_impl = h.impl();
+        auto u_impl = u.impl();
+        auto b_impl = b.impl();
+        return [x_impl, w_impl, h_impl, u_impl, b_impl, n, kx, kh,
+                m](const std::vector<float>& grad_out) {
+          if (x_impl->requires_grad) {
+            GemmAccumulateNT(grad_out.data(), w_impl->data.data(),
+                             GradBufferFor(*x_impl).data(), n, kx, m);
+          }
+          if (w_impl->requires_grad) {
+            GemmAccumulateTN(x_impl->data.data(), grad_out.data(),
+                             GradBufferFor(*w_impl).data(), n, kx, m);
+          }
+          if (h_impl->requires_grad) {
+            GemmAccumulateNT(grad_out.data(), u_impl->data.data(),
+                             GradBufferFor(*h_impl).data(), n, kh, m);
+          }
+          if (u_impl->requires_grad) {
+            GemmAccumulateTN(h_impl->data.data(), grad_out.data(),
+                             GradBufferFor(*u_impl).data(), n, kh, m);
+          }
+          if (b_impl->requires_grad) {
+            std::vector<float>& bg = GradBufferFor(*b_impl);
+            for (int64_t i = 0; i < n; ++i) {
+              const float* g = grad_out.data() + i * m;
+              for (int64_t j = 0; j < m; ++j) {
+                bg[static_cast<size_t>(j)] += g[j];
+              }
+            }
+          }
+        };
+      });
+}
+
+Tensor MulAdd(const Tensor& a, const Tensor& b, const Tensor& c) {
+  TPGNN_CHECK(a.shape() == b.shape() && a.shape() == c.shape())
+      << "MulAdd requires equal shapes";
+  const int64_t n = a.numel();
+  std::vector<float> out = OutBuffer(n);
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  const float* cd = c.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = ad[i] * bd[i] + cd[i];
+  }
+  return MakeResult("MulAdd", {a, b, c}, a.shape(), std::move(out), [&]() {
+    auto a_impl = a.impl();
+    auto b_impl = b.impl();
+    auto c_impl = c.impl();
+    return [a_impl, b_impl, c_impl](const std::vector<float>& grad_out) {
+      const size_t n = grad_out.size();
+      if (a_impl->requires_grad) {
+        std::vector<float>& ag = GradBufferFor(*a_impl);
+        for (size_t i = 0; i < n; ++i) ag[i] += b_impl->data[i] * grad_out[i];
+      }
+      if (b_impl->requires_grad) {
+        std::vector<float>& bg = GradBufferFor(*b_impl);
+        for (size_t i = 0; i < n; ++i) bg[i] += a_impl->data[i] * grad_out[i];
+      }
+      if (c_impl->requires_grad) {
+        std::vector<float>& cg = GradBufferFor(*c_impl);
+        for (size_t i = 0; i < n; ++i) cg[i] += grad_out[i];
+      }
+    };
+  });
+}
+
+Tensor TanhAdd(const Tensor& a, const Tensor& b) {
+  TPGNN_CHECK(a.shape() == b.shape()) << "TanhAdd requires equal shapes";
+  const int64_t n = a.numel();
+  std::vector<float> out = OutBuffer(n);
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = std::tanh(ad[i] + bd[i]);
+  }
+  return MakeResult(
+      "TanhAdd", {a, b}, a.shape(), std::move(out), [&](TensorImpl* out_impl) {
+        auto a_impl = a.impl();
+        auto b_impl = b.impl();
+        return [a_impl, b_impl,
+                out_impl](const std::vector<float>& grad_out) {
+          const std::vector<float>& y = out_impl->data;
+          const bool need_a = a_impl->requires_grad;
+          const bool need_b = b_impl->requires_grad;
+          std::vector<float>* ag = need_a ? &GradBufferFor(*a_impl) : nullptr;
+          std::vector<float>* bg = need_b ? &GradBufferFor(*b_impl) : nullptr;
+          for (size_t i = 0; i < grad_out.size(); ++i) {
+            const float d = (1.0f - y[i] * y[i]) * grad_out[i];
+            if (need_a) (*ag)[i] += d;
+            if (need_b) (*bg)[i] += d;
+          }
+        };
+      });
+}
+
+Tensor GruBlend(const Tensor& z, const Tensor& h, const Tensor& n) {
+  TPGNN_CHECK(z.shape() == h.shape() && z.shape() == n.shape())
+      << "GruBlend requires equal shapes";
+  const int64_t count = z.numel();
+  std::vector<float> out = OutBuffer(count);
+  const float* zd = z.data().data();
+  const float* hd = h.data().data();
+  const float* nd = n.data().data();
+  // Matches the unfused chain bitwise: z*h + (1 - z)*n with (1 - z)
+  // computed first, products second, sum last.
+  for (int64_t i = 0; i < count; ++i) {
+    out[static_cast<size_t>(i)] = zd[i] * hd[i] + (1.0f - zd[i]) * nd[i];
+  }
+  return MakeResult("GruBlend", {z, h, n}, z.shape(), std::move(out), [&]() {
+    auto z_impl = z.impl();
+    auto h_impl = h.impl();
+    auto n_impl = n.impl();
+    return [z_impl, h_impl, n_impl](const std::vector<float>& grad_out) {
+      const std::vector<float>& zd = z_impl->data;
+      const std::vector<float>& hd = h_impl->data;
+      const std::vector<float>& nd = n_impl->data;
+      if (z_impl->requires_grad) {
+        std::vector<float>& zg = GradBufferFor(*z_impl);
+        for (size_t i = 0; i < grad_out.size(); ++i) {
+          zg[i] += (hd[i] - nd[i]) * grad_out[i];
+        }
+      }
+      if (h_impl->requires_grad) {
+        std::vector<float>& hg = GradBufferFor(*h_impl);
+        for (size_t i = 0; i < grad_out.size(); ++i) {
+          hg[i] += zd[i] * grad_out[i];
+        }
+      }
+      if (n_impl->requires_grad) {
+        std::vector<float>& ng = GradBufferFor(*n_impl);
+        for (size_t i = 0; i < grad_out.size(); ++i) {
+          ng[i] += (1.0f - zd[i]) * grad_out[i];
+        }
+      }
+    };
+  });
+}
+
 Tensor Sum(const Tensor& a) {
   double acc = 0.0;
   for (float v : a.data()) acc += v;
-  std::vector<float> out{static_cast<float>(acc)};
+  std::vector<float> out = OutBuffer(1);
+  out[0] = static_cast<float>(acc);
   return MakeResult("Sum", {a}, {1}, std::move(out), [&]() {
     auto a_impl = a.impl();
     return [a_impl](const std::vector<float>& grad_out) {
@@ -686,7 +928,7 @@ Tensor SumAxis(const Tensor& a, int64_t axis) {
   const int64_t m = a.size(1);
   const std::vector<float>& ad = a.data();
   if (axis == 0) {
-    std::vector<float> out(static_cast<size_t>(m), 0.0f);
+    std::vector<float> out = OutBuffer(m);
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t j = 0; j < m; ++j) {
         out[static_cast<size_t>(j)] += ad[static_cast<size_t>(i * m + j)];
@@ -705,7 +947,7 @@ Tensor SumAxis(const Tensor& a, int64_t axis) {
       };
     });
   }
-  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  std::vector<float> out = OutBuffer(n);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < m; ++j) {
       out[static_cast<size_t>(i)] += ad[static_cast<size_t>(i * m + j)];
@@ -739,7 +981,7 @@ Tensor Softmax(const Tensor& a) {
   const int64_t cols = rank == 2 ? a.size(1) : a.size(0);
   TPGNN_CHECK_GT(cols, 0);
   const std::vector<float>& ad = a.data();
-  std::vector<float> out(ad.size());
+  std::vector<float> out = OutBuffer(static_cast<int64_t>(ad.size()));
   for (int64_t r = 0; r < rows; ++r) {
     const float* in_row = ad.data() + r * cols;
     float* out_row = out.data() + r * cols;
@@ -786,20 +1028,48 @@ Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
             std::log1p(std::exp(-std::abs(x[i])));
   }
   loss /= static_cast<double>(x.size());
-  std::vector<float> out{static_cast<float>(loss)};
+  std::vector<float> out = OutBuffer(1);
+  out[0] = static_cast<float>(loss);
   return MakeResult("BCEWithLogits", {logits}, {1}, std::move(out), [&]() {
     auto logits_impl = logits.impl();
-    std::vector<float> targets_copy = t;
-    return [logits_impl, targets_copy](const std::vector<float>& grad_out) {
+    // Keeping the targets impl alive is cheaper than copying its data; no
+    // gradient flows into it (it is not a recorded input).
+    auto targets_impl = targets.impl();
+    return [logits_impl, targets_impl](const std::vector<float>& grad_out) {
       std::vector<float>& lg = GradBufferFor(*logits_impl);
+      const std::vector<float>& tgt = targets_impl->data;
       const float scale =
           grad_out[0] / static_cast<float>(logits_impl->data.size());
       for (size_t i = 0; i < logits_impl->data.size(); ++i) {
         const float sig = 1.0f / (1.0f + std::exp(-logits_impl->data[i]));
-        lg[i] += scale * (sig - targets_copy[i]);
+        lg[i] += scale * (sig - tgt[i]);
       }
     };
   });
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  TPGNN_CHECK(a.shape() == b.shape()) << "AddInPlace requires equal shapes";
+  TPGNN_CHECK(a.impl()->grad_fn == nullptr && !a.requires_grad())
+      << "AddInPlace would corrupt a recorded tensor's saved activations";
+  std::vector<float>& ad = a.MutableData();
+  const std::vector<float>& bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) {
+    ad[i] += bd[i];
+  }
+}
+
+void ScaledAddInPlace(Tensor& a, const Tensor& b, float s) {
+  TPGNN_CHECK(a.shape() == b.shape())
+      << "ScaledAddInPlace requires equal shapes";
+  TPGNN_CHECK(a.impl()->grad_fn == nullptr && !a.requires_grad())
+      << "ScaledAddInPlace would corrupt a recorded tensor's saved "
+         "activations";
+  std::vector<float>& ad = a.MutableData();
+  const std::vector<float>& bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) {
+    ad[i] += s * bd[i];
+  }
 }
 
 int64_t Argmax(const Tensor& a) {

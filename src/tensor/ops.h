@@ -58,10 +58,38 @@ Tensor Stack(const std::vector<Tensor>& rows);
 Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices);
 // Row `row` of a 2-D tensor as a 1-D tensor.
 Tensor Row(const Tensor& a, int64_t row);
+// Gathers rows of a 2-D tensor into a [indices.size(), cols] matrix in one
+// recorded op; the backward pass scatter-adds row gradients (duplicate
+// indices accumulate). Equivalent to IndexSelect on a matrix, kept separate
+// so per-edge endpoint lookups cost a single node.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+// base with updates[i] added into row indices[i] (duplicates accumulate):
+// out = base; out[indices[i], :] += updates[i, :]. base [n, cols],
+// updates [indices.size(), cols]. The functional counterpart of a per-edge
+// state write; gradients flow to both base (identity) and updates (gather).
+Tensor ScatterRowAdd(const Tensor& base, const std::vector<int64_t>& indices,
+                     const Tensor& updates);
 
 // --- Linear algebra -----------------------------------------------------------
 // [n, k] x [k, m] -> [n, m].
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// x*W + b in one recorded op ([n, k] x [k, m] + [m] -> [n, m]);
+// bit-identical to Add(MatMul(x, w), b) but one node and one buffer.
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& b);
+// x*W + h*U + b in one recorded op ([n, k1] x [k1, m] + [n, k2] x [k2, m]
+// + [m] -> [n, m]); the GRU gate pre-activation. Both GEMMs accumulate into
+// one buffer, so rounding differs from the unfused Add(Add(...)) chain.
+Tensor Affine2(const Tensor& x, const Tensor& w, const Tensor& h,
+               const Tensor& u, const Tensor& b);
+
+// --- Fused elementwise (equal shapes, no broadcasting) ----------------------
+// a*b + c.
+Tensor MulAdd(const Tensor& a, const Tensor& b, const Tensor& c);
+// tanh(a + b).
+Tensor TanhAdd(const Tensor& a, const Tensor& b);
+// z*h + (1-z)*n, the GRU convex blend; bit-identical to the unfused
+// Add(Mul(z, h), Mul(Sub(ones, z), n)) chain without materializing ones.
+Tensor GruBlend(const Tensor& z, const Tensor& h, const Tensor& n);
 
 // --- Reductions -----------------------------------------------------------------
 // Sum/mean over all elements -> scalar [1].
@@ -80,6 +108,12 @@ Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
                                     const Tensor& targets);
 
 // --- Non-differentiable helpers -----------------------------------------------------
+// In-place accumulation for inference-time state updates: a += b and
+// a += s*b. CHECK-fail on tensors carrying autograd state (grad_fn or
+// requires_grad) — mutating a recorded tensor would corrupt saved
+// activations. Shapes must match exactly.
+void AddInPlace(Tensor& a, const Tensor& b);
+void ScaledAddInPlace(Tensor& a, const Tensor& b, float s);
 // Index of the largest element (flat).
 int64_t Argmax(const Tensor& a);
 // True when |a - b| <= atol + rtol * |b| elementwise (shapes must match).

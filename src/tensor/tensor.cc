@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
+#include "util/buffer_pool.h"
 #include "util/logging.h"
 
 namespace tpgnn::tensor {
@@ -28,9 +30,19 @@ std::string ShapeToString(const Shape& shape) {
   return os.str();
 }
 
+TensorImpl::~TensorImpl() {
+  util::ReleaseBuffer(std::move(grad));
+  util::ReleaseBuffer(std::move(data));
+}
+
 void TensorImpl::EnsureGrad() {
   if (grad.size() != data.size()) {
-    grad.assign(data.size(), 0.0f);
+    if (grad.capacity() >= data.size()) {
+      grad.assign(data.size(), 0.0f);
+    } else {
+      util::ReleaseBuffer(std::move(grad));
+      grad = util::AcquireBuffer(data.size());
+    }
   }
 }
 
@@ -47,6 +59,33 @@ namespace {
 thread_local int no_grad_depth = 0;
 thread_local ShadowGradScope* shadow_scope = nullptr;
 
+// Thread-local recycle list for finished tape nodes. Bounded so a single
+// giant tape cannot pin memory forever; the trainer's tapes are far smaller.
+constexpr size_t kMaxFreeNodes = 8192;
+
+thread_local bool tls_nodes_destroyed = false;
+
+struct NodeFreeList {
+  std::vector<std::shared_ptr<AutogradNode>> nodes;
+  ~NodeFreeList() { tls_nodes_destroyed = true; }
+};
+
+NodeFreeList* NodeCache() {
+  if (tls_nodes_destroyed) return nullptr;
+  thread_local NodeFreeList list;
+  return &list;
+}
+
+// Parks a cleared node for reuse; `node` must already have empty inputs and
+// a null backward closure.
+void RecycleAutogradNode(std::shared_ptr<AutogradNode>&& node) {
+  NodeFreeList* cache = NodeCache();
+  if (cache != nullptr && cache->nodes.size() < kMaxFreeNodes) {
+    node->backward_invoked = false;
+    cache->nodes.push_back(std::move(node));
+  }
+}
+
 std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape,
                                      std::vector<float> values,
                                      bool requires_grad) {
@@ -60,6 +99,18 @@ std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape,
 }
 
 }  // namespace
+
+std::shared_ptr<AutogradNode> AcquireAutogradNode() {
+  NodeFreeList* cache = util::BufferPoolEnabled() ? NodeCache() : nullptr;
+  if (cache != nullptr && !cache->nodes.empty()) {
+    std::shared_ptr<AutogradNode> node = std::move(cache->nodes.back());
+    cache->nodes.pop_back();
+    util::RecordNodeAcquire(/*reused=*/true);
+    return node;
+  }
+  util::RecordNodeAcquire(/*reused=*/false);
+  return std::make_shared<AutogradNode>();
+}
 
 NoGradGuard::NoGradGuard() { ++no_grad_depth; }
 NoGradGuard::~NoGradGuard() { --no_grad_depth; }
@@ -79,11 +130,23 @@ ShadowGradScope::ShadowGradScope(
   shadow_scope = this;
 }
 
-ShadowGradScope::~ShadowGradScope() { shadow_scope = nullptr; }
+ShadowGradScope::~ShadowGradScope() {
+  shadow_scope = nullptr;
+  for (std::vector<float>& buffer : buffers_) {
+    util::ReleaseBuffer(std::move(buffer));
+  }
+}
 
 const std::vector<float>& ShadowGradScope::shadow_grad(size_t i) const {
   TPGNN_CHECK_LT(i, buffers_.size());
   return buffers_[i];
+}
+
+std::vector<float> ShadowGradScope::TakeShadowGrad(size_t i) {
+  TPGNN_CHECK_LT(i, buffers_.size());
+  std::vector<float> out = std::move(buffers_[i]);
+  buffers_[i] = std::vector<float>();
+  return out;
 }
 
 std::vector<float>& GradBufferFor(TensorImpl& impl) {
@@ -95,7 +158,12 @@ std::vector<float>& GradBufferFor(TensorImpl& impl) {
       if (shadow_scope->shadowed_[i] == &impl) {
         std::vector<float>& buffer = shadow_scope->buffers_[i];
         if (buffer.size() != impl.data.size()) {
-          buffer.assign(impl.data.size(), 0.0f);
+          if (buffer.capacity() >= impl.data.size()) {
+            buffer.assign(impl.data.size(), 0.0f);
+          } else {
+            util::ReleaseBuffer(std::move(buffer));
+            buffer = util::AcquireBuffer(impl.data.size());
+          }
         }
         return buffer;
       }
@@ -118,7 +186,11 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  std::vector<float> values(static_cast<size_t>(Numel(shape)), value);
+  std::vector<float> values =
+      util::AcquireBuffer(static_cast<size_t>(Numel(shape)));
+  if (value != 0.0f) {
+    std::fill(values.begin(), values.end(), value);
+  }
   return Tensor(MakeImpl(shape, std::move(values), requires_grad));
 }
 
@@ -133,7 +205,8 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 
 Tensor Tensor::Uniform(const Shape& shape, float lo, float hi, Rng& rng,
                        bool requires_grad) {
-  std::vector<float> values(static_cast<size_t>(Numel(shape)));
+  std::vector<float> values =
+      util::AcquireBuffer(static_cast<size_t>(Numel(shape)));
   for (float& v : values) {
     v = rng.UniformFloat(lo, hi);
   }
@@ -142,7 +215,8 @@ Tensor Tensor::Uniform(const Shape& shape, float lo, float hi, Rng& rng,
 
 Tensor Tensor::Randn(const Shape& shape, float stddev, Rng& rng,
                      bool requires_grad) {
-  std::vector<float> values(static_cast<size_t>(Numel(shape)));
+  std::vector<float> values =
+      util::AcquireBuffer(static_cast<size_t>(Numel(shape)));
   for (float& v : values) {
     v = static_cast<float>(rng.Normal(0.0, stddev));
   }
@@ -150,7 +224,7 @@ Tensor Tensor::Randn(const Shape& shape, float stddev, Rng& rng,
 }
 
 Tensor Tensor::Eye(int64_t n) {
-  std::vector<float> values(static_cast<size_t>(n * n), 0.0f);
+  std::vector<float> values = util::AcquireBuffer(static_cast<size_t>(n * n));
   for (int64_t i = 0; i < n; ++i) {
     values[static_cast<size_t>(i * n + i)] = 1.0f;
   }
@@ -265,6 +339,31 @@ void Tensor::Backward() {
     node->EnsureGrad();
     node->grad_fn->backward(node->grad);
   }
+
+  if (!util::BufferPoolEnabled()) {
+    return;
+  }
+  // Release the finished tape eagerly: interior activations' grad buffers go
+  // back to the pool, nodes drop their captured inputs (so the shared_ptr
+  // chains unwind here instead of via deep recursion in ~TensorImpl), and
+  // cleared nodes are parked for reuse by the next forward pass. The root
+  // keeps its node with backward_invoked=true so a second Backward() on the
+  // same tape still fails fast.
+  for (const auto& impl : order) {
+    std::shared_ptr<AutogradNode> node = std::move(impl->grad_fn);
+    impl->grad_fn = nullptr;
+    if (impl.get() != impl_.get()) {
+      util::ReleaseBuffer(std::move(impl->grad));
+      impl->grad = std::vector<float>();
+    }
+    node->inputs.clear();
+    node->backward = nullptr;
+    if (impl.get() == impl_.get()) {
+      impl->grad_fn = std::move(node);
+    } else if (node.use_count() == 1) {
+      RecycleAutogradNode(std::move(node));
+    }
+  }
 }
 
 const std::vector<float>& Tensor::grad() const {
@@ -279,8 +378,19 @@ std::vector<float>& Tensor::MutableGrad() {
   return impl_->grad;
 }
 
+namespace {
+
+// Pooled copy of an existing buffer (Detach/Clone/GradTensor).
+std::vector<float> CopyToPooled(const std::vector<float>& src) {
+  std::vector<float> out = util::AcquireBuffer(src.size());
+  std::copy(src.begin(), src.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
 Tensor Tensor::GradTensor() const {
-  return FromVector(shape(), grad(), /*requires_grad=*/false);
+  return FromVector(shape(), CopyToPooled(grad()), /*requires_grad=*/false);
 }
 
 void Tensor::ZeroGrad() {
@@ -288,11 +398,13 @@ void Tensor::ZeroGrad() {
 }
 
 Tensor Tensor::Detach() const {
-  return FromVector(shape(), impl_->data, /*requires_grad=*/false);
+  return FromVector(shape(), CopyToPooled(impl_->data),
+                    /*requires_grad=*/false);
 }
 
 Tensor Tensor::Clone() const {
-  Tensor copy = FromVector(shape(), impl_->data, /*requires_grad=*/false);
+  Tensor copy =
+      FromVector(shape(), CopyToPooled(impl_->data), /*requires_grad=*/false);
   copy.impl_->requires_grad = impl_->requires_grad;
   return copy;
 }
@@ -308,6 +420,24 @@ std::string Tensor::ToString() const {
   if (numel() > limit) os << ", ...";
   os << "}";
   return os.str();
+}
+
+ConstRowSpan RowSpanOf(const Tensor& m, int64_t row) {
+  TPGNN_CHECK_EQ(m.dim(), 2) << "RowSpanOf requires a matrix";
+  TPGNN_CHECK_GE(row, 0);
+  TPGNN_CHECK_LT(row, m.size(0));
+  const int64_t cols = m.size(1);
+  return ConstRowSpan{m.data().data() + row * cols, cols};
+}
+
+RowSpan MutableRowSpan(Tensor& m, int64_t row) {
+  TPGNN_CHECK_EQ(m.dim(), 2) << "MutableRowSpan requires a matrix";
+  TPGNN_CHECK_GE(row, 0);
+  TPGNN_CHECK_LT(row, m.size(0));
+  TPGNN_CHECK(m.impl()->grad_fn == nullptr && !m.requires_grad())
+      << "MutableRowSpan would corrupt a recorded tensor's saved activations";
+  const int64_t cols = m.size(1);
+  return RowSpan{m.MutableData().data() + row * cols, cols};
 }
 
 }  // namespace tpgnn::tensor

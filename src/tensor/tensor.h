@@ -53,10 +53,24 @@ struct TensorImpl {
   // Null for leaves and for results computed under NoGradGuard.
   std::shared_ptr<AutogradNode> grad_fn;
 
+  TensorImpl() = default;
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+  // Returns data and grad storage to the thread's buffer pool
+  // (util/buffer_pool.h) so the next same-shape op reuses it.
+  ~TensorImpl();
+
   int64_t numel() const { return static_cast<int64_t>(data.size()); }
   void EnsureGrad();
   void AccumulateGrad(const std::vector<float>& g);
 };
+
+// Recycled tape nodes: Backward() returns the nodes of a finished tape to a
+// thread-local free list; ops pop from it instead of make_shared, so the
+// per-graph epoch loop stops paying control-block churn per recorded op.
+// The returned node is cleared (empty inputs, null backward,
+// backward_invoked=false).
+std::shared_ptr<AutogradNode> AcquireAutogradNode();
 
 // RAII guard that disables gradient recording on the current thread.
 // Nestable.
@@ -98,6 +112,9 @@ class ShadowGradScope {
   // Shadow buffer for the i-th shadowed impl (order of the constructor
   // argument). Empty if no gradient reached it.
   const std::vector<float>& shadow_grad(size_t i) const;
+  // Moves the i-th shadow buffer out (the scope's slot is left empty). The
+  // caller owns the buffer and should ReleaseBuffer() it once consumed.
+  std::vector<float> TakeShadowGrad(size_t i);
   size_t size() const { return shadowed_.size(); }
 
  private:
@@ -195,6 +212,29 @@ class Tensor {
 // Offset of a multi-index into row-major storage.
 int64_t RowMajorOffset(const Shape& shape,
                        std::initializer_list<int64_t> index);
+
+// --- Zero-copy row views ----------------------------------------------------
+//
+// A RowSpan aliases one row of a 2-D tensor's storage without copying.
+// Aliasing rule: spans are raw pointers into impl->data, so they are only
+// valid (a) while the owning Tensor is alive and (b) on tensors that carry
+// no autograd history — mutating a recorded tensor's storage would silently
+// corrupt saved activations. MutableRowSpan CHECK-fails on tensors with a
+// grad_fn or requires_grad; the inference propagation paths are the intended
+// users.
+
+struct ConstRowSpan {
+  const float* data = nullptr;
+  int64_t size = 0;
+};
+
+struct RowSpan {
+  float* data = nullptr;
+  int64_t size = 0;
+};
+
+ConstRowSpan RowSpanOf(const Tensor& m, int64_t row);
+RowSpan MutableRowSpan(Tensor& m, int64_t row);
 
 }  // namespace tpgnn::tensor
 

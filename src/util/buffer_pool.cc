@@ -1,0 +1,184 @@
+#include "util/buffer_pool.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "util/env.h"
+
+namespace tpgnn::util {
+
+namespace {
+
+// Buckets are powers of two from 2^0 to 2^kNumBuckets-1 floats; buffers
+// larger than the top bucket are never cached (nothing in this codebase
+// allocates them repeatedly).
+constexpr size_t kNumBuckets = 24;  // Top bucket: 8M floats (32 MB).
+// Per-thread cap on parked bytes; beyond it, releases free instead of cache.
+constexpr size_t kMaxCachedBytesPerThread = 64u << 20;
+
+struct Counters {
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> releases{0};
+  std::atomic<uint64_t> node_acquires{0};
+  std::atomic<uint64_t> node_reuses{0};
+  // Signed: buffers built outside the facade (Tensor::FromVector) are
+  // released through it, so the balance can dip below zero; snapshots clamp.
+  std::atomic<int64_t> bytes_live{0};
+  std::atomic<int64_t> bytes_peak{0};
+  std::atomic<uint64_t> bytes_cached{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+void UpdatePeak(int64_t live) {
+  int64_t peak = counters().bytes_peak.load(std::memory_order_relaxed);
+  while (live > peak && !counters().bytes_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{GetEnvInt("TPGNN_TENSOR_POOL", 1) != 0};
+  return enabled;
+}
+
+size_t BucketForRequest(size_t n) {  // ceil(log2(n)), n >= 1.
+  size_t b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  return b;
+}
+
+size_t BucketForCapacity(size_t cap) {  // floor(log2(cap)), cap >= 1.
+  size_t b = 0;
+  while ((size_t{2} << b) <= cap) ++b;
+  return b;
+}
+
+struct ThreadCache {
+  std::array<std::vector<std::vector<float>>, kNumBuckets> buckets;
+  size_t cached_bytes = 0;
+
+  ~ThreadCache() {
+    counters().bytes_cached.fetch_sub(cached_bytes,
+                                      std::memory_order_relaxed);
+  }
+};
+
+// Trivially-destructible flag outlives the cache, so releases that happen
+// after thread_local teardown (static destructors on the main thread) fall
+// through to plain deallocation instead of touching a dead cache.
+thread_local bool tls_cache_destroyed = false;
+
+struct ThreadCacheHolder {
+  ThreadCache cache;
+  ~ThreadCacheHolder() { tls_cache_destroyed = true; }
+};
+
+ThreadCache* Cache() {
+  if (tls_cache_destroyed) return nullptr;
+  thread_local ThreadCacheHolder holder;
+  return &holder.cache;
+}
+
+}  // namespace
+
+bool BufferPoolEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetBufferPoolEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+BufferPoolStats GetBufferPoolStats() {
+  const Counters& c = counters();
+  BufferPoolStats s;
+  s.acquires = c.acquires.load(std::memory_order_relaxed);
+  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+  s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+  s.releases = c.releases.load(std::memory_order_relaxed);
+  s.node_acquires = c.node_acquires.load(std::memory_order_relaxed);
+  s.node_reuses = c.node_reuses.load(std::memory_order_relaxed);
+  const int64_t live = c.bytes_live.load(std::memory_order_relaxed);
+  const int64_t peak = c.bytes_peak.load(std::memory_order_relaxed);
+  s.bytes_live = live > 0 ? static_cast<uint64_t>(live) : 0;
+  s.bytes_peak = peak > 0 ? static_cast<uint64_t>(peak) : 0;
+  s.bytes_cached = c.bytes_cached.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<float> AcquireBuffer(size_t n) {
+  Counters& c = counters();
+  c.acquires.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    return {};
+  }
+  std::vector<float> buffer;
+  const size_t bucket = BucketForRequest(n);
+  ThreadCache* cache =
+      (BufferPoolEnabled() && bucket < kNumBuckets) ? Cache() : nullptr;
+  if (cache != nullptr && !cache->buckets[bucket].empty()) {
+    buffer = std::move(cache->buckets[bucket].back());
+    cache->buckets[bucket].pop_back();
+    cache->cached_bytes -= buffer.capacity() * sizeof(float);
+    c.bytes_cached.fetch_sub(buffer.capacity() * sizeof(float),
+                             std::memory_order_relaxed);
+    c.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    // Capacity >= 2^bucket >= n by the bucket invariant: no reallocation.
+    buffer.assign(n, 0.0f);
+  } else {
+    c.pool_misses.fetch_add(1, std::memory_order_relaxed);
+    if (bucket < kNumBuckets) {
+      buffer.reserve(size_t{1} << bucket);  // Full bucket size for reuse.
+    }
+    buffer.assign(n, 0.0f);
+  }
+  const int64_t bytes =
+      static_cast<int64_t>(buffer.capacity() * sizeof(float));
+  const int64_t live =
+      c.bytes_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(live);
+  return buffer;
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) {
+    return;
+  }
+  Counters& c = counters();
+  const size_t bytes = buffer.capacity() * sizeof(float);
+  c.releases.fetch_add(1, std::memory_order_relaxed);
+  c.bytes_live.fetch_sub(static_cast<int64_t>(bytes),
+                         std::memory_order_relaxed);
+  if (!BufferPoolEnabled()) {
+    return;  // Vector destructs: plain deallocation, as before the pool.
+  }
+  const size_t bucket = BucketForCapacity(buffer.capacity());
+  if (bucket >= kNumBuckets) {
+    return;
+  }
+  ThreadCache* cache = Cache();
+  if (cache == nullptr ||
+      cache->cached_bytes + bytes > kMaxCachedBytesPerThread) {
+    return;
+  }
+  cache->cached_bytes += bytes;
+  c.bytes_cached.fetch_add(bytes, std::memory_order_relaxed);
+  cache->buckets[bucket].push_back(std::move(buffer));
+}
+
+void RecordNodeAcquire(bool reused) {
+  counters().node_acquires.fetch_add(1, std::memory_order_relaxed);
+  if (reused) {
+    counters().node_reuses.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tpgnn::util

@@ -1,0 +1,72 @@
+#ifndef TPGNN_UTIL_BUFFER_POOL_H_
+#define TPGNN_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Size-bucketed, thread-local pooled allocator for float buffers.
+//
+// The per-edge temporal propagation issues hundreds of thousands of ops over
+// tiny [1, d] tensors per training epoch; every one of them used to
+// round-trip a std::vector<float> through operator new. AcquireBuffer /
+// ReleaseBuffer recycle those vectors instead: a released vector keeps its
+// heap allocation and is parked on the releasing thread's free list, bucketed
+// by the floor power of two of its capacity; an acquire pops from the bucket
+// of the ceiling power of two of the request, so any recycled vector always
+// has enough capacity to satisfy the request without reallocating.
+//
+// Contracts:
+//  * AcquireBuffer(n) returns a vector of size n with every element zero,
+//    whether it was freshly allocated or recycled (pool reuse is invisible).
+//  * Pools are strictly thread-local; no locks on the hot path. Buffers may
+//    migrate between threads (released where they die), which is safe and
+//    only affects which cache warms up.
+//  * The process-wide stats facade (BufferPoolStats) uses relaxed atomics;
+//    individual counters are monotone, cross-counter snapshots are not
+//    guaranteed to be mutually consistent mid-flight.
+//  * TPGNN_TENSOR_POOL=0 (or SetBufferPoolEnabled(false)) disables recycling:
+//    acquires allocate, releases free, restoring pre-pool behaviour exactly.
+//  * After a thread's pool is torn down (thread exit), releases fall through
+//    to plain deallocation, so statics destroyed late stay safe.
+
+namespace tpgnn::util {
+
+struct BufferPoolStats {
+  // Monotone counters.
+  uint64_t acquires = 0;      // AcquireBuffer calls served (hit or miss).
+  uint64_t pool_hits = 0;     // Served by recycling a cached buffer.
+  uint64_t pool_misses = 0;   // Served by a fresh heap allocation.
+  uint64_t releases = 0;      // Buffers handed back (cached or freed).
+  uint64_t node_acquires = 0; // Autograd tape nodes requested (see tensor/).
+  uint64_t node_reuses = 0;   // Tape nodes served from the recycle list.
+  // Gauges.
+  uint64_t bytes_live = 0;    // Bytes in buffers currently acquired.
+  uint64_t bytes_peak = 0;    // High-water mark of bytes_live.
+  uint64_t bytes_cached = 0;  // Bytes parked on free lists (all threads).
+};
+
+// True unless TPGNN_TENSOR_POOL=0 (read once) or overridden by
+// SetBufferPoolEnabled. Also gates autograd tape recycling (tensor/).
+bool BufferPoolEnabled();
+
+// Test/bench override of the TPGNN_TENSOR_POOL gate. Affects subsequent
+// acquires/releases process-wide; already-cached buffers stay valid.
+void SetBufferPoolEnabled(bool enabled);
+
+// Snapshot of the process-wide counters.
+BufferPoolStats GetBufferPoolStats();
+
+// A zero-filled vector of size n (capacity rounded up to the bucket size).
+std::vector<float> AcquireBuffer(std::size_t n);
+
+// Returns a buffer to the releasing thread's pool (or frees it when the pool
+// is disabled, the thread pool is torn down, or the cache is full).
+void ReleaseBuffer(std::vector<float>&& buffer);
+
+// Internal: counters bumped by the autograd-node recycler in tensor/.
+void RecordNodeAcquire(bool reused);
+
+}  // namespace tpgnn::util
+
+#endif  // TPGNN_UTIL_BUFFER_POOL_H_

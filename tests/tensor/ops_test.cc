@@ -207,7 +207,10 @@ TEST(OpsTest, SoftmaxIsShiftInvariantAndStable) {
   Tensor a = Tensor::FromVector({3}, {1000.0f, 1001.0f, 1002.0f});
   Tensor b = Tensor::FromVector({3}, {0.0f, 1.0f, 2.0f});
   EXPECT_TRUE(AllClose(Softmax(a), Softmax(b), 1e-6f, 1e-5f));
-  for (float v : Softmax(a).data()) {
+  // Bind the result before iterating: data() returns a reference into the
+  // tensor, which a temporary would destroy at the end of the range-init.
+  Tensor sa = Softmax(a);
+  for (float v : sa.data()) {
     EXPECT_TRUE(std::isfinite(v));
   }
 }

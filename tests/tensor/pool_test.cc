@@ -1,0 +1,131 @@
+// Interaction between the autograd tape and the buffer pool:
+//  * Backward() releases interior gradient buffers and recycles tape nodes,
+//    so steady-state training loops stop allocating.
+//  * Leaf gradients and the ability to detect a second Backward() survive
+//    the tape teardown.
+//  * Toggling TPGNN_TENSOR_POOL cannot change any computed value.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/buffer_pool.h"
+#include "util/rng.h"
+
+namespace tpgnn::tensor {
+namespace {
+
+class ScopedPoolEnabled {
+ public:
+  explicit ScopedPoolEnabled(bool enabled)
+      : previous_(util::BufferPoolEnabled()) {
+    util::SetBufferPoolEnabled(enabled);
+  }
+  ~ScopedPoolEnabled() { util::SetBufferPoolEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+// A small op chain exercising GEMM, fused, and reduction kernels.
+std::vector<float> RunChain(uint64_t seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::Uniform({3, 4}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor w = Tensor::Uniform({4, 4}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Uniform({4}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor y = Tanh(Affine(x, w, b));
+  Tensor z = GruBlend(Sigmoid(y), y, Tanh(MatMul(y, w)));
+  Tensor loss = Sum(Mul(z, z));
+  loss.Backward();
+  std::vector<float> out = z.data();
+  const std::vector<float>& gx = x.grad();
+  out.insert(out.end(), gx.begin(), gx.end());
+  out.push_back(loss.item());
+  return out;
+}
+
+TEST(PoolTest, BackwardReleasesInteriorTapeState) {
+  ScopedPoolEnabled enabled(true);
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6}, /*requires_grad=*/true);
+  Tensor y = Mul(a, b);  // Interior node.
+  Tensor loss = Sum(y);  // Root node.
+  ASSERT_NE(y.impl()->grad_fn, nullptr);
+  loss.Backward();
+
+  // Interior tensors drop their tape node and gradient buffer; the root
+  // keeps a (cleared) node so a second Backward() still CHECK-fails; leaf
+  // gradients are untouched.
+  EXPECT_EQ(y.impl()->grad_fn, nullptr);
+  EXPECT_TRUE(y.impl()->grad.empty());
+  EXPECT_NE(loss.impl()->grad_fn, nullptr);
+  EXPECT_EQ(a.grad(), (std::vector<float>{4, 5, 6}));
+  EXPECT_EQ(b.grad(), (std::vector<float>{1, 2, 3}));
+  EXPECT_DEATH(loss.Backward(), "twice");
+}
+
+TEST(PoolTest, DisabledPoolKeepsInteriorTapeState) {
+  ScopedPoolEnabled disabled(false);
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor y = Scale(a, 2.0f);
+  Tensor loss = Sum(y);
+  loss.Backward();
+  // Without the pool the tape is left as the seed implementation built it.
+  EXPECT_NE(y.impl()->grad_fn, nullptr);
+  EXPECT_EQ(a.grad(), (std::vector<float>{2, 2, 2}));
+}
+
+TEST(PoolTest, SteadyStateIterationsRecycleNodesAndBuffers) {
+  ScopedPoolEnabled enabled(true);
+  RunChain(42);  // Warm-up: populate the node freelist and buffer pool.
+
+  const util::BufferPoolStats before = util::GetBufferPoolStats();
+  RunChain(42);
+  const util::BufferPoolStats after = util::GetBufferPoolStats();
+
+  // The second, identically-shaped iteration must reuse recycled tape nodes
+  // and pooled buffers rather than allocating everything fresh.
+  EXPECT_GT(after.node_reuses, before.node_reuses);
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+  EXPECT_GT(after.node_acquires, before.node_acquires);
+}
+
+TEST(PoolTest, PoolToggleDoesNotChangeValues) {
+  std::vector<float> pooled_first;
+  std::vector<float> pooled_second;
+  {
+    ScopedPoolEnabled enabled(true);
+    pooled_first = RunChain(7);
+    pooled_second = RunChain(7);  // Runs on recycled nodes/buffers.
+  }
+  std::vector<float> unpooled;
+  {
+    ScopedPoolEnabled disabled(false);
+    unpooled = RunChain(7);
+  }
+  ASSERT_EQ(pooled_first.size(), unpooled.size());
+  for (size_t i = 0; i < pooled_first.size(); ++i) {
+    EXPECT_EQ(pooled_first[i], pooled_second[i]) << "element " << i;
+    EXPECT_EQ(pooled_first[i], unpooled[i]) << "element " << i;
+  }
+}
+
+TEST(PoolTest, RecycledStorageNeverLeaksIntoFreshTensors) {
+  ScopedPoolEnabled enabled(true);
+  {
+    Tensor junk = Tensor::Zeros({4, 4});
+    for (float& v : junk.MutableData()) {
+      v = 99.0f;
+    }
+    // `junk` dies here and its storage returns to the pool dirty.
+  }
+  Tensor fresh = Tensor::Zeros({4, 4});
+  for (float v : fresh.data()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::tensor

@@ -1,0 +1,267 @@
+// Coverage for the fused per-edge ops and zero-copy row views added with
+// the tensor memory subsystem:
+//  * GatherRows / ScatterRowAdd forward values and gradients, checked both
+//    numerically and against compositions of the pre-existing ops
+//    (IndexSelect, Row, Stack, Concat), including duplicate-row scatters.
+//  * Affine / Affine2 / MulAdd / TanhAdd / GruBlend forward + gradcheck.
+//  * RowSpanOf / MutableRowSpan aliasing rules.
+//  * AddInPlace / ScaledAddInPlace and their autograd guard rails.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace tpgnn::tensor {
+namespace {
+
+using testing::GradCheck;
+using testing::GradCheckResult;
+
+Tensor SquaredSum(const Tensor& t) { return Sum(Mul(t, t)); }
+
+TEST(GatherRowsTest, ForwardMatchesIndexSelectWithDuplicates) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  const std::vector<int64_t> idx = {2, 0, 2, 1};
+  Tensor gathered = GatherRows(a, idx);
+  Tensor reference = IndexSelect(a, idx);
+  ASSERT_EQ(gathered.shape(), reference.shape());
+  EXPECT_EQ(gathered.data(), reference.data());
+  EXPECT_EQ(gathered.data(), (std::vector<float>{5, 6, 1, 2, 5, 6, 3, 4}));
+}
+
+TEST(GatherRowsTest, GradientMatchesIndexSelectComposition) {
+  const std::vector<int64_t> idx = {1, 1, 0, 2};
+  Tensor a = Tensor::FromVector({3, 2}, {0.5f, -1, 2, 0.25f, -3, 1.5f},
+                                /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({3, 2}, {0.5f, -1, 2, 0.25f, -3, 1.5f},
+                                /*requires_grad=*/true);
+
+  SquaredSum(GatherRows(a, idx)).Backward();
+  SquaredSum(IndexSelect(b, idx)).Backward();
+  ASSERT_EQ(a.grad().size(), b.grad().size());
+  for (size_t i = 0; i < a.grad().size(); ++i) {
+    EXPECT_EQ(a.grad()[i], b.grad()[i]) << "element " << i;
+  }
+}
+
+TEST(GatherRowsTest, GradCheckWithDuplicateIndices) {
+  Rng rng(5);
+  Tensor a = Tensor::Uniform({4, 3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(GatherRows(p[0], {3, 1, 3, 0, 3}));
+      },
+      {a});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ScatterRowAddTest, ForwardAccumulatesDuplicateRows) {
+  Tensor base = Tensor::FromVector({3, 2}, {10, 20, 30, 40, 50, 60});
+  Tensor updates = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = ScatterRowAdd(base, {0, 2, 0}, updates);
+  // Row 0 receives updates row 0 and row 2; row 1 is untouched.
+  EXPECT_EQ(out.data(), (std::vector<float>{16, 28, 30, 40, 53, 64}));
+  // Inputs are not mutated (the op is functional).
+  EXPECT_EQ(base.data(), (std::vector<float>{10, 20, 30, 40, 50, 60}));
+}
+
+TEST(ScatterRowAddTest, MatchesRowStackComposition) {
+  // Reference built purely from pre-existing ops: per destination row,
+  // accumulate the update rows that target it in scatter order, then stack.
+  const std::vector<int64_t> idx = {0, 2, 0, 1};
+  Tensor base = Tensor::FromVector({3, 2}, {1, -2, 3, 0.5f, -1, 4},
+                                   /*requires_grad=*/true);
+  Tensor updates =
+      Tensor::FromVector({4, 2}, {0.25f, 1, -0.5f, 2, 1.5f, -1, 0, 3},
+                         /*requires_grad=*/true);
+  Tensor base_ref = Tensor::FromVector({3, 2}, {1, -2, 3, 0.5f, -1, 4},
+                                       /*requires_grad=*/true);
+  Tensor updates_ref =
+      Tensor::FromVector({4, 2}, {0.25f, 1, -0.5f, 2, 1.5f, -1, 0, 3},
+                         /*requires_grad=*/true);
+
+  Tensor fused = ScatterRowAdd(base, idx, updates);
+
+  std::vector<Tensor> rows;
+  for (int64_t r = 0; r < 3; ++r) {
+    Tensor row = Row(base_ref, r);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i] == r) {
+        row = Add(row, Row(updates_ref, static_cast<int64_t>(i)));
+      }
+    }
+    rows.push_back(row);
+  }
+  Tensor reference = Stack(rows);
+
+  ASSERT_EQ(fused.shape(), reference.shape());
+  EXPECT_EQ(fused.data(), reference.data());
+
+  SquaredSum(fused).Backward();
+  SquaredSum(reference).Backward();
+  EXPECT_EQ(base.grad(), base_ref.grad());
+  EXPECT_EQ(updates.grad(), updates_ref.grad());
+}
+
+TEST(ScatterRowAddTest, GradCheckWithDuplicateIndices) {
+  Rng rng(9);
+  Tensor base =
+      Tensor::Uniform({3, 2}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor updates =
+      Tensor::Uniform({4, 2}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(ScatterRowAdd(p[0], {1, 1, 2, 0}, p[1]));
+      },
+      {base, updates});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(AffineTest, BitIdenticalToMatMulAddAndGradChecks) {
+  Rng rng(3);
+  Tensor x = Tensor::Uniform({2, 4}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor w = Tensor::Uniform({4, 3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Uniform({3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+
+  Tensor fused = Affine(x, w, b);
+  Tensor reference = Add(MatMul(x, w), b);
+  EXPECT_EQ(fused.data(), reference.data());
+
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(Affine(p[0], p[1], p[2]));
+      },
+      {x, w, b});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(Affine2Test, MatchesUnfusedChainAndGradChecks) {
+  Rng rng(4);
+  Tensor x = Tensor::Uniform({2, 4}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor w = Tensor::Uniform({4, 3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor h = Tensor::Uniform({2, 5}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor u = Tensor::Uniform({5, 3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Uniform({3}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+
+  // Both GEMMs accumulate into one buffer, so only closeness (not bit
+  // identity) is promised against the unfused chain.
+  Tensor fused = Affine2(x, w, h, u, b);
+  Tensor reference = Add(Add(MatMul(x, w), MatMul(h, u)), b);
+  EXPECT_TRUE(AllClose(fused, reference, 1e-5f, 1e-5f));
+
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(Affine2(p[0], p[1], p[2], p[3], p[4]));
+      },
+      {x, w, h, u, b});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(FusedElementwiseTest, MulAddForwardAndGradCheck) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c = Tensor::FromVector({2, 2}, {0.5f, -0.5f, 1, -1});
+  EXPECT_EQ(MulAdd(a, b, c).data(), (std::vector<float>{5.5f, 11.5f, 22, 31}));
+
+  Rng rng(6);
+  Tensor ga = Tensor::Uniform({6}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor gb = Tensor::Uniform({6}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor gc = Tensor::Uniform({6}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(MulAdd(p[0], p[1], p[2]));
+      },
+      {ga, gb, gc});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(FusedElementwiseTest, TanhAddForwardAndGradCheck) {
+  Tensor a = Tensor::FromVector({3}, {0.25f, -1, 2});
+  Tensor b = Tensor::FromVector({3}, {0.75f, 1, -2});
+  Tensor out = TanhAdd(a, b);
+  EXPECT_FLOAT_EQ(out.data()[0], std::tanh(1.0f));
+  EXPECT_FLOAT_EQ(out.data()[1], std::tanh(0.0f));
+  EXPECT_FLOAT_EQ(out.data()[2], std::tanh(0.0f));
+
+  Rng rng(7);
+  Tensor ga = Tensor::Uniform({5}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor gb = Tensor::Uniform({5}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(TanhAdd(p[0], p[1]));
+      },
+      {ga, gb});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(FusedElementwiseTest, GruBlendBitIdenticalToUnfusedChain) {
+  Rng rng(8);
+  Tensor z = Tensor::Uniform({1, 6}, 0.1f, 0.9f, rng, /*requires_grad=*/true);
+  Tensor h = Tensor::Uniform({1, 6}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+  Tensor n = Tensor::Uniform({1, 6}, -1.0f, 1.0f, rng, /*requires_grad=*/true);
+
+  Tensor fused = GruBlend(z, h, n);
+  Tensor ones = Tensor::Ones({1, 6});
+  Tensor reference = Add(Mul(z, h), Mul(Sub(ones, z), n));
+  EXPECT_EQ(fused.data(), reference.data());
+
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return SquaredSum(GruBlend(p[0], p[1], p[2]));
+      },
+      {z, h, n});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(RowViewTest, RowSpanOfReadsTheRowInPlace) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  ConstRowSpan row = RowSpanOf(a, 1);
+  ASSERT_EQ(row.size, 3);
+  EXPECT_EQ(row.data[0], 4.0f);
+  EXPECT_EQ(row.data[2], 6.0f);
+  // The span aliases the tensor's storage; no copy is made.
+  EXPECT_EQ(row.data, a.data().data() + 3);
+}
+
+TEST(RowViewTest, MutableRowSpanWritesThrough) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  RowSpan row = MutableRowSpan(a, 0);
+  ASSERT_EQ(row.size, 3);
+  row.data[0] = -1.0f;
+  row.data[2] = -3.0f;
+  EXPECT_EQ(a.data(), (std::vector<float>{-1, 2, -3, 4, 5, 6}));
+}
+
+TEST(RowViewTest, MutableRowSpanRejectsAutogradTensors) {
+  Tensor leaf = Tensor::Zeros({2, 3}, /*requires_grad=*/true);
+  EXPECT_DEATH(MutableRowSpan(leaf, 0), "Check failed");
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6},
+                                /*requires_grad=*/true);
+  Tensor recorded = Tanh(a);
+  EXPECT_DEATH(MutableRowSpan(recorded, 0), "Check failed");
+}
+
+TEST(InPlaceOpsTest, AddInPlaceAndScaledAddInPlace) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({4}, {10, 20, 30, 40});
+  AddInPlace(a, b);
+  EXPECT_EQ(a.data(), (std::vector<float>{11, 22, 33, 44}));
+  ScaledAddInPlace(a, b, -0.5f);
+  EXPECT_EQ(a.data(), (std::vector<float>{6, 12, 18, 24}));
+}
+
+TEST(InPlaceOpsTest, InPlaceOpsRejectAutogradTensors) {
+  Tensor leaf = Tensor::Zeros({4}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({4}, {1, 1, 1, 1});
+  EXPECT_DEATH(AddInPlace(leaf, b), "Check failed");
+  EXPECT_DEATH(ScaledAddInPlace(leaf, b, 2.0f), "Check failed");
+}
+
+}  // namespace
+}  // namespace tpgnn::tensor
