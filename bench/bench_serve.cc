@@ -1,0 +1,159 @@
+// Serving benchmark: drive the InferenceEngine flat-out with a replayed
+// event stream and record sustained throughput plus latency percentiles.
+//
+// Runs the stream twice per updater (SUM and GRU): a warm-up pass and a
+// measured pass. Prints a human-readable table and writes a
+// machine-readable record to BENCH_serve.json (TPGNN_BENCH_SERVE_JSON).
+//
+// Scale knobs: TPGNN_SERVE_SESSIONS (default 200), TPGNN_SERVE_SHARDS
+// (default 4), TPGNN_SERVE_SCORE_EVERY (default 8 edges).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/datasets.h"
+#include "serve/inference_engine.h"
+#include "serve/replay.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace core = tpgnn::core;
+namespace data = tpgnn::data;
+namespace serve = tpgnn::serve;
+
+namespace {
+
+struct ServeMeasurement {
+  std::string name;
+  size_t events = 0;
+  size_t scores = 0;
+  double wall_seconds = 0.0;
+  serve::MetricsSnapshot metrics;
+
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? events / wall_seconds : 0.0;
+  }
+  double scores_per_second() const {
+    return wall_seconds > 0.0 ? scores / wall_seconds : 0.0;
+  }
+};
+
+// Replays the full stream through a fresh engine, returning wall time and
+// the engine's metrics snapshot. Backpressure is honoured the way a real
+// caller would: a kOverloaded Ingest triggers a ProcessPending drain.
+ServeMeasurement RunStream(const std::string& name,
+                           const core::TpGnnConfig& config,
+                           const serve::EventReplayer& replayer,
+                           int num_shards) {
+  serve::EngineOptions options;
+  options.num_shards = num_shards;
+  options.max_pending_scores = 256;
+  options.max_batch = 64;
+  serve::InferenceEngine engine(config, /*seed=*/1, options);
+
+  std::vector<serve::ScoreResult> results;
+  results.reserve(replayer.num_score_requests());
+  tpgnn::Stopwatch wall;
+  for (const serve::Event& event : replayer.events()) {
+    tpgnn::Status status = engine.Ingest(event);
+    while (status.code() == tpgnn::StatusCode::kOverloaded) {
+      engine.ProcessPending(&results);
+      status = engine.Ingest(event);
+    }
+    TPGNN_CHECK(status.ok()) << status.ToString();
+    if (engine.pending_scores() >= options.max_batch) {
+      engine.ProcessPending(&results);
+    }
+  }
+  engine.Flush(&results);
+
+  ServeMeasurement m;
+  m.name = name;
+  m.wall_seconds = wall.ElapsedSeconds();
+  m.events = replayer.events().size();
+  for (const serve::ScoreResult& r : results) {
+    if (r.status.ok()) ++m.scores;
+  }
+  m.metrics = engine.metrics().Snapshot();
+  return m;
+}
+
+std::string ToJsonLine(const ServeMeasurement& m) {
+  std::ostringstream line;
+  line << "{\"bench\": \"serve_" << m.name
+       << "\", \"events\": " << m.events
+       << ", \"scores\": " << m.scores
+       << ", \"wall_seconds\": " << m.wall_seconds
+       << ", \"events_per_second\": " << m.events_per_second()
+       << ", \"scores_per_second\": " << m.scores_per_second()
+       << ", \"score_p50_us\": " << m.metrics.score_latency.PercentileMicros(0.5)
+       << ", \"score_p95_us\": " << m.metrics.score_latency.PercentileMicros(0.95)
+       << ", \"score_p99_us\": " << m.metrics.score_latency.PercentileMicros(0.99)
+       << ", \"e2e_p50_us\": " << m.metrics.e2e_latency.PercentileMicros(0.5)
+       << ", \"e2e_p95_us\": " << m.metrics.e2e_latency.PercentileMicros(0.95)
+       << ", \"e2e_p99_us\": " << m.metrics.e2e_latency.PercentileMicros(0.99)
+       << ", \"state_refolds\": " << m.metrics.state_refolds << "}";
+  return line.str();
+}
+
+}  // namespace
+
+int main() {
+  const int64_t sessions = tpgnn::GetEnvInt("TPGNN_SERVE_SESSIONS", 200);
+  const int shards =
+      static_cast<int>(tpgnn::GetEnvInt("TPGNN_SERVE_SHARDS", 4));
+  const int64_t score_every =
+      tpgnn::GetEnvInt("TPGNN_SERVE_SCORE_EVERY", 8);
+
+  tpgnn::graph::GraphDataset dataset =
+      data::MakeDataset(data::HdfsSpec(), sessions, /*seed=*/17);
+  serve::ReplayOptions replay_options;
+  replay_options.session_start_interval = 0.25;
+  replay_options.score_every_edges = score_every;
+  serve::EventReplayer replayer(dataset, replay_options);
+  std::printf("stream: %zu sessions, %zu events, %zu score requests, "
+              "%d shards\n",
+              replayer.num_sessions(), replayer.events().size(),
+              replayer.num_score_requests(), shards);
+
+  std::vector<ServeMeasurement> measurements;
+  for (const core::Updater updater :
+       {core::Updater::kSum, core::Updater::kGru}) {
+    core::TpGnnConfig config;
+    config.updater = updater;
+    const std::string name =
+        updater == core::Updater::kSum ? "sum" : "gru";
+    RunStream(name, config, replayer, shards);  // Warm-up.
+    const ServeMeasurement m = RunStream(name, config, replayer, shards);
+    std::printf("%-4s %10.0f events/s %9.0f scores/s  score p50/p95/p99 "
+                "%5.0f/%5.0f/%5.0f us  e2e p99 %6.0f us  refolds %llu\n",
+                m.name.c_str(), m.events_per_second(), m.scores_per_second(),
+                m.metrics.score_latency.PercentileMicros(0.5),
+                m.metrics.score_latency.PercentileMicros(0.95),
+                m.metrics.score_latency.PercentileMicros(0.99),
+                m.metrics.e2e_latency.PercentileMicros(0.99),
+                static_cast<unsigned long long>(m.metrics.state_refolds));
+    measurements.push_back(m);
+  }
+
+  const std::string path =
+      tpgnn::GetEnvString("TPGNN_BENCH_SERVE_JSON", "BENCH_serve.json");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    out << "  " << ToJsonLine(measurements[i])
+        << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -2,22 +2,53 @@
 // TP-GNN on a small synthetic dataset, and classify the hand-built graph.
 //
 //   $ ./build/examples/quickstart
+//
+// Checkpoint flags wire the quickstart into the online-serving demo:
+//
+//   $ ./build/examples/quickstart --save_checkpoint=/tmp/tpgnn.ckpt
+//   $ ./build/examples/serve_demo --checkpoint=/tmp/tpgnn.ckpt
+//
+// --save_checkpoint writes the trained parameters plus a config metadata
+// block (nn/checkpoint.h version 2); --load_checkpoint restores a snapshot
+// and skips training.
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "core/model.h"
 #include "data/datasets.h"
 #include "eval/trainer.h"
 #include "graph/temporal_graph.h"
+#include "nn/checkpoint.h"
 #include "tensor/ops.h"
 
 namespace core = tpgnn::core;
 namespace data = tpgnn::data;
 namespace eval = tpgnn::eval;
 namespace graph = tpgnn::graph;
+namespace nn = tpgnn::nn;
 
-int main() {
+namespace {
+
+// Value of a `--name=value` flag, or empty if absent.
+std::string FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string save_path = FlagValue(argc, argv, "save_checkpoint");
+  const std::string load_path = FlagValue(argc, argv, "load_checkpoint");
+
   // 1. A CTDN is a set of nodes with features plus timestamped directed
   //    edges (Definition 1). Here: a five-event log session.
   graph::TemporalGraph session(/*num_nodes=*/5, /*feature_dim=*/3);
@@ -40,20 +71,48 @@ int main() {
               split.test.size());
 
   // 3. Configure TP-GNN (paper defaults: SUM updater, d=32, d_t=6) and
-  //    train end-to-end with Adam + BCE.
+  //    train end-to-end with Adam + BCE — or restore a snapshot.
   core::TpGnnConfig config;
   config.updater = core::Updater::kSum;
   core::TpGnnModel model(config, /*seed=*/1);
   std::printf("model: %s with %lld parameters\n", model.name().c_str(),
               static_cast<long long>(model.ParameterCount()));
 
-  eval::TrainOptions train_options;
-  train_options.epochs = 8;
-  train_options.seed = 1;
-  eval::TrainResult history =
-      eval::TrainClassifier(model, split.train, train_options);
-  std::printf("loss: first epoch %.4f -> last epoch %.4f\n",
-              history.epoch_losses.front(), history.epoch_losses.back());
+  if (!load_path.empty()) {
+    nn::CheckpointMetadata metadata;
+    tpgnn::Status status = nn::LoadParameters(model, load_path, &metadata);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load_checkpoint failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (tpgnn::Status check = core::ValidateConfigMetadata(config, metadata);
+        !check.ok()) {
+      std::fprintf(stderr, "checkpoint config mismatch: %s\n",
+                   check.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded checkpoint: %s\n", load_path.c_str());
+  } else {
+    eval::TrainOptions train_options;
+    train_options.epochs = 8;
+    train_options.seed = 1;
+    eval::TrainResult history =
+        eval::TrainClassifier(model, split.train, train_options);
+    std::printf("loss: first epoch %.4f -> last epoch %.4f\n",
+                history.epoch_losses.front(), history.epoch_losses.back());
+  }
+
+  if (!save_path.empty()) {
+    tpgnn::Status status =
+        nn::SaveParameters(model, save_path, core::ConfigMetadata(config));
+    if (!status.ok()) {
+      std::fprintf(stderr, "save_checkpoint failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved checkpoint: %s\n", save_path.c_str());
+  }
 
   // 4. Evaluate on the held-out split.
   eval::Metrics metrics = eval::EvaluateClassifier(model, split.test);

@@ -1,6 +1,58 @@
 #include "core/config.h"
 
+#include <sstream>
+
 namespace tpgnn::core {
+
+namespace {
+
+const char* UpdaterName(Updater u) {
+  return u == Updater::kSum ? "sum" : "gru";
+}
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kFull:
+      return "full";
+    case Variant::kRand:
+      return "rand";
+    case Variant::kWithoutTem:
+      return "without_tem";
+    case Variant::kTemp:
+      return "temp";
+    case Variant::kTime2Vec:
+      return "time2vec";
+  }
+  return "unknown";
+}
+
+const char* ReadoutName(ExtractorReadout r) {
+  return r == ExtractorReadout::kLastState ? "last_state" : "mean_state";
+}
+
+const char* EdgeAggName(EdgeAgg a) {
+  switch (a) {
+    case EdgeAgg::kAverage:
+      return "average";
+    case EdgeAgg::kHadamard:
+      return "hadamard";
+    case EdgeAgg::kWeightedL1:
+      return "weighted_l1";
+    case EdgeAgg::kWeightedL2:
+      return "weighted_l2";
+    case EdgeAgg::kActivation:
+      return "activation";
+    case EdgeAgg::kConcatenation:
+      return "concatenation";
+  }
+  return "unknown";
+}
+
+const char* GlobalModuleName(GlobalModule m) {
+  return m == GlobalModule::kTransformer ? "transformer" : "gru";
+}
+
+}  // namespace
 
 std::string TpGnnConfig::ModelName() const {
   std::string name =
@@ -25,6 +77,50 @@ std::string TpGnnConfig::ModelName() const {
     name += " (transformer)";
   }
   return name;
+}
+
+nn::CheckpointMetadata ConfigMetadata(const TpGnnConfig& config) {
+  auto formatted = [](double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  };
+  nn::CheckpointMetadata meta;
+  meta["model"] = "tp-gnn";
+  meta["updater"] = UpdaterName(config.updater);
+  meta["variant"] = VariantName(config.variant);
+  meta["feature_dim"] = std::to_string(config.feature_dim);
+  meta["embed_dim"] = std::to_string(config.embed_dim);
+  meta["time_dim"] = std::to_string(config.time_dim);
+  meta["hidden_dim"] = std::to_string(config.hidden_dim);
+  meta["extractor_readout"] = ReadoutName(config.extractor_readout);
+  meta["edge_agg"] = EdgeAggName(config.edge_agg);
+  meta["global_module"] = GlobalModuleName(config.global_module);
+  meta["transformer_heads"] = std::to_string(config.transformer_heads);
+  meta["normalize_time"] = config.normalize_time ? "1" : "0";
+  meta["time_scale"] = formatted(config.time_scale);
+  meta["stabilize_sum"] = config.stabilize_sum ? "1" : "0";
+  return meta;
+}
+
+Status ValidateConfigMetadata(const TpGnnConfig& config,
+                              const nn::CheckpointMetadata& metadata) {
+  if (metadata.empty()) {
+    return Status::Ok();  // Version-1 snapshot: nothing to check.
+  }
+  const nn::CheckpointMetadata expected = ConfigMetadata(config);
+  for (const auto& [key, want] : expected) {
+    auto it = metadata.find(key);
+    if (it == metadata.end()) {
+      continue;  // Older producer without this key; shapes still verified.
+    }
+    if (it->second != want) {
+      return Status::FailedPrecondition(
+          "snapshot config mismatch: " + key + " snapshot='" + it->second +
+          "' expected='" + want + "'");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace tpgnn::core

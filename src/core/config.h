@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <string>
 
+#include "nn/checkpoint.h"
+#include "util/status.h"
+
 // Configuration of the TP-GNN model (Sec. IV) and its ablation variants
 // (Sec. V-F).
 
@@ -110,6 +113,18 @@ struct TpGnnConfig {
 
   std::string ModelName() const;
 };
+
+// Checkpoint metadata block (nn/checkpoint.h version 2) describing a
+// config: every field that determines parameter shapes or inference-time
+// behaviour is recorded, so a consumer can reject a mismatched snapshot
+// before touching the parameter payload.
+nn::CheckpointMetadata ConfigMetadata(const TpGnnConfig& config);
+
+// Verifies a snapshot's metadata block against `config`. An empty map (a
+// version-1 checkpoint) passes; any recognized key whose value differs from
+// `config` fails with FailedPrecondition naming the key and both values.
+Status ValidateConfigMetadata(const TpGnnConfig& config,
+                              const nn::CheckpointMetadata& metadata);
 
 }  // namespace tpgnn::core
 

@@ -50,7 +50,11 @@ std::vector<graph::TemporalEdge> TpGnnModel::EdgeOrder(
 Tensor TpGnnModel::EmbedWithOrder(
     const graph::TemporalGraph& graph,
     const std::vector<graph::TemporalEdge>& order) const {
-  Tensor h = propagation_.Forward(graph, order);
+  return EmbedFromNodeStates(propagation_.Forward(graph, order), order);
+}
+
+Tensor TpGnnModel::EmbedFromNodeStates(
+    const Tensor& h, const std::vector<graph::TemporalEdge>& order) const {
   if (transformer_ != nullptr) {
     return transformer_->Forward(h, order);
   }
@@ -58,6 +62,12 @@ Tensor TpGnnModel::EmbedWithOrder(
     return extractor_->Forward(h, order);
   }
   return graph::MeanPool(h);
+}
+
+Tensor TpGnnModel::ClassifyEmbedding(const Tensor& g) const {
+  // Eq. (11): fully connected head; the sigmoid lives in the loss/decision.
+  Tensor logit = classifier_.Forward(Reshape(g, {1, g.numel()}));
+  return Reshape(logit, {1});
 }
 
 Tensor TpGnnModel::Embed(const graph::TemporalGraph& graph) const {
@@ -68,10 +78,7 @@ Tensor TpGnnModel::ForwardLogit(const graph::TemporalGraph& graph,
                                 bool training, Rng& rng) {
   const std::vector<graph::TemporalEdge> order =
       EdgeOrder(graph, training, rng);
-  Tensor g = EmbedWithOrder(graph, order);
-  // Eq. (11): fully connected head; the sigmoid lives in the loss/decision.
-  Tensor logit = classifier_.Forward(Reshape(g, {1, g.numel()}));
-  return Reshape(logit, {1});
+  return ClassifyEmbedding(EmbedWithOrder(graph, order));
 }
 
 std::vector<Tensor> TpGnnModel::TrainableParameters() { return Parameters(); }

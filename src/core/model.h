@@ -37,6 +37,23 @@ class TpGnnModel : public nn::Module, public eval::GraphClassifier {
   // deterministic chronological edge order.
   tensor::Tensor Embed(const graph::TemporalGraph& graph) const;
 
+  // --- Staged entry points (online serving, serve/) -----------------------
+  // ForwardLogit is EmbedFromNodeStates(propagation.Forward(...), order)
+  // followed by ClassifyEmbedding; exposing the stages lets an incremental
+  // engine substitute its own folded node-state matrix for the propagation
+  // stage while reusing the extractor and classifier verbatim.
+
+  // Extractor stage: node-state matrix `h` (the propagation output) ->
+  // graph embedding over `order`.
+  tensor::Tensor EmbedFromNodeStates(
+      const tensor::Tensor& h,
+      const std::vector<graph::TemporalEdge>& order) const;
+
+  // Classifier head (Eq. 11): graph embedding -> scalar logit [1].
+  tensor::Tensor ClassifyEmbedding(const tensor::Tensor& g) const;
+
+  const TemporalPropagation& propagation() const { return propagation_; }
+
   const TpGnnConfig& config() const { return config_; }
 
  private:

@@ -136,75 +136,100 @@ Tensor TemporalPropagation::Forward(
   return Tanh(Concat(rows, /*axis=*/0));
 }
 
+Tensor TemporalPropagation::EmbedInitial(
+    const graph::TemporalGraph& graph) const {
+  TPGNN_CHECK(!tensor::GradEnabled())
+      << "EmbedInitial is an inference-path entry point";
+  TPGNN_CHECK_GT(graph.num_nodes(), 0);
+  TPGNN_CHECK_EQ(graph.feature_dim(), config_.feature_dim);
+  return embed_.Forward(graph.FeatureMatrix());
+}
+
+void TemporalPropagation::PropagateEdgeState(
+    Tensor& x, const graph::TemporalEdge& e, double max_time,
+    PropagationScratch& scratch) const {
+  TPGNN_CHECK(config_.use_temporal_propagation());
+  const int64_t embed_dim = config_.embed_dim;
+  if (config_.updater == Updater::kSum) {
+    ConstRowSpan src = RowSpanOf(x, e.src);
+    RowSpan dst = MutableRowSpan(x, e.dst);
+    // Eq. (3); reads src[i] and dst[i] of the same index only, so a
+    // self-loop (src aliasing dst) doubles the row exactly like Add.
+    for (int64_t i = 0; i < embed_dim; ++i) {
+      dst.data[i] = src.data[i] + dst.data[i];
+    }
+    if (config_.stabilize_sum) {
+      for (int64_t i = 0; i < embed_dim; ++i) {
+        dst.data[i] = std::tanh(dst.data[i]);
+      }
+    }
+    return;
+  }
+  // GRU updater: the message row is staged in one scratch buffer and the
+  // state row is overwritten in place (StepInto allows out == h).
+  const int64_t time_dim = time_ != nullptr ? config_.time_dim : 0;
+  scratch.message.resize(static_cast<size_t>(embed_dim + time_dim));
+  ConstRowSpan src = RowSpanOf(x, e.src);
+  std::copy(src.data, src.data + embed_dim, scratch.message.begin());
+  if (time_ != nullptr) {
+    const float t =
+        static_cast<float>(NormalizeTime(config_, e.time, max_time));
+    time_->EvalInto(t, scratch.message.data() + embed_dim);
+  }
+  RowSpan dst = MutableRowSpan(x, e.dst);
+  updater_->StepInto(scratch.message.data(), dst.data, dst.data, scratch.gru);
+}
+
+void TemporalPropagation::AccumulateEdgeTime(
+    Tensor& m, const graph::TemporalEdge& e, double max_time,
+    PropagationScratch& scratch) const {
+  TPGNN_CHECK(has_time_accumulator());
+  const int64_t time_dim = config_.time_dim;
+  scratch.time_enc.resize(static_cast<size_t>(time_dim));
+  const float t = static_cast<float>(NormalizeTime(config_, e.time, max_time));
+  time_->EvalInto(t, scratch.time_enc.data());
+  RowSpan mrow = MutableRowSpan(m, e.dst);
+  // Eq. (4), associating like Add(f(t), mhat).
+  for (int64_t i = 0; i < time_dim; ++i) {
+    mrow.data[i] = scratch.time_enc[static_cast<size_t>(i)] + mrow.data[i];
+  }
+  if (config_.stabilize_sum) {
+    for (int64_t i = 0; i < time_dim; ++i) {
+      mrow.data[i] = std::tanh(mrow.data[i]);
+    }
+  }
+}
+
+Tensor TemporalPropagation::FinalizeState(const Tensor& x,
+                                          const Tensor& m) const {
+  if (has_time_accumulator()) {
+    TPGNN_CHECK(m.defined());
+    return Tanh(Concat({x, m}, /*axis=*/1));
+  }
+  return Tanh(x);
+}
+
 Tensor TemporalPropagation::ForwardInference(
     Tensor x, const std::vector<graph::TemporalEdge>& edge_order,
     double max_time) const {
   // Zero-copy propagation: node state lives in the [n, dim] matrices and is
-  // updated in place per edge through row views, so no per-edge tensors or
-  // tape nodes exist. Every kernel and elementwise expression mirrors the
-  // recorded path above, keeping eval bit-identical to the training forward.
-  const int64_t n = x.size(0);
-  const int64_t embed_dim = config_.embed_dim;
-  const int64_t time_dim = time_ != nullptr ? config_.time_dim : 0;
-
-  if (config_.updater == Updater::kSum) {
-    Tensor m;
-    if (time_ != nullptr) {
-      m = Tensor::Zeros({n, time_dim});
-    }
-    std::vector<float> ft(static_cast<size_t>(time_dim));
-    for (const graph::TemporalEdge& e : edge_order) {
-      ConstRowSpan src = RowSpanOf(x, e.src);
-      RowSpan dst = MutableRowSpan(x, e.dst);
-      // Eq. (3); reads src[i] and dst[i] of the same index only, so a
-      // self-loop (src aliasing dst) doubles the row exactly like Add.
-      for (int64_t i = 0; i < embed_dim; ++i) {
-        dst.data[i] = src.data[i] + dst.data[i];
-      }
-      if (config_.stabilize_sum) {
-        for (int64_t i = 0; i < embed_dim; ++i) {
-          dst.data[i] = std::tanh(dst.data[i]);
-        }
-      }
-      if (time_ != nullptr) {
-        const float t =
-            static_cast<float>(NormalizeTime(config_, e.time, max_time));
-        time_->EvalInto(t, ft.data());
-        RowSpan mrow = MutableRowSpan(m, e.dst);
-        // Eq. (4), associating like Add(f(t), mhat).
-        for (int64_t i = 0; i < time_dim; ++i) {
-          mrow.data[i] = ft[static_cast<size_t>(i)] + mrow.data[i];
-        }
-        if (config_.stabilize_sum) {
-          for (int64_t i = 0; i < time_dim; ++i) {
-            mrow.data[i] = std::tanh(mrow.data[i]);
-          }
-        }
-      }
-    }
-    if (time_ != nullptr) {
-      return Tanh(Concat({x, m}, /*axis=*/1));
-    }
-    return Tanh(x);
+  // updated in place per edge through the single-edge steps above, so no
+  // per-edge tensors or tape nodes exist. Every kernel and elementwise
+  // expression mirrors the recorded path in Forward, keeping eval
+  // bit-identical to the training forward — and serve/'s incremental fold,
+  // built on the same steps, bit-identical to both.
+  Tensor m;
+  if (has_time_accumulator()) {
+    m = Tensor::Zeros({x.size(0), config_.time_dim});
   }
-
-  // GRU updater: the message row is staged in one scratch buffer and the
-  // state row is overwritten in place (StepInto allows out == h).
-  const int64_t input_dim = embed_dim + time_dim;
-  std::vector<float> message(static_cast<size_t>(input_dim));
-  nn::GruScratch scratch;
+  PropagationScratch scratch;
   for (const graph::TemporalEdge& e : edge_order) {
-    ConstRowSpan src = RowSpanOf(x, e.src);
-    std::copy(src.data, src.data + embed_dim, message.begin());
-    if (time_ != nullptr) {
-      const float t =
-          static_cast<float>(NormalizeTime(config_, e.time, max_time));
-      time_->EvalInto(t, message.data() + embed_dim);
+    PropagateEdgeState(x, e, max_time, scratch);
+    if (has_time_accumulator()) {
+      AccumulateEdgeTime(m, e, max_time, scratch);
     }
-    RowSpan dst = MutableRowSpan(x, e.dst);
-    updater_->StepInto(message.data(), dst.data, dst.data, scratch);
   }
-  return Tanh(x);
+  return FinalizeState(x, m);
 }
 
 }  // namespace tpgnn::core

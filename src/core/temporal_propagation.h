@@ -21,6 +21,15 @@
 
 namespace tpgnn::core {
 
+// Reusable staging buffers for the single-edge propagation steps below;
+// holding one per propagation loop keeps the per-edge path allocation-free
+// after the first edge.
+struct PropagationScratch {
+  nn::GruScratch gru;
+  std::vector<float> message;   // GRU input row [embed_dim + time_dim].
+  std::vector<float> time_enc;  // f(t) staging for the SUM accumulator.
+};
+
 class TemporalPropagation : public nn::Module {
  public:
   TemporalPropagation(const TpGnnConfig& config, Rng& rng);
@@ -39,6 +48,52 @@ class TemporalPropagation : public nn::Module {
   int64_t output_dim() const;
 
   const TpGnnConfig& config() const { return config_; }
+
+  // --- Incremental single-edge API (online serving, serve/) ---------------
+  //
+  // The offline inference path is a fold over these three steps; exposing
+  // them lets serve::SessionShard keep per-session raw state (`x`, and for
+  // the SUM updater the time accumulator `m`) and advance it edge by edge,
+  // with a final FinalizeState at score time. Because ForwardInference
+  // below is implemented with exactly these calls, an incremental fold over
+  // the same chronological edge order is bit-identical to the offline
+  // forward. All three require gradients to be disabled (NoGradGuard) —
+  // they mutate tensor storage in place through row views.
+
+  // Eq. (1): the initial embedded node-state matrix [n, embed_dim]. This is
+  // the per-session one-off cost (one GEMM); the per-edge steps mutate a
+  // clone of it.
+  tensor::Tensor EmbedInitial(const graph::TemporalGraph& graph) const;
+
+  // One Algorithm-1 step applied in place to the raw node state `x`:
+  // SUM: row dst += row src (optionally tanh-squashed) — time-independent;
+  // GRU: row dst <- GRU(row dst, [row src ++ f(t)]) — consumes `max_time`
+  // through NormalizeTime. No-op contract: requires
+  // config().use_temporal_propagation().
+  void PropagateEdgeState(tensor::Tensor& x, const graph::TemporalEdge& e,
+                          double max_time, PropagationScratch& scratch) const;
+
+  // Eq. (4): one accumulation of f(t) into the SUM time accumulator `m`
+  // ([n, time_dim]); only meaningful when has_time_accumulator().
+  void AccumulateEdgeTime(tensor::Tensor& m, const graph::TemporalEdge& e,
+                          double max_time, PropagationScratch& scratch) const;
+
+  // Readout of the raw folded state: Tanh(x) for GRU / time-less SUM,
+  // Tanh(x ++ m) for SUM with time encoding (`m` is ignored otherwise and
+  // may be undefined). Returns a fresh tensor; inputs are not mutated.
+  tensor::Tensor FinalizeState(const tensor::Tensor& x,
+                               const tensor::Tensor& m) const;
+
+  // True when the folded node state itself consumes the time encoding (GRU
+  // updater with Time2Vec): under normalize_time, a max-time change then
+  // invalidates previously folded steps.
+  bool StateDependsOnTime() const {
+    return updater_ != nullptr && time_ != nullptr;
+  }
+  // True when the SUM updater keeps the separate M-hat accumulator.
+  bool has_time_accumulator() const {
+    return config_.updater == Updater::kSum && time_ != nullptr;
+  }
 
  private:
   // Allocation-free propagation used when gradients are disabled: node state

@@ -1,7 +1,7 @@
 #include "nn/checkpoint.h"
 
 #include <fstream>
-#include <map>
+#include <limits>
 #include <vector>
 
 namespace tpgnn::nn {
@@ -9,17 +9,79 @@ namespace tpgnn::nn {
 namespace {
 
 constexpr char kMagic[] = "tpgnn-params";
-constexpr int kVersion = 1;
+constexpr int kVersionNoMeta = 1;
+constexpr int kVersionMeta = 2;
+
+// Reads the "<magic> <version>" header and, for version-2 files, the
+// metadata block, leaving the stream positioned at the parameter count.
+Status ReadHeader(std::istream& is, const std::string& path,
+                  CheckpointMetadata* metadata) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not a tpgnn-params file: " + path);
+  }
+  if (version != kVersionNoMeta && version != kVersionMeta) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  if (version == kVersionNoMeta) {
+    return Status::Ok();
+  }
+  std::string tag;
+  size_t entries = 0;
+  if (!(is >> tag >> entries) || tag != "meta") {
+    return Status::InvalidArgument("malformed metadata header: " + path);
+  }
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  for (size_t i = 0; i < entries; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated metadata block: " + path);
+    }
+    const size_t space = line.find(' ');
+    std::string key = line.substr(0, space);
+    if (key.empty()) {
+      return Status::InvalidArgument("empty metadata key: " + path);
+    }
+    std::string value =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (metadata != nullptr &&
+        !metadata->emplace(std::move(key), std::move(value)).second) {
+      return Status::InvalidArgument("duplicate metadata key: " + path);
+    }
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
+  return SaveParameters(module, path, CheckpointMetadata{});
+}
+
+Status SaveParameters(const Module& module, const std::string& path,
+                      const CheckpointMetadata& metadata) {
+  for (const auto& [key, value] : metadata) {
+    if (key.empty() || key.find_first_of(" \t\n") != std::string::npos ||
+        value.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("invalid metadata entry: '" + key + "'");
+    }
+  }
   std::ofstream os(path);
   if (!os) {
     return Status::NotFound("cannot open for writing: " + path);
   }
+  const int version = metadata.empty() ? kVersionNoMeta : kVersionMeta;
+  os << kMagic << " " << version << "\n";
+  if (!metadata.empty()) {
+    os << "meta " << metadata.size() << "\n";
+    for (const auto& [key, value] : metadata) {
+      os << key << " " << value << "\n";
+    }
+  }
   auto named = module.NamedParameters();
-  os << kMagic << " " << kVersion << "\n" << named.size() << "\n";
+  os << named.size() << "\n";
   os.precision(9);
   for (const auto& [name, p] : named) {
     os << name << " " << p.numel();
@@ -35,18 +97,24 @@ Status SaveParameters(const Module& module, const std::string& path) {
 }
 
 Status LoadParameters(Module& module, const std::string& path) {
+  return LoadParameters(module, path, nullptr);
+}
+
+Status LoadParameters(Module& module, const std::string& path,
+                      CheckpointMetadata* metadata) {
+  if (metadata != nullptr) {
+    metadata->clear();
+  }
   std::ifstream is(path);
   if (!is) {
     return Status::NotFound("cannot open: " + path);
   }
-  std::string magic;
-  int version = 0;
-  size_t count = 0;
-  if (!(is >> magic >> version >> count) || magic != kMagic) {
-    return Status::InvalidArgument("not a tpgnn-params file: " + path);
+  if (Status header = ReadHeader(is, path, metadata); !header.ok()) {
+    return header;
   }
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+  size_t count = 0;
+  if (!(is >> count)) {
+    return Status::InvalidArgument("malformed parameter count: " + path);
   }
 
   std::map<std::string, std::vector<float>> stored;
@@ -85,6 +153,18 @@ Status LoadParameters(Module& module, const std::string& path) {
     p.MutableData() = it->second;
   }
   return Status::Ok();
+}
+
+Status ReadCheckpointMetadata(const std::string& path,
+                              CheckpointMetadata* metadata) {
+  if (metadata != nullptr) {
+    metadata->clear();
+  }
+  std::ifstream is(path);
+  if (!is) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return ReadHeader(is, path, metadata);
 }
 
 }  // namespace tpgnn::nn

@@ -1,6 +1,7 @@
 #ifndef TPGNN_NN_CHECKPOINT_H_
 #define TPGNN_NN_CHECKPOINT_H_
 
+#include <map>
 #include <string>
 
 #include "nn/module.h"
@@ -9,18 +10,47 @@
 // Plain-text model checkpoints: parameters are stored by their registered
 // names, so loading verifies the architecture (name and shape) matches.
 //
-// Format:
-//   tpgnn-params 1
+// Format (version 2; version-1 files — no `meta` block — still load):
+//   tpgnn-params 2
+//   meta <entry_count>
+//   <key> <value ...>                           (one line per entry)
 //   <parameter_count>
-//   <name> <numel> <v_0> ... <v_{numel-1}>     (one line per parameter)
+//   <name> <numel> <v_0> ... <v_{numel-1}>      (one line per parameter)
+//
+// The metadata block carries free-form key/value strings (keys are single
+// tokens, values run to the end of the line). It lets a consumer such as
+// serve::InferenceEngine verify the producing configuration (hidden dim,
+// extractor kind, ...) before parameters are loaded, failing with a clear
+// Status instead of a shape mismatch mid-load. core/config.h provides the
+// TpGnnConfig <-> metadata mapping.
 
 namespace tpgnn::nn {
 
+using CheckpointMetadata = std::map<std::string, std::string>;
+
+// Saves with an empty metadata block (written as a version-1 file, so the
+// format version only bumps when the new block is actually used).
 Status SaveParameters(const Module& module, const std::string& path);
+
+// Saves parameters plus the given metadata block. Keys must be non-empty
+// single tokens (no whitespace); values may contain spaces but no newlines.
+Status SaveParameters(const Module& module, const std::string& path,
+                      const CheckpointMetadata& metadata);
 
 // Loads values into `module`'s existing parameters; fails if any stored
 // name is missing or has a different element count (and vice versa).
 Status LoadParameters(Module& module, const std::string& path);
+
+// As above; additionally returns the metadata block in `*metadata` (empty
+// for version-1 files). `metadata` may be null.
+Status LoadParameters(Module& module, const std::string& path,
+                      CheckpointMetadata* metadata);
+
+// Reads only the header and metadata block — cheap pre-flight validation
+// without touching the parameter payload. Version-1 files yield an empty
+// map.
+Status ReadCheckpointMetadata(const std::string& path,
+                              CheckpointMetadata* metadata);
 
 }  // namespace tpgnn::nn
 

@@ -1,0 +1,139 @@
+#include "serve/inference_engine.h"
+
+#include "nn/checkpoint.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace tpgnn::serve {
+
+InferenceEngine::InferenceEngine(const core::TpGnnConfig& config,
+                                 uint64_t seed, const EngineOptions& options)
+    : options_(options),
+      model_(config, seed),
+      router_(model_,
+              SessionRouter::Options{
+                  options.num_shards,
+                  options.max_resident_sessions,
+                  options.idle_ttl_seconds,
+              },
+              &metrics_) {
+  TPGNN_CHECK_GE(options_.max_pending_scores, size_t{1});
+  TPGNN_CHECK_GE(options_.max_batch, size_t{1});
+}
+
+Status InferenceEngine::LoadSnapshot(const std::string& path) {
+  nn::CheckpointMetadata metadata;
+  if (Status s = nn::ReadCheckpointMetadata(path, &metadata); !s.ok()) {
+    return s;
+  }
+  if (Status s = core::ValidateConfigMetadata(model_.config(), metadata);
+      !s.ok()) {
+    return s;
+  }
+  return nn::LoadParameters(model_, path);
+}
+
+Status InferenceEngine::Ingest(const Event& event) {
+  Stopwatch watch;
+  metrics_.events_ingested.fetch_add(1, std::memory_order_relaxed);
+  Status status;
+  switch (event.kind) {
+    case Event::Kind::kBegin:
+      // Begin is the natural sweep point: it is the only event that grows
+      // the resident set.
+      router_.EvictIdle(event.time);
+      status = router_.ShardFor(event.session_id)
+                   .BeginSession(event.session_id, event.num_nodes,
+                                 event.feature_dim, event.features,
+                                 event.time);
+      break;
+    case Event::Kind::kEdge:
+      status = router_.ShardFor(event.session_id)
+                   .AddEdge(event.session_id, event.src, event.dst,
+                            event.edge_time, event.time);
+      break;
+    case Event::Kind::kEnd:
+      status = router_.ShardFor(event.session_id).EndSession(event.session_id);
+      break;
+    case Event::Kind::kScore: {
+      SessionShard& shard = router_.ShardFor(event.session_id);
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (pending_.size() >= options_.max_pending_scores) {
+          metrics_.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+          metrics_.ingest_latency.Record(watch.ElapsedMicros());
+          return Status::Overloaded(
+              "score queue full (" +
+              std::to_string(options_.max_pending_scores) +
+              " pending); drain with ProcessPending");
+        }
+        // Pin under the queue lock so a request in the queue is always
+        // backed by a pinned (eviction-proof) session.
+        status = shard.Pin(event.session_id);
+        if (status.ok()) {
+          pending_.push_back(
+              {event.session_id, event.label, clock_.ElapsedMicros()});
+        }
+      }
+      break;
+    }
+  }
+  metrics_.ingest_latency.Record(watch.ElapsedMicros());
+  return status;
+}
+
+size_t InferenceEngine::ProcessPending(std::vector<ScoreResult>* results) {
+  TPGNN_CHECK(results != nullptr);
+  std::vector<PendingScore> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    const size_t take = pending_.size() < options_.max_batch
+                            ? pending_.size()
+                            : options_.max_batch;
+    batch.assign(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(take));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(take));
+  }
+  if (batch.empty()) {
+    return 0;
+  }
+
+  // Micro-batch: one task per request on the pool. Results land in request
+  // order; requests touching the same shard serialize on its mutex.
+  std::vector<ScoreResult> scored = ParallelMap<ScoreResult>(
+      ThreadPool::Global(), static_cast<int64_t>(batch.size()), /*grain=*/1,
+      [&](int64_t i) {
+        const PendingScore& request = batch[static_cast<size_t>(i)];
+        ScoreResult result;
+        SessionShard& shard = router_.ShardFor(request.session_id);
+        const double start_micros = clock_.ElapsedMicros();
+        shard.Score(request.session_id, &result);
+        shard.Unpin(request.session_id);
+        result.label = request.label;
+        result.queue_micros = start_micros - request.enqueue_micros;
+        metrics_.score_latency.Record(result.score_micros);
+        metrics_.e2e_latency.Record(clock_.ElapsedMicros() -
+                                    request.enqueue_micros);
+        if (result.status.ok()) {
+          metrics_.scores_completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          metrics_.scores_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        return result;
+      });
+  results->insert(results->end(), scored.begin(), scored.end());
+  return scored.size();
+}
+
+void InferenceEngine::Flush(std::vector<ScoreResult>* results) {
+  while (ProcessPending(results) > 0) {
+  }
+}
+
+size_t InferenceEngine::pending_scores() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.size();
+}
+
+}  // namespace tpgnn::serve

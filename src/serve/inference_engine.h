@@ -1,0 +1,112 @@
+#ifndef TPGNN_SERVE_INFERENCE_ENGINE_H_
+#define TPGNN_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "serve/session_shard.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+// Online inference engine: the front door of the serving subsystem.
+//
+//   * Ingest(event) applies Begin/Edge/End to the owning shard inline
+//     (constant-time state updates) and enqueues Score requests onto a
+//     bounded queue. A full queue — or a shard whose resident cap cannot be
+//     relieved because every session is pinned — is reported as an explicit
+//     kOverloaded Status instead of buffering without bound; the caller
+//     sheds load or drains with ProcessPending and retries.
+//   * ProcessPending() drains up to options.max_batch queued score requests
+//     as one micro-batch across the ThreadPool: requests are scored
+//     concurrently (each serializes only on its session's shard mutex) and
+//     results return in request order. Enqueued requests pin their session
+//     so LRU/TTL/cap eviction can never drop an in-flight score.
+//   * Latency accounting: ingest_latency per Ingest call, score_latency for
+//     the scoring computation, e2e_latency from Score enqueue to result.
+//
+// Snapshots: LoadSnapshot reads a nn::checkpoint file. A version-2 file
+// carries the producing TpGnnConfig as a metadata block, which is validated
+// against the engine's config before any parameter is touched; a mismatch
+// (e.g. different hidden_dim or extractor kind) fails with a
+// FailedPrecondition naming the offending field. Version-1 files load with
+// name/shape verification only.
+//
+// Threading: Ingest and ProcessPending are thread-safe. Events of one
+// session must be submitted in order (one producer per session); scores are
+// deterministic per session given the event prefix that preceded them.
+
+namespace tpgnn::serve {
+
+struct EngineOptions {
+  int num_shards = 4;
+  // Resident-session cap across all shards (split evenly); 0 = unlimited.
+  size_t max_resident_sessions = 0;
+  // TTL for idle sessions in stream seconds; <= 0 disables. Swept on
+  // session Begin events.
+  double idle_ttl_seconds = 0.0;
+  // Bounded score-request queue (backpressure); must be >= 1.
+  size_t max_pending_scores = 256;
+  // Max score requests drained per ProcessPending micro-batch.
+  size_t max_batch = 64;
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(const core::TpGnnConfig& config, uint64_t seed,
+                  const EngineOptions& options);
+
+  // Loads model parameters from `path`, validating the config metadata
+  // block first (see class comment).
+  Status LoadSnapshot(const std::string& path);
+
+  // The served model. Mutable so a caller can train it in place or copy
+  // parameters in before serving starts; must not be mutated while traffic
+  // is in flight.
+  core::TpGnnModel& model() { return model_; }
+  const core::TpGnnModel& model() const { return model_; }
+
+  // Applies one event. Begin/Edge/End run inline; Score enqueues. Returns
+  // kOverloaded when the score queue (or the resident cap, with every
+  // session pinned) is full.
+  Status Ingest(const Event& event);
+
+  // Scores up to options.max_batch pending requests on the global
+  // ThreadPool, appending results to `*results` in request order. Returns
+  // the number of requests processed (0 when the queue is empty).
+  size_t ProcessPending(std::vector<ScoreResult>* results);
+
+  // Drains the queue completely.
+  void Flush(std::vector<ScoreResult>* results);
+
+  const Metrics& metrics() const { return metrics_; }
+  size_t pending_scores() const;
+  size_t resident_sessions() const { return router_.resident_sessions(); }
+  SessionRouter& router() { return router_; }
+
+ private:
+  struct PendingScore {
+    uint64_t session_id = 0;
+    int label = -1;
+    double enqueue_micros = 0.0;  // Engine clock at enqueue.
+  };
+
+  const EngineOptions options_;
+  core::TpGnnModel model_;
+  Metrics metrics_;
+  SessionRouter router_;
+  Stopwatch clock_;  // Monotone engine clock for latency accounting.
+
+  mutable std::mutex queue_mu_;
+  std::deque<PendingScore> pending_;
+};
+
+}  // namespace tpgnn::serve
+
+#endif  // TPGNN_SERVE_INFERENCE_ENGINE_H_

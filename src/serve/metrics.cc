@@ -1,0 +1,95 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tpgnn::serve {
+
+namespace {
+
+// Bucket index for a microsecond sample: floor(log2(micros)), clamped.
+int BucketIndex(double micros) {
+  if (!(micros >= 1.0)) {  // Also catches NaN.
+    return 0;
+  }
+  const int idx = static_cast<int>(std::log2(micros));
+  return idx >= LatencyHistogram::kNumBuckets
+             ? LatencyHistogram::kNumBuckets - 1
+             : idx;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0.0 || std::isnan(micros)) {
+    micros = 0.0;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(micros * 1e3),
+                       std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micros =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-3;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::PercentileMicros(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (static_cast<double>(cumulative) >= target) {
+      // Upper edge of bucket i: 2^(i+1) µs (bucket 0 covers [0, 2)).
+      return std::ldexp(1.0, i + 1);
+    }
+  }
+  return std::ldexp(1.0, kNumBuckets);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "events=" << events_ingested << " sessions=" << sessions_begun << "/"
+     << sessions_ended << " evicted=" << sessions_evicted
+     << " edges=" << edges_ingested << " scores=" << scores_completed << "/"
+     << scores_failed << " overloads=" << overload_rejections
+     << " refolds=" << state_refolds << " score_us{p50=" <<
+      score_latency.PercentileMicros(0.5)
+     << " p95=" << score_latency.PercentileMicros(0.95)
+     << " p99=" << score_latency.PercentileMicros(0.99) << "}";
+  return os.str();
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.events_ingested = events_ingested.load(std::memory_order_relaxed);
+  snap.sessions_begun = sessions_begun.load(std::memory_order_relaxed);
+  snap.sessions_ended = sessions_ended.load(std::memory_order_relaxed);
+  snap.sessions_evicted = sessions_evicted.load(std::memory_order_relaxed);
+  snap.edges_ingested = edges_ingested.load(std::memory_order_relaxed);
+  snap.scores_completed = scores_completed.load(std::memory_order_relaxed);
+  snap.scores_failed = scores_failed.load(std::memory_order_relaxed);
+  snap.overload_rejections =
+      overload_rejections.load(std::memory_order_relaxed);
+  snap.state_refolds = state_refolds.load(std::memory_order_relaxed);
+  snap.ingest_latency = ingest_latency.Snap();
+  snap.score_latency = score_latency.Snap();
+  snap.e2e_latency = e2e_latency.Snap();
+  return snap;
+}
+
+}  // namespace tpgnn::serve

@@ -1,0 +1,90 @@
+#ifndef TPGNN_SERVE_METRICS_H_
+#define TPGNN_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+// Serving telemetry: monotone counters plus fixed-bucket latency
+// histograms. Everything is updated with relaxed atomics on the hot path
+// and snapshotted without stopping traffic; a snapshot is internally
+// consistent per counter (each is monotone) but not across counters, which
+// is the usual contract for serving metrics.
+
+namespace tpgnn::serve {
+
+// Power-of-two-bucketed latency histogram over microseconds: bucket i
+// counts samples in [2^i, 2^(i+1)) µs (bucket 0 is [0, 2)), the last
+// bucket absorbs overflow. 26 buckets cover 1 µs .. ~33 s.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 26;
+
+  void Record(double micros);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_micros = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double mean_micros() const { return count > 0 ? sum_micros / count : 0.0; }
+    // Percentile estimate (q in [0, 1]): upper edge of the bucket where the
+    // cumulative count crosses q * count; 0 when empty.
+    double PercentileMicros(double q) const;
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  // Sum in nanoseconds so the accumulator stays integral (atomic<double>
+  // fetch_add is C++20 but emulated with a CAS loop on most targets).
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+struct MetricsSnapshot {
+  uint64_t events_ingested = 0;
+  uint64_t sessions_begun = 0;
+  uint64_t sessions_ended = 0;
+  uint64_t sessions_evicted = 0;
+  uint64_t edges_ingested = 0;
+  uint64_t scores_completed = 0;
+  uint64_t scores_failed = 0;
+  uint64_t overload_rejections = 0;
+  uint64_t state_refolds = 0;
+  LatencyHistogram::Snapshot ingest_latency;
+  LatencyHistogram::Snapshot score_latency;
+  LatencyHistogram::Snapshot e2e_latency;
+
+  // One-line human-readable summary (counts + score p50/p95/p99).
+  std::string ToString() const;
+};
+
+class Metrics {
+ public:
+  // Counters (relaxed increments).
+  std::atomic<uint64_t> events_ingested{0};
+  std::atomic<uint64_t> sessions_begun{0};
+  std::atomic<uint64_t> sessions_ended{0};
+  std::atomic<uint64_t> sessions_evicted{0};
+  std::atomic<uint64_t> edges_ingested{0};
+  std::atomic<uint64_t> scores_completed{0};
+  std::atomic<uint64_t> scores_failed{0};
+  std::atomic<uint64_t> overload_rejections{0};
+  // Folded session states discarded and rebuilt (time-normalization or
+  // out-of-order invalidation; see SessionShard).
+  std::atomic<uint64_t> state_refolds{0};
+
+  // Latency distributions, all in microseconds.
+  LatencyHistogram ingest_latency;  // One Ingest(event) call.
+  LatencyHistogram score_latency;   // The scoring computation.
+  LatencyHistogram e2e_latency;     // Score enqueue -> result ready.
+
+  MetricsSnapshot Snapshot() const;
+};
+
+}  // namespace tpgnn::serve
+
+#endif  // TPGNN_SERVE_METRICS_H_

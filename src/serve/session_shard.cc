@@ -1,0 +1,399 @@
+#include "serve/session_shard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/temporal_propagation.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpgnn::serve {
+
+using graph::TemporalEdge;
+using tensor::Tensor;
+
+struct SessionShard::Session {
+  Session(int64_t num_nodes, int64_t feature_dim)
+      : graph(num_nodes, feature_dim) {}
+
+  graph::TemporalGraph graph;  // Features + growing edge list.
+  Tensor x0;  // Cached initial embedding (Eq. 1), never mutated.
+  Tensor x;   // Raw folded node state (pre-readout).
+  Tensor m;   // Raw folded SUM time accumulator, when the config has one.
+  core::PropagationScratch scratch;
+
+  // Fold bookkeeping: how many chronological-prefix edges are folded into
+  // x / m, and under which normalization max-time.
+  int64_t x_edges = 0;
+  int64_t m_edges = 0;
+  double x_max_time = 0.0;
+  double m_max_time = 0.0;
+  // True while edges have arrived in nondecreasing time order, in which
+  // case insertion order IS the chronological order (stable sort identity).
+  bool sorted = true;
+  // Chronological order scratch for unsorted sessions.
+  std::vector<TemporalEdge> chrono;
+
+  double last_touch = 0.0;  // Stream time of the last ingest event.
+  int pinned = 0;           // In-flight score requests.
+  bool ended = false;       // End received while pinned; removal deferred.
+  std::list<uint64_t>::iterator lru_it;
+};
+
+SessionShard::SessionShard(const core::TpGnnModel& model,
+                           const ShardOptions& options, Metrics* metrics)
+    : model_(model), options_(options), metrics_(metrics) {}
+
+SessionShard::~SessionShard() = default;
+
+Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
+                                  int64_t feature_dim,
+                                  const std::vector<NodeInit>& features,
+                                  double now) {
+  const core::TpGnnConfig& config = model_.config();
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("session needs at least one node");
+  }
+  if (feature_dim != config.feature_dim) {
+    return Status::InvalidArgument(
+        "feature_dim mismatch: session has " + std::to_string(feature_dim) +
+        ", model expects " + std::to_string(config.feature_dim));
+  }
+  for (const NodeInit& f : features) {
+    if (f.node < 0 || f.node >= num_nodes) {
+      return Status::InvalidArgument("feature for out-of-range node " +
+                                     std::to_string(f.node));
+    }
+    if (static_cast<int64_t>(f.features.size()) != feature_dim) {
+      return Status::InvalidArgument("feature width mismatch for node " +
+                                     std::to_string(f.node));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(session_id) > 0) {
+    return Status::InvalidArgument("duplicate session id " +
+                                   std::to_string(session_id));
+  }
+  while (options_.max_resident_sessions > 0 &&
+         sessions_.size() >= options_.max_resident_sessions) {
+    if (!EvictOneLocked()) {
+      if (metrics_ != nullptr) {
+        metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Overloaded(
+          "shard at resident-session cap with every session pinned");
+    }
+  }
+
+  auto session = std::make_unique<Session>(num_nodes, feature_dim);
+  for (const NodeInit& f : features) {
+    session->graph.SetNodeFeature(f.node, f.features);
+  }
+  {
+    tensor::NoGradGuard no_grad;
+    session->x0 = model_.propagation().EmbedInitial(session->graph);
+    session->x = session->x0.Clone();
+    if (model_.propagation().has_time_accumulator()) {
+      session->m = Tensor::Zeros({num_nodes, config.time_dim});
+    }
+  }
+  session->last_touch = now;
+  lru_.push_front(session_id);
+  session->lru_it = lru_.begin();
+  sessions_.emplace(session_id, std::move(session));
+  if (metrics_ != nullptr) {
+    metrics_->sessions_begun.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
+                             double edge_time, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  Session& s = *it->second;
+  if (s.ended) {
+    return Status::FailedPrecondition("session " + std::to_string(session_id) +
+                                      " already ended");
+  }
+  const int64_t n = s.graph.num_nodes();
+  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (edge_time < 0.0 || std::isnan(edge_time)) {
+    return Status::InvalidArgument("edge time must be non-negative");
+  }
+  if (s.graph.num_edges() > 0 && edge_time < s.graph.edges().back().time) {
+    s.sorted = false;  // Late edge: chronological != arrival order now.
+  }
+  s.graph.AddEdge(src, dst, edge_time);
+
+  // Eager fold: advance any component whose fold stays valid regardless of
+  // future edges. Components invalidated by max-time changes (see header)
+  // are left for EnsureFolded at score time instead of being folded and
+  // thrown away per edge.
+  const core::TemporalPropagation& prop = model_.propagation();
+  const core::TpGnnConfig& config = model_.config();
+  if (s.sorted && config.use_temporal_propagation()) {
+    tensor::NoGradGuard no_grad;
+    const double max_time = s.graph.MaxTime();
+    const TemporalEdge& e = s.graph.edges().back();
+    const bool x_time_dep = prop.StateDependsOnTime() && config.normalize_time;
+    if (!x_time_dep && s.x_edges == s.graph.num_edges() - 1) {
+      prop.PropagateEdgeState(s.x, e, max_time, s.scratch);
+      s.x_edges = s.graph.num_edges();
+      s.x_max_time = max_time;
+    }
+    if (prop.has_time_accumulator() && !config.normalize_time &&
+        s.m_edges == s.graph.num_edges() - 1) {
+      prop.AccumulateEdgeTime(s.m, e, max_time, s.scratch);
+      s.m_edges = s.graph.num_edges();
+      s.m_max_time = max_time;
+    }
+  }
+
+  TouchLocked(session_id, s, now);
+  if (metrics_ != nullptr) {
+    metrics_->edges_ingested.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
+  const core::TemporalPropagation& prop = model_.propagation();
+  const core::TpGnnConfig& config = model_.config();
+  const std::vector<TemporalEdge>* order = &s.graph.edges();
+  if (!s.sorted) {
+    s.chrono = s.graph.ChronologicalEdges();
+    order = &s.chrono;
+  }
+  if (!config.use_temporal_propagation()) {
+    return *order;  // State is X0 untouched; nothing folds.
+  }
+
+  const double max_time = s.graph.MaxTime();
+  const int64_t total = s.graph.num_edges();
+
+  // Node state x. For an unsorted session the previously folded prefix may
+  // not be a prefix of the new chronological order, so any growth forces a
+  // rebuild; for time-coupled state (GRU + Time2Vec under normalize_time) a
+  // max-time change re-times every folded step.
+  const bool x_time_dep = prop.StateDependsOnTime() && config.normalize_time;
+  const bool x_stale =
+      s.x_edges > 0 && ((x_time_dep && s.x_max_time != max_time) ||
+                        (!s.sorted && s.x_edges != total));
+  if (x_stale) {
+    s.x = s.x0.Clone();
+    s.x_edges = 0;
+    if (metrics_ != nullptr) {
+      metrics_->state_refolds.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (int64_t i = s.x_edges; i < total; ++i) {
+    prop.PropagateEdgeState(s.x, (*order)[static_cast<size_t>(i)], max_time,
+                            s.scratch);
+  }
+  s.x_edges = total;
+  s.x_max_time = max_time;
+
+  // SUM time accumulator m: normalization couples every folded f(t) to the
+  // current max time.
+  if (prop.has_time_accumulator()) {
+    const bool m_stale =
+        s.m_edges > 0 && ((config.normalize_time && s.m_max_time != max_time) ||
+                          (!s.sorted && s.m_edges != total));
+    if (m_stale) {
+      std::fill(s.m.MutableData().begin(), s.m.MutableData().end(), 0.0f);
+      s.m_edges = 0;
+      if (metrics_ != nullptr) {
+        metrics_->state_refolds.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (int64_t i = s.m_edges; i < total; ++i) {
+      prop.AccumulateEdgeTime(s.m, (*order)[static_cast<size_t>(i)], max_time,
+                              s.scratch);
+    }
+    s.m_edges = total;
+    s.m_max_time = max_time;
+  }
+  return *order;
+}
+
+Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
+  TPGNN_CHECK(result != nullptr);
+  result->session_id = session_id;
+  Stopwatch watch;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    result->status =
+        Status::NotFound("unknown session " + std::to_string(session_id));
+    return result->status;
+  }
+  Session& s = *it->second;
+  {
+    tensor::NoGradGuard no_grad;
+    const std::vector<TemporalEdge>& order = EnsureFolded(s);
+    Tensor h = model_.propagation().FinalizeState(s.x, s.m);
+    Tensor g = model_.EmbedFromNodeStates(h, order);
+    result->logit = model_.ClassifyEmbedding(g).item();
+  }
+  result->probability = 1.0f / (1.0f + std::exp(-result->logit));
+  result->edges_scored = s.graph.num_edges();
+  result->score_micros = watch.ElapsedMicros();
+  result->status = Status::Ok();
+  return result->status;
+}
+
+Status SessionShard::EndSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  Session& s = *it->second;
+  if (metrics_ != nullptr) {
+    metrics_->sessions_ended.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (s.pinned > 0) {
+    s.ended = true;  // In-flight scores keep the state alive until Unpin.
+    return Status::Ok();
+  }
+  RemoveLocked(session_id, s);
+  return Status::Ok();
+}
+
+Status SessionShard::Pin(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  ++it->second->pinned;
+  return Status::Ok();
+}
+
+void SessionShard::Unpin(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& s = *it->second;
+  TPGNN_CHECK_GT(s.pinned, 0);
+  if (--s.pinned == 0 && s.ended) {
+    RemoveLocked(session_id, s);
+  }
+}
+
+void SessionShard::EvictIdle(double now) {
+  if (options_.idle_ttl_seconds <= 0.0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // LRU order is most-recent-first, so expired sessions cluster at the
+  // back; walk from the back and stop at the first live one.
+  std::vector<uint64_t> expired;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const Session& s = *sessions_.at(*it);
+    if (now - s.last_touch <= options_.idle_ttl_seconds) {
+      break;
+    }
+    if (s.pinned == 0) {
+      expired.push_back(*it);
+    }
+  }
+  for (uint64_t id : expired) {
+    auto it = sessions_.find(id);
+    RemoveLocked(id, *it->second);
+    if (metrics_ != nullptr) {
+      metrics_->sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t SessionShard::resident_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+bool SessionShard::EvictOneLocked() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Session& s = *sessions_.at(*it);
+    if (s.pinned == 0) {
+      const uint64_t id = *it;
+      RemoveLocked(id, s);
+      if (metrics_ != nullptr) {
+        metrics_->sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void SessionShard::RemoveLocked(uint64_t session_id, Session& s) {
+  lru_.erase(s.lru_it);
+  sessions_.erase(session_id);
+}
+
+void SessionShard::TouchLocked(uint64_t session_id, Session& s, double now) {
+  s.last_touch = now;
+  lru_.splice(lru_.begin(), lru_, s.lru_it);
+  s.lru_it = lru_.begin();
+  (void)session_id;
+}
+
+// --- SessionRouter ----------------------------------------------------------
+
+namespace {
+
+uint64_t SplitMix64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+SessionRouter::SessionRouter(const core::TpGnnModel& model,
+                             const Options& options, Metrics* metrics) {
+  const int num_shards = options.num_shards < 1 ? 1 : options.num_shards;
+  ShardOptions shard_options;
+  shard_options.idle_ttl_seconds = options.idle_ttl_seconds;
+  if (options.max_resident_sessions > 0) {
+    shard_options.max_resident_sessions =
+        (options.max_resident_sessions + static_cast<size_t>(num_shards) - 1) /
+        static_cast<size_t>(num_shards);
+  }
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<SessionShard>(model, shard_options, metrics));
+  }
+}
+
+SessionShard& SessionRouter::ShardFor(uint64_t session_id) {
+  return *shards_[SplitMix64(session_id) % shards_.size()];
+}
+
+size_t SessionRouter::resident_sessions() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->resident_sessions();
+  }
+  return total;
+}
+
+void SessionRouter::EvictIdle(double now) {
+  for (const auto& shard : shards_) {
+    shard->EvictIdle(now);
+  }
+}
+
+}  // namespace tpgnn::serve

@@ -1,0 +1,162 @@
+#ifndef TPGNN_SERVE_SESSION_SHARD_H_
+#define TPGNN_SERVE_SESSION_SHARD_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "graph/temporal_graph.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+// Hash-sharded per-session incremental inference state.
+//
+// A SessionShard owns the sessions whose id hashes to it: for each session
+// the growing TemporalGraph, the cached initial embedding X0 (the one-off
+// Eq.-1 GEMM), and the raw propagated node state folded edge-by-edge
+// through core::TemporalPropagation's single-edge steps. Scoring finalizes
+// a copy of the folded state and runs the extractor + classifier stages of
+// the model — bit-identical to TpGnnModel::ForwardLogit on the fully built
+// graph (see tests/serve/parity_test.cc).
+//
+// Fold validity (DESIGN.md §"Serving"): the SUM updater's X-hat fold is
+// time-independent, so it always advances in O(1) per edge. Components that
+// consume the time encoding (the SUM M-hat accumulator; the whole GRU
+// state) depend, under config.normalize_time, on the session's final max
+// timestamp, so a max-time change since the last fold invalidates them; the
+// shard then refolds that component from its cheap base (zeros / X0) at the
+// next score and counts a `state_refolds` metric. With normalize_time off
+// every component folds strictly incrementally. An out-of-order edge
+// (timestamp below the session's max) likewise forces a refold over the
+// re-sorted chronological order.
+//
+// Concurrency: one mutex per shard; all public methods are thread-safe.
+// Events of a single session must still be submitted in order by the
+// caller — the shard applies them in arrival order, which is what makes
+// per-session results deterministic regardless of shard/thread counts.
+//
+// Eviction: sessions are kept on an LRU list (most recently touched at the
+// front). When the resident cap is hit, the least recently used unpinned
+// session is dropped; Pin() marks a session as having an in-flight score
+// request, and pinned sessions are never evicted (nor removed by End — the
+// removal is deferred to the last Unpin).
+
+namespace tpgnn::serve {
+
+struct ShardOptions {
+  // Max resident sessions on this shard; 0 = unlimited. When full and every
+  // session is pinned, BeginSession reports kOverloaded.
+  size_t max_resident_sessions = 0;
+  // Sessions idle (no event) for longer than this many stream seconds are
+  // dropped by EvictIdle; <= 0 disables TTL eviction.
+  double idle_ttl_seconds = 0.0;
+};
+
+class SessionShard {
+ public:
+  // `model` must outlive the shard and is shared read-only across shards
+  // (inference does not mutate module state). `metrics` may be null.
+  SessionShard(const core::TpGnnModel& model, const ShardOptions& options,
+               Metrics* metrics);
+  ~SessionShard();
+
+  SessionShard(const SessionShard&) = delete;
+  SessionShard& operator=(const SessionShard&) = delete;
+
+  // Opens a session with its node set and features (unlisted nodes keep
+  // zero features). `now` is the stream time, used for LRU/TTL bookkeeping.
+  // Fails with kInvalidArgument on a duplicate id or a feature-dim mismatch
+  // with the model config, kOverloaded when the shard is at its cap with
+  // every resident session pinned.
+  Status BeginSession(uint64_t session_id, int64_t num_nodes,
+                      int64_t feature_dim,
+                      const std::vector<NodeInit>& features, double now);
+
+  // Appends one timestamped interaction. kNotFound for unknown sessions,
+  // kInvalidArgument for endpoint/time violations.
+  Status AddEdge(uint64_t session_id, int64_t src, int64_t dst,
+                 double edge_time, double now);
+
+  // Scores the session's current state: result.logit is bit-identical to
+  // model.ForwardLogit(session graph, /*training=*/false) at this edge
+  // count. Fills logit/probability/edges_scored; status kNotFound for
+  // unknown sessions.
+  Status Score(uint64_t session_id, ScoreResult* result);
+
+  // Closes a session. If score requests are in flight (pinned), removal is
+  // deferred until the last Unpin; the session stops accepting edges either
+  // way.
+  Status EndSession(uint64_t session_id);
+
+  // Marks one in-flight score request. Pinned sessions survive eviction and
+  // deferred End. Fails with kNotFound for unknown sessions.
+  Status Pin(uint64_t session_id);
+  // Releases one Pin; completes a deferred End removal when the last pin
+  // drops. Unknown ids are ignored (the session may have ended).
+  void Unpin(uint64_t session_id);
+
+  // Drops sessions idle since before `now - idle_ttl_seconds` (never pinned
+  // ones). No-op when TTL is disabled.
+  void EvictIdle(double now);
+
+  size_t resident_sessions() const;
+
+ private:
+  struct Session;
+
+  // Applies pending edges (and any required refold) so the folded state
+  // matches the session's full edge list; returns the chronological edge
+  // order to feed the extractor.
+  const std::vector<graph::TemporalEdge>& EnsureFolded(Session& s);
+  // Evicts the least recently used unpinned session; false if none exists.
+  bool EvictOneLocked();
+  void RemoveLocked(uint64_t session_id, Session& s);
+  void TouchLocked(uint64_t session_id, Session& s, double now);
+
+  const core::TpGnnModel& model_;
+  const ShardOptions options_;
+  Metrics* const metrics_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  // LRU order, most recent first; Session holds its iterator.
+  std::list<uint64_t> lru_;
+};
+
+// Routes session ids onto a fixed set of shards with a splitmix64 hash.
+// Every event of a session lands on the same shard, so per-session state
+// updates serialize behind that shard's mutex in arrival order.
+class SessionRouter {
+ public:
+  struct Options {
+    int num_shards = 4;
+    // Cap across the whole router, split evenly over shards (ceil); 0 =
+    // unlimited.
+    size_t max_resident_sessions = 0;
+    double idle_ttl_seconds = 0.0;
+  };
+
+  SessionRouter(const core::TpGnnModel& model, const Options& options,
+                Metrics* metrics);
+
+  SessionShard& ShardFor(uint64_t session_id);
+  SessionShard& shard(size_t index) { return *shards_[index]; }
+  size_t num_shards() const { return shards_.size(); }
+  // Sum over shards (each read under that shard's lock).
+  size_t resident_sessions() const;
+  // TTL sweep over every shard.
+  void EvictIdle(double now);
+
+ private:
+  std::vector<std::unique_ptr<SessionShard>> shards_;
+};
+
+}  // namespace tpgnn::serve
+
+#endif  // TPGNN_SERVE_SESSION_SHARD_H_

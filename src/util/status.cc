@@ -16,6 +16,8 @@ const char* CodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

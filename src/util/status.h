@@ -17,6 +17,9 @@ enum class StatusCode {
   kNotFound = 2,
   kFailedPrecondition = 3,
   kInternal = 4,
+  // Backpressure: a bounded queue or resource cap is full and the caller
+  // should retry after draining (see serve::InferenceEngine).
+  kOverloaded = 5,
 };
 
 class Status {
@@ -37,6 +40,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Overloaded(std::string message) {
+    return Status(StatusCode::kOverloaded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "nn/checkpoint.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -88,6 +89,96 @@ TEST(CheckpointTest, RoundTripPreservesExactValuesApproximately) {
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_NEAR(before[i], after[i], 1e-6f);
   }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MetadataRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt5.txt";
+  TwoLayer source(1);
+  CheckpointMetadata metadata;
+  metadata["model"] = "tp-gnn";
+  metadata["hidden_dim"] = "32";
+  metadata["note"] = "value with spaces";
+  ASSERT_TRUE(SaveParameters(source, path, metadata).ok());
+
+  CheckpointMetadata head_only;
+  ASSERT_TRUE(ReadCheckpointMetadata(path, &head_only).ok());
+  EXPECT_EQ(head_only, metadata);
+
+  TwoLayer target(2);
+  CheckpointMetadata loaded;
+  ASSERT_TRUE(LoadParameters(target, path, &loaded).ok());
+  EXPECT_EQ(loaded, metadata);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, EmptyMetadataWritesVersionOne) {
+  // Saving without metadata must keep producing files an old reader (which
+  // only understands version 1) accepts — the version bumps only when the
+  // meta block is present.
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt6.txt";
+  TwoLayer source(1);
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+  std::ifstream in(path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  EXPECT_EQ(magic, "tpgnn-params");
+  EXPECT_EQ(version, 1);
+
+  CheckpointMetadata metadata{{"stale", "x"}};
+  ASSERT_TRUE(ReadCheckpointMetadata(path, &metadata).ok());
+  EXPECT_TRUE(metadata.empty());  // Cleared, not appended to.
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, VersionOneFileStillLoads) {
+  const std::string v1 = ::testing::TempDir() + "/tpgnn_ckpt7.txt";
+  TwoLayer source(1);
+  ASSERT_TRUE(SaveParameters(source, v1).ok());  // Empty metadata -> v1.
+
+  Rng rng(9);
+  tensor::Tensor x = tensor::Tensor::Uniform({3, 4}, -1, 1, rng);
+  tensor::Tensor expected = source.Forward(x);
+  TwoLayer target(2);
+  CheckpointMetadata metadata;
+  ASSERT_TRUE(LoadParameters(target, v1, &metadata).ok());
+  EXPECT_TRUE(metadata.empty());
+  EXPECT_TRUE(tensor::AllClose(target.Forward(x), expected, 1e-6f, 1e-6f));
+  std::remove(v1.c_str());
+}
+
+TEST(CheckpointTest, InvalidMetadataKeysRejectedAtSave) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt8.txt";
+  TwoLayer source(1);
+  EXPECT_EQ(SaveParameters(source, path, {{"bad key", "v"}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SaveParameters(source, path, {{"", "v"}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SaveParameters(source, path, {{"k", "line\nbreak"}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, DuplicateMetadataKeyInFileRejected) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt9.txt";
+  std::ofstream out(path);
+  out << "tpgnn-params 2\nmeta 2\nk a\nk b\n0\n";
+  out.close();
+  CheckpointMetadata metadata;
+  EXPECT_FALSE(ReadCheckpointMetadata(path, &metadata).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnknownVersionRejected) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt10.txt";
+  std::ofstream out(path);
+  out << "tpgnn-params 3\n0\n";
+  out.close();
+  TwoLayer model(1);
+  Status status = LoadParameters(model, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("version"), std::string::npos)
+      << status.ToString();
   std::remove(path.c_str());
 }
 

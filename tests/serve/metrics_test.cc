@@ -1,0 +1,96 @@
+// LatencyHistogram bucketing and percentile estimation, and the Metrics
+// snapshot plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+
+namespace tpgnn::serve {
+namespace {
+
+TEST(LatencyHistogramTest, BucketAssignment) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);    // [0, 2) -> bucket 0.
+  histogram.Record(1.5);    // [0, 2) -> bucket 0.
+  histogram.Record(2.0);    // [2, 4) -> bucket 1.
+  histogram.Record(3.9);    // [2, 4) -> bucket 1.
+  histogram.Record(1000);   // [512, 1024) -> bucket 9.
+  histogram.Record(1e12);   // Overflow -> last bucket.
+
+  LatencyHistogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[9], 1u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
+}
+
+TEST(LatencyHistogramTest, MeanAndPercentiles) {
+  LatencyHistogram histogram;
+  // 90 fast samples at ~100us (bucket 6: [64, 128)), 10 slow at ~5000us
+  // (bucket 12: [4096, 8192)).
+  for (int i = 0; i < 90; ++i) histogram.Record(100.0);
+  for (int i = 0; i < 10; ++i) histogram.Record(5000.0);
+
+  LatencyHistogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.mean_micros(), (90 * 100.0 + 10 * 5000.0) / 100.0, 1.0);
+  // Percentile = upper edge of the crossing bucket.
+  EXPECT_EQ(snap.PercentileMicros(0.5), 128.0);
+  EXPECT_EQ(snap.PercentileMicros(0.9), 128.0);
+  EXPECT_EQ(snap.PercentileMicros(0.95), 8192.0);
+  EXPECT_EQ(snap.PercentileMicros(0.99), 8192.0);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram histogram;
+  LatencyHistogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean_micros(), 0.0);
+  EXPECT_EQ(snap.PercentileMicros(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<double>(i % 512));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.Snap().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, SnapshotCarriesCountersAndSummarizes) {
+  Metrics metrics;
+  metrics.events_ingested.fetch_add(10);
+  metrics.sessions_begun.fetch_add(2);
+  metrics.scores_completed.fetch_add(3);
+  metrics.state_refolds.fetch_add(1);
+  metrics.score_latency.Record(100.0);
+
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.events_ingested, 10u);
+  EXPECT_EQ(snap.sessions_begun, 2u);
+  EXPECT_EQ(snap.scores_completed, 3u);
+  EXPECT_EQ(snap.state_refolds, 1u);
+  EXPECT_EQ(snap.score_latency.count, 1u);
+
+  const std::string text = snap.ToString();
+  EXPECT_NE(text.find("events=10"), std::string::npos) << text;
+  EXPECT_NE(text.find("scores=3"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace tpgnn::serve

@@ -1,0 +1,48 @@
+#ifndef TPGNN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define TPGNN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "graph/temporal_graph.h"
+#include "serve/event.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+// Shared helpers for the serving tests: shipping a graph's node set into a
+// session Begin, and the offline reference score an incremental score must
+// reproduce bit-for-bit.
+
+namespace tpgnn::serve {
+
+inline std::vector<NodeInit> AllNodeFeatures(const graph::TemporalGraph& g) {
+  std::vector<NodeInit> features;
+  features.reserve(static_cast<size_t>(g.num_nodes()));
+  for (int64_t node = 0; node < g.num_nodes(); ++node) {
+    features.push_back({node, g.node_feature(node)});
+  }
+  return features;
+}
+
+// The offline reference: the model's zero-copy inference forward over the
+// fully built graph. Incremental serving scores are asserted bit-identical
+// to this.
+inline float OfflineLogit(core::TpGnnModel& model,
+                          const graph::TemporalGraph& g) {
+  tensor::NoGradGuard no_grad;
+  Rng rng(0);
+  return model.ForwardLogit(g, /*training=*/false, rng).item();
+}
+
+// Small model config so the full parity matrix stays fast.
+inline core::TpGnnConfig TinyServeConfig() {
+  core::TpGnnConfig config;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.hidden_dim = 8;
+  return config;
+}
+
+}  // namespace tpgnn::serve
+
+#endif  // TPGNN_TESTS_SERVE_SERVE_TEST_UTIL_H_

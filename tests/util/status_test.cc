@@ -42,6 +42,13 @@ TEST(StatusTest, Internal) {
   EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, Overloaded) {
+  Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(s.ToString(), "OVERLOADED: queue full");
+}
+
 TEST(StatusTest, StreamOperator) {
   std::ostringstream os;
   os << Status::InvalidArgument("x");
