@@ -1,0 +1,474 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tpgnn::net {
+
+namespace {
+
+// Ids for the two non-connection poll entries.
+constexpr uint64_t kListenEntry = 0;
+constexpr uint64_t kWakeEntry = ~uint64_t{0};
+
+// Compact a buffer whose consumed prefix has grown past this many bytes.
+constexpr size_t kCompactThreshold = 1u << 20;
+
+}  // namespace
+
+Server::Server(serve::InferenceEngine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options) {
+  TPGNN_CHECK(engine != nullptr);
+}
+
+Server::~Server() = default;
+
+Status Server::Start() {
+  if (Status s = ListenTcp(options_.bind_address, options_.port,
+                           options_.backlog, &listen_fd_, &port_);
+      !s.ok()) {
+    return s;
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe failed for shutdown wakeup");
+  }
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  SetNonBlocking(wake_read_.get(), true);
+  SetNonBlocking(wake_write_.get(), true);
+  return Status::Ok();
+}
+
+void Server::Run() {
+  while (PollOnce(options_.poll_timeout_ms)) {
+  }
+}
+
+void Server::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_write_.valid()) {
+    const uint8_t byte = 1;
+    // Best-effort wakeup; a full pipe means a wakeup is already pending.
+    [[maybe_unused]] ssize_t rc = write(wake_write_.get(), &byte, 1);
+  }
+}
+
+bool Server::PollOnce(int timeout_ms) {
+  if (stopped_) {
+    return false;
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+    BeginShutdown();
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> entry_ids;
+  if (listen_fd_.valid() && !draining_ &&
+      connections_.size() < static_cast<size_t>(options_.max_connections)) {
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    entry_ids.push_back(kListenEntry);
+  }
+  if (wake_read_.valid()) {
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    entry_ids.push_back(kWakeEntry);
+  }
+  for (const auto& [id, conn] : connections_) {
+    short events = 0;
+    if (!draining_ && !conn->draining) {
+      events |= POLLIN;
+    }
+    if (write_backlog(*conn) > 0) {
+      events |= POLLOUT;
+    }
+    if (events != 0) {
+      fds.push_back({conn->fd.get(), events, 0});
+      entry_ids.push_back(id);
+    }
+  }
+
+  poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  for (size_t i = 0; i < fds.size(); ++i) {
+    const short revents = fds[i].revents;
+    if (revents == 0) {
+      continue;
+    }
+    const uint64_t id = entry_ids[i];
+    if (id == kWakeEntry) {
+      uint8_t sink[64];
+      while (read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+      }
+      continue;
+    }
+    if (id == kListenEntry) {
+      AcceptPending();
+      continue;
+    }
+    auto it = connections_.find(id);
+    if (it == connections_.end()) {
+      continue;
+    }
+    Connection& conn = *it->second;
+    if ((revents & POLLOUT) != 0 && !conn.dead) {
+      HandleWritable(conn);
+    }
+    if ((revents & POLLIN) != 0 && !conn.dead && !conn.draining) {
+      HandleReadable(conn);
+    }
+    if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.dead &&
+        write_backlog(conn) == 0) {
+      conn.dead = true;
+    }
+  }
+
+  // A shutdown frame handled above may have started the drain.
+  if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+    BeginShutdown();
+  }
+
+  // End of iteration: one engine drain (micro-batched across everything
+  // the iteration enqueued), then opportunistic writes.
+  PumpEngine();
+  for (auto& [id, conn] : connections_) {
+    if (!conn->dead && write_backlog(*conn) > 0) {
+      HandleWritable(*conn);
+    }
+    if (conn->draining && !conn->dead && write_backlog(*conn) == 0) {
+      conn->dead = true;
+    }
+  }
+  serve::Metrics& metrics = engine_->mutable_metrics();
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second->dead) {
+      // Results still owed to this connection are dropped in RouteResults
+      // when the owner no longer resolves.
+      metrics.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  num_connections_.store(connections_.size(), std::memory_order_relaxed);
+
+  if (draining_) {
+    const bool drained = connections_.empty();
+    const bool expired = clock_.ElapsedMicros() >= drain_deadline_micros_;
+    if (drained || expired) {
+      metrics.connections_closed.fetch_add(connections_.size(),
+                                           std::memory_order_relaxed);
+      connections_.clear();
+      num_connections_.store(0, std::memory_order_relaxed);
+      stopped_ = true;
+    }
+  }
+  return !stopped_;
+}
+
+void Server::AcceptPending() {
+  serve::Metrics& metrics = engine_->mutable_metrics();
+  while (connections_.size() <
+         static_cast<size_t>(options_.max_connections)) {
+    UniqueFd fd;
+    if (Status s = AcceptTcp(listen_fd_.get(), &fd); !s.ok()) {
+      return;
+    }
+    if (!fd.valid()) {
+      return;  // Nothing pending.
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(fd);
+    conn->id = next_connection_id_++;
+    metrics.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection& conn) {
+  serve::Metrics& metrics = engine_->mutable_metrics();
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    size_t received = 0;
+    bool eof = false;
+    Status s = RecvNonBlocking(conn.fd.get(), buf, sizeof(buf), &received,
+                               &eof);
+    if (!s.ok() || eof) {
+      conn.dead = true;
+      break;
+    }
+    if (received == 0) {
+      break;  // Drained the socket.
+    }
+    metrics.bytes_received.fetch_add(received, std::memory_order_relaxed);
+    conn.in.insert(conn.in.end(), buf, buf + received);
+  }
+
+  size_t offset = 0;
+  while (!conn.dead && !conn.draining) {
+    Frame frame;
+    size_t consumed = 0;
+    Status s = DecodeFrame(conn.in.data() + offset, conn.in.size() - offset,
+                           options_.max_payload_bytes, &frame, &consumed);
+    if (!s.ok()) {
+      metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      FailConnection(conn, s);
+      break;
+    }
+    if (consumed == 0) {
+      break;  // Partial frame; wait for more bytes.
+    }
+    offset += consumed;
+    metrics.frames_received.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(conn, frame);
+  }
+  if (offset > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<ptrdiff_t>(offset));
+  } else if (conn.in.capacity() > kCompactThreshold && conn.in.empty()) {
+    conn.in.shrink_to_fit();
+  }
+}
+
+void Server::HandleWritable(Connection& conn) {
+  serve::Metrics& metrics = engine_->mutable_metrics();
+  while (write_backlog(conn) > 0) {
+    size_t sent = 0;
+    Status s = SendNonBlocking(conn.fd.get(), conn.out.data() + conn.out_sent,
+                               write_backlog(conn), &sent);
+    if (!s.ok()) {
+      conn.dead = true;
+      return;
+    }
+    if (sent == 0) {
+      break;  // Kernel buffer full; POLLOUT will retry.
+    }
+    conn.out_sent += sent;
+    metrics.bytes_sent.fetch_add(sent, std::memory_order_relaxed);
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  } else if (conn.out_sent > kCompactThreshold) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<ptrdiff_t>(conn.out_sent));
+    conn.out_sent = 0;
+  }
+}
+
+void Server::HandleFrame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = frame.request_id;
+      SendFrame(conn, pong);
+      break;
+    }
+    case FrameType::kMetricsRequest: {
+      Frame response;
+      response.type = FrameType::kMetricsResponse;
+      response.text = engine_->metrics().ToJson();
+      SendFrame(conn, response);
+      break;
+    }
+    case FrameType::kIngestBatch:
+      HandleIngestBatch(conn, frame);
+      break;
+    case FrameType::kScore: {
+      Frame reply;
+      reply.request_id = frame.request_id;
+      if (conn.inflight_scores >= options_.max_inflight_scores ||
+          write_backlog(conn) > options_.max_write_buffer_bytes) {
+        reply.type = FrameType::kOverloaded;
+        reply.status_code = StatusCode::kOverloaded;
+        reply.text = "connection at its in-flight score cap";
+        SendFrame(conn, reply);
+        break;
+      }
+      serve::Event event;
+      event.kind = serve::Event::Kind::kScore;
+      event.session_id = frame.session_id;
+      event.label = frame.label;
+      Status st = IngestWithRetry(event);
+      if (st.code() == StatusCode::kOverloaded) {
+        reply.type = FrameType::kOverloaded;
+        reply.status_code = st.code();
+        reply.text = st.message();
+        SendFrame(conn, reply);
+      } else if (!st.ok()) {
+        // A typed failure still produces exactly one SCORE_RESULT.
+        reply.type = FrameType::kScoreResult;
+        serve::ScoreResult result;
+        result.session_id = frame.session_id;
+        result.status = st;
+        result.label = frame.label;
+        reply.results.push_back(std::move(result));
+        SendFrame(conn, reply);
+      } else {
+        score_owner_.push_back(conn.id);
+        ++conn.inflight_scores;
+      }
+      break;
+    }
+    case FrameType::kShutdown:
+      RequestShutdown();
+      break;
+    case FrameType::kGoodbye:
+      // Client-initiated close: flush what we owe, then close.
+      conn.draining = true;
+      break;
+    default: {
+      engine_->mutable_metrics().protocol_errors.fetch_add(
+          1, std::memory_order_relaxed);
+      FailConnection(
+          conn, Status::InvalidArgument(
+                    std::string("unexpected frame type from client: ") +
+                    FrameTypeName(frame.type)));
+      break;
+    }
+  }
+}
+
+void Server::HandleIngestBatch(Connection& conn, const Frame& frame) {
+  Frame reply;
+  reply.request_id = frame.request_id;
+  if (write_backlog(conn) > options_.max_write_buffer_bytes) {
+    reply.type = FrameType::kOverloaded;
+    reply.status_code = StatusCode::kOverloaded;
+    reply.text = "write buffer full; collect your responses";
+    SendFrame(conn, reply);
+    return;
+  }
+  uint64_t applied = 0;
+  for (const serve::Event& event : frame.events) {
+    if (event.kind == serve::Event::Kind::kScore &&
+        conn.inflight_scores >= options_.max_inflight_scores) {
+      reply.type = FrameType::kOverloaded;
+      reply.status_code = StatusCode::kOverloaded;
+      reply.events_applied = applied;
+      reply.text = "connection at its in-flight score cap";
+      SendFrame(conn, reply);
+      return;
+    }
+    Status st = IngestWithRetry(event);
+    if (st.code() == StatusCode::kOverloaded) {
+      reply.type = FrameType::kOverloaded;
+      reply.status_code = st.code();
+      reply.events_applied = applied;
+      reply.text = st.message();
+      SendFrame(conn, reply);
+      return;
+    }
+    if (!st.ok()) {
+      // The batch aborts at the first bad event; the ack tells the client
+      // exactly where.
+      reply.type = FrameType::kIngestAck;
+      reply.status_code = st.code();
+      reply.events_applied = applied;
+      reply.text = st.message();
+      SendFrame(conn, reply);
+      return;
+    }
+    if (event.kind == serve::Event::Kind::kScore) {
+      score_owner_.push_back(conn.id);
+      ++conn.inflight_scores;
+    }
+    ++applied;
+  }
+  reply.type = FrameType::kIngestAck;
+  reply.status_code = StatusCode::kOk;
+  reply.events_applied = applied;
+  SendFrame(conn, reply);
+}
+
+Status Server::IngestWithRetry(const serve::Event& event) {
+  Status st = engine_->Ingest(event);
+  if (st.code() == StatusCode::kOverloaded) {
+    // Relieve the bounded queue with one full drain, then retry once; if
+    // the engine is still overloaded the client must shed load.
+    PumpEngine();
+    st = engine_->Ingest(event);
+  }
+  return st;
+}
+
+void Server::PumpEngine() {
+  std::vector<serve::ScoreResult> results;
+  for (;;) {
+    results.clear();
+    if (engine_->ProcessPending(&results) == 0) {
+      break;
+    }
+    RouteResults(results);
+  }
+}
+
+void Server::RouteResults(const std::vector<serve::ScoreResult>& results) {
+  // The engine returns results in request order — the exact order of
+  // score_owner_ pushes. Group per connection, preserving order.
+  std::map<uint64_t, std::vector<serve::ScoreResult>> per_connection;
+  for (const serve::ScoreResult& result : results) {
+    TPGNN_CHECK(!score_owner_.empty());
+    const uint64_t owner = score_owner_.front();
+    score_owner_.pop_front();
+    per_connection[owner].push_back(result);
+  }
+  for (auto& [owner, owned] : per_connection) {
+    auto it = connections_.find(owner);
+    if (it == connections_.end() || it->second->dead) {
+      continue;  // The requester is gone; its results are dropped.
+    }
+    Connection& conn = *it->second;
+    conn.inflight_scores -= owned.size();
+    Frame frame;
+    frame.type = FrameType::kScoreResult;
+    frame.results = std::move(owned);
+    SendFrame(conn, frame);
+  }
+}
+
+void Server::SendFrame(Connection& conn, const Frame& frame) {
+  if (conn.dead) {
+    return;
+  }
+  EncodeFrame(frame, &conn.out);
+  engine_->mutable_metrics().frames_sent.fetch_add(1,
+                                                   std::memory_order_relaxed);
+}
+
+void Server::FailConnection(Connection& conn, const Status& status) {
+  Frame error;
+  error.type = FrameType::kError;
+  error.status_code = status.code();
+  error.text = status.message();
+  SendFrame(conn, error);
+  conn.draining = true;
+  // Stop reading immediately: the stream past the bad frame is garbage.
+  shutdown(conn.fd.get(), SHUT_RD);
+}
+
+void Server::BeginShutdown() {
+  draining_ = true;
+  listen_fd_.reset();
+  // Every enqueued score is flushed and delivered before any GOODBYE, so a
+  // graceful shutdown never loses a SCORE_RESULT.
+  PumpEngine();
+  for (auto& [id, conn] : connections_) {
+    if (conn->dead) {
+      continue;
+    }
+    Frame goodbye;
+    goodbye.type = FrameType::kGoodbye;
+    SendFrame(*conn, goodbye);
+    conn->draining = true;
+  }
+  drain_deadline_micros_ =
+      clock_.ElapsedMicros() + options_.drain_timeout_ms * 1000.0;
+}
+
+}  // namespace tpgnn::net

@@ -1,0 +1,150 @@
+#ifndef TPGNN_NET_SERVER_H_
+#define TPGNN_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "serve/inference_engine.h"
+#include "util/net.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+// Poll-based non-blocking TCP front-end over serve::InferenceEngine.
+//
+// One thread (the caller of Run / PollOnce) owns all sockets: an accept
+// loop plus per-connection read and write buffers. Clients pipeline frames
+// freely; the server decodes every complete frame per poll iteration,
+// dispatches events into the engine, and at the end of the iteration drains
+// the engine's score queue once, routing each ScoreResult back to the
+// connection that requested it (the engine returns results in request
+// order, which is exactly the order of this server's enqueues). Session
+// affinity is the caller's contract inherited from the engine: all events
+// of one session must arrive on one connection, in order.
+//
+// Backpressure has three layers, all surfaced as an OVERLOADED frame that
+// tells the client how many events of its batch were applied so it can
+// retry the rest:
+//   * the engine's bounded score queue (kOverloaded from Ingest; the server
+//     first drains one micro-batch and retries once before giving up),
+//   * a per-connection in-flight score cap (max_inflight_scores),
+//   * a per-connection write-buffer cap (max_write_buffer_bytes): while a
+//     client is slow to read its responses, new ingest work is rejected
+//     rather than buffered without bound.
+//
+// A malformed frame (kDataLoss / oversized) gets a typed ERROR frame and a
+// drain-then-close: the stream cannot be resynchronised. Graceful shutdown
+// (SHUTDOWN frame, RequestShutdown(), or SIGINT wired by the caller) stops
+// accepting, flushes every pending score through the engine, delivers all
+// SCORE_RESULT frames, appends a GOODBYE to each connection, and closes
+// once write buffers drain (bounded by drain_timeout_ms).
+
+namespace tpgnn::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = pick an ephemeral port; see Server::port().
+  int backlog = 64;
+  int max_connections = 64;
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  // Per-connection caps (see class comment).
+  size_t max_inflight_scores = 256;
+  size_t max_write_buffer_bytes = 4u << 20;
+  // Poll granularity of Run(); also bounds shutdown latency.
+  int poll_timeout_ms = 20;
+  // Bound on the drain-then-close phase of a graceful shutdown.
+  int drain_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  // `engine` must outlive the server; the server is its only driver while
+  // serving (it calls Ingest and ProcessPending from the poll thread).
+  Server(serve::InferenceEngine* engine, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and listens. After success port() returns the bound port.
+  Status Start();
+  int port() const { return port_; }
+
+  // Runs the poll loop until a graceful shutdown completes.
+  void Run();
+  // One poll iteration; false once the server has fully shut down. Exposed
+  // so tests can drive the loop by hand.
+  bool PollOnce(int timeout_ms);
+
+  // Thread- and signal-safe: requests a graceful shutdown and wakes the
+  // poll loop.
+  void RequestShutdown();
+  bool shutting_down() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  // Approximate (poll-thread-maintained) connection count.
+  size_t num_connections() const {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    UniqueFd fd;
+    uint64_t id = 0;
+    std::vector<uint8_t> in;    // Unparsed received bytes.
+    std::vector<uint8_t> out;   // Encoded responses not yet written.
+    size_t out_sent = 0;        // Prefix of `out` already on the wire.
+    size_t inflight_scores = 0;
+    bool draining = false;  // No more reads; close once `out` flushes.
+    bool dead = false;      // Remove at end of iteration.
+  };
+
+  void AcceptPending();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void HandleFrame(Connection& conn, const Frame& frame);
+  void HandleIngestBatch(Connection& conn, const Frame& frame);
+  // Ingests one event with the drain-once-and-retry overload policy.
+  Status IngestWithRetry(const serve::Event& event);
+  // Drains one engine micro-batch and routes results to their connections.
+  void PumpEngine();
+  void RouteResults(const std::vector<serve::ScoreResult>& results);
+  void SendFrame(Connection& conn, const Frame& frame);
+  // Typed-error teardown: ERROR frame, stop reading, close after flush.
+  void FailConnection(Connection& conn, const Status& status);
+  void BeginShutdown();
+  size_t write_backlog(const Connection& conn) const {
+    return conn.out.size() - conn.out_sent;
+  }
+
+  serve::InferenceEngine* const engine_;
+  const ServerOptions options_;
+  UniqueFd listen_fd_;
+  int port_ = 0;
+  // Self-pipe so RequestShutdown can wake a blocked poll().
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  bool stopped_ = false;
+  double drain_deadline_micros_ = 0.0;
+  Stopwatch clock_;
+
+  uint64_t next_connection_id_ = 1;
+  // std::map keeps iteration order deterministic.
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  // Connection id of every enqueued-but-unanswered score, in engine
+  // request order.
+  std::deque<uint64_t> score_owner_;
+  std::atomic<size_t> num_connections_{0};
+};
+
+}  // namespace tpgnn::net
+
+#endif  // TPGNN_NET_SERVER_H_

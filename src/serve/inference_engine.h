@@ -86,6 +86,10 @@ class InferenceEngine {
   void Flush(std::vector<ScoreResult>* results);
 
   const Metrics& metrics() const { return metrics_; }
+  // For front-ends (net::Server) that account wire-level traffic into the
+  // engine's metrics.
+  Metrics& mutable_metrics() { return metrics_; }
+  const EngineOptions& options() const { return options_; }
   size_t pending_scores() const;
   size_t resident_sessions() const { return router_.resident_sessions(); }
   SessionRouter& router() { return router_; }

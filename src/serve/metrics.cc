@@ -74,6 +74,50 @@ std::string MetricsSnapshot::ToString() const {
   return os.str();
 }
 
+namespace {
+
+void AppendHistogramJson(std::ostringstream& os, const char* name,
+                         const LatencyHistogram::Snapshot& h) {
+  os << "\"" << name << "\": {\"count\": " << h.count
+     << ", \"mean\": " << h.mean_micros()
+     << ", \"p50\": " << h.PercentileMicros(0.5)
+     << ", \"p95\": " << h.PercentileMicros(0.95)
+     << ", \"p99\": " << h.PercentileMicros(0.99) << "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\": {"
+     << "\"events_ingested\": " << events_ingested
+     << ", \"sessions_begun\": " << sessions_begun
+     << ", \"sessions_ended\": " << sessions_ended
+     << ", \"sessions_evicted\": " << sessions_evicted
+     << ", \"edges_ingested\": " << edges_ingested
+     << ", \"scores_completed\": " << scores_completed
+     << ", \"scores_failed\": " << scores_failed
+     << ", \"overload_rejections\": " << overload_rejections
+     << ", \"state_refolds\": " << state_refolds
+     << ", \"bytes_received\": " << bytes_received
+     << ", \"bytes_sent\": " << bytes_sent
+     << ", \"frames_received\": " << frames_received
+     << ", \"frames_sent\": " << frames_sent
+     << ", \"connections_accepted\": " << connections_accepted
+     << ", \"connections_closed\": " << connections_closed
+     << ", \"protocol_errors\": " << protocol_errors
+     << "}, \"latency_us\": {";
+  AppendHistogramJson(os, "ingest", ingest_latency);
+  os << ", ";
+  AppendHistogramJson(os, "score", score_latency);
+  os << ", ";
+  AppendHistogramJson(os, "e2e", e2e_latency);
+  os << "}}";
+  return os.str();
+}
+
+std::string Metrics::ToJson() const { return Snapshot().ToJson(); }
+
 MetricsSnapshot Metrics::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested.load(std::memory_order_relaxed);
@@ -86,6 +130,14 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.overload_rejections =
       overload_rejections.load(std::memory_order_relaxed);
   snap.state_refolds = state_refolds.load(std::memory_order_relaxed);
+  snap.bytes_received = bytes_received.load(std::memory_order_relaxed);
+  snap.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+  snap.frames_received = frames_received.load(std::memory_order_relaxed);
+  snap.frames_sent = frames_sent.load(std::memory_order_relaxed);
+  snap.connections_accepted =
+      connections_accepted.load(std::memory_order_relaxed);
+  snap.connections_closed = connections_closed.load(std::memory_order_relaxed);
+  snap.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
   snap.ingest_latency = ingest_latency.Snap();
   snap.score_latency = score_latency.Snap();
   snap.e2e_latency = e2e_latency.Snap();

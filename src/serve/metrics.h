@@ -54,12 +54,24 @@ struct MetricsSnapshot {
   uint64_t scores_failed = 0;
   uint64_t overload_rejections = 0;
   uint64_t state_refolds = 0;
+  // Network front-end (zero unless a net::Server drives the engine).
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t protocol_errors = 0;
   LatencyHistogram::Snapshot ingest_latency;
   LatencyHistogram::Snapshot score_latency;
   LatencyHistogram::Snapshot e2e_latency;
 
   // One-line human-readable summary (counts + score p50/p95/p99).
   std::string ToString() const;
+  // Full snapshot as a JSON object: every counter under "counters", each
+  // latency histogram under "latency_us" as {count, mean, p50, p95, p99}.
+  // This is the METRICS RPC payload and the server half of BENCH_net.json.
+  std::string ToJson() const;
 };
 
 class Metrics {
@@ -76,6 +88,16 @@ class Metrics {
   // Folded session states discarded and rebuilt (time-normalization or
   // out-of-order invalidation; see SessionShard).
   std::atomic<uint64_t> state_refolds{0};
+  // Network front-end counters, maintained by net::Server: wire bytes and
+  // frames in each direction, connection churn, and streams torn down for
+  // protocol violations (kDataLoss frames).
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> protocol_errors{0};
 
   // Latency distributions, all in microseconds.
   LatencyHistogram ingest_latency;  // One Ingest(event) call.
@@ -83,6 +105,8 @@ class Metrics {
   LatencyHistogram e2e_latency;     // Score enqueue -> result ready.
 
   MetricsSnapshot Snapshot() const;
+  // Shorthand for Snapshot().ToJson().
+  std::string ToJson() const;
 };
 
 }  // namespace tpgnn::serve

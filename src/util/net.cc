@@ -1,0 +1,309 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/stopwatch.h"
+
+namespace tpgnn {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, int err) {
+  return Status::Internal(op + ": " + std::string(strerror(err)));
+}
+
+bool IsBrokenConnection(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN ||
+         err == ECONNABORTED;
+}
+
+Status ParseAddress(const std::string& host, int port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Remaining whole milliseconds of a deadline; at least 0.
+int RemainingMs(const Stopwatch& watch, int timeout_ms) {
+  const double left =
+      static_cast<double>(timeout_ms) - watch.ElapsedSeconds() * 1e3;
+  return left > 0.0 ? static_cast<int>(left) : 0;
+}
+
+Status WaitFor(int fd, short events, int timeout_ms, const char* what) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return Status::Ok();
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (errno != EINTR) {
+      return ErrnoStatus("poll", errno);
+    }
+  }
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Status ListenTcp(const std::string& host, int port, int backlog, UniqueFd* fd,
+                 int* bound_port) {
+  sockaddr_in addr;
+  if (Status s = ParseAddress(host, port, &addr); !s.ok()) {
+    return s;
+  }
+  UniqueFd sock(socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return ErrnoStatus("socket", errno);
+  }
+  int one = 1;
+  setsockopt(sock.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port), errno);
+  }
+  if (listen(sock.get(), backlog) != 0) {
+    return ErrnoStatus("listen", errno);
+  }
+  if (Status s = SetNonBlocking(sock.get(), true); !s.ok()) {
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(sock.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  *bound_port = ntohs(bound.sin_port);
+  *fd = std::move(sock);
+  return Status::Ok();
+}
+
+Status AcceptTcp(int listen_fd, UniqueFd* fd) {
+  for (;;) {
+    const int conn = accept(listen_fd, nullptr, nullptr);
+    if (conn >= 0) {
+      UniqueFd sock(conn);
+      if (Status s = SetNonBlocking(conn, true); !s.ok()) {
+        return s;
+      }
+      SetNoDelay(conn);
+      *fd = std::move(sock);
+      return Status::Ok();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      fd->reset();
+      return Status::Ok();
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // A connection that died in the backlog is not a server error.
+    if (errno == ECONNABORTED) {
+      continue;
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Status ConnectTcp(const std::string& host, int port, int timeout_ms,
+                  UniqueFd* fd) {
+  sockaddr_in addr;
+  if (Status s = ParseAddress(host, port, &addr); !s.ok()) {
+    return s;
+  }
+  UniqueFd sock(socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return ErrnoStatus("socket", errno);
+  }
+  // Connect non-blocking so the deadline is enforceable, then flip the
+  // socket back to blocking for the client's deadline-driven poll I/O.
+  if (Status s = SetNonBlocking(sock.get(), true); !s.ok()) {
+    return s;
+  }
+  if (connect(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      return ErrnoStatus("connect " + host + ":" + std::to_string(port),
+                         errno);
+    }
+    if (Status s = WaitFor(sock.get(), POLLOUT, timeout_ms, "connect");
+        !s.ok()) {
+      return s;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return ErrnoStatus("getsockopt", errno);
+    }
+    if (err != 0) {
+      return ErrnoStatus("connect " + host + ":" + std::to_string(port), err);
+    }
+  }
+  if (Status s = SetNonBlocking(sock.get(), false); !s.ok()) {
+    return s;
+  }
+  SetNoDelay(sock.get());
+  *fd = std::move(sock);
+  return Status::Ok();
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return ErrnoStatus("fcntl(F_GETFL)", errno);
+  }
+  const int want = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, want) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::Ok();
+}
+
+Status WaitReadable(int fd, int timeout_ms) {
+  return WaitFor(fd, POLLIN, timeout_ms, "read");
+}
+
+Status WaitWritable(int fd, int timeout_ms) {
+  return WaitFor(fd, POLLOUT, timeout_ms, "write");
+}
+
+Status RecvNonBlocking(int fd, uint8_t* buf, size_t cap, size_t* received,
+                       bool* eof) {
+  *received = 0;
+  *eof = false;
+  for (;;) {
+    const ssize_t n = recv(fd, buf, cap, 0);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return Status::Ok();
+    }
+    if (n == 0) {
+      *eof = true;
+      return Status::Ok();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Ok();
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (IsBrokenConnection(errno)) {
+      return Status::DataLoss("connection broken during recv: " +
+                              std::string(strerror(errno)));
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Status SendNonBlocking(int fd, const uint8_t* data, size_t size,
+                       size_t* sent) {
+  *sent = 0;
+  for (;;) {
+    const ssize_t n = send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *sent = static_cast<size_t>(n);
+      return Status::Ok();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Ok();
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (IsBrokenConnection(errno)) {
+      return Status::DataLoss("connection broken during send: " +
+                              std::string(strerror(errno)));
+    }
+    return ErrnoStatus("send", errno);
+  }
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t size, int timeout_ms) {
+  Stopwatch watch;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Status s =
+              WaitWritable(fd, RemainingMs(watch, timeout_ms));
+          !s.ok()) {
+        return s;
+      }
+      continue;
+    }
+    if (n < 0 && IsBrokenConnection(errno)) {
+      return Status::DataLoss("connection broken during send: " +
+                              std::string(strerror(errno)));
+    }
+    return ErrnoStatus("send", errno);
+  }
+  return Status::Ok();
+}
+
+Status RecvSome(int fd, uint8_t* buf, size_t cap, int timeout_ms,
+                size_t* received) {
+  Stopwatch watch;
+  *received = 0;
+  for (;;) {
+    const ssize_t n = recv(fd, buf, cap, MSG_DONTWAIT);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return Status::Ok();
+    }
+    if (n == 0) {
+      return Status::DataLoss("connection closed by peer");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status s = WaitReadable(fd, RemainingMs(watch, timeout_ms));
+          !s.ok()) {
+        return s;
+      }
+      continue;
+    }
+    if (IsBrokenConnection(errno)) {
+      return Status::DataLoss("connection broken during recv: " +
+                              std::string(strerror(errno)));
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+}  // namespace tpgnn

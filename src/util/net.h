@@ -1,0 +1,91 @@
+#ifndef TPGNN_UTIL_NET_H_
+#define TPGNN_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+// Thin POSIX TCP + poll helpers shared by the net/ server and client. All
+// failures come back as Status (never exceptions): kDeadlineExceeded when a
+// timeout elapses, kDataLoss when the peer breaks the connection mid-stream
+// (EPIPE / ECONNRESET / EOF where bytes were expected), kInternal for other
+// socket errors. Sockets are IPv4; sends use MSG_NOSIGNAL so a dead peer is
+// an error code, not a SIGPIPE.
+
+namespace tpgnn {
+
+// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a non-blocking IPv4 listen socket bound to host:port (port 0
+// picks an ephemeral port) with SO_REUSEADDR. On success fills `*fd` and
+// `*bound_port` (the actual port, useful with port 0).
+Status ListenTcp(const std::string& host, int port, int backlog, UniqueFd* fd,
+                 int* bound_port);
+
+// Accepts one pending connection from a non-blocking listen socket. Returns
+// kOk with an invalid `*fd` when no connection is pending (EAGAIN). The
+// accepted socket is non-blocking with TCP_NODELAY set.
+Status AcceptTcp(int listen_fd, UniqueFd* fd);
+
+// Connects to host:port within `timeout_ms`, returning a blocking socket
+// with TCP_NODELAY set. kDeadlineExceeded when the deadline elapses first.
+Status ConnectTcp(const std::string& host, int port, int timeout_ms,
+                  UniqueFd* fd);
+
+Status SetNonBlocking(int fd, bool non_blocking);
+
+// Waits until `fd` is readable / writable. kDeadlineExceeded on timeout.
+Status WaitReadable(int fd, int timeout_ms);
+Status WaitWritable(int fd, int timeout_ms);
+
+// Non-blocking read: appends up to `cap` available bytes. kOk with
+// *received == 0 and *eof == false means EAGAIN (no data yet); *eof == true
+// means the peer closed its write side.
+Status RecvNonBlocking(int fd, uint8_t* buf, size_t cap, size_t* received,
+                       bool* eof);
+
+// Non-blocking write of up to `size` bytes; *sent == 0 means EAGAIN.
+// A broken peer is kDataLoss.
+Status SendNonBlocking(int fd, const uint8_t* data, size_t size, size_t* sent);
+
+// Blocking helpers with an overall deadline (for the client): send the
+// whole buffer / receive at least one byte. RecvSome reports *received == 0
+// only on orderly EOF, which it maps to kDataLoss (the wire protocol never
+// ends a conversation without a Goodbye frame).
+Status SendAll(int fd, const uint8_t* data, size_t size, int timeout_ms);
+Status RecvSome(int fd, uint8_t* buf, size_t cap, int timeout_ms,
+                size_t* received);
+
+}  // namespace tpgnn
+
+#endif  // TPGNN_UTIL_NET_H_

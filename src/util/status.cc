@@ -18,6 +18,10 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,13 @@ enum class StatusCode {
   // Backpressure: a bounded queue or resource cap is full and the caller
   // should retry after draining (see serve::InferenceEngine).
   kOverloaded = 5,
+  // A deadline elapsed before the operation completed (client-side network
+  // timeouts; see net::Client).
+  kDeadlineExceeded = 6,
+  // Unrecoverable data corruption or loss: a malformed, truncated, or
+  // bit-flipped wire frame (see net/protocol.h). The stream that produced
+  // it cannot be resynchronised and must be torn down.
+  kDataLoss = 7,
 };
 
 class Status {
@@ -43,6 +50,12 @@ class Status {
   }
   static Status Overloaded(std::string message) {
     return Status(StatusCode::kOverloaded, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,304 @@
+// Wire-protocol round-trips and framing rules: every frame type encodes and
+// decodes to an identical Frame, prefixes report need-more instead of
+// erroring, and each class of header/payload corruption maps to its
+// documented typed error.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/protocol.h"
+#include "serve/event.h"
+
+namespace tpgnn::net {
+namespace {
+
+std::vector<uint8_t> Encode(const Frame& frame) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  return wire;
+}
+
+// Decodes a complete single-frame buffer, asserting full consumption.
+Frame DecodeAll(const std::vector<uint8_t>& wire) {
+  Frame frame;
+  size_t consumed = 0;
+  Status status =
+      DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes, &frame,
+                  &consumed);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(consumed, wire.size());
+  return frame;
+}
+
+serve::Event MakeBegin() {
+  serve::Event e;
+  e.kind = serve::Event::Kind::kBegin;
+  e.session_id = 42;
+  e.time = 1.5;
+  e.num_nodes = 4;
+  e.feature_dim = 3;
+  e.features = {{0, {1.0f, -2.5f, 0.0f}}, {3, {0.25f, 7.0f, -1.0f}}};
+  return e;
+}
+
+serve::Event MakeEdge() {
+  serve::Event e;
+  e.kind = serve::Event::Kind::kEdge;
+  e.session_id = 42;
+  e.time = 2.0;
+  e.src = 0;
+  e.dst = 3;
+  e.edge_time = 0.125;
+  return e;
+}
+
+TEST(ProtocolTest, PingRoundTrip) {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 0xDEADBEEFCAFEull;
+  Frame decoded = DecodeAll(Encode(ping));
+  EXPECT_EQ(decoded.type, FrameType::kPing);
+  EXPECT_EQ(decoded.request_id, ping.request_id);
+}
+
+TEST(ProtocolTest, IngestBatchRoundTripAllEventKinds) {
+  Frame batch;
+  batch.type = FrameType::kIngestBatch;
+  batch.request_id = 7;
+  batch.events.push_back(MakeBegin());
+  batch.events.push_back(MakeEdge());
+  serve::Event score;
+  score.kind = serve::Event::Kind::kScore;
+  score.session_id = 42;
+  score.time = 3.0;
+  score.label = 1;
+  batch.events.push_back(score);
+  serve::Event end;
+  end.kind = serve::Event::Kind::kEnd;
+  end.session_id = 42;
+  end.time = 4.0;
+  batch.events.push_back(end);
+
+  Frame decoded = DecodeAll(Encode(batch));
+  EXPECT_EQ(decoded.type, FrameType::kIngestBatch);
+  EXPECT_EQ(decoded.request_id, 7u);
+  ASSERT_EQ(decoded.events.size(), 4u);
+
+  const serve::Event& begin = decoded.events[0];
+  EXPECT_EQ(begin.kind, serve::Event::Kind::kBegin);
+  EXPECT_EQ(begin.session_id, 42u);
+  EXPECT_EQ(begin.time, 1.5);
+  EXPECT_EQ(begin.num_nodes, 4);
+  EXPECT_EQ(begin.feature_dim, 3);
+  ASSERT_EQ(begin.features.size(), 2u);
+  EXPECT_EQ(begin.features[0].node, 0);
+  EXPECT_EQ(begin.features[1].node, 3);
+  // Floats travel as raw IEEE-754 bits: exact equality.
+  EXPECT_EQ(begin.features[0].features,
+            (std::vector<float>{1.0f, -2.5f, 0.0f}));
+  EXPECT_EQ(begin.features[1].features,
+            (std::vector<float>{0.25f, 7.0f, -1.0f}));
+
+  const serve::Event& edge = decoded.events[1];
+  EXPECT_EQ(edge.kind, serve::Event::Kind::kEdge);
+  EXPECT_EQ(edge.src, 0);
+  EXPECT_EQ(edge.dst, 3);
+  EXPECT_EQ(edge.edge_time, 0.125);
+  EXPECT_EQ(edge.time, 2.0);
+
+  EXPECT_EQ(decoded.events[2].kind, serve::Event::Kind::kScore);
+  EXPECT_EQ(decoded.events[2].label, 1);
+  EXPECT_EQ(decoded.events[3].kind, serve::Event::Kind::kEnd);
+}
+
+TEST(ProtocolTest, ScoreAndScoreResultRoundTrip) {
+  Frame score;
+  score.type = FrameType::kScore;
+  score.request_id = 9;
+  score.session_id = 1234567890123ull;
+  score.label = 0;
+  Frame decoded = DecodeAll(Encode(score));
+  EXPECT_EQ(decoded.type, FrameType::kScore);
+  EXPECT_EQ(decoded.session_id, score.session_id);
+  EXPECT_EQ(decoded.label, 0);
+
+  Frame result;
+  result.type = FrameType::kScoreResult;
+  serve::ScoreResult ok;
+  ok.session_id = 42;
+  ok.logit = -0.75f;
+  ok.probability = 0.3208213f;
+  ok.edges_scored = 17;
+  ok.label = 1;
+  ok.queue_micros = 12.5;
+  ok.score_micros = 480.0;
+  serve::ScoreResult bad;
+  bad.session_id = 43;
+  bad.status = Status::NotFound("unknown session 43");
+  result.results = {ok, bad};
+
+  decoded = DecodeAll(Encode(result));
+  ASSERT_EQ(decoded.results.size(), 2u);
+  EXPECT_TRUE(decoded.results[0].status.ok());
+  EXPECT_EQ(decoded.results[0].session_id, 42u);
+  EXPECT_EQ(decoded.results[0].logit, -0.75f);
+  EXPECT_EQ(decoded.results[0].probability, 0.3208213f);
+  EXPECT_EQ(decoded.results[0].edges_scored, 17);
+  EXPECT_EQ(decoded.results[0].label, 1);
+  EXPECT_EQ(decoded.results[0].queue_micros, 12.5);
+  EXPECT_EQ(decoded.results[0].score_micros, 480.0);
+  EXPECT_EQ(decoded.results[1].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.results[1].status.message(), "unknown session 43");
+}
+
+TEST(ProtocolTest, ControlFramesRoundTrip) {
+  Frame ack;
+  ack.type = FrameType::kIngestAck;
+  ack.request_id = 3;
+  ack.status_code = StatusCode::kNotFound;
+  ack.events_applied = 5;
+  ack.text = "unknown session";
+  Frame decoded = DecodeAll(Encode(ack));
+  EXPECT_EQ(decoded.type, FrameType::kIngestAck);
+  EXPECT_EQ(decoded.status_code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded.events_applied, 5u);
+  EXPECT_EQ(decoded.text, "unknown session");
+
+  Frame overloaded;
+  overloaded.type = FrameType::kOverloaded;
+  overloaded.request_id = 4;
+  overloaded.events_applied = 2;
+  decoded = DecodeAll(Encode(overloaded));
+  EXPECT_EQ(decoded.type, FrameType::kOverloaded);
+  EXPECT_EQ(decoded.request_id, 4u);
+  EXPECT_EQ(decoded.events_applied, 2u);
+
+  Frame metrics;
+  metrics.type = FrameType::kMetricsResponse;
+  metrics.text = "{\"counters\": {}}";
+  decoded = DecodeAll(Encode(metrics));
+  EXPECT_EQ(decoded.type, FrameType::kMetricsResponse);
+  EXPECT_EQ(decoded.text, metrics.text);
+
+  for (FrameType type : {FrameType::kPong, FrameType::kMetricsRequest,
+                         FrameType::kShutdown, FrameType::kGoodbye,
+                         FrameType::kError}) {
+    Frame frame;
+    frame.type = type;
+    EXPECT_EQ(DecodeAll(Encode(frame)).type, type) << FrameTypeName(type);
+  }
+}
+
+TEST(ProtocolTest, EveryPrefixReportsNeedMore) {
+  Frame batch;
+  batch.type = FrameType::kIngestBatch;
+  batch.request_id = 1;
+  batch.events = {MakeBegin(), MakeEdge()};
+  const std::vector<uint8_t> wire = Encode(batch);
+
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Frame frame;
+    size_t consumed = 1;  // Poisoned; must be reset to 0.
+    Status status = DecodeFrame(wire.data(), len, kDefaultMaxPayloadBytes,
+                                &frame, &consumed);
+    EXPECT_TRUE(status.ok()) << "prefix " << len << ": " << status.ToString();
+    EXPECT_EQ(consumed, 0u) << "prefix " << len;
+  }
+}
+
+TEST(ProtocolTest, BackToBackFramesDecodeOneAtATime) {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 1;
+  Frame shutdown;
+  shutdown.type = FrameType::kShutdown;
+
+  std::vector<uint8_t> wire = Encode(ping);
+  const size_t first_size = wire.size();
+  EncodeFrame(shutdown, &wire);
+
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes,
+                          &frame, &consumed)
+                  .ok());
+  EXPECT_EQ(consumed, first_size);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+
+  ASSERT_TRUE(DecodeFrame(wire.data() + consumed, wire.size() - consumed,
+                          kDefaultMaxPayloadBytes, &frame, &consumed)
+                  .ok());
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+}
+
+TEST(ProtocolTest, BadMagicVersionReservedOrTypeIsDataLoss) {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 1;
+  const std::vector<uint8_t> good = Encode(ping);
+
+  auto expect_data_loss = [](std::vector<uint8_t> wire, const char* what) {
+    Frame frame;
+    size_t consumed = 0;
+    Status status = DecodeFrame(wire.data(), wire.size(),
+                                kDefaultMaxPayloadBytes, &frame, &consumed);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << what;
+  };
+
+  std::vector<uint8_t> wire = good;
+  wire[0] ^= 0xFF;  // Magic.
+  expect_data_loss(wire, "magic");
+
+  wire = good;
+  wire[4] = kProtocolVersion + 1;  // Version.
+  expect_data_loss(wire, "version");
+
+  wire = good;
+  wire[5] = 200;  // Unknown frame type.
+  expect_data_loss(wire, "type");
+
+  wire = good;
+  wire[6] = 1;  // Reserved bits must be zero.
+  expect_data_loss(wire, "reserved");
+}
+
+TEST(ProtocolTest, TrailingPayloadBytesAreDataLoss) {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 1;
+  std::vector<uint8_t> wire = Encode(ping);
+  // Grow the declared payload by one byte and append filler: the payload
+  // now over-runs the frame's actual content.
+  uint32_t payload_len;
+  std::memcpy(&payload_len, wire.data() + 8, sizeof(payload_len));
+  ++payload_len;
+  std::memcpy(wire.data() + 8, &payload_len, sizeof(payload_len));
+  wire.push_back(0x00);
+
+  Frame frame;
+  size_t consumed = 0;
+  Status status = DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes,
+                              &frame, &consumed);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(ProtocolTest, OversizedPayloadLengthIsInvalidArgumentFromHeaderAlone) {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 1;
+  std::vector<uint8_t> wire = Encode(ping);
+  const uint32_t huge = 1u << 20;
+  std::memcpy(wire.data() + 8, &huge, sizeof(huge));
+  wire.resize(kFrameHeaderBytes);  // Header only: no payload arrived yet.
+
+  Frame frame;
+  size_t consumed = 0;
+  Status status = DecodeFrame(wire.data(), wire.size(),
+                              /*max_payload_bytes=*/1024, &frame, &consumed);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tpgnn::net

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +91,58 @@ TEST(MetricsTest, SnapshotCarriesCountersAndSummarizes) {
   const std::string text = snap.ToString();
   EXPECT_NE(text.find("events=10"), std::string::npos) << text;
   EXPECT_NE(text.find("scores=3"), std::string::npos) << text;
+}
+
+// Minimal checks over the JSON the METRICS RPC ships: every counter lands
+// under "counters" with its exact value, histogram quantiles match the
+// snapshot's own estimates, and the structure is balanced.
+TEST(MetricsTest, ToJsonCarriesCountersAndQuantiles) {
+  Metrics metrics;
+  metrics.events_ingested.fetch_add(10);
+  metrics.sessions_begun.fetch_add(2);
+  metrics.scores_completed.fetch_add(3);
+  metrics.bytes_received.fetch_add(4096);
+  metrics.frames_sent.fetch_add(7);
+  metrics.connections_accepted.fetch_add(1);
+  metrics.protocol_errors.fetch_add(1);
+  for (int i = 0; i < 90; ++i) metrics.score_latency.Record(100.0);
+  for (int i = 0; i < 10; ++i) metrics.score_latency.Record(5000.0);
+
+  const MetricsSnapshot snap = metrics.Snapshot();
+  const std::string json = metrics.ToJson();
+  // Metrics::ToJson is exactly the snapshot's serialization.
+  EXPECT_EQ(json, snap.ToJson());
+
+  for (const char* expected :
+       {"\"counters\"", "\"events_ingested\": 10", "\"sessions_begun\": 2",
+        "\"scores_completed\": 3", "\"bytes_received\": 4096",
+        "\"frames_sent\": 7", "\"connections_accepted\": 1",
+        "\"protocol_errors\": 1", "\"latency_us\"", "\"score\"",
+        "\"count\": 100"}) {
+    EXPECT_NE(json.find(expected), std::string::npos) << expected << "\n"
+                                                      << json;
+  }
+  // The emitted quantiles are the snapshot's own estimates (formatted the
+  // same way ToJson streams them).
+  std::ostringstream quantiles;
+  quantiles << "\"p50\": " << snap.score_latency.PercentileMicros(0.5);
+  EXPECT_NE(json.find(quantiles.str()), std::string::npos)
+      << quantiles.str() << "\n" << json;
+  quantiles.str("");
+  quantiles << "\"p99\": " << snap.score_latency.PercentileMicros(0.99);
+  EXPECT_NE(json.find(quantiles.str()), std::string::npos)
+      << quantiles.str() << "\n" << json;
+
+  // Structurally sound: balanced braces, no trailing text.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
 }
 
 }  // namespace

@@ -49,6 +49,20 @@ TEST(StatusTest, Overloaded) {
   EXPECT_EQ(s.ToString(), "OVERLOADED: queue full");
 }
 
+TEST(StatusTest, DeadlineExceeded) {
+  Status s = Status::DeadlineExceeded("io timeout after 50 ms");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DEADLINE_EXCEEDED: io timeout after 50 ms");
+}
+
+TEST(StatusTest, DataLoss) {
+  Status s = Status::DataLoss("bad frame magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: bad frame magic");
+}
+
 TEST(StatusTest, StreamOperator) {
   std::ostringstream os;
   os << Status::InvalidArgument("x");
