@@ -24,15 +24,21 @@
 //        --batch=N            events per INGEST_BATCH frame (default 64)
 //        --json=PATH          output (default BENCH_net.json)
 //        --shutdown=0|1       send SHUTDOWN when done (default 0)
-// Exits nonzero when no session was scored (CI smoke contract).
+//        --parity_sample=N    sessions re-replayed for parity (default 5)
+// Exits nonzero when no session was scored, when the parity sample check
+// could not run, when any re-replayed score differs bitwise from the load
+// phase, or when the server reported protocol errors (CI smoke contract).
 
 #include <atomic>
 #include <cstdio>
 #include <deque>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "data/datasets.h"
@@ -65,6 +71,11 @@ int64_t FlagInt(int argc, char** argv, const std::string& name,
   return value.empty() ? default_value : std::stoll(value);
 }
 
+// (session_id, edges_scored) -> logit from the load phase; scoring is a
+// pure function of the session's event prefix, so a re-replay of the same
+// session must reproduce these bits exactly.
+using ScoreTable = std::map<std::pair<uint64_t, int64_t>, float>;
+
 struct SharedStats {
   serve::LatencyHistogram ingest_latency;  // Batch send -> ack, µs.
   serve::LatencyHistogram score_latency;   // Batch send -> result, µs.
@@ -74,6 +85,8 @@ struct SharedStats {
   std::atomic<uint64_t> scores_ok{0};
   std::atomic<uint64_t> scores_failed{0};
   std::atomic<uint64_t> errors{0};
+  std::mutex mu;
+  ScoreTable scores;  // Guarded by mu.
 };
 
 size_t CountScores(const std::vector<serve::Event>& events, size_t limit) {
@@ -108,6 +121,8 @@ void RunConnection(const net::ClientOptions& options,
       }
       if (result.status.ok()) {
         stats->scores_ok.fetch_add(1);
+        std::lock_guard<std::mutex> lock(stats->mu);
+        stats->scores[{result.session_id, result.edges_scored}] = result.logit;
       } else {
         stats->scores_failed.fetch_add(1);
       }
@@ -167,6 +182,112 @@ void RunConnection(const net::ClientOptions& options,
   collect();
 }
 
+// Parity sample check: re-replays up to `sample` sessions that produced OK
+// scores during the load phase and demands bit-identical logits the second
+// time around (scoring is a pure function of the session's event prefix).
+// Returns false when the check could not run at all — the caller must treat
+// that as a failure, not a pass.
+bool ReplaySessionsForParity(const net::ClientOptions& options,
+                             const std::vector<serve::Event>& all_events,
+                             const ScoreTable& reference, size_t sample,
+                             size_t* sessions_checked, size_t* scores_compared,
+                             size_t* mismatches) {
+  *sessions_checked = 0;
+  *scores_compared = 0;
+  *mismatches = 0;
+  std::vector<uint64_t> picked;  // The table is sorted by session id.
+  for (const auto& [key, logit] : reference) {
+    (void)logit;
+    if (picked.empty() || picked.back() != key.first) {
+      picked.push_back(key.first);
+      if (picked.size() >= sample) {
+        break;
+      }
+    }
+  }
+  if (picked.empty()) {
+    return false;
+  }
+  net::Client client(options);
+  if (tpgnn::Status s = client.Connect(); !s.ok()) {
+    std::fprintf(stderr, "parity connect failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  for (uint64_t session_id : picked) {
+    std::vector<serve::Event> events;
+    for (const serve::Event& event : all_events) {
+      if (event.session_id == session_id) {
+        events.push_back(event);
+      }
+    }
+    size_t pos = 0;
+    int stalls = 0;
+    while (pos < events.size()) {
+      const std::vector<serve::Event> slice(
+          events.begin() + static_cast<ptrdiff_t>(pos), events.end());
+      uint64_t applied = 0;
+      tpgnn::Status st = client.IngestBatch(slice, &applied);
+      pos += static_cast<size_t>(applied);
+      if (st.ok()) {
+        stalls = 0;
+        continue;
+      }
+      if (st.code() != tpgnn::StatusCode::kOverloaded || ++stalls > 200) {
+        std::fprintf(stderr, "parity replay failed: %s\n",
+                     st.ToString().c_str());
+        return false;
+      }
+      if (tpgnn::Status d = client.DrainResults(); !d.ok()) {
+        return false;
+      }
+    }
+    ++*sessions_checked;
+  }
+  if (tpgnn::Status s = client.DrainResults(); !s.ok()) {
+    std::fprintf(stderr, "parity drain failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  for (const serve::ScoreResult& result : client.TakeResults()) {
+    ++*scores_compared;
+    if (!result.status.ok()) {
+      ++*mismatches;
+      continue;
+    }
+    auto it = reference.find({result.session_id, result.edges_scored});
+    if (it == reference.end() || it->second != result.logit) {
+      ++*mismatches;
+    }
+  }
+  return *scores_compared > 0;
+}
+
+// Pulls `"name": <integer>` out of the server's metrics JSON. Returns false
+// when the field is absent (e.g. the METRICS RPC failed).
+bool ExtractJsonInt(const std::string& json, const std::string& name,
+                    uint64_t* value) {
+  const std::string needle = "\"" + name + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  size_t pos = at + needle.size();
+  while (pos < json.size() && json[pos] == ' ') {
+    ++pos;
+  }
+  uint64_t parsed = 0;
+  bool any = false;
+  while (pos < json.size() && json[pos] >= '0' && json[pos] <= '9') {
+    parsed = parsed * 10 + static_cast<uint64_t>(json[pos] - '0');
+    any = true;
+    ++pos;
+  }
+  if (!any) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +300,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       FlagValue(argc, argv, "json", "BENCH_net.json");
   const bool shutdown_server = FlagInt(argc, argv, "shutdown", 0) != 0;
+  const int64_t parity_sample = FlagInt(argc, argv, "parity_sample", 5);
   if (port <= 0) {
     std::fprintf(stderr, "usage: bench_net --port=N [--host=A] ...\n");
     return 2;
@@ -223,6 +345,21 @@ int main(int argc, char** argv) {
     worker.join();
   }
   const double wall_seconds = clock.ElapsedSeconds();
+
+  // Parity sample: a handful of sessions re-scored on a fresh connection
+  // must reproduce the load phase's logits bit-for-bit. Skipping this check
+  // (no OK scores, connect failure) is itself a failure — a smoke run that
+  // never validated a score proves nothing.
+  size_t parity_sessions = 0;
+  size_t parity_scores = 0;
+  size_t parity_mismatches = 0;
+  bool parity_ran = true;
+  if (parity_sample > 0) {
+    parity_ran = ReplaySessionsForParity(
+        client_options, replayer.events(), stats.scores,
+        static_cast<size_t>(parity_sample), &parity_sessions, &parity_scores,
+        &parity_mismatches);
+  }
 
   // Server-side view over the METRICS RPC (and optionally a shutdown).
   std::string server_metrics = "{}";
@@ -275,6 +412,9 @@ int main(int argc, char** argv) {
       << ", \"score_p99_us\": " << score.PercentileMicros(0.99)
       << ", \"overloads\": " << overloads
       << ", \"overload_rate\": " << overload_rate
+      << ", \"parity_sessions\": " << parity_sessions
+      << ", \"parity_scores\": " << parity_scores
+      << ", \"parity_mismatches\": " << parity_mismatches
       << ", \"server_metrics\": " << server_metrics << "}";
 
   std::ofstream file(json_path, std::ios::trunc);
@@ -292,6 +432,35 @@ int main(int argc, char** argv) {
   }
   if (scores_ok == 0) {
     std::fprintf(stderr, "smoke check failed: no session was scored\n");
+    return 1;
+  }
+  if (parity_sample > 0) {
+    if (!parity_ran) {
+      std::fprintf(stderr,
+                   "smoke check failed: parity sample check was skipped\n");
+      return 1;
+    }
+    if (parity_mismatches > 0) {
+      std::fprintf(stderr,
+                   "smoke check failed: %zu parity mismatches over %zu "
+                   "re-replayed scores\n",
+                   parity_mismatches, parity_scores);
+      return 1;
+    }
+    std::printf("parity sample: %zu sessions, %zu scores bit-identical\n",
+                parity_sessions, parity_scores);
+  }
+  uint64_t protocol_errors = 0;
+  if (!ExtractJsonInt(server_metrics, "protocol_errors", &protocol_errors)) {
+    std::fprintf(stderr,
+                 "smoke check failed: METRICS RPC reported no "
+                 "protocol_errors field\n");
+    return 1;
+  }
+  if (protocol_errors > 0) {
+    std::fprintf(stderr,
+                 "smoke check failed: server saw %llu protocol errors\n",
+                 static_cast<unsigned long long>(protocol_errors));
     return 1;
   }
   return 0;

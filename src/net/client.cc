@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace tpgnn::net {
@@ -39,6 +40,19 @@ Status Client::Connect() {
     if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.retry_backoff_ms));
+    }
+    // Injected connect failure: this attempt fails before touching the
+    // network, and the surrounding retry loop carries on — with max_fires
+    // below connect_retries, Connect still succeeds after injected flaps.
+    failpoint::Hit hit;
+    if (TPGNN_FAILPOINT("client.connect", &hit)) {
+      if (hit.kind == failpoint::Kind::kDelay) {
+        failpoint::ApplyDelay(hit);
+      } else {
+        last = failpoint::InjectedError(StatusCode::kInternal,
+                                        "client.connect");
+        continue;
+      }
     }
     UniqueFd fd;
     last = ConnectTcp(options_.host, options_.port,
@@ -78,6 +92,13 @@ Status Client::SendFrame(const Frame& frame) {
   }
   std::vector<uint8_t> wire;
   EncodeFrame(frame, &wire);
+  // Injected wire corruption toward the server (header bytes only, so the
+  // server always answers with a typed ERROR frame — protocol_errors then
+  // counts injected fires exactly).
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("client.corrupt_frame", &hit)) {
+    failpoint::CorruptFrameHeader(hit, wire.data(), wire.size());
+  }
   Status s = SendAll(fd_.get(), wire.data(), wire.size(),
                      options_.io_timeout_ms);
   if (s.code() == StatusCode::kDataLoss && options_.reconnect_on_broken_pipe) {
@@ -141,7 +162,9 @@ Status Client::ReadUntil(FrameType type, Frame* frame,
       return s;
     }
     if (frame->type == FrameType::kScoreResult) {
-      inflight_scores_ -= std::min(inflight_scores_, frame->results.size());
+      // May dip below zero when results outrun their batch's ack; the ack's
+      // events_applied credit restores the balance (see the field comment).
+      inflight_scores_ -= static_cast<int64_t>(frame->results.size());
       results_.insert(results_.end(), frame->results.begin(),
                       frame->results.end());
       if (type == FrameType::kScoreResult) {
@@ -233,7 +256,8 @@ Status Client::IngestBatch(const std::vector<serve::Event>& events,
   if (events_applied != nullptr) {
     *events_applied = applied;
   }
-  inflight_scores_ += CountScores(events, static_cast<size_t>(applied));
+  inflight_scores_ +=
+      static_cast<int64_t>(CountScores(events, static_cast<size_t>(applied)));
   if (response.type == FrameType::kOverloaded) {
     return Status::Overloaded(response.text.empty() ? "server overloaded"
                                                     : response.text);

@@ -89,7 +89,9 @@ class Client {
 
   // Moves all collected score results out, in arrival (= request) order.
   std::vector<serve::ScoreResult> TakeResults();
-  size_t inflight_scores() const { return inflight_scores_; }
+  size_t inflight_scores() const {
+    return inflight_scores_ > 0 ? static_cast<size_t>(inflight_scores_) : 0;
+  }
 
   // Fetches the server's metrics snapshot as JSON (the METRICS RPC).
   Status GetMetricsJson(std::string* json);
@@ -120,7 +122,13 @@ class Client {
   UniqueFd fd_;
   std::vector<uint8_t> in_;  // Unparsed received bytes.
   uint64_t next_request_id_ = 1;
-  size_t inflight_scores_ = 0;
+  // Outstanding pipelined scores. Signed, and transiently negative on
+  // purpose: the server may pump the engine mid-batch, so SCORE_RESULTs for
+  // a batch's scores can arrive *before* the ack that tells the client how
+  // many of them were accepted. The balance settles once the ack lands;
+  // clamping the dip at zero instead would leak phantom in-flight scores
+  // and wedge DrainResults (found by tests/net/chaos_test.cc).
+  int64_t inflight_scores_ = 0;
   std::vector<serve::ScoreResult> results_;
 };
 

@@ -6,6 +6,7 @@
 
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace tpgnn::net {
@@ -261,6 +262,13 @@ void Server::HandleWritable(Connection& conn) {
 }
 
 void Server::HandleFrame(Connection& conn, const Frame& frame) {
+  // Injected dispatch stall: stretches the window between decode and reply so
+  // client timeouts / interleaving races get exercised. Delay-only by design;
+  // errors are injected at the protocol edges, not mid-dispatch.
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("server.dispatch", &hit)) {
+    failpoint::ApplyDelay(hit);
+  }
   switch (frame.type) {
     case FrameType::kPing: {
       Frame pong;
@@ -436,7 +444,16 @@ void Server::SendFrame(Connection& conn, const Frame& frame) {
   if (conn.dead) {
     return;
   }
+  const size_t start = conn.out.size();
   EncodeFrame(frame, &conn.out);
+  // Injected wire corruption: flips a header byte of the frame just encoded
+  // (magic/version/reserved only, so the peer always sees a typed kDataLoss
+  // rather than an aliased frame or a length stall).
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("server.corrupt_frame", &hit)) {
+    failpoint::CorruptFrameHeader(hit, conn.out.data() + start,
+                                  conn.out.size() - start);
+  }
   engine_->mutable_metrics().frames_sent.fetch_add(1,
                                                    std::memory_order_relaxed);
 }

@@ -2,7 +2,10 @@
 
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <vector>
+
+#include "util/failpoint.h"
 
 namespace tpgnn::nn {
 
@@ -54,6 +57,42 @@ Status ReadHeader(std::istream& is, const std::string& path,
   return Status::Ok();
 }
 
+// Slurps the snapshot into memory so the "checkpoint.read" failpoint can
+// model media-level faults (torn tails, flipped bits) on the exact bytes
+// the parser will see, independent of stream buffering.
+Status ReadSnapshotBytes(const std::string& path, std::string* bytes) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!is) {
+    return Status::DataLoss("read failed: " + path);
+  }
+  *bytes = buffer.str();
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("checkpoint.read", &hit)) {
+    switch (hit.kind) {
+      case failpoint::Kind::kReturnError:
+        return failpoint::InjectedError(StatusCode::kDataLoss,
+                                        "checkpoint.read");
+      case failpoint::Kind::kShortIo:  // Torn read: only a prefix arrives.
+        bytes->resize(failpoint::ShortIoBudget(hit, bytes->size()));
+        break;
+      case failpoint::Kind::kCorruptByte:  // One bit of the media flips.
+        failpoint::CorruptByte(hit,
+                               reinterpret_cast<uint8_t*>(bytes->data()),
+                               bytes->size());
+        break;
+      default:
+        failpoint::ApplyDelay(hit);
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
@@ -68,10 +107,10 @@ Status SaveParameters(const Module& module, const std::string& path,
       return Status::InvalidArgument("invalid metadata entry: '" + key + "'");
     }
   }
-  std::ofstream os(path);
-  if (!os) {
-    return Status::NotFound("cannot open for writing: " + path);
-  }
+  // Serialize fully in memory, then write in one pass: the intermediate
+  // buffer is what lets the "checkpoint.write" failpoint model a torn write
+  // (a crash mid-flush leaves a well-formed prefix on disk).
+  std::ostringstream os;
   const int version = metadata.empty() ? kVersionNoMeta : kVersionMeta;
   os << kMagic << " " << version << "\n";
   if (!metadata.empty()) {
@@ -90,8 +129,36 @@ Status SaveParameters(const Module& module, const std::string& path,
     }
     os << "\n";
   }
-  if (!os) {
+  std::string bytes = os.str();
+
+  failpoint::Hit hit;
+  bool torn = false;
+  if (TPGNN_FAILPOINT("checkpoint.write", &hit)) {
+    switch (hit.kind) {
+      case failpoint::Kind::kReturnError:  // Disk gone before any byte lands.
+        return failpoint::InjectedError(StatusCode::kInternal,
+                                        "checkpoint.write");
+      case failpoint::Kind::kShortIo:  // Crash mid-flush: prefix lands, then
+                                       // the writer dies with an error.
+        bytes.resize(failpoint::ShortIoBudget(hit, bytes.size()));
+        torn = true;
+        break;
+      default:
+        failpoint::ApplyDelay(hit);
+        break;
+    }
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) {
     return Status::Internal("write failed: " + path);
+  }
+  if (torn) {
+    return failpoint::InjectedError(StatusCode::kInternal, "checkpoint.write");
   }
   return Status::Ok();
 }
@@ -105,10 +172,11 @@ Status LoadParameters(Module& module, const std::string& path,
   if (metadata != nullptr) {
     metadata->clear();
   }
-  std::ifstream is(path);
-  if (!is) {
-    return Status::NotFound("cannot open: " + path);
+  std::string bytes;
+  if (Status s = ReadSnapshotBytes(path, &bytes); !s.ok()) {
+    return s;
   }
+  std::istringstream is(bytes);
   if (Status header = ReadHeader(is, path, metadata); !header.ok()) {
     return header;
   }
@@ -160,10 +228,11 @@ Status ReadCheckpointMetadata(const std::string& path,
   if (metadata != nullptr) {
     metadata->clear();
   }
-  std::ifstream is(path);
-  if (!is) {
-    return Status::NotFound("cannot open: " + path);
+  std::string bytes;
+  if (Status s = ReadSnapshotBytes(path, &bytes); !s.ok()) {
+    return s;
   }
+  std::istringstream is(bytes);
   return ReadHeader(is, path, metadata);
 }
 

@@ -1,6 +1,7 @@
 #include "serve/inference_engine.h"
 
 #include "nn/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,20 @@ Status InferenceEngine::Ingest(const Event& event) {
       status = router_.ShardFor(event.session_id).EndSession(event.session_id);
       break;
     case Event::Kind::kScore: {
+      // Injected engine overload: indistinguishable from a genuinely full
+      // score queue, so callers exercise their real shed-and-retry path and
+      // overload_rejections accounts for every injected fire.
+      failpoint::Hit hit;
+      if (TPGNN_FAILPOINT("engine.score_enqueue", &hit)) {
+        if (hit.kind == failpoint::Kind::kDelay) {
+          failpoint::ApplyDelay(hit);
+        } else {
+          metrics_.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+          metrics_.ingest_latency.Record(watch.ElapsedMicros());
+          return failpoint::InjectedError(StatusCode::kOverloaded,
+                                          "engine.score_enqueue");
+        }
+      }
       SessionShard& shard = router_.ShardFor(event.session_id);
       {
         std::lock_guard<std::mutex> lock(queue_mu_);

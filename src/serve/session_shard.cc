@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/temporal_propagation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -67,6 +68,21 @@ Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
     if (static_cast<int64_t>(f.features.size()) != feature_dim) {
       return Status::InvalidArgument("feature width mismatch for node " +
                                      std::to_string(f.node));
+    }
+  }
+
+  // Injected admission failure: fires after validation so only well-formed
+  // sessions are rejected, and surfaces as the same kOverloaded the resident
+  // cap produces — callers cannot tell it from genuine pressure.
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("shard.begin", &hit)) {
+    if (hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(hit);
+    } else {
+      if (metrics_ != nullptr) {
+        metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+      }
+      return failpoint::InjectedError(StatusCode::kOverloaded, "shard.begin");
     }
   }
 
@@ -226,6 +242,19 @@ const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
 Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
   TPGNN_CHECK(result != nullptr);
   result->session_id = session_id;
+  // Injected scoring failure/delay. The delay runs BEFORE taking mu_, so a
+  // pinned session sits exposed while eviction sweeps race against it —
+  // exactly the window the pin protocol must protect.
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("shard.score", &hit)) {
+    if (hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(hit);
+    } else {
+      result->status =
+          failpoint::InjectedError(StatusCode::kInternal, "shard.score");
+      return result->status;
+    }
+  }
   Stopwatch watch;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/env.h"
+#include "util/failpoint.h"
 
 namespace tpgnn::util {
 
@@ -122,8 +123,17 @@ std::vector<float> AcquireBuffer(size_t n) {
   }
   std::vector<float> buffer;
   const size_t bucket = BucketForRequest(n);
+  // Injected allocation pressure: the pooled path "fails" and the acquire
+  // falls back to a plain, exact-size allocation — the caller-visible
+  // contract (a zero-filled vector of size n) is unaffected.
+  failpoint::Hit hit;
+  const bool injected_alloc_fail =
+      TPGNN_FAILPOINT("pool.acquire", &hit) &&
+      hit.kind == failpoint::Kind::kAllocFail;
   ThreadCache* cache =
-      (BufferPoolEnabled() && bucket < kNumBuckets) ? Cache() : nullptr;
+      (!injected_alloc_fail && BufferPoolEnabled() && bucket < kNumBuckets)
+          ? Cache()
+          : nullptr;
   if (cache != nullptr && !cache->buckets[bucket].empty()) {
     buffer = std::move(cache->buckets[bucket].back());
     cache->buckets[bucket].pop_back();
@@ -135,7 +145,7 @@ std::vector<float> AcquireBuffer(size_t n) {
     buffer.assign(n, 0.0f);
   } else {
     c.pool_misses.fetch_add(1, std::memory_order_relaxed);
-    if (bucket < kNumBuckets) {
+    if (!injected_alloc_fail && bucket < kNumBuckets) {
       buffer.reserve(size_t{1} << bucket);  // Full bucket size for reuse.
     }
     buffer.assign(n, 0.0f);

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace tpgnn {
@@ -48,6 +49,16 @@ int RemainingMs(const Stopwatch& watch, int timeout_ms) {
 }
 
 Status WaitFor(int fd, short events, int timeout_ms, const char* what) {
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("net.poll", &hit)) {
+    // return_error surfaces as the timeout outcome every caller handles;
+    // delay models a stalled poll that still succeeds.
+    if (hit.kind == failpoint::Kind::kReturnError) {
+      return failpoint::InjectedError(StatusCode::kDeadlineExceeded,
+                                      "net.poll");
+    }
+    failpoint::ApplyDelay(hit);
+  }
   pollfd pfd{fd, events, 0};
   for (;;) {
     const int rc = poll(&pfd, 1, timeout_ms);
@@ -107,6 +118,13 @@ Status ListenTcp(const std::string& host, int port, int backlog, UniqueFd* fd,
 }
 
 Status AcceptTcp(int listen_fd, UniqueFd* fd) {
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("net.accept", &hit)) {
+    if (hit.kind == failpoint::Kind::kReturnError) {
+      return failpoint::InjectedError(StatusCode::kInternal, "net.accept");
+    }
+    failpoint::ApplyDelay(hit);
+  }
   for (;;) {
     const int conn = accept(listen_fd, nullptr, nullptr);
     if (conn >= 0) {
@@ -199,6 +217,24 @@ Status RecvNonBlocking(int fd, uint8_t* buf, size_t cap, size_t* received,
                        bool* eof) {
   *received = 0;
   *eof = false;
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("net.recv", &hit)) {
+    switch (hit.kind) {
+      case failpoint::Kind::kReturnError:  // Simulated ECONNRESET.
+        return failpoint::InjectedError(StatusCode::kDataLoss, "net.recv");
+      case failpoint::Kind::kShortIo:
+        // Budget 0 simulates EAGAIN: the caller defers to the next poll
+        // iteration with a partial buffer (mid-frame truncation).
+        cap = failpoint::ShortIoBudget(hit, cap);
+        if (cap == 0) {
+          return Status::Ok();
+        }
+        break;
+      default:
+        failpoint::ApplyDelay(hit);
+        break;
+    }
+  }
   for (;;) {
     const ssize_t n = recv(fd, buf, cap, 0);
     if (n > 0) {
@@ -226,6 +262,23 @@ Status RecvNonBlocking(int fd, uint8_t* buf, size_t cap, size_t* received,
 Status SendNonBlocking(int fd, const uint8_t* data, size_t size,
                        size_t* sent) {
   *sent = 0;
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("net.send", &hit)) {
+    switch (hit.kind) {
+      case failpoint::Kind::kReturnError:  // Simulated EPIPE/ECONNRESET.
+        return failpoint::InjectedError(StatusCode::kDataLoss, "net.send");
+      case failpoint::Kind::kShortIo:
+        // Budget 0 simulates a full kernel buffer; POLLOUT retries.
+        size = failpoint::ShortIoBudget(hit, size);
+        if (size == 0) {
+          return Status::Ok();
+        }
+        break;
+      default:
+        failpoint::ApplyDelay(hit);
+        break;
+    }
+  }
   for (;;) {
     const ssize_t n = send(fd, data, size, MSG_NOSIGNAL);
     if (n >= 0) {
@@ -250,7 +303,23 @@ Status SendAll(int fd, const uint8_t* data, size_t size, int timeout_ms) {
   Stopwatch watch;
   size_t done = 0;
   while (done < size) {
-    const ssize_t n = send(fd, data + done, size - done, MSG_NOSIGNAL);
+    size_t chunk = size - done;
+    failpoint::Hit hit;
+    if (TPGNN_FAILPOINT("net.send_all", &hit)) {
+      switch (hit.kind) {
+        case failpoint::Kind::kReturnError:
+          return failpoint::InjectedError(StatusCode::kDataLoss,
+                                          "net.send_all");
+        case failpoint::Kind::kShortIo:
+          // Blocking path: always at least one byte, so progress holds.
+          chunk = failpoint::ShortIoBudget(hit, chunk, /*min_bytes=*/1);
+          break;
+        default:
+          failpoint::ApplyDelay(hit);
+          break;
+      }
+    }
+    const ssize_t n = send(fd, data + done, chunk, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<size_t>(n);
       continue;
@@ -279,6 +348,21 @@ Status RecvSome(int fd, uint8_t* buf, size_t cap, int timeout_ms,
                 size_t* received) {
   Stopwatch watch;
   *received = 0;
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("net.recv_some", &hit)) {
+    switch (hit.kind) {
+      case failpoint::Kind::kReturnError:
+        return failpoint::InjectedError(StatusCode::kDataLoss,
+                                        "net.recv_some");
+      case failpoint::Kind::kShortIo:
+        // Blocking path: deliver at least one byte when data arrives.
+        cap = failpoint::ShortIoBudget(hit, cap, /*min_bytes=*/1);
+        break;
+      default:
+        failpoint::ApplyDelay(hit);
+        break;
+    }
+  }
   for (;;) {
     const ssize_t n = recv(fd, buf, cap, MSG_DONTWAIT);
     if (n > 0) {
