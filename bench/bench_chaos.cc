@@ -10,7 +10,12 @@
 //   * every failed result carries the injected-fault marker;
 //   * serve::Metrics error counters equal the injected fire counts exactly
 //     (queues run uncapped so no genuine backpressure can contaminate the
-//     accounting).
+//     accounting);
+//   * state_refolds equals the shard.rescale forced-fallback fires times
+//     the number of folded state components, and state_rescales equals a
+//     replay of each session's successful-score sequence (the model runs
+//     TimeBasis::kInvariant, so refolds happen only when injected and every
+//     absorbed max move is a rescale).
 //
 // Flags: --seed=N        first failpoint seed (default 101)
 //        --seeds=N       number of consecutive seeds to run (default 3)
@@ -19,6 +24,7 @@
 //        --faults=SPEC   TPGNN_FAILPOINTS-syntax override of the default mix
 //        --json=PATH     output (default BENCH_chaos.json)
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -56,7 +62,7 @@ constexpr char kDefaultFaults[] =
     "net.send_all=0.1:short_io:9,net.recv_some=0.1:short_io:11,"
     "server.dispatch=0.02:delay:200,pool.acquire=0.2:alloc_fail,"
     "engine.score_enqueue=0.05:return_error,shard.begin=0.1:return_error,"
-    "shard.score=0.05:return_error";
+    "shard.score=0.05:return_error,shard.rescale=0.1:return_error";
 
 std::string FlagValue(int argc, char** argv, const std::string& name,
                       const std::string& default_value) {
@@ -81,8 +87,18 @@ core::TpGnnConfig SmallConfig() {
   config.embed_dim = 8;
   config.time_dim = 4;
   config.hidden_dim = 8;
+  // Serving formulation: replayed streams are chronological per session, so
+  // every state_refold must come from the shard.rescale forced fallback and
+  // every max-time move a score absorbs must count as a state_rescale —
+  // which is what makes both counters exactly attributable below.
+  config.time_basis = core::TimeBasis::kInvariant;
   return config;
 }
+
+// SmallConfig folds two state components per session (the SUM node state x
+// and the time accumulator m), so one forced-fallback fire discards and
+// replays exactly two folds.
+constexpr uint64_t kFoldedComponents = 2;
 
 constexpr uint64_t kModelSeed = 5;
 
@@ -93,6 +109,31 @@ struct PrefixScore {
 
 // (session_id, edges ingested at scoring time) -> fault-free score.
 using PrefixTable = std::map<std::pair<uint64_t, int64_t>, PrefixScore>;
+
+// (session_id, edges ingested) -> max edge timestamp over that prefix.
+// Drives the state_rescales simulation: a successful score rescales exactly
+// when the previous successful score of its session finalized a nonempty
+// fold at a different max time.
+using PrefixMaxTable = std::map<std::pair<uint64_t, int64_t>, double>;
+
+PrefixMaxTable BuildPrefixMax(const std::vector<serve::Event>& events) {
+  PrefixMaxTable table;
+  std::map<uint64_t, int64_t> edges_seen;
+  std::map<uint64_t, double> running_max;
+  for (const serve::Event& event : events) {
+    if (event.kind == serve::Event::Kind::kBegin) {
+      table[{event.session_id, 0}] = 0.0;
+    } else if (event.kind == serve::Event::Kind::kEdge) {
+      const int64_t count = ++edges_seen[event.session_id];
+      double& mx = running_max[event.session_id];
+      if (event.edge_time > mx) {
+        mx = event.edge_time;
+      }
+      table[{event.session_id, count}] = mx;
+    }
+  }
+  return table;
+}
 
 // Fault-free ground truth, built through the in-process engine with no
 // failpoints armed: score every session after every edge so any networked
@@ -159,7 +200,8 @@ struct SeedOutcome {
 // violations; an empty list means the run passed.
 SeedOutcome RunChaosSeed(uint64_t seed, const std::string& faults,
                          const std::vector<serve::Event>& events,
-                         size_t num_score_requests, const PrefixTable& table) {
+                         size_t num_score_requests, const PrefixTable& table,
+                         const PrefixMaxTable& prefix_max) {
   SeedOutcome outcome;
   outcome.seed = seed;
   auto violation = [&outcome](std::string text) {
@@ -264,6 +306,48 @@ SeedOutcome RunChaosSeed(uint64_t seed, const std::string& faults,
               std::to_string(failpoint::FireCount("client.corrupt_frame")));
   }
 
+  // Refold/rescale attribution. The invariant-basis model never refolds a
+  // chronological stream on its own, so every refold is kFoldedComponents
+  // discarded folds per shard.rescale fire. Rescales are deterministic in
+  // which scores succeeded: replay each session's successful scores in
+  // prefix order and count the absorbed max-time moves.
+  const uint64_t expected_refolds =
+      kFoldedComponents * failpoint::FireCount("shard.rescale");
+  if (metrics.state_refolds.load() != expected_refolds) {
+    violation("state_refolds " + std::to_string(metrics.state_refolds.load()) +
+              " != " + std::to_string(kFoldedComponents) + " x " +
+              std::to_string(failpoint::FireCount("shard.rescale")) +
+              " injected shard.rescale fires");
+  }
+  std::map<uint64_t, std::vector<int64_t>> ok_prefixes;
+  for (const serve::ScoreResult& result : results) {
+    if (result.status.ok()) {
+      ok_prefixes[result.session_id].push_back(result.edges_scored);
+    }
+  }
+  uint64_t expected_rescales = 0;
+  for (auto& [session_id, prefixes] : ok_prefixes) {
+    std::sort(prefixes.begin(), prefixes.end());
+    int64_t finalized_edges = 0;
+    double finalized_max = 0.0;
+    for (const int64_t edges : prefixes) {
+      const auto it = prefix_max.find({session_id, edges});
+      if (it == prefix_max.end()) {
+        continue;  // Unknown prefix: already reported against the table.
+      }
+      if (finalized_edges > 0 && finalized_max != it->second) {
+        ++expected_rescales;
+      }
+      finalized_edges = edges;
+      finalized_max = it->second;
+    }
+  }
+  if (metrics.state_rescales.load() != expected_rescales) {
+    violation("state_rescales " +
+              std::to_string(metrics.state_rescales.load()) +
+              " != simulated " + std::to_string(expected_rescales));
+  }
+
   server.RequestShutdown();
   server_thread.join();
   failpoint::ResetCounters();
@@ -296,6 +380,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to build fault-free reference\n");
     return 1;
   }
+  const PrefixMaxTable prefix_max = BuildPrefixMax(replayer.events());
   std::printf("chaos: %zu sessions, %zu events, %zu score requests, "
               "faults=%s\n",
               replayer.num_sessions(), replayer.events().size(),
@@ -306,7 +391,8 @@ int main(int argc, char** argv) {
   for (int64_t i = 0; i < num_seeds; ++i) {
     SeedOutcome outcome =
         RunChaosSeed(first_seed + static_cast<uint64_t>(i), faults,
-                     replayer.events(), replayer.num_score_requests(), table);
+                     replayer.events(), replayer.num_score_requests(), table,
+                     prefix_max);
     std::printf("  seed %llu: %llu fires, %llu ok / %llu failed scores, "
                 "%.3fs — %s\n",
                 static_cast<unsigned long long>(outcome.seed),

@@ -1,14 +1,30 @@
 // Serving benchmark: drive the InferenceEngine flat-out with a replayed
 // event stream and record sustained throughput plus latency percentiles.
 //
-// Runs the stream twice per updater (SUM and GRU): a warm-up pass and a
-// measured pass. Prints a human-readable table and writes a
-// machine-readable record to BENCH_serve.json (TPGNN_BENCH_SERVE_JSON).
+// Headline runs use TimeBasis::kInvariant (the serving formulation: no
+// refolds on monotone streams); the *_refold companions run the absolute
+// basis so the cost the invariant basis removes stays visible. A
+// long-session sweep (Variant::kTime2Vec, so the extractor stage is O(1)
+// and the fold dominates) shows per-score cost flat in session length for
+// the invariant basis against the absolute basis' linear growth.
+//
+// Runs the stream twice per configuration (warm-up + measured). Prints a
+// human-readable table and writes a machine-readable record to
+// BENCH_serve.json (TPGNN_BENCH_SERVE_JSON).
 //
 // Scale knobs: TPGNN_SERVE_SESSIONS (default 200), TPGNN_SERVE_SHARDS
-// (default 4), TPGNN_SERVE_SCORE_EVERY (default 8 edges).
+// (default 4), TPGNN_SERVE_SCORE_EVERY (default 8 edges),
+// TPGNN_SERVE_SWEEP_MAX (default 10000; caps the sweep's session length).
+//
+// Flags: --max_refolds=N (default 0) — the bench exits nonzero when an
+// invariant-basis run reports more than N state_refolds. Monotone replay
+// has no out-of-order edges, so any refold is a regression of the O(1)
+// contract. Absolute-basis *_refold runs are exempt (refolding is their
+// point).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -33,6 +49,7 @@ struct ServeMeasurement {
   size_t events = 0;
   size_t scores = 0;
   double wall_seconds = 0.0;
+  bool refold_gated = false;  // Invariant-basis run: the gate applies.
   serve::MetricsSnapshot metrics;
 
   double events_per_second() const {
@@ -43,13 +60,18 @@ struct ServeMeasurement {
   }
 };
 
-// Replays the full stream through a fresh engine, returning wall time and
+// Replays an event stream through a fresh engine, returning wall time and
 // the engine's metrics snapshot. Backpressure is honoured the way a real
 // caller would: a kOverloaded Ingest triggers a ProcessPending drain.
+// When drain_immediately is set every score request is processed as soon
+// as it is ingested (the score-on-demand pattern the long-session sweep
+// measures: each score observes the max time of its own prefix); otherwise
+// scores drain in micro-batches like a real caller under load.
 ServeMeasurement RunStream(const std::string& name,
                            const core::TpGnnConfig& config,
-                           const serve::EventReplayer& replayer,
-                           int num_shards) {
+                           const std::vector<serve::Event>& events,
+                           size_t num_score_requests, int num_shards,
+                           bool drain_immediately = false) {
   serve::EngineOptions options;
   options.num_shards = num_shards;
   options.max_pending_scores = 256;
@@ -57,16 +79,17 @@ ServeMeasurement RunStream(const std::string& name,
   serve::InferenceEngine engine(config, /*seed=*/1, options);
 
   std::vector<serve::ScoreResult> results;
-  results.reserve(replayer.num_score_requests());
+  results.reserve(num_score_requests);
   tpgnn::Stopwatch wall;
-  for (const serve::Event& event : replayer.events()) {
+  for (const serve::Event& event : events) {
     tpgnn::Status status = engine.Ingest(event);
     while (status.code() == tpgnn::StatusCode::kOverloaded) {
       engine.ProcessPending(&results);
       status = engine.Ingest(event);
     }
     TPGNN_CHECK(status.ok()) << status.ToString();
-    if (engine.pending_scores() >= options.max_batch) {
+    if (drain_immediately ? engine.pending_scores() > 0
+                          : engine.pending_scores() >= options.max_batch) {
       engine.ProcessPending(&results);
     }
   }
@@ -75,12 +98,73 @@ ServeMeasurement RunStream(const std::string& name,
   ServeMeasurement m;
   m.name = name;
   m.wall_seconds = wall.ElapsedSeconds();
-  m.events = replayer.events().size();
+  m.events = events.size();
+  m.refold_gated = config.time_basis == core::TimeBasis::kInvariant;
   for (const serve::ScoreResult& r : results) {
     if (r.status.ok()) ++m.scores;
   }
   m.metrics = engine.metrics().Snapshot();
   return m;
+}
+
+// One long monotone session: `length` edges over 8 nodes, timestamps
+// 1, 2, ..., length, a score every 16 edges. The worst case for the
+// absolute basis (every score sees a new max) and the flat case for the
+// invariant one.
+std::vector<serve::Event> LongSessionEvents(int64_t length,
+                                            size_t* num_scores) {
+  constexpr int64_t kNodes = 8;
+  constexpr int64_t kFeatureDim = 3;
+  constexpr int64_t kScoreEvery = 16;
+  std::vector<serve::Event> events;
+  events.reserve(static_cast<size_t>(length + length / kScoreEvery + 3));
+  double stream_time = 0.0;
+  serve::Event begin;
+  begin.kind = serve::Event::Kind::kBegin;
+  begin.session_id = 1;
+  begin.time = stream_time;
+  begin.num_nodes = kNodes;
+  begin.feature_dim = kFeatureDim;
+  for (int64_t node = 0; node < kNodes; ++node) {
+    serve::NodeInit init;
+    init.node = node;
+    init.features = {0.1f * static_cast<float>(node), 0.5f, -0.25f};
+    begin.features.push_back(std::move(init));
+  }
+  events.push_back(std::move(begin));
+  *num_scores = 0;
+  for (int64_t i = 0; i < length; ++i) {
+    serve::Event edge;
+    edge.kind = serve::Event::Kind::kEdge;
+    edge.session_id = 1;
+    edge.time = (stream_time += 0.001);
+    edge.src = i % kNodes;
+    edge.dst = (i * 5 + 3) % kNodes;
+    edge.edge_time = static_cast<double>(i + 1);
+    events.push_back(edge);
+    if ((i + 1) % kScoreEvery == 0) {
+      serve::Event score;
+      score.kind = serve::Event::Kind::kScore;
+      score.session_id = 1;
+      score.time = (stream_time += 0.001);
+      events.push_back(score);
+      ++*num_scores;
+    }
+  }
+  if (length % kScoreEvery != 0) {
+    serve::Event score;
+    score.kind = serve::Event::Kind::kScore;
+    score.session_id = 1;
+    score.time = (stream_time += 0.001);
+    events.push_back(score);
+    ++*num_scores;
+  }
+  serve::Event end;
+  end.kind = serve::Event::Kind::kEnd;
+  end.session_id = 1;
+  end.time = (stream_time += 0.001);
+  events.push_back(end);
+  return events;
 }
 
 std::string ToJsonLine(const ServeMeasurement& m) {
@@ -97,18 +181,33 @@ std::string ToJsonLine(const ServeMeasurement& m) {
        << ", \"e2e_p50_us\": " << m.metrics.e2e_latency.PercentileMicros(0.5)
        << ", \"e2e_p95_us\": " << m.metrics.e2e_latency.PercentileMicros(0.95)
        << ", \"e2e_p99_us\": " << m.metrics.e2e_latency.PercentileMicros(0.99)
-       << ", \"state_refolds\": " << m.metrics.state_refolds << "}";
+       << ", \"state_refolds\": " << m.metrics.state_refolds
+       << ", \"state_rescales\": " << m.metrics.state_rescales << "}";
   return line.str();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int64_t max_refolds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--max_refolds=", 14) == 0) {
+      max_refolds = std::atoll(arg + 14);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --max_refolds=N)\n",
+                   arg);
+      return 2;
+    }
+  }
+
   const int64_t sessions = tpgnn::GetEnvInt("TPGNN_SERVE_SESSIONS", 200);
   const int shards =
       static_cast<int>(tpgnn::GetEnvInt("TPGNN_SERVE_SHARDS", 4));
   const int64_t score_every =
       tpgnn::GetEnvInt("TPGNN_SERVE_SCORE_EVERY", 8);
+  const int64_t sweep_max =
+      tpgnn::GetEnvInt("TPGNN_SERVE_SWEEP_MAX", 10000);
 
   tpgnn::graph::GraphDataset dataset =
       data::MakeDataset(data::HdfsSpec(), sessions, /*seed=*/17);
@@ -124,21 +223,74 @@ int main() {
   std::vector<ServeMeasurement> measurements;
   for (const core::Updater updater :
        {core::Updater::kSum, core::Updater::kGru}) {
-    core::TpGnnConfig config;
-    config.updater = updater;
-    const std::string name =
-        updater == core::Updater::kSum ? "sum" : "gru";
-    RunStream(name, config, replayer, shards);  // Warm-up.
-    const ServeMeasurement m = RunStream(name, config, replayer, shards);
-    std::printf("%-4s %10.0f events/s %9.0f scores/s  score p50/p95/p99 "
-                "%5.0f/%5.0f/%5.0f us  e2e p99 %6.0f us  refolds %llu\n",
-                m.name.c_str(), m.events_per_second(), m.scores_per_second(),
-                m.metrics.score_latency.PercentileMicros(0.5),
-                m.metrics.score_latency.PercentileMicros(0.95),
-                m.metrics.score_latency.PercentileMicros(0.99),
-                m.metrics.e2e_latency.PercentileMicros(0.99),
-                static_cast<unsigned long long>(m.metrics.state_refolds));
-    measurements.push_back(m);
+    for (const core::TimeBasis basis :
+         {core::TimeBasis::kInvariant, core::TimeBasis::kAbsolute}) {
+      core::TpGnnConfig config;
+      config.updater = updater;
+      config.time_basis = basis;
+      std::string name = updater == core::Updater::kSum ? "sum" : "gru";
+      if (basis == core::TimeBasis::kAbsolute) {
+        name += "_refold";
+      }
+      RunStream(name, config, replayer.events(),
+                replayer.num_score_requests(), shards);  // Warm-up.
+      const ServeMeasurement m = RunStream(
+          name, config, replayer.events(), replayer.num_score_requests(),
+          shards);
+      std::printf(
+          "%-10s %10.0f events/s %9.0f scores/s  score p50/p95/p99 "
+          "%5.0f/%5.0f/%5.0f us  e2e p99 %6.0f us  refolds %llu  "
+          "rescales %llu\n",
+          m.name.c_str(), m.events_per_second(), m.scores_per_second(),
+          m.metrics.score_latency.PercentileMicros(0.5),
+          m.metrics.score_latency.PercentileMicros(0.95),
+          m.metrics.score_latency.PercentileMicros(0.99),
+          m.metrics.e2e_latency.PercentileMicros(0.99),
+          static_cast<unsigned long long>(m.metrics.state_refolds),
+          static_cast<unsigned long long>(m.metrics.state_rescales));
+      measurements.push_back(m);
+    }
+  }
+
+  // Long-session sweep: fold cost isolated from the extractor
+  // (Variant::kTime2Vec pools node states in O(nodes)), one session per
+  // run, scored every 16 edges. The absolute basis replays the whole
+  // session per max-moving score (O(length) per score); the invariant basis
+  // rescales at finalize (O(1) in length).
+  std::printf("\nlong-session sweep (per-score mean us; flat = O(1)):\n");
+  for (const core::Updater updater :
+       {core::Updater::kSum, core::Updater::kGru}) {
+    for (const core::TimeBasis basis :
+         {core::TimeBasis::kInvariant, core::TimeBasis::kAbsolute}) {
+      for (const int64_t length : {10LL, 100LL, 1000LL, 10000LL}) {
+        if (length > sweep_max) continue;
+        core::TpGnnConfig config;
+        config.updater = updater;
+        config.time_basis = basis;
+        config.variant = core::Variant::kTime2Vec;
+        config.embed_dim = 8;
+        config.time_dim = 4;
+        config.hidden_dim = 8;
+        std::ostringstream name;
+        name << "sweep_" << (updater == core::Updater::kSum ? "sum" : "gru")
+             << (basis == core::TimeBasis::kInvariant ? "" : "_refold") << "_"
+             << length;
+        size_t num_scores = 0;
+        const std::vector<serve::Event> events =
+            LongSessionEvents(length, &num_scores);
+        RunStream(name.str(), config, events, num_scores, 1,
+                  /*drain_immediately=*/true);  // Warm-up.
+        const ServeMeasurement m = RunStream(name.str(), config, events,
+                                             num_scores, 1,
+                                             /*drain_immediately=*/true);
+        std::printf("%-22s %8.1f us/score  %9.0f events/s  refolds %llu\n",
+                    m.name.c_str(),
+                    m.metrics.score_latency.mean_micros(),
+                    m.events_per_second(),
+                    static_cast<unsigned long long>(m.metrics.state_refolds));
+        measurements.push_back(m);
+      }
+    }
   }
 
   const std::string path =
@@ -155,5 +307,21 @@ int main() {
   }
   out << "]\n";
   std::printf("wrote %s\n", path.c_str());
-  return 0;
+
+  // Refold gate: an invariant-basis run over a monotone stream must not
+  // refold (beyond the allowed budget for deliberately disordered streams).
+  bool gate_failed = false;
+  for (const ServeMeasurement& m : measurements) {
+    if (m.refold_gated &&
+        m.metrics.state_refolds > static_cast<uint64_t>(max_refolds)) {
+      std::fprintf(stderr,
+                   "REFOLD GATE: %s reported %llu state_refolds "
+                   "(max_refolds=%lld)\n",
+                   m.name.c_str(),
+                   static_cast<unsigned long long>(m.metrics.state_refolds),
+                   static_cast<long long>(max_refolds));
+      gate_failed = true;
+    }
+  }
+  return gate_failed ? 1 : 0;
 }

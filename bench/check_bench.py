@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly produced benchmark JSON against a checked-in baseline
+and exits nonzero when any throughput metric drops by more than the
+allowed fraction. Built for BENCH_serve.json (a list of objects keyed by
+"bench") but accepts any file in that shape, including a single top-level
+object (BENCH_net.json).
+
+Usage:
+  bench/check_bench.py --baseline BENCH_serve.json --current /tmp/new.json
+  bench/check_bench.py ... --max-drop 0.15 --metric events_per_second
+
+Only higher-is-better metrics are gated (default: events_per_second and
+scores_per_second). Entries present in only one of the two files are
+reported but do not fail the gate — benchmarks come and go; losing a
+baseline row is a review concern, not a perf regression. Increases are
+never failures.
+
+The default --max-drop of 0.15 suits a quiet machine; CI runners are
+noisy and pass a looser value.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    """Returns {key: entry} for a bench JSON file.
+
+    The file is either a list of objects or a single object. Each object
+    is keyed by its "bench" field plus the "variant" field when present
+    (BENCH_alloc.json carries several variants per bench name). Objects
+    without a "bench" field are skipped.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = [doc]
+    entries = {}
+    for obj in doc:
+        if not isinstance(obj, dict) or "bench" not in obj:
+            continue
+        key = obj["bench"]
+        if "variant" in obj:
+            key = f"{key}/{obj['variant']}"
+        entries[key] = obj
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced JSON to gate")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="allowed fractional drop per metric "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="higher-is-better metric to gate (repeatable; "
+                             "default: events_per_second, scores_per_second)")
+    args = parser.parse_args()
+    metrics = args.metric or ["events_per_second", "scores_per_second"]
+
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
+
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"note: {key} in baseline but not in current run")
+            continue
+        for metric in metrics:
+            base = baseline[key].get(metric)
+            cur = current[key].get(metric)
+            if base is None or cur is None or base <= 0:
+                continue
+            compared += 1
+            drop = 1.0 - cur / base
+            marker = ""
+            if drop > args.max_drop:
+                failures.append((key, metric, base, cur, drop))
+                marker = "  << REGRESSION"
+            print(f"{key:34s} {metric:20s} {base:12.1f} -> {cur:12.1f} "
+                  f"({-drop:+7.1%}){marker}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: {key} in current run but not in baseline "
+              f"(new benchmark? refresh the baseline)")
+
+    if compared == 0:
+        print("error: no comparable metrics between baseline and current",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed more than "
+              f"{args.max_drop:.0%}:", file=sys.stderr)
+        for key, metric, base, cur, drop in failures:
+            print(f"  {key} {metric}: {base:.1f} -> {cur:.1f} "
+                  f"(-{drop:.1%})", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} metric comparisons within {args.max_drop:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

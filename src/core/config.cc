@@ -52,6 +52,10 @@ const char* GlobalModuleName(GlobalModule m) {
   return m == GlobalModule::kTransformer ? "transformer" : "gru";
 }
 
+const char* TimeBasisName(TimeBasis b) {
+  return b == TimeBasis::kInvariant ? "invariant" : "absolute";
+}
+
 }  // namespace
 
 std::string TpGnnConfig::ModelName() const {
@@ -75,6 +79,9 @@ std::string TpGnnConfig::ModelName() const {
   }
   if (global_module == GlobalModule::kTransformer) {
     name += " (transformer)";
+  }
+  if (time_basis == TimeBasis::kInvariant) {
+    name += " (invariant-time)";
   }
   return name;
 }
@@ -100,6 +107,7 @@ nn::CheckpointMetadata ConfigMetadata(const TpGnnConfig& config) {
   meta["normalize_time"] = config.normalize_time ? "1" : "0";
   meta["time_scale"] = formatted(config.time_scale);
   meta["stabilize_sum"] = config.stabilize_sum ? "1" : "0";
+  meta["time_basis"] = TimeBasisName(config.time_basis);
   return meta;
 }
 

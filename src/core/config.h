@@ -53,6 +53,38 @@ enum class GlobalModule {
   kTransformer,
 };
 
+// Basis of the time-coupled propagation state (DESIGN.md §4.3 "Time
+// renormalization algebra").
+//
+// kAbsolute (the paper-literal formulation): every Time2Vec argument is the
+// absolute timestamp, normalized by the graph's max time when
+// normalize_time is set. The folded per-session state then depends on the
+// *final* max timestamp, so online serving must re-fold time-coupled state
+// from scratch whenever a new edge raises the session max (the
+// `state_refolds` cost; O(session length) per score).
+//
+// kInvariant (the serving-friendly re-basing): the folded state is carried
+// in a max-time-invariant basis and the max-time coupling is applied as a
+// bounded algebraic correction at readout —
+//   * SUM M-hat is accumulated as raw-time sums [Σt, count] for the linear
+//     Time2Vec channel plus phasor pairs [Σ sin(w t + φ), Σ cos(w t + φ)]
+//     for the periodic channels; FinalizeState rescales the linear channel
+//     by time_scale/max_time and rotates the phasors by w·max_time
+//     (exactly Σ sin(w (t − max_time) + φ)), both exact identities.
+//   * The GRU's Time2Vec argument becomes the inter-event gap t_i − t_{i−1}
+//     (session-chronological), which never changes once folded, so the GRU
+//     state needs no correction at all.
+// A max-time move is then absorbed in O(nodes · time_dim) at score time
+// (counted as `state_rescales`) instead of an O(edges) replay; refolds
+// remain only for genuinely out-of-order arrivals. The two bases are
+// different (equally valid) models: parameters are shape-compatible, but a
+// network trained in one basis should be served in the same basis — the
+// checkpoint metadata records it.
+enum class TimeBasis {
+  kAbsolute,
+  kInvariant,
+};
+
 // Ablation variants of Sec. V-F. kFull is the complete model.
 enum class Variant {
   kFull = 0,
@@ -89,6 +121,11 @@ struct TpGnnConfig {
   // the linear Time2Vec channel in tanh's active range for long sessions.
   bool normalize_time = true;
   double time_scale = 10.0;
+
+  // Basis of the time-coupled folded state (see TimeBasis above). kAbsolute
+  // preserves the original formulation bit-for-bit; kInvariant makes the
+  // fold max-time-invariant so online serving scores in O(1) per event.
+  TimeBasis time_basis = TimeBasis::kAbsolute;
 
   // Bounded SUM updates: Eq. (3)/(4) accumulate raw sums, which grow
   // multiplicatively with temporal path counts and saturate the final tanh

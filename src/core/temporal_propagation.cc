@@ -10,12 +10,17 @@ namespace tpgnn::core {
 using tensor::Add;
 using tensor::Concat;
 using tensor::ConstRowSpan;
+using tensor::Cos;
 using tensor::GatherRows;
+using tensor::Mul;
 using tensor::MutableRowSpan;
 using tensor::Reshape;
 using tensor::Row;
 using tensor::RowSpan;
 using tensor::RowSpanOf;
+using tensor::Scale;
+using tensor::Sin;
+using tensor::Sub;
 using tensor::Tanh;
 using tensor::Tensor;
 
@@ -71,16 +76,34 @@ Tensor TemporalPropagation::Forward(
     return ForwardInference(std::move(x), edge_order, max_time);
   }
 
+  const bool invariant =
+      time_ != nullptr && config_.time_basis == TimeBasis::kInvariant;
+
   if (config_.updater == Updater::kSum) {
     // Running per-node feature (X-hat) and temporal (M-hat) vectors.
     std::vector<Tensor> xhat(static_cast<size_t>(n));
     std::vector<Tensor> mhat;
+    // Invariant-basis accumulators: phasor sums for the periodic channels,
+    // plain float sums (no gradient path) for Σt and the event count.
+    std::vector<Tensor> phasor_sin;
+    std::vector<Tensor> phasor_cos;
+    std::vector<float> time_sum;
+    std::vector<float> count;
     for (int64_t v = 0; v < n; ++v) {
       xhat[static_cast<size_t>(v)] = Row(x, v);  // [embed_dim]
     }
     if (time_ != nullptr) {
-      mhat.assign(static_cast<size_t>(n),
-                  Tensor::Zeros({config_.time_dim}));
+      if (invariant) {
+        phasor_sin.assign(static_cast<size_t>(n),
+                          Tensor::Zeros({config_.time_dim - 1}));
+        phasor_cos.assign(static_cast<size_t>(n),
+                          Tensor::Zeros({config_.time_dim - 1}));
+        time_sum.assign(static_cast<size_t>(n), 0.0f);
+        count.assign(static_cast<size_t>(n), 0.0f);
+      } else {
+        mhat.assign(static_cast<size_t>(n),
+                    Tensor::Zeros({config_.time_dim}));
+      }
     }
     for (const graph::TemporalEdge& e : edge_order) {
       const size_t v = static_cast<size_t>(e.dst);
@@ -91,7 +114,21 @@ Tensor TemporalPropagation::Forward(
       if (config_.stabilize_sum) {
         xhat[v] = Tanh(xhat[v]);
       }
-      if (time_ != nullptr) {
+      if (time_ == nullptr) {
+        continue;
+      }
+      if (invariant) {
+        // Eq. (4) in the invariant basis: accumulate the raw-time phasor
+        // sin/cos(w t + phi); the max-time coupling is deferred to the
+        // correction below. Stabilization becomes the mean at readout —
+        // a per-step squash would destroy the rotation identity.
+        const float tf = static_cast<float>(e.time);
+        Tensor theta = Add(Scale(time_->w(), tf), time_->phi());
+        phasor_sin[v] = Add(Sin(theta), phasor_sin[v]);
+        phasor_cos[v] = Add(Cos(theta), phasor_cos[v]);
+        time_sum[v] = tf + time_sum[v];
+        count[v] = 1.0f + count[v];
+      } else {
         // Eq. (4): accumulate the interaction-time encoding.
         const float t = static_cast<float>(
             NormalizeTime(config_, e.time, max_time));
@@ -100,6 +137,35 @@ Tensor TemporalPropagation::Forward(
           mhat[v] = Tanh(mhat[v]);
         }
       }
+    }
+    if (invariant) {
+      // Deferred max-time correction (DESIGN.md §4.3), shared across nodes:
+      // linear channel w0 (Σt) s + phi0 k with s = time_scale/max_time, and
+      // phasor rotation by w·max_time so row v reads Σ sin(w (t−T) + phi).
+      const float sf = static_cast<float>(
+          (config_.normalize_time && max_time > 0.0)
+              ? config_.time_scale / max_time
+              : 1.0);
+      const float tmax = static_cast<float>(max_time);
+      Tensor rot_cos = Cos(Scale(time_->w(), tmax));
+      Tensor rot_sin = Sin(Scale(time_->w(), tmax));
+      std::vector<Tensor> mvec(static_cast<size_t>(n));
+      for (int64_t v = 0; v < n; ++v) {
+        const size_t vi = static_cast<size_t>(v);
+        const float sn = time_sum[vi] * sf;
+        Tensor lin = Add(Scale(time_->w0(), sn),
+                         Scale(time_->phi0(), count[vi]));
+        Tensor per = Sub(Mul(phasor_sin[vi], rot_cos),
+                         Mul(phasor_cos[vi], rot_sin));
+        Tensor mv = Concat({lin, per}, /*axis=*/0);
+        if (config_.stabilize_sum) {
+          const float invk = count[vi] > 0.0f ? 1.0f / count[vi] : 1.0f;
+          mv = Scale(mv, invk);
+        }
+        mvec[vi] = mv;
+      }
+      return Tanh(Concat({tensor::Stack(xhat), tensor::Stack(mvec)},
+                         /*axis=*/1));
     }
     // Eq. (5): row v is xhat[v] ++ mhat[v]. Assembling as two fused stacks
     // plus one axis-1 concat copies the same values into the same layout as
@@ -111,22 +177,27 @@ Tensor TemporalPropagation::Forward(
     return Tanh(tensor::Stack(xhat));
   }
 
-  // GRU updater, Eq. (6): h_v <- GRU(h_v, [h_u ++ f(t)]).
+  // GRU updater, Eq. (6): h_v <- GRU(h_v, [h_u ++ f(t)]). In the invariant
+  // basis f consumes the inter-event gap instead of the (normalized)
+  // absolute timestamp.
   std::vector<Tensor> h(static_cast<size_t>(n));
   for (int64_t v = 0; v < n; ++v) {
     h[static_cast<size_t>(v)] = GatherRows(x, {v});  // [1, embed_dim]
   }
+  double prev_time = 0.0;
   for (const graph::TemporalEdge& e : edge_order) {
     const size_t v = static_cast<size_t>(e.dst);
     const size_t u = static_cast<size_t>(e.src);
     Tensor message = h[u];
     if (time_ != nullptr) {
-      const float t =
-          static_cast<float>(NormalizeTime(config_, e.time, max_time));
+      const float t = static_cast<float>(
+          invariant ? e.time - prev_time
+                    : NormalizeTime(config_, e.time, max_time));
       Tensor ft = Reshape(time_->Forward(t), {1, config_.time_dim});
       message = Concat({message, ft}, /*axis=*/1);
     }
     h[v] = updater_->Forward(message, h[v]);
+    prev_time = e.time;
   }
   std::vector<Tensor> rows;
   rows.reserve(static_cast<size_t>(n));
@@ -146,7 +217,7 @@ Tensor TemporalPropagation::EmbedInitial(
 }
 
 void TemporalPropagation::PropagateEdgeState(
-    Tensor& x, const graph::TemporalEdge& e, double max_time,
+    Tensor& x, const graph::TemporalEdge& e, double max_time, double prev_time,
     PropagationScratch& scratch) const {
   TPGNN_CHECK(config_.use_temporal_propagation());
   const int64_t embed_dim = config_.embed_dim;
@@ -172,8 +243,10 @@ void TemporalPropagation::PropagateEdgeState(
   ConstRowSpan src = RowSpanOf(x, e.src);
   std::copy(src.data, src.data + embed_dim, scratch.message.begin());
   if (time_ != nullptr) {
-    const float t =
-        static_cast<float>(NormalizeTime(config_, e.time, max_time));
+    const float t = static_cast<float>(
+        config_.time_basis == TimeBasis::kInvariant
+            ? e.time - prev_time
+            : NormalizeTime(config_, e.time, max_time));
     time_->EvalInto(t, scratch.message.data() + embed_dim);
   }
   RowSpan dst = MutableRowSpan(x, e.dst);
@@ -185,6 +258,28 @@ void TemporalPropagation::AccumulateEdgeTime(
     PropagationScratch& scratch) const {
   TPGNN_CHECK(has_time_accumulator());
   const int64_t time_dim = config_.time_dim;
+  if (config_.time_basis == TimeBasis::kInvariant) {
+    // Invariant basis, row layout [Σt, k, A_1..A_{d-1}, B_1..B_{d-1}]:
+    // accumulate the raw-time phasor; max_time is deliberately unread, so a
+    // later max move never invalidates this fold (the correction happens in
+    // FinalizeState). Mirrors the recorded Add(Sin/Cos(theta), ·) chain.
+    const int64_t periodic = time_dim - 1;
+    scratch.phasor.resize(static_cast<size_t>(2 * periodic));
+    float* sin_s = scratch.phasor.data();
+    float* cos_s = scratch.phasor.data() + periodic;
+    const float tf = static_cast<float>(e.time);
+    time_->EvalPhasorInto(tf, sin_s, cos_s);
+    RowSpan mrow = MutableRowSpan(m, e.dst);
+    mrow.data[0] = tf + mrow.data[0];
+    mrow.data[1] = 1.0f + mrow.data[1];
+    for (int64_t j = 0; j < periodic; ++j) {
+      mrow.data[2 + j] = sin_s[j] + mrow.data[2 + j];
+    }
+    for (int64_t j = 0; j < periodic; ++j) {
+      mrow.data[time_dim + 1 + j] = cos_s[j] + mrow.data[time_dim + 1 + j];
+    }
+    return;
+  }
   scratch.time_enc.resize(static_cast<size_t>(time_dim));
   const float t = static_cast<float>(NormalizeTime(config_, e.time, max_time));
   time_->EvalInto(t, scratch.time_enc.data());
@@ -200,13 +295,56 @@ void TemporalPropagation::AccumulateEdgeTime(
   }
 }
 
-Tensor TemporalPropagation::FinalizeState(const Tensor& x,
-                                          const Tensor& m) const {
-  if (has_time_accumulator()) {
-    TPGNN_CHECK(m.defined());
+Tensor TemporalPropagation::FinalizeState(const Tensor& x, const Tensor& m,
+                                          double max_time) const {
+  if (!has_time_accumulator()) {
+    return Tanh(x);
+  }
+  TPGNN_CHECK(m.defined());
+  if (config_.time_basis != TimeBasis::kInvariant) {
     return Tanh(Concat({x, m}, /*axis=*/1));
   }
-  return Tanh(x);
+  // Invariant basis: apply the deferred max-time correction — O(n·time_dim)
+  // regardless of how many edges were folded. Every float expression below
+  // mirrors the recorded correction in Forward (Scale→Add for the linear
+  // channel, Mul/Sub against the shared rotation row for the periodic
+  // ones), keeping the two paths bit-identical.
+  const int64_t n = x.size(0);
+  const int64_t time_dim = config_.time_dim;
+  const int64_t periodic = time_dim - 1;
+  const float sf = static_cast<float>(
+      (config_.normalize_time && max_time > 0.0)
+          ? config_.time_scale / max_time
+          : 1.0);
+  const float tmax = static_cast<float>(max_time);
+  const float w0 = time_->w0().data()[0];
+  const float phi0 = time_->phi0().data()[0];
+  std::vector<float> rot(static_cast<size_t>(2 * periodic));
+  float* rot_cos = rot.data();
+  float* rot_sin = rot.data() + periodic;
+  time_->EvalRotationInto(tmax, rot_cos, rot_sin);
+  Tensor corrected = Tensor::Zeros({n, time_dim});
+  for (int64_t v = 0; v < n; ++v) {
+    ConstRowSpan in = RowSpanOf(m, v);
+    RowSpan out = MutableRowSpan(corrected, v);
+    const float sn = in.data[0] * sf;
+    const float kf = in.data[1];
+    const float lin_w = w0 * sn;
+    const float lin_p = phi0 * kf;
+    out.data[0] = lin_w + lin_p;
+    for (int64_t j = 0; j < periodic; ++j) {
+      const float a = in.data[2 + j] * rot_cos[j];
+      const float b = in.data[time_dim + 1 + j] * rot_sin[j];
+      out.data[1 + j] = a - b;
+    }
+    if (config_.stabilize_sum) {
+      const float invk = kf > 0.0f ? 1.0f / kf : 1.0f;
+      for (int64_t i = 0; i < time_dim; ++i) {
+        out.data[i] = out.data[i] * invk;
+      }
+    }
+  }
+  return Tanh(Concat({x, corrected}, /*axis=*/1));
 }
 
 Tensor TemporalPropagation::ForwardInference(
@@ -220,16 +358,18 @@ Tensor TemporalPropagation::ForwardInference(
   // built on the same steps, bit-identical to both.
   Tensor m;
   if (has_time_accumulator()) {
-    m = Tensor::Zeros({x.size(0), config_.time_dim});
+    m = Tensor::Zeros({x.size(0), time_state_dim()});
   }
   PropagationScratch scratch;
+  double prev_time = 0.0;
   for (const graph::TemporalEdge& e : edge_order) {
-    PropagateEdgeState(x, e, max_time, scratch);
+    PropagateEdgeState(x, e, max_time, prev_time, scratch);
     if (has_time_accumulator()) {
       AccumulateEdgeTime(m, e, max_time, scratch);
     }
+    prev_time = e.time;
   }
-  return FinalizeState(x, m);
+  return FinalizeState(x, m, max_time);
 }
 
 }  // namespace tpgnn::core

@@ -28,6 +28,7 @@ struct PropagationScratch {
   nn::GruScratch gru;
   std::vector<float> message;   // GRU input row [embed_dim + time_dim].
   std::vector<float> time_enc;  // f(t) staging for the SUM accumulator.
+  std::vector<float> phasor;    // sin/cos staging for the invariant basis.
 };
 
 class TemporalPropagation : public nn::Module {
@@ -67,32 +68,61 @@ class TemporalPropagation : public nn::Module {
 
   // One Algorithm-1 step applied in place to the raw node state `x`:
   // SUM: row dst += row src (optionally tanh-squashed) — time-independent;
-  // GRU: row dst <- GRU(row dst, [row src ++ f(t)]) — consumes `max_time`
-  // through NormalizeTime. No-op contract: requires
+  // GRU: row dst <- GRU(row dst, [row src ++ f(t)]). The GRU's time
+  // argument is NormalizeTime(e.time, max_time) in the absolute basis, and
+  // the inter-event gap e.time - prev_time in the invariant basis
+  // (`prev_time` is the chronological predecessor's timestamp, 0 for the
+  // first edge; ignored otherwise). No-op contract: requires
   // config().use_temporal_propagation().
   void PropagateEdgeState(tensor::Tensor& x, const graph::TemporalEdge& e,
-                          double max_time, PropagationScratch& scratch) const;
+                          double max_time, double prev_time,
+                          PropagationScratch& scratch) const;
 
-  // Eq. (4): one accumulation of f(t) into the SUM time accumulator `m`
-  // ([n, time_dim]); only meaningful when has_time_accumulator().
+  // Eq. (4): one accumulation into the SUM time accumulator `m` ([n,
+  // time_state_dim()]); only meaningful when has_time_accumulator().
+  // Absolute basis: m[dst] += f(NormalizeTime(t, max_time)), optionally
+  // tanh-squashed. Invariant basis: the raw-time accumulands
+  // [t, 1, sin(w t + phi), cos(w t + phi)] are summed — max_time is never
+  // read, which is what makes the fold O(1) under a moving max.
   void AccumulateEdgeTime(tensor::Tensor& m, const graph::TemporalEdge& e,
                           double max_time, PropagationScratch& scratch) const;
 
   // Readout of the raw folded state: Tanh(x) for GRU / time-less SUM,
-  // Tanh(x ++ m) for SUM with time encoding (`m` is ignored otherwise and
-  // may be undefined). Returns a fresh tensor; inputs are not mutated.
-  tensor::Tensor FinalizeState(const tensor::Tensor& x,
-                               const tensor::Tensor& m) const;
+  // Tanh(x ++ M(m)) for SUM with time encoding (`m` is ignored otherwise
+  // and may be undefined). In the absolute basis M is the identity; in the
+  // invariant basis M applies the deferred max-time correction — the exact
+  // linear-channel rescale by time_scale/max_time plus the exact phasor
+  // rotation by w*max_time (DESIGN.md §4.3) — in O(n * time_dim),
+  // independent of the edge count. Returns a fresh tensor; inputs are not
+  // mutated.
+  tensor::Tensor FinalizeState(const tensor::Tensor& x, const tensor::Tensor& m,
+                               double max_time) const;
 
-  // True when the folded node state itself consumes the time encoding (GRU
-  // updater with Time2Vec): under normalize_time, a max-time change then
-  // invalidates previously folded steps.
-  bool StateDependsOnTime() const {
-    return updater_ != nullptr && time_ != nullptr;
+  // True when the folded node state is coupled to the session's max
+  // timestamp, i.e. a max-time change invalidates previously folded steps:
+  // GRU updater with Time2Vec under normalize_time in the absolute basis.
+  // In the invariant basis the GRU consumes inter-event gaps, which a later
+  // max never changes.
+  bool StateDependsOnMaxTime() const {
+    return updater_ != nullptr && time_ != nullptr && config_.normalize_time &&
+           config_.time_basis == TimeBasis::kAbsolute;
   }
   // True when the SUM updater keeps the separate M-hat accumulator.
   bool has_time_accumulator() const {
     return config_.updater == Updater::kSum && time_ != nullptr;
+  }
+  // True when the M-hat fold itself is coupled to the max timestamp (and a
+  // max move therefore forces a refold rather than a finalize-time
+  // rescale): absolute basis under normalize_time.
+  bool AccumulatorDependsOnMaxTime() const {
+    return has_time_accumulator() && config_.normalize_time &&
+           config_.time_basis == TimeBasis::kAbsolute;
+  }
+  // Row width of the time accumulator `m`: f(t) sums in the absolute basis,
+  // [sum_t, count, phasor sin, phasor cos] in the invariant basis.
+  int64_t time_state_dim() const {
+    return config_.time_basis == TimeBasis::kInvariant ? 2 * config_.time_dim
+                                                       : config_.time_dim;
   }
 
  private:

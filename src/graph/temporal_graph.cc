@@ -28,6 +28,9 @@ void TemporalGraph::AddEdge(int64_t src, int64_t dst, double time) {
   TPGNN_CHECK_LT(dst, num_nodes_);
   TPGNN_CHECK_GE(time, 0.0);
   edges_.push_back({src, dst, time});
+  if (!max_time_dirty_ && time > max_time_) {
+    max_time_ = time;
+  }
 }
 
 std::vector<TemporalEdge> TemporalGraph::ChronologicalEdges() const {
@@ -78,11 +81,14 @@ tensor::Tensor TemporalGraph::FeatureMatrix() const {
 }
 
 double TemporalGraph::MaxTime() const {
-  double max_t = 0.0;
-  for (const TemporalEdge& e : edges_) {
-    max_t = std::max(max_t, e.time);
+  if (max_time_dirty_) {
+    max_time_ = 0.0;
+    for (const TemporalEdge& e : edges_) {
+      max_time_ = std::max(max_time_, e.time);
+    }
+    max_time_dirty_ = false;
   }
-  return max_t;
+  return max_time_;
 }
 
 }  // namespace tpgnn::graph

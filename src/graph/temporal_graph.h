@@ -44,7 +44,12 @@ class TemporalGraph {
 
   // Edges in insertion order.
   const std::vector<TemporalEdge>& edges() const { return edges_; }
-  std::vector<TemporalEdge>& mutable_edges() { return edges_; }
+  // Mutable access invalidates the cached max timestamp (callers may rewrite
+  // times in place); the next MaxTime() rescans.
+  std::vector<TemporalEdge>& mutable_edges() {
+    max_time_dirty_ = true;
+    return edges_;
+  }
 
   // Edges sorted ascending by timestamp (stable: insertion order breaks
   // ties). This is the order consumed by temporal propagation (Alg. 1).
@@ -59,7 +64,9 @@ class TemporalGraph {
   // Dense [num_nodes, feature_dim] feature matrix (no gradient).
   tensor::Tensor FeatureMatrix() const;
 
-  // Largest timestamp; 0 for edgeless graphs.
+  // Largest timestamp; 0 for edgeless graphs. O(1) on the append-only path
+  // (AddEdge maintains the running max — serving calls this per event);
+  // rescans once after mutable_edges().
   double MaxTime() const;
 
  private:
@@ -67,6 +74,8 @@ class TemporalGraph {
   int64_t feature_dim_;
   std::vector<std::vector<float>> features_;
   std::vector<TemporalEdge> edges_;
+  mutable double max_time_ = 0.0;
+  mutable bool max_time_dirty_ = false;
 };
 
 // A graph with its binary classification label (1 = positive/normal,

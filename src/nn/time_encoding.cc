@@ -50,6 +50,28 @@ void Time2Vec::EvalInto(float t, float* out) const {
   }
 }
 
+void Time2Vec::EvalPhasorInto(float t, float* sin_out, float* cos_out) const {
+  const float* w = w_.data().data();
+  const float* phi = phi_.data().data();
+  // Two-step rounding (w*t, then +phi) mirrors the recorded
+  // Sin(Add(Scale(w, t), phi)) chain, keeping the two paths bit-identical.
+  for (int64_t j = 0; j < dim_ - 1; ++j) {
+    const float theta = w[j] * t + phi[j];
+    sin_out[j] = std::sin(theta);
+    cos_out[j] = std::cos(theta);
+  }
+}
+
+void Time2Vec::EvalRotationInto(float delta, float* cos_out,
+                                float* sin_out) const {
+  const float* w = w_.data().data();
+  for (int64_t j = 0; j < dim_ - 1; ++j) {
+    const float theta = w[j] * delta;
+    cos_out[j] = std::cos(theta);
+    sin_out[j] = std::sin(theta);
+  }
+}
+
 BochnerTimeEncoding::BochnerTimeEncoding(int64_t dim, Rng& rng) : dim_(dim) {
   TPGNN_CHECK_GE(dim, 1);
   w_ = RegisterParameter("w", Tensor::Uniform({dim}, 0.0f, 1.0f, rng));

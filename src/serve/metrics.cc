@@ -67,7 +67,8 @@ std::string MetricsSnapshot::ToString() const {
      << sessions_ended << " evicted=" << sessions_evicted
      << " edges=" << edges_ingested << " scores=" << scores_completed << "/"
      << scores_failed << " overloads=" << overload_rejections
-     << " refolds=" << state_refolds << " score_us{p50=" <<
+     << " refolds=" << state_refolds << " rescales=" << state_rescales
+     << " score_us{p50=" <<
       score_latency.PercentileMicros(0.5)
      << " p95=" << score_latency.PercentileMicros(0.95)
      << " p99=" << score_latency.PercentileMicros(0.99) << "}";
@@ -99,6 +100,7 @@ std::string MetricsSnapshot::ToJson() const {
      << ", \"scores_failed\": " << scores_failed
      << ", \"overload_rejections\": " << overload_rejections
      << ", \"state_refolds\": " << state_refolds
+     << ", \"state_rescales\": " << state_rescales
      << ", \"bytes_received\": " << bytes_received
      << ", \"bytes_sent\": " << bytes_sent
      << ", \"frames_received\": " << frames_received
@@ -130,6 +132,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.overload_rejections =
       overload_rejections.load(std::memory_order_relaxed);
   snap.state_refolds = state_refolds.load(std::memory_order_relaxed);
+  snap.state_rescales = state_rescales.load(std::memory_order_relaxed);
   snap.bytes_received = bytes_received.load(std::memory_order_relaxed);
   snap.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
   snap.frames_received = frames_received.load(std::memory_order_relaxed);

@@ -54,6 +54,7 @@ struct MetricsSnapshot {
   uint64_t scores_failed = 0;
   uint64_t overload_rejections = 0;
   uint64_t state_refolds = 0;
+  uint64_t state_rescales = 0;
   // Network front-end (zero unless a net::Server drives the engine).
   uint64_t bytes_received = 0;
   uint64_t bytes_sent = 0;
@@ -88,6 +89,10 @@ class Metrics {
   // Folded session states discarded and rebuilt (time-normalization or
   // out-of-order invalidation; see SessionShard).
   std::atomic<uint64_t> state_refolds{0};
+  // Scores that absorbed a max-time move through the TimeBasis::kInvariant
+  // finalize-time correction instead of a refold (SessionShard; the O(1)
+  // counterpart of state_refolds).
+  std::atomic<uint64_t> state_rescales{0};
   // Network front-end counters, maintained by net::Server: wire bytes and
   // frames in each direction, connection churn, and streams torn down for
   // protocol violations (kDataLoss frames).

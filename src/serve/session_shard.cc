@@ -32,8 +32,20 @@ struct SessionShard::Session {
   // True while edges have arrived in nondecreasing time order, in which
   // case insertion order IS the chronological order (stable sort identity).
   bool sorted = true;
+  // True while the folded x/m prefixes are prefixes of the CURRENT
+  // chronological order. Cleared when a late edge (below the running max)
+  // reorders the chronology; restored by the next EnsureFolded, after which
+  // in-order edges eager-fold again — so one late edge costs one refold,
+  // not the session's remaining lifetime.
+  bool fold_chrono = true;
   // Chronological order scratch for unsorted sessions.
   std::vector<TemporalEdge> chrono;
+
+  // Rescale bookkeeping (TimeBasis::kInvariant): edge count and max-time at
+  // the last finalize, so a later score under a moved max is counted as the
+  // rescale that replaced an absolute-basis refold.
+  int64_t finalized_edges = 0;
+  double finalized_max = 0.0;
 
   double last_touch = 0.0;  // Stream time of the last ingest event.
   int pinned = 0;           // In-flight score requests.
@@ -111,7 +123,8 @@ Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
     session->x0 = model_.propagation().EmbedInitial(session->graph);
     session->x = session->x0.Clone();
     if (model_.propagation().has_time_accumulator()) {
-      session->m = Tensor::Zeros({num_nodes, config.time_dim});
+      session->m =
+          Tensor::Zeros({num_nodes, model_.propagation().time_state_dim()});
     }
   }
   session->last_touch = now;
@@ -143,31 +156,44 @@ Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
   if (edge_time < 0.0 || std::isnan(edge_time)) {
     return Status::InvalidArgument("edge time must be non-negative");
   }
-  if (s.graph.num_edges() > 0 && edge_time < s.graph.edges().back().time) {
+  const double old_max = s.graph.MaxTime();
+  const bool has_edges = s.graph.num_edges() > 0;
+  if (has_edges && edge_time < s.graph.edges().back().time) {
     s.sorted = false;  // Late edge: chronological != arrival order now.
+  }
+  if (has_edges && edge_time < old_max) {
+    s.fold_chrono = false;  // Folded prefixes are no longer chrono prefixes.
   }
   s.graph.AddEdge(src, dst, edge_time);
 
   // Eager fold: advance any component whose fold stays valid regardless of
   // future edges. Components invalidated by max-time changes (see header)
   // are left for EnsureFolded at score time instead of being folded and
-  // thrown away per edge.
+  // thrown away per edge. The gate is fold_chrono, not sorted: an edge at
+  // or above the running max is chronologically last even in a session that
+  // saw earlier disorder, so eager folding resumes once a refold has
+  // re-synced the prefixes.
   const core::TemporalPropagation& prop = model_.propagation();
   const core::TpGnnConfig& config = model_.config();
-  if (s.sorted && config.use_temporal_propagation()) {
+  if (s.fold_chrono && config.use_temporal_propagation()) {
     tensor::NoGradGuard no_grad;
     const double max_time = s.graph.MaxTime();
+    const int64_t total = s.graph.num_edges();
     const TemporalEdge& e = s.graph.edges().back();
-    const bool x_time_dep = prop.StateDependsOnTime() && config.normalize_time;
-    if (!x_time_dep && s.x_edges == s.graph.num_edges() - 1) {
-      prop.PropagateEdgeState(s.x, e, max_time, s.scratch);
-      s.x_edges = s.graph.num_edges();
+    // Chronological predecessor of the new edge (the invariant-basis GRU
+    // consumes the inter-event gap): the previous running max — with ties
+    // broken by insertion order, the new edge sorts after every equal-time
+    // edge, whose timestamp is exactly old_max.
+    const double prev_time = total >= 2 ? old_max : 0.0;
+    if (!prop.StateDependsOnMaxTime() && s.x_edges == total - 1) {
+      prop.PropagateEdgeState(s.x, e, max_time, prev_time, s.scratch);
+      s.x_edges = total;
       s.x_max_time = max_time;
     }
-    if (prop.has_time_accumulator() && !config.normalize_time &&
-        s.m_edges == s.graph.num_edges() - 1) {
+    if (prop.has_time_accumulator() && !prop.AccumulatorDependsOnMaxTime() &&
+        s.m_edges == total - 1) {
       prop.AccumulateEdgeTime(s.m, e, max_time, s.scratch);
-      s.m_edges = s.graph.num_edges();
+      s.m_edges = total;
       s.m_max_time = max_time;
     }
   }
@@ -179,7 +205,8 @@ Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
   return Status::Ok();
 }
 
-const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
+const std::vector<TemporalEdge>& SessionShard::EnsureFolded(
+    Session& s, bool force_refold) {
   const core::TemporalPropagation& prop = model_.propagation();
   const core::TpGnnConfig& config = model_.config();
   const std::vector<TemporalEdge>* order = &s.graph.edges();
@@ -196,12 +223,15 @@ const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
 
   // Node state x. For an unsorted session the previously folded prefix may
   // not be a prefix of the new chronological order, so any growth forces a
-  // rebuild; for time-coupled state (GRU + Time2Vec under normalize_time) a
-  // max-time change re-times every folded step.
-  const bool x_time_dep = prop.StateDependsOnTime() && config.normalize_time;
+  // rebuild; for max-coupled state (GRU + Time2Vec under normalize_time in
+  // the absolute basis) a max-time change re-times every folded step. The
+  // invariant basis removes the max coupling, so only the unsorted case
+  // (and the forced shard.rescale fallback) remains.
   const bool x_stale =
-      s.x_edges > 0 && ((x_time_dep && s.x_max_time != max_time) ||
-                        (!s.sorted && s.x_edges != total));
+      s.x_edges > 0 &&
+      (force_refold ||
+       (prop.StateDependsOnMaxTime() && s.x_max_time != max_time) ||
+       (!s.fold_chrono && s.x_edges != total));
   if (x_stale) {
     s.x = s.x0.Clone();
     s.x_edges = 0;
@@ -210,18 +240,23 @@ const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
     }
   }
   for (int64_t i = s.x_edges; i < total; ++i) {
+    const double prev_time =
+        i > 0 ? (*order)[static_cast<size_t>(i - 1)].time : 0.0;
     prop.PropagateEdgeState(s.x, (*order)[static_cast<size_t>(i)], max_time,
-                            s.scratch);
+                            prev_time, s.scratch);
   }
   s.x_edges = total;
   s.x_max_time = max_time;
 
-  // SUM time accumulator m: normalization couples every folded f(t) to the
-  // current max time.
+  // SUM time accumulator m: in the absolute basis normalization couples
+  // every folded f(t) to the current max time; in the invariant basis the
+  // raw-time sums never go stale under a max move.
   if (prop.has_time_accumulator()) {
     const bool m_stale =
-        s.m_edges > 0 && ((config.normalize_time && s.m_max_time != max_time) ||
-                          (!s.sorted && s.m_edges != total));
+        s.m_edges > 0 &&
+        (force_refold ||
+         (prop.AccumulatorDependsOnMaxTime() && s.m_max_time != max_time) ||
+         (!s.fold_chrono && s.m_edges != total));
     if (m_stale) {
       std::fill(s.m.MutableData().begin(), s.m.MutableData().end(), 0.0f);
       s.m_edges = 0;
@@ -236,6 +271,9 @@ const std::vector<TemporalEdge>& SessionShard::EnsureFolded(Session& s) {
     s.m_edges = total;
     s.m_max_time = max_time;
   }
+  // Everything folded matches the full chronological order now, so edges at
+  // or above the max may eager-fold again.
+  s.fold_chrono = true;
   return *order;
 }
 
@@ -264,10 +302,38 @@ Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
     return result->status;
   }
   Session& s = *it->second;
+  // Injected rescale fallback: any non-delay fire forces EnsureFolded to
+  // discard every folded component and replay it — the legacy refold path —
+  // which must reproduce the eagerly folded state bit-for-bit. Evaluated
+  // once per score of a live session, so fire counts map 1:1 to scores.
+  bool force_refold = false;
+  failpoint::Hit rescale_hit;
+  if (TPGNN_FAILPOINT("shard.rescale", &rescale_hit)) {
+    if (rescale_hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(rescale_hit);
+    } else {
+      force_refold = true;
+    }
+  }
   {
     tensor::NoGradGuard no_grad;
-    const std::vector<TemporalEdge>& order = EnsureFolded(s);
-    Tensor h = model_.propagation().FinalizeState(s.x, s.m);
+    const std::vector<TemporalEdge>& order = EnsureFolded(s, force_refold);
+    const core::TpGnnConfig& config = model_.config();
+    const double max_time = s.graph.MaxTime();
+    // A score whose finalize carries previously finalized folded state
+    // across a max-time move is the invariant basis absorbing what the
+    // absolute basis would have refolded.
+    const bool invariant_coupled =
+        config.time_basis == core::TimeBasis::kInvariant &&
+        config.normalize_time && config.use_temporal_propagation() &&
+        config.use_time_encoding();
+    if (invariant_coupled && s.finalized_edges > 0 &&
+        s.finalized_max != max_time && metrics_ != nullptr) {
+      metrics_->state_rescales.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.finalized_edges = s.graph.num_edges();
+    s.finalized_max = max_time;
+    Tensor h = model_.propagation().FinalizeState(s.x, s.m, max_time);
     Tensor g = model_.EmbedFromNodeStates(h, order);
     result->logit = model_.ClassifyEmbedding(g).item();
   }

@@ -25,16 +25,22 @@
 // the model — bit-identical to TpGnnModel::ForwardLogit on the fully built
 // graph (see tests/serve/parity_test.cc).
 //
-// Fold validity (DESIGN.md §"Serving"): the SUM updater's X-hat fold is
-// time-independent, so it always advances in O(1) per edge. Components that
-// consume the time encoding (the SUM M-hat accumulator; the whole GRU
-// state) depend, under config.normalize_time, on the session's final max
-// timestamp, so a max-time change since the last fold invalidates them; the
-// shard then refolds that component from its cheap base (zeros / X0) at the
-// next score and counts a `state_refolds` metric. With normalize_time off
-// every component folds strictly incrementally. An out-of-order edge
-// (timestamp below the session's max) likewise forces a refold over the
-// re-sorted chronological order.
+// Fold validity (DESIGN.md §4.3 "Time renormalization algebra"): the SUM
+// updater's X-hat fold is time-independent, so it always advances in O(1)
+// per edge. Components that consume the time encoding (the SUM M-hat
+// accumulator; the whole GRU state) depend, in TimeBasis::kAbsolute under
+// config.normalize_time, on the session's final max timestamp, so a
+// max-time change since the last fold invalidates them; the shard then
+// refolds that component from its cheap base (zeros / X0) at the next score
+// and counts a `state_refolds` metric. In TimeBasis::kInvariant the fold is
+// carried in a max-time-invariant basis and FinalizeState applies the
+// bounded correction at score time instead: every component folds eagerly
+// in O(1) per edge, a score under a moved max counts `state_rescales`, and
+// refolds remain only for out-of-order edges (timestamp below the session's
+// max, which reorders the chronological fold) or the `shard.rescale`
+// failpoint (forces the legacy replay as a cross-check). With
+// normalize_time off every component folds strictly incrementally in either
+// basis.
 //
 // Concurrency: one mutex per shard; all public methods are thread-safe.
 // Events of a single session must still be submitted in order by the
@@ -112,8 +118,12 @@ class SessionShard {
 
   // Applies pending edges (and any required refold) so the folded state
   // matches the session's full edge list; returns the chronological edge
-  // order to feed the extractor.
-  const std::vector<graph::TemporalEdge>& EnsureFolded(Session& s);
+  // order to feed the extractor. `force_refold` (the shard.rescale
+  // failpoint) discards every folded component with a nonempty prefix and
+  // replays it, counting state_refolds exactly like an organic
+  // invalidation.
+  const std::vector<graph::TemporalEdge>& EnsureFolded(Session& s,
+                                                       bool force_refold);
   // Evicts the least recently used unpinned session; false if none exists.
   bool EvictOneLocked();
   void RemoveLocked(uint64_t session_id, Session& s);

@@ -173,6 +173,118 @@ TEST(TemporalPropagationTest, GradCheckGruUpdater) {
   EXPECT_TRUE(r.ok) << r.message;
 }
 
+// --- Invariant time basis (DESIGN.md §4.3) --------------------------------
+
+TEST(InvariantBasisTest, PredicatesAndAccumulatorWidth) {
+  Rng rng(20);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  config.time_basis = TimeBasis::kInvariant;
+  TemporalPropagation prop(config, rng);
+  // Output width is unchanged: the widened accumulator collapses back to
+  // time_dim at FinalizeState.
+  EXPECT_EQ(prop.output_dim(), 12);
+  EXPECT_EQ(prop.time_state_dim(), 2 * config.time_dim);
+  EXPECT_FALSE(prop.AccumulatorDependsOnMaxTime());
+  EXPECT_FALSE(prop.StateDependsOnMaxTime());
+
+  TpGnnConfig absolute = SmallConfig(Updater::kSum);
+  TemporalPropagation abs_prop(absolute, rng);
+  EXPECT_EQ(abs_prop.time_state_dim(), config.time_dim);
+  EXPECT_TRUE(abs_prop.AccumulatorDependsOnMaxTime());
+
+  TpGnnConfig gru = SmallConfig(Updater::kGru);
+  TemporalPropagation gru_prop(gru, rng);
+  EXPECT_TRUE(gru_prop.StateDependsOnMaxTime());
+  gru.time_basis = TimeBasis::kInvariant;
+  TemporalPropagation gru_inv(gru, rng);
+  EXPECT_FALSE(gru_inv.StateDependsOnMaxTime());
+}
+
+// The recorded (autograd) forward and the zero-copy inference forward must
+// agree bitwise in the invariant basis, exactly as they do in the absolute
+// basis — the deferred correction is mirrored expression by expression.
+TEST(InvariantBasisTest, RecordedAndInferenceForwardsBitIdentical) {
+  for (Updater updater : {Updater::kSum, Updater::kGru}) {
+    for (bool normalize : {true, false}) {
+      Rng rng(21);
+      TpGnnConfig config = SmallConfig(updater);
+      config.time_basis = TimeBasis::kInvariant;
+      config.normalize_time = normalize;
+      TemporalPropagation prop(config, rng);
+      TemporalGraph g = Fig1StyleGraph();
+      g.AddEdge(3, 0, 3.0);  // Duplicate timestamp.
+      g.AddEdge(0, 2, 7.0);
+      Tensor recorded = prop.Forward(g, g.ChronologicalEdges());
+      Tensor inference;
+      {
+        tensor::NoGradGuard no_grad;
+        inference = prop.Forward(g, g.ChronologicalEdges());
+      }
+      ASSERT_EQ(recorded.shape(), inference.shape());
+      for (size_t i = 0; i < recorded.data().size(); ++i) {
+        EXPECT_EQ(recorded.data()[i], inference.data()[i])
+            << "updater " << static_cast<int>(updater) << " normalize "
+            << normalize << " element " << i;
+      }
+    }
+  }
+}
+
+// The two bases are different models: same parameters, different H.
+TEST(InvariantBasisTest, BasesDisagreeButBothReactToTime) {
+  Rng rng(22);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  TemporalPropagation absolute(config, rng);
+  Rng rng2(22);
+  config.time_basis = TimeBasis::kInvariant;
+  TemporalPropagation invariant(config, rng2);
+  TemporalGraph g = Fig1StyleGraph();
+  Tensor ha = absolute.Forward(g, g.ChronologicalEdges());
+  Tensor hi = invariant.Forward(g, g.ChronologicalEdges());
+  EXPECT_FALSE(tensor::AllClose(ha, hi, 1e-6f, 1e-6f));
+  // And the invariant basis still distinguishes timestamp patterns.
+  TemporalGraph g2 = g;
+  g2.mutable_edges()[0].time = 2.5;
+  Tensor hi2 = invariant.Forward(g2, g2.ChronologicalEdges());
+  EXPECT_FALSE(tensor::AllClose(hi, hi2, 1e-6f, 1e-6f));
+}
+
+TEST(InvariantBasisTest, GradFlowsToAllParams) {
+  for (Updater updater : {Updater::kSum, Updater::kGru}) {
+    Rng rng(23);
+    TpGnnConfig config = SmallConfig(updater);
+    config.time_basis = TimeBasis::kInvariant;
+    TemporalPropagation prop(config, rng);
+    TemporalGraph g = Fig1StyleGraph();
+    Tensor h = prop.Forward(g, g.ChronologicalEdges());
+    tensor::Sum(tensor::Mul(h, h)).Backward();
+    for (const auto& [name, p] : prop.NamedParameters()) {
+      float grad_norm = 0.0f;
+      for (float gv : p.grad()) grad_norm += gv * gv;
+      EXPECT_GT(grad_norm, 0.0f)
+          << "no gradient reached " << name << " (updater "
+          << static_cast<int>(updater) << ")";
+    }
+  }
+}
+
+TEST(InvariantBasisTest, GradCheckSumUpdater) {
+  Rng rng(24);
+  TpGnnConfig config = SmallConfig(Updater::kSum);
+  config.embed_dim = 4;
+  config.time_dim = 2;
+  config.time_basis = TimeBasis::kInvariant;
+  TemporalPropagation prop(config, rng);
+  TemporalGraph g = Fig1StyleGraph();
+  auto r = tpgnn::testing::GradCheck(
+      [&](const std::vector<Tensor>&) {
+        Tensor h = prop.Forward(g, g.ChronologicalEdges());
+        return tensor::Sum(tensor::Mul(h, h));
+      },
+      prop.Parameters());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
 TEST(NormalizeTimeTest, ScalesToConfiguredRange) {
   TpGnnConfig config;
   config.normalize_time = true;

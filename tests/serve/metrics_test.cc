@@ -79,6 +79,7 @@ TEST(MetricsTest, SnapshotCarriesCountersAndSummarizes) {
   metrics.sessions_begun.fetch_add(2);
   metrics.scores_completed.fetch_add(3);
   metrics.state_refolds.fetch_add(1);
+  metrics.state_rescales.fetch_add(5);
   metrics.score_latency.Record(100.0);
 
   MetricsSnapshot snap = metrics.Snapshot();
@@ -86,11 +87,13 @@ TEST(MetricsTest, SnapshotCarriesCountersAndSummarizes) {
   EXPECT_EQ(snap.sessions_begun, 2u);
   EXPECT_EQ(snap.scores_completed, 3u);
   EXPECT_EQ(snap.state_refolds, 1u);
+  EXPECT_EQ(snap.state_rescales, 5u);
   EXPECT_EQ(snap.score_latency.count, 1u);
 
   const std::string text = snap.ToString();
   EXPECT_NE(text.find("events=10"), std::string::npos) << text;
   EXPECT_NE(text.find("scores=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("rescales=5"), std::string::npos) << text;
 }
 
 // Minimal checks over the JSON the METRICS RPC ships: every counter lands
@@ -105,6 +108,8 @@ TEST(MetricsTest, ToJsonCarriesCountersAndQuantiles) {
   metrics.frames_sent.fetch_add(7);
   metrics.connections_accepted.fetch_add(1);
   metrics.protocol_errors.fetch_add(1);
+  metrics.state_refolds.fetch_add(2);
+  metrics.state_rescales.fetch_add(9);
   for (int i = 0; i < 90; ++i) metrics.score_latency.Record(100.0);
   for (int i = 0; i < 10; ++i) metrics.score_latency.Record(5000.0);
 
@@ -117,7 +122,8 @@ TEST(MetricsTest, ToJsonCarriesCountersAndQuantiles) {
        {"\"counters\"", "\"events_ingested\": 10", "\"sessions_begun\": 2",
         "\"scores_completed\": 3", "\"bytes_received\": 4096",
         "\"frames_sent\": 7", "\"connections_accepted\": 1",
-        "\"protocol_errors\": 1", "\"latency_us\"", "\"score\"",
+        "\"protocol_errors\": 1", "\"state_refolds\": 2",
+        "\"state_rescales\": 9", "\"latency_us\"", "\"score\"",
         "\"count\": 100"}) {
     EXPECT_NE(json.find(expected), std::string::npos) << expected << "\n"
                                                       << json;

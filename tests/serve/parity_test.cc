@@ -68,6 +68,26 @@ std::vector<NamedConfig> ParityConfigs() {
   core::TpGnnConfig no_propagation = base;
   no_propagation.variant = core::Variant::kWithoutTem;
   configs.push_back({"variant_without_tem", no_propagation});
+  // Invariant time basis: the serving-oriented reformulation must hold the
+  // same bitwise contract against its own offline forward.
+  for (const core::Updater updater :
+       {core::Updater::kSum, core::Updater::kGru}) {
+    const std::string u = updater == core::Updater::kSum ? "sum" : "gru";
+    core::TpGnnConfig c = base;
+    c.updater = updater;
+    c.time_basis = core::TimeBasis::kInvariant;
+    configs.push_back({u + "_invariant", c});
+    c.normalize_time = false;
+    configs.push_back({u + "_invariant_raw_time", c});
+  }
+  core::TpGnnConfig inv_unstable = base;
+  inv_unstable.time_basis = core::TimeBasis::kInvariant;
+  inv_unstable.stabilize_sum = false;
+  configs.push_back({"sum_invariant_unstabilized", inv_unstable});
+  core::TpGnnConfig inv_time2vec = base;
+  inv_time2vec.time_basis = core::TimeBasis::kInvariant;
+  inv_time2vec.variant = core::Variant::kTime2Vec;
+  configs.push_back({"invariant_time2vec", inv_time2vec});
   return configs;
 }
 

@@ -1,0 +1,274 @@
+// The tentpole contract of the invariant time basis: under monotone
+// arrival, serving never refolds — a max-time move is absorbed by the
+// finalize-time rescale (counted as state_rescales) and every per-prefix
+// score is STILL bit-identical to the offline forward. The suite sweeps
+// arrival order (monotone / duplicate timestamps / out-of-order) ×
+// updater (SUM / GRU) × normalize_time × time basis, asserts the exact
+// refold/rescale counters for each cell, and checks that the forced
+// shard.rescale fallback (legacy replay) reproduces the rescale path
+// bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "serve/session_shard.h"
+#include "serve_test_util.h"
+#include "util/failpoint.h"
+
+namespace tpgnn::serve {
+namespace {
+
+enum class Arrival { kMonotone, kDuplicates, kOutOfOrder };
+
+const char* ArrivalName(Arrival a) {
+  switch (a) {
+    case Arrival::kMonotone:
+      return "monotone";
+    case Arrival::kDuplicates:
+      return "duplicates";
+    case Arrival::kOutOfOrder:
+      return "out_of_order";
+  }
+  return "?";
+}
+
+// A small fixed event stream over 4 nodes; timestamps per arrival pattern.
+// kOutOfOrder dips below the running max twice (after edges 2 and 5).
+std::vector<graph::TemporalEdge> StreamFor(Arrival arrival) {
+  const std::vector<std::pair<int64_t, int64_t>> endpoints = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}, {2, 0}, {3, 1}};
+  std::vector<double> times;
+  switch (arrival) {
+    case Arrival::kMonotone:
+      times = {1.0, 2.0, 3.5, 4.0, 6.0, 7.5, 9.0, 11.0};
+      break;
+    case Arrival::kDuplicates:
+      times = {1.0, 1.0, 2.0, 2.0, 2.0, 5.0, 5.0, 8.0};
+      break;
+    case Arrival::kOutOfOrder:
+      times = {1.0, 4.0, 2.0, 5.0, 6.0, 3.0, 7.0, 9.0};
+      break;
+  }
+  std::vector<graph::TemporalEdge> edges;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    edges.push_back({endpoints[i].first, endpoints[i].second, times[i]});
+  }
+  return edges;
+}
+
+struct Cell {
+  core::Updater updater;
+  bool normalize_time;
+  core::TimeBasis basis;
+
+  std::string Name() const {
+    std::string s = updater == core::Updater::kSum ? "sum" : "gru";
+    s += normalize_time ? "_norm" : "_raw";
+    s += basis == core::TimeBasis::kInvariant ? "_invariant" : "_absolute";
+    return s;
+  }
+};
+
+std::vector<Cell> AllCells() {
+  std::vector<Cell> cells;
+  for (core::Updater u : {core::Updater::kSum, core::Updater::kGru}) {
+    for (bool norm : {true, false}) {
+      for (core::TimeBasis b :
+           {core::TimeBasis::kAbsolute, core::TimeBasis::kInvariant}) {
+        cells.push_back({u, norm, b});
+      }
+    }
+  }
+  return cells;
+}
+
+core::TpGnnConfig CellConfig(const Cell& cell) {
+  core::TpGnnConfig config = TinyServeConfig();
+  config.updater = cell.updater;
+  config.normalize_time = cell.normalize_time;
+  config.time_basis = cell.basis;
+  return config;
+}
+
+// Streams the cell's events through a shard, scoring after every edge and
+// comparing bitwise against the offline forward over the same prefix.
+// Returns the final metrics snapshot for counter assertions.
+MetricsSnapshot RunPrefixParity(const Cell& cell, Arrival arrival) {
+  core::TpGnnModel model(CellConfig(cell), /*seed=*/5);
+  Metrics metrics;
+  SessionShard shard(model, ShardOptions{}, &metrics);
+  const std::vector<graph::TemporalEdge> stream = StreamFor(arrival);
+  const int64_t num_nodes = 4;
+  const int64_t feature_dim = model.config().feature_dim;
+
+  graph::TemporalGraph prefix(num_nodes, feature_dim);
+  for (int64_t node = 0; node < num_nodes; ++node) {
+    std::vector<float> f(static_cast<size_t>(feature_dim),
+                         0.25f * static_cast<float>(node + 1));
+    prefix.SetNodeFeature(node, f);
+  }
+  EXPECT_TRUE(shard
+                  .BeginSession(1, num_nodes, feature_dim,
+                                AllNodeFeatures(prefix), /*now=*/0.0)
+                  .ok());
+  for (size_t k = 0; k < stream.size(); ++k) {
+    const graph::TemporalEdge& e = stream[k];
+    EXPECT_TRUE(shard.AddEdge(1, e.src, e.dst, e.time, /*now=*/0.0).ok());
+    prefix.AddEdge(e.src, e.dst, e.time);
+    ScoreResult result;
+    EXPECT_TRUE(shard.Score(1, &result).ok());
+    EXPECT_EQ(result.logit, OfflineLogit(model, prefix))
+        << cell.Name() << " " << ArrivalName(arrival) << " prefix " << (k + 1);
+  }
+  return metrics.Snapshot();
+}
+
+TEST(RescaleTest, PerPrefixParityAcrossArrivalMatrix) {
+  for (const Cell& cell : AllCells()) {
+    for (Arrival arrival :
+         {Arrival::kMonotone, Arrival::kDuplicates, Arrival::kOutOfOrder}) {
+      RunPrefixParity(cell, arrival);
+    }
+  }
+}
+
+// Monotone sessions in the invariant basis never refold: every max-time
+// move is absorbed at finalize. The absolute basis refolds the time-coupled
+// component at every score whose max moved — the cost the tentpole kills.
+TEST(RescaleTest, MonotoneInvariantSessionsNeverRefold) {
+  for (const Cell& cell : AllCells()) {
+    const MetricsSnapshot snap = RunPrefixParity(cell, Arrival::kMonotone);
+    if (cell.basis == core::TimeBasis::kInvariant) {
+      EXPECT_EQ(snap.state_refolds, 0u) << cell.Name();
+    } else if (cell.normalize_time) {
+      // 8 strictly-increasing timestamps; the first score folds fresh state
+      // (nothing stale yet), the remaining 7 each invalidate the folded
+      // time-coupled component: M-hat for SUM, the whole GRU state.
+      EXPECT_EQ(snap.state_refolds, 7u) << cell.Name();
+    } else {
+      EXPECT_EQ(snap.state_refolds, 0u) << cell.Name();
+    }
+  }
+}
+
+// Duplicate timestamps only move the max when the value actually increases
+// (3 increases after the first score in the kDuplicates stream).
+TEST(RescaleTest, DuplicateTimestampsOnlyCountRealMaxMoves) {
+  Cell cell{core::Updater::kSum, /*normalize_time=*/true,
+            core::TimeBasis::kInvariant};
+  const MetricsSnapshot snap = RunPrefixParity(cell, Arrival::kDuplicates);
+  EXPECT_EQ(snap.state_refolds, 0u);
+  // Times 1,1,2,2,2,5,5,8: scores see max 1,1,2,2,2,5,5,8 -> moves at
+  // prefixes 3, 6, and 8.
+  EXPECT_EQ(snap.state_rescales, 3u);
+}
+
+// Exact rescale accounting for a monotone invariant session: every score
+// after the first sees a moved max over previously finalized folded state.
+TEST(RescaleTest, MonotoneInvariantCountsOneRescalePerMaxMove) {
+  for (core::Updater u : {core::Updater::kSum, core::Updater::kGru}) {
+    Cell cell{u, /*normalize_time=*/true, core::TimeBasis::kInvariant};
+    const MetricsSnapshot snap = RunPrefixParity(cell, Arrival::kMonotone);
+    EXPECT_EQ(snap.state_rescales, 7u) << cell.Name();
+  }
+  // The absolute basis refolds instead; it must not report rescales. Nor
+  // does the invariant basis without normalization (no max coupling to
+  // absorb).
+  Cell absolute{core::Updater::kSum, /*normalize_time=*/true,
+                core::TimeBasis::kAbsolute};
+  EXPECT_EQ(RunPrefixParity(absolute, Arrival::kMonotone).state_rescales, 0u);
+  Cell raw{core::Updater::kSum, /*normalize_time=*/false,
+           core::TimeBasis::kInvariant};
+  EXPECT_EQ(RunPrefixParity(raw, Arrival::kMonotone).state_rescales, 0u);
+}
+
+// Out-of-order arrivals still force refolds in the invariant basis — the
+// chronological fold order changed, which no algebra can absorb. The
+// kOutOfOrder stream dips below the running max twice, and each late edge
+// invalidates every folded component once at the next score.
+TEST(RescaleTest, OutOfOrderStillRefoldsInInvariantBasis) {
+  Cell sum{core::Updater::kSum, /*normalize_time=*/true,
+           core::TimeBasis::kInvariant};
+  const MetricsSnapshot sum_snap = RunPrefixParity(sum, Arrival::kOutOfOrder);
+  // SUM has two folded components (X-hat and M-hat): 2 late edges x 2.
+  EXPECT_EQ(sum_snap.state_refolds, 4u);
+
+  Cell gru{core::Updater::kGru, /*normalize_time=*/true,
+           core::TimeBasis::kInvariant};
+  const MetricsSnapshot gru_snap = RunPrefixParity(gru, Arrival::kOutOfOrder);
+  // GRU folds only X: 2 late edges x 1.
+  EXPECT_EQ(gru_snap.state_refolds, 2u);
+}
+
+// The shard.rescale failpoint forces the legacy replay; the replayed state
+// must land on exactly the floats the eager invariant fold produced, and
+// the refold counter must attribute exactly to the fires.
+TEST(RescaleTest, ForcedRefoldFallbackIsBitIdentical) {
+  for (core::Updater u : {core::Updater::kSum, core::Updater::kGru}) {
+    Cell cell{u, /*normalize_time=*/true, core::TimeBasis::kInvariant};
+    core::TpGnnModel model(CellConfig(cell), /*seed=*/5);
+    const std::vector<graph::TemporalEdge> stream =
+        StreamFor(Arrival::kMonotone);
+    const int64_t num_nodes = 4;
+    graph::TemporalGraph full(num_nodes, model.config().feature_dim);
+    for (int64_t node = 0; node < num_nodes; ++node) {
+      std::vector<float> f(static_cast<size_t>(model.config().feature_dim),
+                           0.25f * static_cast<float>(node + 1));
+      full.SetNodeFeature(node, f);
+    }
+    for (const graph::TemporalEdge& e : stream) {
+      full.AddEdge(e.src, e.dst, e.time);
+    }
+
+    auto stream_and_score = [&](Metrics* metrics,
+                                std::vector<float>* logits) {
+      SessionShard shard(model, ShardOptions{}, metrics);
+      ASSERT_TRUE(shard
+                      .BeginSession(1, num_nodes, model.config().feature_dim,
+                                    AllNodeFeatures(full), /*now=*/0.0)
+                      .ok());
+      for (const graph::TemporalEdge& e : stream) {
+        ASSERT_TRUE(shard.AddEdge(1, e.src, e.dst, e.time, /*now=*/0.0).ok());
+        ScoreResult result;
+        ASSERT_TRUE(shard.Score(1, &result).ok());
+        logits->push_back(result.logit);
+      }
+    };
+
+    std::vector<float> eager;
+    {
+      Metrics metrics;
+      stream_and_score(&metrics, &eager);
+      EXPECT_EQ(metrics.Snapshot().state_refolds, 0u);
+    }
+
+    std::vector<float> forced;
+    Metrics metrics;
+    {
+      failpoint::ScopedFailpoint fp("shard.rescale", /*probability=*/1.0,
+                                    failpoint::Kind::kReturnError);
+      stream_and_score(&metrics, &forced);
+      // Every score fired; each fire with a nonempty folded prefix refolds
+      // each folded component (SUM: X and M, GRU: X).
+      const uint64_t per_fire = u == core::Updater::kSum ? 2u : 1u;
+      EXPECT_EQ(fp.fires(), stream.size());
+      EXPECT_EQ(metrics.Snapshot().state_refolds,
+                per_fire * static_cast<uint64_t>(stream.size()));
+    }
+    ASSERT_EQ(eager.size(), forced.size());
+    for (size_t i = 0; i < eager.size(); ++i) {
+      EXPECT_EQ(eager[i], forced[i])
+          << cell.Name() << " forced-refold divergence at prefix " << (i + 1);
+    }
+    // Rescale accounting is independent of the forced refolds: the finalize
+    // still absorbed each of the 7 max moves.
+    EXPECT_EQ(metrics.Snapshot().state_rescales, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::serve
