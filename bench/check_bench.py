@@ -10,12 +10,19 @@ object (BENCH_net.json).
 Usage:
   bench/check_bench.py --baseline BENCH_serve.json --current /tmp/new.json
   bench/check_bench.py ... --max-drop 0.15 --metric events_per_second
+  bench/check_bench.py --baseline BENCH_plan.json --current /tmp/plan.json \
+      --metric speedup_planned_simd_vs_fused \
+      --require-zero buffer_allocs_per_edge
 
-Only higher-is-better metrics are gated (default: events_per_second and
-scores_per_second). Entries present in only one of the two files are
-reported but do not fail the gate — benchmarks come and go; losing a
-baseline row is a review concern, not a perf regression. Increases are
-never failures.
+Higher-is-better metrics are gated with --metric (default:
+events_per_second and scores_per_second); lower-is-better metrics (e.g.
+ns_per_edge) with --lower-metric, where an *increase* past --max-drop
+fails. --require-zero names a metric that must be exactly 0 in every
+current entry carrying it, regardless of the baseline (the planned
+executor's allocation-free contract). Entries present in only one of the
+two files are reported but do not fail the gate — benchmarks come and go;
+losing a baseline row is a review concern, not a perf regression.
+Improvements are never failures.
 
 The default --max-drop of 0.15 suits a quiet machine; CI runners are
 noisy and pass a looser value.
@@ -61,8 +68,17 @@ def main():
     parser.add_argument("--metric", action="append", default=None,
                         help="higher-is-better metric to gate (repeatable; "
                              "default: events_per_second, scores_per_second)")
+    parser.add_argument("--lower-metric", action="append", default=[],
+                        help="lower-is-better metric to gate (repeatable); "
+                             "fails when the current value grows past "
+                             "--max-drop relative to the baseline")
+    parser.add_argument("--require-zero", action="append", default=[],
+                        help="metric that must be exactly 0 in every current "
+                             "entry that carries it (repeatable)")
     args = parser.parse_args()
     metrics = args.metric or ["events_per_second", "scores_per_second"]
+    gated = [(m, True) for m in metrics]
+    gated += [(m, False) for m in args.lower_metric]
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
@@ -73,19 +89,35 @@ def main():
         if key not in current:
             print(f"note: {key} in baseline but not in current run")
             continue
-        for metric in metrics:
+        for metric, higher_is_better in gated:
             base = baseline[key].get(metric)
             cur = current[key].get(metric)
             if base is None or cur is None or base <= 0:
                 continue
             compared += 1
-            drop = 1.0 - cur / base
+            # `drop` is the regression fraction: how far the current value
+            # moved in the bad direction relative to the baseline.
+            if higher_is_better:
+                drop = 1.0 - cur / base
+            else:
+                drop = cur / base - 1.0
             marker = ""
             if drop > args.max_drop:
                 failures.append((key, metric, base, cur, drop))
                 marker = "  << REGRESSION"
             print(f"{key:34s} {metric:20s} {base:12.1f} -> {cur:12.1f} "
                   f"({-drop:+7.1%}){marker}")
+    zero_failures = []
+    for key in sorted(current):
+        for metric in args.require_zero:
+            cur = current[key].get(metric)
+            if cur is None:
+                continue
+            compared += 1
+            if cur != 0:
+                zero_failures.append((key, metric, cur))
+                print(f"{key:34s} {metric:20s} {cur:12.4f} != 0"
+                      f"  << REGRESSION")
     for key in sorted(set(current) - set(baseline)):
         print(f"note: {key} in current run but not in baseline "
               f"(new benchmark? refresh the baseline)")
@@ -94,12 +126,18 @@ def main():
         print("error: no comparable metrics between baseline and current",
               file=sys.stderr)
         return 2
-    if failures:
-        print(f"\n{len(failures)} metric(s) regressed more than "
-              f"{args.max_drop:.0%}:", file=sys.stderr)
-        for key, metric, base, cur, drop in failures:
-            print(f"  {key} {metric}: {base:.1f} -> {cur:.1f} "
-                  f"(-{drop:.1%})", file=sys.stderr)
+    if failures or zero_failures:
+        if failures:
+            print(f"\n{len(failures)} metric(s) regressed more than "
+                  f"{args.max_drop:.0%}:", file=sys.stderr)
+            for key, metric, base, cur, drop in failures:
+                print(f"  {key} {metric}: {base:.1f} -> {cur:.1f} "
+                      f"(-{drop:.1%})", file=sys.stderr)
+        if zero_failures:
+            print(f"\n{len(zero_failures)} metric(s) violated the "
+                  f"must-be-zero contract:", file=sys.stderr)
+            for key, metric, cur in zero_failures:
+                print(f"  {key} {metric}: {cur}", file=sys.stderr)
         return 1
     print(f"\nOK: {compared} metric comparisons within {args.max_drop:.0%}")
     return 0

@@ -44,6 +44,43 @@ TemporalPropagation::TemporalPropagation(const TpGnnConfig& config, Rng& rng)
     updater_ = std::make_unique<nn::GruCell>(input_dim, config_.embed_dim, rng);
     RegisterChild("updater", updater_.get());
   }
+  // Compile (or fetch) the per-edge programs for this shape. Programs are
+  // pure shape — parameters are bound per run through PlanParams() — so
+  // models with the same spec share one compiled plan. Variants without
+  // temporal propagation still need the finalize program (readout is
+  // Tanh(x)); their edge/time programs are never run.
+  tensor::plan::PlanSpec spec;
+  spec.updater = updater_ != nullptr ? tensor::plan::PlanSpec::Updater::kGru
+                                     : tensor::plan::PlanSpec::Updater::kSum;
+  spec.embed_dim = static_cast<int32_t>(config_.embed_dim);
+  spec.time_dim = time_ != nullptr ? static_cast<int32_t>(config_.time_dim) : 0;
+  spec.stabilize = config_.stabilize_sum;
+  spec.invariant =
+      time_ != nullptr && config_.time_basis == TimeBasis::kInvariant;
+  plans_ = tensor::plan::PlanCache::Global().Get(spec);
+}
+
+std::array<const float*, tensor::plan::kNumParamSlots>
+TemporalPropagation::PlanParams() const {
+  std::array<const float*, tensor::plan::kNumParamSlots> params{};
+  if (time_ != nullptr) {
+    params[tensor::plan::kParamW0] = time_->w0().data().data();
+    params[tensor::plan::kParamPhi0] = time_->phi0().data().data();
+    params[tensor::plan::kParamW] = time_->w().data().data();
+    params[tensor::plan::kParamPhi] = time_->phi().data().data();
+  }
+  if (updater_ != nullptr) {
+    params[tensor::plan::kParamWz] = updater_->wz().data().data();
+    params[tensor::plan::kParamUz] = updater_->uz().data().data();
+    params[tensor::plan::kParamBz] = updater_->bz().data().data();
+    params[tensor::plan::kParamWr] = updater_->wr().data().data();
+    params[tensor::plan::kParamUr] = updater_->ur().data().data();
+    params[tensor::plan::kParamBr] = updater_->br().data().data();
+    params[tensor::plan::kParamWn] = updater_->wn().data().data();
+    params[tensor::plan::kParamUn] = updater_->un().data().data();
+    params[tensor::plan::kParamBn] = updater_->bn().data().data();
+  }
+  return params;
 }
 
 int64_t TemporalPropagation::output_dim() const {
@@ -67,6 +104,12 @@ Tensor TemporalPropagation::Forward(
   Tensor x = embed_.Forward(graph.FeatureMatrix());  // [n, embed_dim]
 
   if (!config_.use_temporal_propagation()) {
+    // Inference readout goes through the planned executor so offline scores
+    // match serving bitwise in every SIMD mode (scalar tanh is libm there
+    // too, so scalar mode also matches this recorded path bitwise).
+    if (!tensor::GradEnabled()) {
+      return FinalizeState(x, Tensor(), /*max_time=*/0.0);
+    }
     return Tanh(x);
   }
 
@@ -220,142 +263,102 @@ void TemporalPropagation::PropagateEdgeState(
     Tensor& x, const graph::TemporalEdge& e, double max_time, double prev_time,
     PropagationScratch& scratch) const {
   TPGNN_CHECK(config_.use_temporal_propagation());
-  const int64_t embed_dim = config_.embed_dim;
-  if (config_.updater == Updater::kSum) {
-    ConstRowSpan src = RowSpanOf(x, e.src);
-    RowSpan dst = MutableRowSpan(x, e.dst);
-    // Eq. (3); reads src[i] and dst[i] of the same index only, so a
-    // self-loop (src aliasing dst) doubles the row exactly like Add.
-    for (int64_t i = 0; i < embed_dim; ++i) {
-      dst.data[i] = src.data[i] + dst.data[i];
-    }
-    if (config_.stabilize_sum) {
-      for (int64_t i = 0; i < embed_dim; ++i) {
-        dst.data[i] = std::tanh(dst.data[i]);
-      }
-    }
-    return;
-  }
-  // GRU updater: the message row is staged in one scratch buffer and the
-  // state row is overwritten in place (StepInto allows out == h).
-  const int64_t time_dim = time_ != nullptr ? config_.time_dim : 0;
-  scratch.message.resize(static_cast<size_t>(embed_dim + time_dim));
-  ConstRowSpan src = RowSpanOf(x, e.src);
-  std::copy(src.data, src.data + embed_dim, scratch.message.begin());
-  if (time_ != nullptr) {
-    const float t = static_cast<float>(
+  TPGNN_CHECK(plans_ != nullptr);
+  // Eq. (3) / Eq. (6), as the compiled edge program. SUM reads src[i] and
+  // dst[i] of the same index only, so a self-loop (src aliasing dst) doubles
+  // the row exactly like Add; the GRU program stages the message into the
+  // arena before touching dst, so self-loops are safe there too.
+  const auto params = PlanParams();
+  tensor::plan::RunContext ctx;
+  ctx.src = RowSpanOf(x, e.src).data;
+  ctx.dst = MutableRowSpan(x, e.dst).data;
+  if (updater_ != nullptr && time_ != nullptr) {
+    ctx.t = static_cast<float>(
         config_.time_basis == TimeBasis::kInvariant
             ? e.time - prev_time
             : NormalizeTime(config_, e.time, max_time));
-    time_->EvalInto(t, scratch.message.data() + embed_dim);
   }
-  RowSpan dst = MutableRowSpan(x, e.dst);
-  updater_->StepInto(scratch.message.data(), dst.data, dst.data, scratch.gru);
+  scratch.exec.Run(plans_->edge, params.data(), ctx);
 }
 
 void TemporalPropagation::AccumulateEdgeTime(
     Tensor& m, const graph::TemporalEdge& e, double max_time,
     PropagationScratch& scratch) const {
   TPGNN_CHECK(has_time_accumulator());
-  const int64_t time_dim = config_.time_dim;
-  if (config_.time_basis == TimeBasis::kInvariant) {
-    // Invariant basis, row layout [Σt, k, A_1..A_{d-1}, B_1..B_{d-1}]:
-    // accumulate the raw-time phasor; max_time is deliberately unread, so a
-    // later max move never invalidates this fold (the correction happens in
-    // FinalizeState). Mirrors the recorded Add(Sin/Cos(theta), ·) chain.
-    const int64_t periodic = time_dim - 1;
-    scratch.phasor.resize(static_cast<size_t>(2 * periodic));
-    float* sin_s = scratch.phasor.data();
-    float* cos_s = scratch.phasor.data() + periodic;
-    const float tf = static_cast<float>(e.time);
-    time_->EvalPhasorInto(tf, sin_s, cos_s);
-    RowSpan mrow = MutableRowSpan(m, e.dst);
-    mrow.data[0] = tf + mrow.data[0];
-    mrow.data[1] = 1.0f + mrow.data[1];
-    for (int64_t j = 0; j < periodic; ++j) {
-      mrow.data[2 + j] = sin_s[j] + mrow.data[2 + j];
-    }
-    for (int64_t j = 0; j < periodic; ++j) {
-      mrow.data[time_dim + 1 + j] = cos_s[j] + mrow.data[time_dim + 1 + j];
-    }
-    return;
-  }
-  scratch.time_enc.resize(static_cast<size_t>(time_dim));
-  const float t = static_cast<float>(NormalizeTime(config_, e.time, max_time));
-  time_->EvalInto(t, scratch.time_enc.data());
-  RowSpan mrow = MutableRowSpan(m, e.dst);
-  // Eq. (4), associating like Add(f(t), mhat).
-  for (int64_t i = 0; i < time_dim; ++i) {
-    mrow.data[i] = scratch.time_enc[static_cast<size_t>(i)] + mrow.data[i];
-  }
-  if (config_.stabilize_sum) {
-    for (int64_t i = 0; i < time_dim; ++i) {
-      mrow.data[i] = std::tanh(mrow.data[i]);
-    }
-  }
+  TPGNN_CHECK(plans_ != nullptr);
+  // Eq. (4), as the compiled time program. Invariant basis: the raw-time
+  // phasor accumulates into [Σt, k, A.., B..]; max_time is deliberately
+  // unread, so a later max move never invalidates this fold (the correction
+  // happens in FinalizeState). Absolute basis: m += f(t_norm), optionally
+  // squashed. Both associate like the recorded Add(·, mhat) chain.
+  const auto params = PlanParams();
+  tensor::plan::RunContext ctx;
+  ctx.m = MutableRowSpan(m, e.dst).data;
+  ctx.t = static_cast<float>(
+      config_.time_basis == TimeBasis::kInvariant
+          ? e.time
+          : NormalizeTime(config_, e.time, max_time));
+  scratch.exec.Run(plans_->time, params.data(), ctx);
 }
 
 Tensor TemporalPropagation::FinalizeState(const Tensor& x, const Tensor& m,
                                           double max_time) const {
-  if (!has_time_accumulator()) {
-    return Tanh(x);
+  TPGNN_CHECK(plans_ != nullptr);
+  const bool with_time = has_time_accumulator();
+  if (with_time) {
+    TPGNN_CHECK(m.defined());
   }
-  TPGNN_CHECK(m.defined());
-  if (config_.time_basis != TimeBasis::kInvariant) {
-    return Tanh(Concat({x, m}, /*axis=*/1));
-  }
-  // Invariant basis: apply the deferred max-time correction — O(n·time_dim)
-  // regardless of how many edges were folded. Every float expression below
-  // mirrors the recorded correction in Forward (Scale→Add for the linear
-  // channel, Mul/Sub against the shared rotation row for the periodic
-  // ones), keeping the two paths bit-identical.
   const int64_t n = x.size(0);
-  const int64_t time_dim = config_.time_dim;
-  const int64_t periodic = time_dim - 1;
-  const float sf = static_cast<float>(
-      (config_.normalize_time && max_time > 0.0)
-          ? config_.time_scale / max_time
-          : 1.0);
-  const float tmax = static_cast<float>(max_time);
-  const float w0 = time_->w0().data()[0];
-  const float phi0 = time_->phi0().data()[0];
-  std::vector<float> rot(static_cast<size_t>(2 * periodic));
-  float* rot_cos = rot.data();
-  float* rot_sin = rot.data() + periodic;
-  time_->EvalRotationInto(tmax, rot_cos, rot_sin);
-  Tensor corrected = Tensor::Zeros({n, time_dim});
-  for (int64_t v = 0; v < n; ++v) {
-    ConstRowSpan in = RowSpanOf(m, v);
-    RowSpan out = MutableRowSpan(corrected, v);
-    const float sn = in.data[0] * sf;
-    const float kf = in.data[1];
-    const float lin_w = w0 * sn;
-    const float lin_p = phi0 * kf;
-    out.data[0] = lin_w + lin_p;
-    for (int64_t j = 0; j < periodic; ++j) {
-      const float a = in.data[2 + j] * rot_cos[j];
-      const float b = in.data[time_dim + 1 + j] * rot_sin[j];
-      out.data[1 + j] = a - b;
-    }
-    if (config_.stabilize_sum) {
-      const float invk = kf > 0.0f ? 1.0f / kf : 1.0f;
-      for (int64_t i = 0; i < time_dim; ++i) {
-        out.data[i] = out.data[i] * invk;
-      }
-    }
+  const int64_t time_dim = with_time ? config_.time_dim : 0;
+  const bool invariant =
+      with_time && config_.time_basis == TimeBasis::kInvariant;
+
+  // Per-call constants for the invariant correction (DESIGN.md §4.3): the
+  // linear-channel rescale sf rides in ctx.t, the rotation table
+  // [cos(w·T) ++ sin(w·T)] in ctx.aux. Every float expression the finalize
+  // program runs mirrors the recorded correction in Forward (Scale→Add for
+  // the linear channel, Mul/Sub against the shared rotation row for the
+  // periodic ones), keeping the two paths bit-identical in scalar mode.
+  tensor::plan::RunContext ctx;
+  std::vector<float> rot;
+  if (invariant) {
+    const int64_t periodic = time_dim - 1;
+    rot.resize(static_cast<size_t>(2 * periodic));
+    time_->EvalRotationInto(static_cast<float>(max_time), rot.data(),
+                            rot.data() + periodic);
+    ctx.aux = rot.data();
+    ctx.t = static_cast<float>(
+        (config_.normalize_time && max_time > 0.0)
+            ? config_.time_scale / max_time
+            : 1.0);
   }
-  return Tanh(Concat({x, corrected}, /*axis=*/1));
+
+  // The finalize program plans no arena temps (it writes the output row
+  // directly), so a local executor stays allocation-free.
+  Tensor out = Tensor::Zeros({n, config_.embed_dim + time_dim});
+  const auto params = PlanParams();
+  tensor::plan::PlanExecutor exec;
+  for (int64_t v = 0; v < n; ++v) {
+    ctx.src = RowSpanOf(x, v).data;
+    ctx.dst = MutableRowSpan(out, v).data;
+    if (with_time) {
+      // The finalize program only reads the accumulator row.
+      ctx.m = const_cast<float*>(RowSpanOf(m, v).data);
+    }
+    exec.Run(plans_->finalize, params.data(), ctx);
+  }
+  return out;
 }
 
 Tensor TemporalPropagation::ForwardInference(
     Tensor x, const std::vector<graph::TemporalEdge>& edge_order,
     double max_time) const {
   // Zero-copy propagation: node state lives in the [n, dim] matrices and is
-  // updated in place per edge through the single-edge steps above, so no
-  // per-edge tensors or tape nodes exist. Every kernel and elementwise
-  // expression mirrors the recorded path in Forward, keeping eval
-  // bit-identical to the training forward — and serve/'s incremental fold,
-  // built on the same steps, bit-identical to both.
+  // updated in place per edge by the compiled programs, so no per-edge
+  // tensors or tape nodes exist. Every program op mirrors the recorded path
+  // in Forward — bit-identical to the training forward in scalar SIMD mode,
+  // kernel-ulp-close otherwise — and serve/'s incremental fold, built on
+  // the same steps, is bit-identical to this path in every mode.
   Tensor m;
   if (has_time_accumulator()) {
     m = Tensor::Zeros({x.size(0), time_state_dim()});

@@ -1,6 +1,7 @@
 #ifndef TPGNN_CORE_TEMPORAL_PROPAGATION_H_
 #define TPGNN_CORE_TEMPORAL_PROPAGATION_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/time_encoding.h"
+#include "tensor/executor.h"
+#include "tensor/plan.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -21,14 +24,12 @@
 
 namespace tpgnn::core {
 
-// Reusable staging buffers for the single-edge propagation steps below;
-// holding one per propagation loop keeps the per-edge path allocation-free
-// after the first edge.
+// Reusable per-loop state for the single-edge propagation steps below. The
+// executor's arena holds every temporary the compiled per-edge programs
+// need; after the first edge it is warm and the per-edge path performs zero
+// heap allocation.
 struct PropagationScratch {
-  nn::GruScratch gru;
-  std::vector<float> message;   // GRU input row [embed_dim + time_dim].
-  std::vector<float> time_enc;  // f(t) staging for the SUM accumulator.
-  std::vector<float> phasor;    // sin/cos staging for the invariant basis.
+  tensor::plan::PlanExecutor exec;
 };
 
 class TemporalPropagation : public nn::Module {
@@ -128,17 +129,27 @@ class TemporalPropagation : public nn::Module {
  private:
   // Allocation-free propagation used when gradients are disabled: node state
   // is mutated in place through zero-copy row views (tensor/tensor.h),
-  // running the same kernels as the recorded path so results are
-  // bit-identical to Forward. `x` is the freshly embedded [n, embed_dim]
-  // matrix, consumed as the initial state.
+  // running the compiled per-edge programs (tensor/plan.h) against the
+  // scratch arena — the same kernels, in the same order, as the recorded
+  // path, so results are bit-identical to Forward in scalar SIMD mode and
+  // kernel-ulp-close under a vector ISA (tensor/kernels.h). `x` is the
+  // freshly embedded [n, embed_dim] matrix, consumed as the initial state.
   tensor::Tensor ForwardInference(
       tensor::Tensor x, const std::vector<graph::TemporalEdge>& edge_order,
       double max_time) const;
+
+  // The parameter table the compiled programs read (slot -> storage). Built
+  // per call — checkpoint loading may reseat parameter storage, so pointers
+  // are never cached across calls.
+  std::array<const float*, tensor::plan::kNumParamSlots> PlanParams() const;
 
   TpGnnConfig config_;
   nn::Linear embed_;                      // Eq. (1).
   std::unique_ptr<nn::Time2Vec> time_;    // Eq. (2); null if disabled.
   std::unique_ptr<nn::GruCell> updater_;  // Eq. (6); null for SUM.
+  // Compiled per-edge/readout programs for this configuration, shared
+  // process-wide through plan::PlanCache.
+  std::shared_ptr<const tensor::plan::CompiledPlans> plans_;
 };
 
 // Normalizes edge timestamps to [0, config.time_scale] when

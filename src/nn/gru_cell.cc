@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
-#include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -17,7 +17,6 @@ using tensor::MulAdd;
 using tensor::Sigmoid;
 using tensor::Tanh;
 using tensor::Tensor;
-using tensor::internal::GemmAccumulate;
 
 GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
     : input_size_(input_size), hidden_size_(hidden_size) {
@@ -58,6 +57,7 @@ void GruCell::StepInto(const float* x, const float* h, float* out,
                        GruScratch& s) const {
   const int64_t d = hidden_size_;
   const int64_t k = input_size_;
+  const tensor::Kernels& ker = tensor::ActiveKernels();
   s.z.assign(static_cast<size_t>(d), 0.0f);
   s.r.assign(static_cast<size_t>(d), 0.0f);
   s.n.assign(static_cast<size_t>(d), 0.0f);
@@ -65,38 +65,25 @@ void GruCell::StepInto(const float* x, const float* h, float* out,
   s.xn.assign(static_cast<size_t>(d), 0.0f);
 
   // Gates: mirror Affine2's kernel order (x*W accumulated first, then h*U,
-  // bias last) so the values match the recorded Forward bitwise.
-  GemmAccumulate(x, wz_.data().data(), s.z.data(), 1, k, d);
-  GemmAccumulate(h, uz_.data().data(), s.z.data(), 1, d, d);
-  const float* bz = bz_.data().data();
-  for (int64_t j = 0; j < d; ++j) {
-    s.z[static_cast<size_t>(j)] =
-        1.0f / (1.0f + std::exp(-(s.z[static_cast<size_t>(j)] + bz[j])));
-  }
-  GemmAccumulate(x, wr_.data().data(), s.r.data(), 1, k, d);
-  GemmAccumulate(h, ur_.data().data(), s.r.data(), 1, d, d);
-  const float* br = br_.data().data();
-  for (int64_t j = 0; j < d; ++j) {
-    s.r[static_cast<size_t>(j)] =
-        1.0f / (1.0f + std::exp(-(s.r[static_cast<size_t>(j)] + br[j])));
-  }
+  // bias last). GEMM is bitwise across SIMD modes; the sigmoid/tanh maps are
+  // in the kernel-ulp tolerance class (tensor/kernels.h), so in scalar mode
+  // the values match the recorded Forward bitwise.
+  ker.gemm_accumulate(x, wz_.data().data(), s.z.data(), 1, k, d);
+  ker.gemm_accumulate(h, uz_.data().data(), s.z.data(), 1, d, d);
+  ker.sigmoid_bias(s.z.data(), bz_.data().data(), d);
+  ker.gemm_accumulate(x, wr_.data().data(), s.r.data(), 1, k, d);
+  ker.gemm_accumulate(h, ur_.data().data(), s.r.data(), 1, d, d);
+  ker.sigmoid_bias(s.r.data(), br_.data().data(), d);
 
   // Candidate: tanh(r o (h Un) + (x Wn + bn)), associating exactly like
   // Tanh(MulAdd(r, MatMul(h, un), Affine(x, wn, bn))).
-  GemmAccumulate(h, un_.data().data(), s.hu.data(), 1, d, d);
-  GemmAccumulate(x, wn_.data().data(), s.xn.data(), 1, k, d);
-  const float* bn = bn_.data().data();
-  for (int64_t j = 0; j < d; ++j) {
-    const size_t sj = static_cast<size_t>(j);
-    const float xb = s.xn[sj] + bn[j];
-    s.n[sj] = std::tanh(s.r[sj] * s.hu[sj] + xb);
-  }
+  ker.gemm_accumulate(h, un_.data().data(), s.hu.data(), 1, d, d);
+  ker.gemm_accumulate(x, wn_.data().data(), s.xn.data(), 1, k, d);
+  ker.gru_candidate(s.n.data(), s.r.data(), s.hu.data(), s.xn.data(),
+                    bn_.data().data(), d);
 
   // Blend reads h[j] before writing out[j], so out may alias h.
-  for (int64_t j = 0; j < d; ++j) {
-    const size_t sj = static_cast<size_t>(j);
-    out[j] = s.z[sj] * h[j] + (1.0f - s.z[sj]) * s.n[sj];
-  }
+  ker.gru_blend(out, s.z.data(), h, s.n.data(), d);
 }
 
 }  // namespace tpgnn::nn

@@ -41,6 +41,19 @@ class GruCell : public Module {
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }
 
+  // Parameter views for the planned per-edge executor (tensor/plan.h): the
+  // compiled GRU program reads the same storage the recorded Forward and
+  // StepInto consume, through the plan's parameter table.
+  const tensor::Tensor& wz() const { return wz_; }
+  const tensor::Tensor& uz() const { return uz_; }
+  const tensor::Tensor& bz() const { return bz_; }
+  const tensor::Tensor& wr() const { return wr_; }
+  const tensor::Tensor& ur() const { return ur_; }
+  const tensor::Tensor& br() const { return br_; }
+  const tensor::Tensor& wn() const { return wn_; }
+  const tensor::Tensor& un() const { return un_; }
+  const tensor::Tensor& bn() const { return bn_; }
+
  private:
   int64_t input_size_;
   int64_t hidden_size_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -41,35 +42,27 @@ Tensor Time2Vec::Forward(const std::vector<float>& ts) const {
   return Stack(rows);
 }
 
+// The Eval* fast paths run the dispatched time-encoding kernels
+// (tensor/kernels.h). All three are in the bitwise parity class on every
+// ISA — the phase w*t + phi keeps the recorded Sin(Add(Scale(w, t), phi))
+// chain's two-step rounding and sin/cos stay libm — so these stay
+// bit-identical to the recorded path in every SIMD mode.
+
 void Time2Vec::EvalInto(float t, float* out) const {
-  out[0] = w0_.data()[0] * t + phi0_.data()[0];
-  const float* w = w_.data().data();
-  const float* phi = phi_.data().data();
-  for (int64_t j = 0; j < dim_ - 1; ++j) {
-    out[j + 1] = std::sin(w[j] * t + phi[j]);
-  }
+  tensor::ActiveKernels().time2vec(out, t, w0_.data().data(),
+                                   phi0_.data().data(), w_.data().data(),
+                                   phi_.data().data(), dim_);
 }
 
 void Time2Vec::EvalPhasorInto(float t, float* sin_out, float* cos_out) const {
-  const float* w = w_.data().data();
-  const float* phi = phi_.data().data();
-  // Two-step rounding (w*t, then +phi) mirrors the recorded
-  // Sin(Add(Scale(w, t), phi)) chain, keeping the two paths bit-identical.
-  for (int64_t j = 0; j < dim_ - 1; ++j) {
-    const float theta = w[j] * t + phi[j];
-    sin_out[j] = std::sin(theta);
-    cos_out[j] = std::cos(theta);
-  }
+  tensor::ActiveKernels().phasor(sin_out, cos_out, t, w_.data().data(),
+                                 phi_.data().data(), dim_ - 1);
 }
 
 void Time2Vec::EvalRotationInto(float delta, float* cos_out,
                                 float* sin_out) const {
-  const float* w = w_.data().data();
-  for (int64_t j = 0; j < dim_ - 1; ++j) {
-    const float theta = w[j] * delta;
-    cos_out[j] = std::cos(theta);
-    sin_out[j] = std::sin(theta);
-  }
+  tensor::ActiveKernels().rotation(cos_out, sin_out, delta, w_.data().data(),
+                                   dim_ - 1);
 }
 
 BochnerTimeEncoding::BochnerTimeEncoding(int64_t dim, Rng& rng) : dim_(dim) {

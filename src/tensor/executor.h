@@ -1,0 +1,54 @@
+#ifndef TPGNN_TENSOR_EXECUTOR_H_
+#define TPGNN_TENSOR_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/plan.h"
+
+// Executes compiled per-edge programs (tensor/plan.h) against a preallocated
+// arena. One executor is embedded per propagation scratch (offline fold,
+// serving session); after the first run its arena is warm and a run performs
+// zero heap allocation and zero virtual dispatch — a switch over opcodes
+// calling the SIMD kernel table resolved once per run.
+
+namespace tpgnn::tensor::plan {
+
+// Per-run operand bindings. Field meanings per program are documented on
+// CompiledPlans.
+struct RunContext {
+  const float* src = nullptr;
+  float* dst = nullptr;
+  float* m = nullptr;
+  const float* aux = nullptr;
+  float t = 0.0f;
+};
+
+class PlanExecutor {
+ public:
+  // Runs `program` with the given parameter table (kNumParamSlots entries)
+  // and bindings. Grows the arena on first use of a larger program; never
+  // shrinks, so steady-state runs are allocation-free.
+  void Run(const CompiledProgram& program, ParamTable params,
+           const RunContext& ctx);
+
+  // Debug mode: fill the whole arena with signaling garbage (NaN) before
+  // every run, so any op reading an arena slot it did not define first — a
+  // liveness-planning bug — corrupts the output instead of silently reusing
+  // a stale value. Used by plan_test; off by default.
+  void set_poison(bool poison) { poison_ = poison; }
+
+  // Introspection: how many times Run had to (re)grow the arena.
+  uint64_t arena_grows() const { return arena_grows_; }
+  size_t arena_size() const { return arena_.size(); }
+
+ private:
+  std::vector<float> arena_;
+  uint64_t arena_grows_ = 0;
+  bool poison_ = false;
+};
+
+}  // namespace tpgnn::tensor::plan
+
+#endif  // TPGNN_TENSOR_EXECUTOR_H_

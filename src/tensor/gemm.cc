@@ -1,115 +1,29 @@
 #include "tensor/gemm.h"
 
+#include "tensor/kernels.h"
+
+// The three GEMM-accumulate entry points are thin wrappers over the
+// runtime-dispatched kernel table (tensor/kernels.h): exactly one blocked
+// implementation exists per ISA, and every caller — the recorded ops'
+// forward/backward, the zero-copy inference paths, and the planned executor —
+// goes through the same dispatch. All GEMM kernels are in the bitwise parity
+// class, so training numerics are identical in every SIMD mode.
+
 namespace tpgnn::tensor::internal {
 
-// C += A x B. ikj order with a 4-wide k tile: four B rows stream against one
-// resident C row, so C is loaded/stored once per four multiply-adds instead
-// of once per one as in the naive ikj loop, and the four independent products
-// give the vectorizer ILP to chew on. All-zero tiles (one-hot / padded rows)
-// are skipped like the scalar kernel skipped zero elements.
-void GemmAccumulate(const float* __restrict__ a, const float* __restrict__ b,
-                    float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* __restrict__ crow = c + i * m;
-    int64_t kk = 0;
-    for (; kk + kTile <= k; kk += kTile) {
-      const float a0 = arow[kk];
-      const float a1 = arow[kk + 1];
-      const float a2 = arow[kk + 2];
-      const float a3 = arow[kk + 3];
-      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-      const float* b0 = b + kk * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m) {
+  ActiveKernels().gemm_accumulate(a, b, c, n, k, m);
 }
 
-// C += A x B^T: rows of C are dot products of contiguous rows, computed four
-// at a time so each A row is read once per four outputs.
-void GemmAccumulateNT(const float* __restrict__ a, const float* __restrict__ b,
-                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * m;
-    float* __restrict__ crow = c + i * k;
-    int64_t kk = 0;
-    for (; kk + kTile <= k; kk += kTile) {
-      const float* b0 = b + kk * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      float acc0 = 0.0f;
-      float acc1 = 0.0f;
-      float acc2 = 0.0f;
-      float acc3 = 0.0f;
-      for (int64_t j = 0; j < m; ++j) {
-        const float av = arow[j];
-        acc0 += av * b0[j];
-        acc1 += av * b1[j];
-        acc2 += av * b2[j];
-        acc3 += av * b3[j];
-      }
-      crow[kk] += acc0;
-      crow[kk + 1] += acc1;
-      crow[kk + 2] += acc2;
-      crow[kk + 3] += acc3;
-    }
-    for (; kk < k; ++kk) {
-      const float* brow = b + kk * m;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < m; ++j) {
-        acc += arow[j] * brow[j];
-      }
-      crow[kk] += acc;
-    }
-  }
+void GemmAccumulateNT(const float* a, const float* b, float* c, int64_t n,
+                      int64_t k, int64_t m) {
+  ActiveKernels().gemm_accumulate_nt(a, b, c, n, k, m);
 }
 
-// C += A^T x B: four A rows are folded into the resident C row per pass.
-void GemmAccumulateTN(const float* __restrict__ a, const float* __restrict__ b,
-                      float* __restrict__ c, int64_t n, int64_t k, int64_t m) {
-  constexpr int64_t kTile = 4;
-  for (int64_t kk = 0; kk < k; ++kk) {
-    float* __restrict__ crow = c + kk * m;
-    int64_t i = 0;
-    for (; i + kTile <= n; i += kTile) {
-      const float a0 = a[i * k + kk];
-      const float a1 = a[(i + 1) * k + kk];
-      const float a2 = a[(i + 2) * k + kk];
-      const float a3 = a[(i + 3) * k + kk];
-      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
-      const float* b0 = b + i * m;
-      const float* b1 = b0 + m;
-      const float* b2 = b1 + m;
-      const float* b3 = b2 + m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; i < n; ++i) {
-      const float av = a[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + i * m;
-      for (int64_t j = 0; j < m; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+void GemmAccumulateTN(const float* a, const float* b, float* c, int64_t n,
+                      int64_t k, int64_t m) {
+  ActiveKernels().gemm_accumulate_tn(a, b, c, n, k, m);
 }
 
 }  // namespace tpgnn::tensor::internal

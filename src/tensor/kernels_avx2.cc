@@ -1,0 +1,451 @@
+// AVX2 kernel table (DESIGN.md §4.6). This translation unit is compiled with
+// -mavx2 and deliberately WITHOUT -mfma: the bitwise-class kernels promise
+// bit-identical results to the scalar table, which holds only if every
+// per-lane operation is the same IEEE mul/add sequence the scalar kernel
+// executes — an FMA contraction (one rounding instead of two) would break
+// that silently. The ulp-class transcendental maps use a vector exp
+// polynomial instead of libm and are covered by the "kernel-ulp" tolerance
+// mode (kTranscendentalUlpBound, tests/tensor/kernels_test.cc).
+
+#include "tensor/kernels.h"
+
+#include "util/logging.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace tpgnn::tensor {
+namespace {
+
+// --- Vector exp/tanh/sigmoid ------------------------------------------------
+
+// expf via Cody-Waite range reduction and a degree-6 polynomial (the classic
+// Cephes coefficients). Max error ~2 ulp over the clamped domain, which the
+// tanh/sigmoid compositions below keep within kTranscendentalUlpBound of the
+// libm scalar kernels.
+inline __m256 Exp8(__m256 x) {
+  const __m256 kHi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 kLo = _mm256_set1_ps(-87.3365478515625f);
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kC1 = _mm256_set1_ps(0.693359375f);
+  const __m256 kC2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 kHalf = _mm256_set1_ps(0.5f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(x, kHi);
+  x = _mm256_max_ps(x, kLo);
+
+  __m256 fx = _mm256_add_ps(_mm256_mul_ps(x, kLog2e), kHalf);
+  fx = _mm256_floor_ps(fx);
+
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, kC1));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, kC2));
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), kOne);
+  y = _mm256_add_ps(_mm256_mul_ps(y, x), kOne);
+
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+// tanh(x): Cephes split. |x| < 0.625 uses the odd minimax polynomial
+// x + x^3 P(x^2) — the 1 - 2/(exp+1) form cancels catastrophically near
+// zero and would blow the kernel-ulp bound. Larger |x| uses
+// sign(x) * (1 - 2 / (exp(2|x|) + 1)); |x| clamped to 9.2, past which the
+// expression rounds to ±1 in float anyway.
+inline __m256 Tanh8(__m256 x) {
+  const __m256 kSignMask = _mm256_set1_ps(-0.0f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  const __m256 kTwo = _mm256_set1_ps(2.0f);
+  const __m256 sign = _mm256_and_ps(x, kSignMask);
+  __m256 ax = _mm256_andnot_ps(kSignMask, x);
+
+  // Small branch (|x| < 0.625).
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 p = _mm256_set1_ps(-5.70498872745e-3f);
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(2.06390887954e-2f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(-5.37397155531e-2f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(1.33314422036e-1f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(-3.33332819422e-1f));
+  const __m256 small =
+      _mm256_add_ps(x, _mm256_mul_ps(_mm256_mul_ps(x, z), p));
+
+  // Large branch.
+  ax = _mm256_min_ps(ax, _mm256_set1_ps(9.2f));
+  const __m256 e = Exp8(_mm256_mul_ps(kTwo, ax));
+  const __m256 large = _mm256_or_ps(
+      _mm256_sub_ps(kOne, _mm256_div_ps(kTwo, _mm256_add_ps(e, kOne))), sign);
+
+  const __m256 use_small =
+      _mm256_cmp_ps(_mm256_andnot_ps(kSignMask, x),
+                    _mm256_set1_ps(0.625f), _CMP_LT_OQ);
+  return _mm256_blendv_ps(large, small, use_small);
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(kOne, _mm256_add_ps(kOne, e));
+}
+
+// --- GEMM (bitwise class) ---------------------------------------------------
+// Same loop structure, tile width, zero-tile skip, and per-element
+// association as the scalar kernels; only the j loop is widened to 8 lanes.
+
+void GemmAccumulateAvx2(const float* a, const float* b, float* c, int64_t n,
+                        int64_t k, int64_t m) {
+  constexpr int64_t kTile = 4;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    int64_t kk = 0;
+    for (; kk + kTile <= k; kk += kTile) {
+      const float a0 = arow[kk];
+      const float a1 = arow[kk + 1];
+      const float a2 = arow[kk + 2];
+      const float a3 = arow[kk + 3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* b0 = b + kk * m;
+      const float* b1 = b0 + m;
+      const float* b2 = b1 + m;
+      const float* b3 = b2 + m;
+      const __m256 va0 = _mm256_set1_ps(a0);
+      const __m256 va1 = _mm256_set1_ps(a1);
+      const __m256 va2 = _mm256_set1_ps(a2);
+      const __m256 va3 = _mm256_set1_ps(a3);
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        // crow[j] + ((((a0*b0) + a1*b1) + a2*b2) + a3*b3), per lane — the
+        // scalar expression's exact association.
+        __m256 sum = _mm256_mul_ps(va0, _mm256_loadu_ps(b0 + j));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va1, _mm256_loadu_ps(b1 + j)));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va2, _mm256_loadu_ps(b2 + j)));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va3, _mm256_loadu_ps(b3 + j)));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), sum));
+      }
+      for (; j < m; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * m;
+      const __m256 vav = _mm256_set1_ps(av);
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+      }
+      for (; j < m; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// The NT variant's inner loops are dot-product reductions whose summation
+// order defines the reference result; widening them would reassociate, so
+// every ISA delegates to the scalar kernel (kernels.h parity policy).
+void GemmAccumulateNTAvx2(const float* a, const float* b, float* c, int64_t n,
+                          int64_t k, int64_t m) {
+  ScalarKernels().gemm_accumulate_nt(a, b, c, n, k, m);
+}
+
+void GemmAccumulateTNAvx2(const float* a, const float* b, float* c, int64_t n,
+                          int64_t k, int64_t m) {
+  constexpr int64_t kTile = 4;
+  for (int64_t kk = 0; kk < k; ++kk) {
+    float* crow = c + kk * m;
+    int64_t i = 0;
+    for (; i + kTile <= n; i += kTile) {
+      const float a0 = a[i * k + kk];
+      const float a1 = a[(i + 1) * k + kk];
+      const float a2 = a[(i + 2) * k + kk];
+      const float a3 = a[(i + 3) * k + kk];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* b0 = b + i * m;
+      const float* b1 = b0 + m;
+      const float* b2 = b1 + m;
+      const float* b3 = b2 + m;
+      const __m256 va0 = _mm256_set1_ps(a0);
+      const __m256 va1 = _mm256_set1_ps(a1);
+      const __m256 va2 = _mm256_set1_ps(a2);
+      const __m256 va3 = _mm256_set1_ps(a3);
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        __m256 sum = _mm256_mul_ps(va0, _mm256_loadu_ps(b0 + j));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va1, _mm256_loadu_ps(b1 + j)));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va2, _mm256_loadu_ps(b2 + j)));
+        sum = _mm256_add_ps(sum, _mm256_mul_ps(va3, _mm256_loadu_ps(b3 + j)));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), sum));
+      }
+      for (; j < m; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; i < n; ++i) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + i * m;
+      const __m256 vav = _mm256_set1_ps(av);
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+      }
+      for (; j < m; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// --- Linear elementwise (bitwise class) -------------------------------------
+
+void CopyAvx2(float* dst, const float* src, int64_t n) {
+  if (n > 0) std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+void ZeroAvx2(float* dst, int64_t n) {
+  if (n > 0) std::memset(dst, 0, static_cast<size_t>(n) * sizeof(float));
+}
+
+void AddAccumulateAvx2(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_add_ps(_mm256_loadu_ps(src + i),
+                               _mm256_loadu_ps(dst + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = src[i] + dst[i];
+  }
+}
+
+void ScaleInplaceAvx2(float* v, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, _mm256_mul_ps(_mm256_loadu_ps(v + i), vs));
+  }
+  for (; i < n; ++i) {
+    v[i] = v[i] * s;
+  }
+}
+
+void GruBlendAvx2(float* out, const float* z, const float* h, const float* nn,
+                  int64_t n) {
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vz = _mm256_loadu_ps(z + j);
+    const __m256 keep = _mm256_mul_ps(vz, _mm256_loadu_ps(h + j));
+    const __m256 take =
+        _mm256_mul_ps(_mm256_sub_ps(kOne, vz), _mm256_loadu_ps(nn + j));
+    _mm256_storeu_ps(out + j, _mm256_add_ps(keep, take));
+  }
+  for (; j < n; ++j) {
+    out[j] = z[j] * h[j] + (1.0f - z[j]) * nn[j];
+  }
+}
+
+void RotatePairsAvx2(float* out, const float* a, const float* b,
+                     const float* c, const float* s, int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 ac = _mm256_mul_ps(_mm256_loadu_ps(a + j),
+                                    _mm256_loadu_ps(c + j));
+    const __m256 bs = _mm256_mul_ps(_mm256_loadu_ps(b + j),
+                                    _mm256_loadu_ps(s + j));
+    _mm256_storeu_ps(out + j, _mm256_sub_ps(ac, bs));
+  }
+  for (; j < n; ++j) {
+    const float ac = a[j] * c[j];
+    const float bs = b[j] * s[j];
+    out[j] = ac - bs;
+  }
+}
+
+// --- Transcendental maps (ulp class) ----------------------------------------
+// Tails of fewer than 8 elements run the scalar (libm) expression: tail
+// elements are then exactly the scalar kernel's values, and full lanes are
+// within the kernel-ulp bound.
+
+void TanhInplaceAvx2(float* v, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, Tanh8(_mm256_loadu_ps(v + i)));
+  }
+  for (; i < n; ++i) {
+    v[i] = std::tanh(v[i]);
+  }
+}
+
+void TanhAddAvx2(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sum = _mm256_add_ps(_mm256_loadu_ps(src + i),
+                                     _mm256_loadu_ps(dst + i));
+    _mm256_storeu_ps(dst + i, Tanh8(sum));
+  }
+  for (; i < n; ++i) {
+    dst[i] = std::tanh(src[i] + dst[i]);
+  }
+}
+
+void SigmoidBiasAvx2(float* v, const float* bias, int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 sum = _mm256_add_ps(_mm256_loadu_ps(v + j),
+                                     _mm256_loadu_ps(bias + j));
+    _mm256_storeu_ps(v + j, Sigmoid8(sum));
+  }
+  for (; j < n; ++j) {
+    v[j] = 1.0f / (1.0f + std::exp(-(v[j] + bias[j])));
+  }
+}
+
+void GruCandidateAvx2(float* out, const float* r, const float* hu,
+                      const float* xn, const float* bias, int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 xb = _mm256_add_ps(_mm256_loadu_ps(xn + j),
+                                    _mm256_loadu_ps(bias + j));
+    const __m256 arg = _mm256_add_ps(
+        _mm256_mul_ps(_mm256_loadu_ps(r + j), _mm256_loadu_ps(hu + j)), xb);
+    _mm256_storeu_ps(out + j, Tanh8(arg));
+  }
+  for (; j < n; ++j) {
+    const float xb = xn[j] + bias[j];
+    out[j] = std::tanh(r[j] * hu[j] + xb);
+  }
+}
+
+// --- Time encoding (bitwise class) ------------------------------------------
+// The phase w*t + phi is computed with vector mul/add (per-lane identical to
+// scalar); sin/cos themselves stay libm on every ISA so the periodic
+// channels — whose arguments are raw session timestamps in the invariant
+// basis — never drift from the recorded path.
+
+void Time2VecAvx2(float* out, float t, const float* w0, const float* phi0,
+                  const float* w, const float* phi, int64_t dim) {
+  out[0] = w0[0] * t + phi0[0];
+  const int64_t periodic = dim - 1;
+  const __m256 vt = _mm256_set1_ps(t);
+  alignas(32) float theta[8];
+  int64_t j = 0;
+  for (; j + 8 <= periodic; j += 8) {
+    _mm256_store_ps(theta,
+                    _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(w + j), vt),
+                                  _mm256_loadu_ps(phi + j)));
+    for (int lane = 0; lane < 8; ++lane) {
+      out[1 + j + lane] = std::sin(theta[lane]);
+    }
+  }
+  for (; j < periodic; ++j) {
+    out[j + 1] = std::sin(w[j] * t + phi[j]);
+  }
+}
+
+void PhasorAvx2(float* sin_out, float* cos_out, float t, const float* w,
+                const float* phi, int64_t n) {
+  const __m256 vt = _mm256_set1_ps(t);
+  alignas(32) float theta[8];
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_store_ps(theta,
+                    _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(w + j), vt),
+                                  _mm256_loadu_ps(phi + j)));
+    for (int lane = 0; lane < 8; ++lane) {
+      sin_out[j + lane] = std::sin(theta[lane]);
+      cos_out[j + lane] = std::cos(theta[lane]);
+    }
+  }
+  for (; j < n; ++j) {
+    const float theta_j = w[j] * t + phi[j];
+    sin_out[j] = std::sin(theta_j);
+    cos_out[j] = std::cos(theta_j);
+  }
+}
+
+void RotationAvx2(float* cos_out, float* sin_out, float delta, const float* w,
+                  int64_t n) {
+  const __m256 vd = _mm256_set1_ps(delta);
+  alignas(32) float theta[8];
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_store_ps(theta, _mm256_mul_ps(_mm256_loadu_ps(w + j), vd));
+    for (int lane = 0; lane < 8; ++lane) {
+      cos_out[j + lane] = std::cos(theta[lane]);
+      sin_out[j + lane] = std::sin(theta[lane]);
+    }
+  }
+  for (; j < n; ++j) {
+    const float theta_j = w[j] * delta;
+    cos_out[j] = std::cos(theta_j);
+    sin_out[j] = std::sin(theta_j);
+  }
+}
+
+const Kernels kAvx2Table = {
+    GemmAccumulateAvx2,
+    GemmAccumulateNTAvx2,
+    GemmAccumulateTNAvx2,
+    CopyAvx2,
+    ZeroAvx2,
+    AddAccumulateAvx2,
+    ScaleInplaceAvx2,
+    GruBlendAvx2,
+    RotatePairsAvx2,
+    TanhInplaceAvx2,
+    TanhAddAvx2,
+    SigmoidBiasAvx2,
+    GruCandidateAvx2,
+    Time2VecAvx2,
+    PhasorAvx2,
+    RotationAvx2,
+    "avx2",
+};
+
+}  // namespace
+
+namespace internal {
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+const Kernels& Avx2Kernels() { return kAvx2Table; }
+
+}  // namespace internal
+}  // namespace tpgnn::tensor
+
+#else  // !defined(__AVX2__)
+
+namespace tpgnn::tensor::internal {
+
+bool Avx2Supported() { return false; }
+
+const Kernels& Avx2Kernels() {
+  TPGNN_CHECK(false) << "AVX2 kernels were not compiled into this build";
+  return ScalarKernels();
+}
+
+}  // namespace tpgnn::tensor::internal
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,321 @@
+#include "tensor/plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpgnn::tensor::plan {
+
+namespace {
+
+// Collects the arena temp ids a ValueRef touches (pre-compilation encoding:
+// index = temp id).
+void NoteTemp(const ValueRef& ref, int32_t op_index,
+              std::vector<std::pair<int32_t, int32_t>>& live) {
+  if (ref.kind != ValueRef::Kind::kArena) return;
+  auto& interval = live[static_cast<size_t>(ref.index)];
+  interval.first = std::min(interval.first, op_index);
+  interval.second = std::max(interval.second, op_index);
+}
+
+void Rewrite(ValueRef& ref, const std::vector<int32_t>& base) {
+  if (ref.kind != ValueRef::Kind::kArena) return;
+  ref.offset += base[static_cast<size_t>(ref.index)];
+  ref.index = 0;
+}
+
+PlanOp Op(OpCode code, int32_t n, int32_t k, ValueRef a, ValueRef b = {},
+          ValueRef c = {}, ValueRef d = {}, ValueRef e = {}) {
+  PlanOp op;
+  op.code = code;
+  op.n = n;
+  op.k = k;
+  op.a = a;
+  op.b = b;
+  op.c = c;
+  op.d = d;
+  op.e = e;
+  return op;
+}
+
+}  // namespace
+
+int32_t ProgramBuilder::Temp(int32_t len) {
+  TPGNN_CHECK_GT(len, 0);
+  temp_lens_.push_back(len);
+  return static_cast<int32_t>(temp_lens_.size()) - 1;
+}
+
+ValueRef ProgramBuilder::Src(int32_t offset) {
+  return {ValueRef::Kind::kSrcRow, 0, offset};
+}
+ValueRef ProgramBuilder::Dst(int32_t offset) {
+  return {ValueRef::Kind::kDstRow, 0, offset};
+}
+ValueRef ProgramBuilder::MRow(int32_t offset) {
+  return {ValueRef::Kind::kMRow, 0, offset};
+}
+ValueRef ProgramBuilder::Aux(int32_t offset) {
+  return {ValueRef::Kind::kAux, 0, offset};
+}
+ValueRef ProgramBuilder::Param(int32_t slot) {
+  return {ValueRef::Kind::kParam, slot, 0};
+}
+ValueRef ProgramBuilder::Arena(int32_t temp_id, int32_t offset) const {
+  TPGNN_CHECK_GE(temp_id, 0);
+  TPGNN_CHECK_LT(temp_id, static_cast<int32_t>(temp_lens_.size()));
+  return {ValueRef::Kind::kArena, temp_id, offset};
+}
+
+void ProgramBuilder::Append(PlanOp op) { ops_.push_back(op); }
+
+CompiledProgram ProgramBuilder::Compile() {
+  const size_t num_temps = temp_lens_.size();
+  const int32_t num_ops = static_cast<int32_t>(ops_.size());
+
+  // Liveness: the closed interval of op indices referencing each temp.
+  std::vector<std::pair<int32_t, int32_t>> live(
+      num_temps, {num_ops, -1});
+  for (int32_t i = 0; i < num_ops; ++i) {
+    NoteTemp(ops_[static_cast<size_t>(i)].a, i, live);
+    NoteTemp(ops_[static_cast<size_t>(i)].b, i, live);
+    NoteTemp(ops_[static_cast<size_t>(i)].c, i, live);
+    NoteTemp(ops_[static_cast<size_t>(i)].d, i, live);
+    NoteTemp(ops_[static_cast<size_t>(i)].e, i, live);
+  }
+
+  // Linear-scan slot assignment in first-def order: expire temps whose last
+  // use precedes the new temp's first def, then first-fit the free list.
+  // Freed ranges are reused whole (no splitting) — with a handful of temps
+  // per program the fragmentation ceiling is irrelevant, and whole-range
+  // reuse keeps the no-alias argument trivial.
+  std::vector<int32_t> order;
+  for (size_t t = 0; t < num_temps; ++t) {
+    TPGNN_CHECK_GE(live[t].second, 0) << "unreferenced plan temp " << t;
+    order.push_back(static_cast<int32_t>(t));
+  }
+  std::sort(order.begin(), order.end(), [&](int32_t x, int32_t y) {
+    return live[static_cast<size_t>(x)].first <
+           live[static_cast<size_t>(y)].first;
+  });
+
+  struct Range {
+    int32_t offset;
+    int32_t len;
+  };
+  std::vector<Range> free_list;
+  struct Active {
+    int32_t temp;
+    int32_t end;
+    Range range;
+  };
+  std::vector<Active> active;
+  std::vector<int32_t> base(num_temps, 0);
+  int32_t arena_size = 0;
+
+  for (int32_t t : order) {
+    const auto interval = live[static_cast<size_t>(t)];
+    // Expire.
+    for (size_t i = active.size(); i-- > 0;) {
+      if (active[i].end < interval.first) {
+        free_list.push_back(active[i].range);
+        active.erase(active.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    const int32_t len = temp_lens_[static_cast<size_t>(t)];
+    Range slot{-1, 0};
+    for (size_t i = 0; i < free_list.size(); ++i) {
+      if (free_list[i].len >= len) {
+        slot = free_list[i];
+        free_list.erase(free_list.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (slot.offset < 0) {
+      slot = Range{arena_size, len};
+      arena_size += len;
+    }
+    base[static_cast<size_t>(t)] = slot.offset;
+    active.push_back(Active{t, interval.second, slot});
+  }
+
+  CompiledProgram program;
+  program.arena_size_ = arena_size;
+  program.ops_ = std::move(ops_);
+  for (PlanOp& op : program.ops_) {
+    Rewrite(op.a, base);
+    Rewrite(op.b, base);
+    Rewrite(op.c, base);
+    Rewrite(op.d, base);
+    Rewrite(op.e, base);
+  }
+  program.temps_.reserve(num_temps);
+  for (size_t t = 0; t < num_temps; ++t) {
+    program.temps_.push_back(TempInfo{base[t], temp_lens_[t], live[t].first,
+                                      live[t].second});
+  }
+  return program;
+}
+
+// --- Builders ---------------------------------------------------------------
+
+CompiledProgram BuildEdgeProgram(const PlanSpec& spec) {
+  using B = ProgramBuilder;
+  ProgramBuilder b;
+  const int32_t d = spec.embed_dim;
+  TPGNN_CHECK_GT(d, 0);
+
+  if (spec.updater == PlanSpec::Updater::kSum) {
+    // Eq. (3): dst += src, optionally tanh-squashed. The fused kTanhAdd
+    // rounds the sum before tanh exactly like the two-step recorded chain.
+    if (spec.stabilize) {
+      b.Append(Op(OpCode::kTanhAdd, d, 0, B::Dst(), B::Src()));
+    } else {
+      b.Append(Op(OpCode::kAddAccumulate, d, 0, B::Dst(), B::Src()));
+    }
+    return b.Compile();
+  }
+
+  // GRU updater, mirroring GruCell::StepInto op for op: message staging,
+  // gates (x·W first, h·U second, bias-sigmoid last), candidate, blend.
+  const int32_t td = spec.time_dim;
+  const int32_t k = d + td;
+  const int32_t msg = b.Temp(k);
+  const int32_t z = b.Temp(d);
+  const int32_t r = b.Temp(d);
+  const int32_t hu = b.Temp(d);
+  const int32_t xn = b.Temp(d);
+
+  b.Append(Op(OpCode::kCopy, d, 0, b.Arena(msg), B::Src()));
+  if (td > 0) {
+    b.Append(Op(OpCode::kTime2Vec, td, 0, b.Arena(msg, d), B::Param(kParamW0),
+              B::Param(kParamPhi0), B::Param(kParamW), B::Param(kParamPhi)));
+  }
+  b.Append(Op(OpCode::kZero, d, 0, b.Arena(z)));
+  b.Append(Op(OpCode::kZero, d, 0, b.Arena(r)));
+  b.Append(Op(OpCode::kZero, d, 0, b.Arena(hu)));
+  b.Append(Op(OpCode::kZero, d, 0, b.Arena(xn)));
+
+  b.Append(Op(OpCode::kGemv, d, k, b.Arena(z), b.Arena(msg), B::Param(kParamWz)));
+  b.Append(Op(OpCode::kGemv, d, d, b.Arena(z), B::Dst(), B::Param(kParamUz)));
+  b.Append(Op(OpCode::kSigmoidBias, d, 0, b.Arena(z), B::Param(kParamBz)));
+  b.Append(Op(OpCode::kGemv, d, k, b.Arena(r), b.Arena(msg), B::Param(kParamWr)));
+  b.Append(Op(OpCode::kGemv, d, d, b.Arena(r), B::Dst(), B::Param(kParamUr)));
+  b.Append(Op(OpCode::kSigmoidBias, d, 0, b.Arena(r), B::Param(kParamBr)));
+  b.Append(Op(OpCode::kGemv, d, d, b.Arena(hu), B::Dst(), B::Param(kParamUn)));
+  b.Append(Op(OpCode::kGemv, d, k, b.Arena(xn), b.Arena(msg), B::Param(kParamWn)));
+
+  // The candidate is defined after the message's last use, so liveness
+  // planning recycles the message slot for it (tested in plan_test).
+  const int32_t cand = b.Temp(d);
+  b.Append(Op(OpCode::kGruCandidate, d, 0, b.Arena(cand), b.Arena(r),
+            b.Arena(hu), b.Arena(xn), B::Param(kParamBn)));
+  b.Append(Op(OpCode::kGruBlend, d, 0, B::Dst(), b.Arena(z), B::Dst(),
+            b.Arena(cand)));
+  return b.Compile();
+}
+
+CompiledProgram BuildTimeProgram(const PlanSpec& spec) {
+  using B = ProgramBuilder;
+  ProgramBuilder b;
+  if (!spec.has_time_accumulator()) {
+    return b.Compile();
+  }
+  const int32_t td = spec.time_dim;
+
+  if (spec.invariant) {
+    // Invariant basis, row layout [Σt, k, A_1..A_{d-1}, B_1..B_{d-1}]: the
+    // raw-time phasor accumulates; max_time is never read (the correction
+    // happens in the finalize program).
+    const int32_t p = td - 1;
+    const int32_t sin_t = b.Temp(p);
+    const int32_t cos_t = b.Temp(p);
+    b.Append(Op(OpCode::kPhasor, p, 0, b.Arena(sin_t), b.Arena(cos_t),
+              B::Param(kParamW), B::Param(kParamPhi)));
+    b.Append(Op(OpCode::kTimeCount, 2, 0, B::MRow()));
+    b.Append(Op(OpCode::kAddAccumulate, p, 0, B::MRow(2), b.Arena(sin_t)));
+    b.Append(Op(OpCode::kAddAccumulate, p, 0, B::MRow(td + 1), b.Arena(cos_t)));
+    return b.Compile();
+  }
+
+  // Absolute basis: m += f(t_norm), optionally tanh-squashed (fused).
+  const int32_t enc = b.Temp(td);
+  b.Append(Op(OpCode::kTime2Vec, td, 0, b.Arena(enc), B::Param(kParamW0),
+            B::Param(kParamPhi0), B::Param(kParamW), B::Param(kParamPhi)));
+  if (spec.stabilize) {
+    b.Append(Op(OpCode::kTanhAdd, td, 0, B::MRow(), b.Arena(enc)));
+  } else {
+    b.Append(Op(OpCode::kAddAccumulate, td, 0, B::MRow(), b.Arena(enc)));
+  }
+  return b.Compile();
+}
+
+CompiledProgram BuildFinalizeProgram(const PlanSpec& spec) {
+  using B = ProgramBuilder;
+  ProgramBuilder b;
+  const int32_t d = spec.embed_dim;
+  const int32_t td = spec.time_dim;
+
+  b.Append(Op(OpCode::kCopy, d, 0, B::Dst(), B::Src()));
+  if (!spec.has_time_accumulator()) {
+    b.Append(Op(OpCode::kTanh, d, 0, B::Dst()));
+    return b.Compile();
+  }
+  if (!spec.invariant) {
+    b.Append(Op(OpCode::kCopy, td, 0, B::Dst(d), B::MRow()));
+    b.Append(Op(OpCode::kTanh, d + td, 0, B::Dst()));
+    return b.Compile();
+  }
+  // Invariant correction (DESIGN.md §4.3): linear channel w0·(Σt·sf) +
+  // phi0·k, phasor rotation A·cos(wT) − B·sin(wT); ctx.t carries sf, ctx.aux
+  // carries [cos(w·T) ++ sin(w·T)].
+  const int32_t p = td - 1;
+  b.Append(Op(OpCode::kLinearCorrect, 1, 0, B::Dst(d), B::MRow(),
+            B::Param(kParamW0), B::Param(kParamPhi0)));
+  b.Append(Op(OpCode::kRotatePairs, p, 0, B::Dst(d + 1), B::MRow(2),
+            B::MRow(td + 1), B::Aux(0), B::Aux(p)));
+  if (spec.stabilize) {
+    b.Append(Op(OpCode::kScaleByCount, td, 0, B::Dst(d), B::MRow()));
+  }
+  b.Append(Op(OpCode::kTanh, d + td, 0, B::Dst()));
+  return b.Compile();
+}
+
+CompiledPlans BuildPlans(const PlanSpec& spec) {
+  CompiledPlans plans;
+  plans.spec = spec;
+  plans.edge = BuildEdgeProgram(spec);
+  plans.time = BuildTimeProgram(spec);
+  plans.finalize = BuildFinalizeProgram(spec);
+  return plans;
+}
+
+// --- PlanCache --------------------------------------------------------------
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+std::shared_ptr<const CompiledPlans> PlanCache::Get(const PlanSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->spec == spec) return entry;
+  }
+  auto built = std::make_shared<const CompiledPlans>(BuildPlans(spec));
+  entries_.push_back(built);
+  ++builds_;
+  return built;
+}
+
+uint64_t PlanCache::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace tpgnn::tensor::plan

@@ -1,0 +1,206 @@
+#ifndef TPGNN_TENSOR_PLAN_H_
+#define TPGNN_TENSOR_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+// Planned per-edge execution (DESIGN.md §4.6). The per-edge compute graph of
+// the temporal propagation — the node-state update, the SUM time-accumulator
+// fold, and the per-row readout — is compiled ONCE per configuration into a
+// static op list over symbolic operands (the edge's src/dst rows, the
+// accumulator row, parameter-table slots, and arena temporaries). Compilation
+// plans every temporary into a single preallocated arena with liveness-based
+// slot reuse; execution (tensor/executor.h) then walks the op list with zero
+// allocation and zero virtual dispatch, calling the runtime-selected SIMD
+// kernel table (tensor/kernels.h).
+//
+// Programs are pure shape: they reference parameters by slot index, never by
+// pointer, so one compiled program serves every model with the same
+// PlanSpec. The process-wide PlanCache shares them; re-planning happens
+// exactly when a spec (config) changes.
+
+namespace tpgnn::tensor::plan {
+
+// Parameter-table slots. A model binds a ParamTable (slot -> const float*)
+// once; unused slots stay null. Slot meanings follow nn::Time2Vec and
+// nn::GruCell.
+enum ParamSlot : int32_t {
+  kParamW0 = 0,  // Time2Vec w0 [1]
+  kParamPhi0,    // Time2Vec phi0 [1]
+  kParamW,       // Time2Vec w [time_dim - 1]
+  kParamPhi,     // Time2Vec phi [time_dim - 1]
+  kParamWz,      // GRU gate weights / biases
+  kParamUz,
+  kParamBz,
+  kParamWr,
+  kParamUr,
+  kParamBr,
+  kParamWn,
+  kParamUn,
+  kParamBn,
+  kNumParamSlots,
+};
+
+using ParamTable = const float* const*;  // kNumParamSlots entries.
+
+// Where an operand lives. Offsets are in floats from the base pointer.
+struct ValueRef {
+  enum class Kind : uint8_t {
+    kNone,
+    kSrcRow,  // RunContext::src + offset (read-only)
+    kDstRow,  // RunContext::dst + offset
+    kMRow,    // RunContext::m + offset
+    kAux,     // RunContext::aux + offset (per-call constant block, read-only)
+    kArena,   // executor arena + offset; before Compile(), `index` is the
+              // temp id and `offset` is relative to that temp
+    kParam,   // param_table[index]
+  };
+  Kind kind = Kind::kNone;
+  int32_t index = 0;
+  int32_t offset = 0;
+};
+
+enum class OpCode : uint8_t {
+  kZero,           // a[0..n) = 0
+  kCopy,           // a[i] = b[i]
+  kAddAccumulate,  // a[i] = b[i] + a[i]
+  kTanh,           // a[i] = tanh(a[i])
+  kTanhAdd,        // a[i] = tanh(b[i] + a[i])
+  kGemv,           // a[1, n] += b[1, k] x param(c)[k, n]
+  kSigmoidBias,    // a[i] = sigmoid(a[i] + param(b)[i])
+  kGruCandidate,   // a[i] = tanh(b[i]*c[i] + (d[i] + param(e)[i]))
+  kGruBlend,       // a[i] = b[i]*c[i] + (1-b[i])*d[i]; a may alias c
+  kTime2Vec,       // a[0..n) = Time2Vec(ctx.t) via params w0/phi0/w/phi
+  kPhasor,         // a = sin(w*ctx.t + phi), b = cos(w*ctx.t + phi)
+  kTimeCount,      // a[0] = ctx.t + a[0]; a[1] = 1 + a[1]
+  kRotatePairs,    // a[i] = b[i]*d[i] - c[i]*e[i]
+  kLinearCorrect,  // a[0] = w0*(b[0]*ctx.t) + phi0*b[1] (params c, d)
+  kScaleByCount,   // a[i] *= (b[1] > 0 ? 1/b[1] : 1)
+};
+
+struct PlanOp {
+  OpCode code;
+  int32_t n = 0;  // element count / GEMV output width
+  int32_t k = 0;  // GEMV inner width
+  ValueRef a, b, c, d, e;
+};
+
+// Arena temporary, post-compilation. [first_op, last_op] is the closed
+// liveness interval in op indices; overlapping-lifetime temps are guaranteed
+// disjoint [offset, offset + len) ranges (tested in plan_test).
+struct TempInfo {
+  int32_t offset = 0;
+  int32_t len = 0;
+  int32_t first_op = 0;
+  int32_t last_op = 0;
+};
+
+class CompiledProgram {
+ public:
+  const std::vector<PlanOp>& ops() const { return ops_; }
+  const std::vector<TempInfo>& temps() const { return temps_; }
+  int32_t arena_size() const { return arena_size_; }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class ProgramBuilder;
+  std::vector<PlanOp> ops_;
+  std::vector<TempInfo> temps_;
+  int32_t arena_size_ = 0;
+};
+
+// Builds one program: declare temps, append ops, Compile() to run liveness
+// planning and produce the arena layout.
+class ProgramBuilder {
+ public:
+  // Declares an arena temporary of `len` floats; returns its temp id.
+  int32_t Temp(int32_t len);
+
+  // ValueRef constructors.
+  static ValueRef Src(int32_t offset = 0);
+  static ValueRef Dst(int32_t offset = 0);
+  static ValueRef MRow(int32_t offset = 0);
+  static ValueRef Aux(int32_t offset = 0);
+  static ValueRef Param(int32_t slot);
+  ValueRef Arena(int32_t temp_id, int32_t offset = 0) const;
+
+  void Append(PlanOp op);
+
+  // Liveness-plans temps into the arena (first-fit over a free list; a
+  // temp's slot is recycled as soon as its last referencing op retires) and
+  // returns the finished program. The builder is consumed.
+  CompiledProgram Compile();
+
+ private:
+  std::vector<PlanOp> ops_;
+  std::vector<int32_t> temp_lens_;
+};
+
+// Everything that determines program shape — the plan cache key. Mirrors the
+// core::TpGnnConfig fields the per-edge fold depends on, expressed without a
+// core dependency.
+struct PlanSpec {
+  enum class Updater : uint8_t { kSum, kGru };
+  Updater updater = Updater::kSum;
+  int32_t embed_dim = 0;
+  int32_t time_dim = 0;  // 0 = no time encoding.
+  bool stabilize = false;
+  bool invariant = false;  // TimeBasis::kInvariant.
+
+  bool operator==(const PlanSpec& o) const {
+    return updater == o.updater && embed_dim == o.embed_dim &&
+           time_dim == o.time_dim && stabilize == o.stabilize &&
+           invariant == o.invariant;
+  }
+  bool has_time_accumulator() const {
+    return updater == Updater::kSum && time_dim > 0;
+  }
+};
+
+// The three per-edge/per-row programs a configuration compiles to. Any of
+// them may be empty when the spec does not use that stage.
+struct CompiledPlans {
+  PlanSpec spec;
+  // Node-state update, per edge. Context: src = source row, dst =
+  // destination row, t = the GRU time argument (gap or normalized absolute;
+  // unused for SUM).
+  CompiledProgram edge;
+  // SUM time-accumulator fold, per edge. Context: m = accumulator row, t =
+  // raw time (invariant) or normalized time (absolute).
+  CompiledProgram time;
+  // Readout, per node row. Context: src = x row, m = accumulator row, dst =
+  // output row (embed + time_dim wide), t = the invariant linear rescale
+  // factor, aux = the rotation table [cos(w*T) ++ sin(w*T)].
+  CompiledProgram finalize;
+};
+
+// Builders (also used directly by tests and benches).
+CompiledProgram BuildEdgeProgram(const PlanSpec& spec);
+CompiledProgram BuildTimeProgram(const PlanSpec& spec);
+CompiledProgram BuildFinalizeProgram(const PlanSpec& spec);
+CompiledPlans BuildPlans(const PlanSpec& spec);
+
+// Process-wide shared cache of compiled plans, keyed by PlanSpec. Lookup is
+// a mutex-guarded linear scan over a handful of entries; models hold the
+// shared_ptr so entries never need eviction-safety games.
+class PlanCache {
+ public:
+  static PlanCache& Global();
+
+  std::shared_ptr<const CompiledPlans> Get(const PlanSpec& spec);
+
+  // Introspection for tests: how many times Get() compiled a new entry.
+  uint64_t builds() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const CompiledPlans>> entries_;
+  uint64_t builds_ = 0;
+};
+
+}  // namespace tpgnn::tensor::plan
+
+#endif  // TPGNN_TENSOR_PLAN_H_

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "testing/gradcheck.h"
+#include "util/buffer_pool.h"
 
 namespace tpgnn::core {
 namespace {
@@ -215,8 +217,13 @@ TEST(InvariantBasisTest, RecordedAndInferenceForwardsBitIdentical) {
       g.AddEdge(3, 0, 3.0);  // Duplicate timestamp.
       g.AddEdge(0, 2, 7.0);
       Tensor recorded = prop.Forward(g, g.ChronologicalEdges());
+      // In scalar SIMD mode the planned inference path is bit-identical to
+      // the recorded forward; a vector ISA moves tanh/sigmoid into the
+      // kernel-ulp tolerance class (tensor/kernels.h), so the active-mode
+      // check is a close-comparison instead.
       Tensor inference;
       {
+        tensor::ScopedSimdMode scalar_mode(tensor::SimdMode::kScalar);
         tensor::NoGradGuard no_grad;
         inference = prop.Forward(g, g.ChronologicalEdges());
       }
@@ -226,6 +233,12 @@ TEST(InvariantBasisTest, RecordedAndInferenceForwardsBitIdentical) {
             << "updater " << static_cast<int>(updater) << " normalize "
             << normalize << " element " << i;
       }
+      Tensor active;
+      {
+        tensor::NoGradGuard no_grad;
+        active = prop.Forward(g, g.ChronologicalEdges());
+      }
+      EXPECT_TRUE(tensor::AllClose(recorded, active, 1e-4f, 1e-5f));
     }
   }
 }
@@ -283,6 +296,59 @@ TEST(InvariantBasisTest, GradCheckSumUpdater) {
       },
       prop.Parameters());
   EXPECT_TRUE(r.ok) << r.message;
+}
+
+// The compiled per-edge plan is reused allocation-free: folding 10k edges
+// through one PropagationScratch grows the executor arena exactly once and
+// never touches the buffer pool — buffer_allocs_per_edge == 0.
+TEST(PlannedFoldTest, TenThousandEdgesFoldAllocationFree) {
+  for (Updater updater : {Updater::kSum, Updater::kGru}) {
+    Rng rng(31);
+    TpGnnConfig config = SmallConfig(updater);
+    config.time_basis = TimeBasis::kInvariant;
+    TemporalPropagation prop(config, rng);
+
+    TemporalGraph g(6, 3);
+    for (int64_t v = 0; v < 6; ++v) {
+      g.SetNodeFeature(v, {0.1f * static_cast<float>(v), 0.5f, 0.0f});
+    }
+    for (int i = 0; i < 10000; ++i) {
+      g.AddEdge(i % 6, (i + 1) % 6, 1.0 + 0.5 * i);
+    }
+
+    tensor::NoGradGuard no_grad;
+    Tensor x = prop.EmbedInitial(g);
+    Tensor m;
+    if (prop.has_time_accumulator()) {
+      m = Tensor::Zeros({6, prop.time_state_dim()});
+    }
+    PropagationScratch scratch;
+    const double max_time = g.MaxTime();
+    double prev_time = 0.0;
+    // Warm the arena on the first edge, then demand zero allocation.
+    const auto& edges = g.ChronologicalEdges();
+    prop.PropagateEdgeState(x, edges[0], max_time, prev_time, scratch);
+    if (prop.has_time_accumulator()) {
+      prop.AccumulateEdgeTime(m, edges[0], max_time, scratch);
+    }
+    prev_time = edges[0].time;
+    const uint64_t grows_after_warmup = scratch.exec.arena_grows();
+    const util::BufferPoolStats before = util::GetBufferPoolStats();
+    for (size_t i = 1; i < edges.size(); ++i) {
+      prop.PropagateEdgeState(x, edges[i], max_time, prev_time, scratch);
+      if (prop.has_time_accumulator()) {
+        prop.AccumulateEdgeTime(m, edges[i], max_time, scratch);
+      }
+      prev_time = edges[i].time;
+    }
+    const util::BufferPoolStats after = util::GetBufferPoolStats();
+    EXPECT_EQ(scratch.exec.arena_grows(), grows_after_warmup)
+        << "updater " << static_cast<int>(updater);
+    EXPECT_EQ(after.acquires, before.acquires)
+        << "updater " << static_cast<int>(updater);
+    EXPECT_EQ(after.node_acquires, before.node_acquires)
+        << "updater " << static_cast<int>(updater);
+  }
 }
 
 TEST(NormalizeTimeTest, ScalesToConfiguredRange) {

@@ -24,6 +24,7 @@
 #include "data/datasets.h"
 #include "eval/metrics.h"
 #include "eval/trainer.h"
+#include "tensor/kernels.h"
 #include "util/rng.h"
 
 namespace tpgnn::eval {
@@ -54,6 +55,9 @@ struct GoldenRun {
 };
 
 GoldenRun RunGoldenConfig() {
+  // Goldens are recorded against the scalar kernels; a vector ISA would make
+  // the inference-side numbers ISA-dependent (tensor/kernels.h).
+  tensor::ScopedSimdMode scalar_mode(tensor::SimdMode::kScalar);
   auto dataset = data::MakeDataset(data::HdfsSpec(), 40, /*seed=*/21);
   auto split = data::SplitDataset(dataset, 0.5);
 

@@ -15,6 +15,7 @@
 #include "data/datasets.h"
 #include "serve/session_shard.h"
 #include "serve_test_util.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "util/buffer_pool.h"
 
@@ -95,6 +96,20 @@ graph::GraphDataset ParityDataset() {
   return data::MakeDataset(data::HdfsSpec(), /*count=*/6, /*seed=*/33);
 }
 
+// The bitwise serving contract must hold in every SIMD mode this machine can
+// run: serving and the offline forward share the planned executor and kernel
+// table, so whatever ISA is selected, both sides produce the same bits.
+std::vector<tensor::SimdMode> ParityModes() {
+  std::vector<tensor::SimdMode> modes = {tensor::SimdMode::kScalar};
+  if (tensor::SimdModeSupported(tensor::SimdMode::kAvx2)) {
+    modes.push_back(tensor::SimdMode::kAvx2);
+  }
+  if (tensor::SimdModeSupported(tensor::SimdMode::kNeon)) {
+    modes.push_back(tensor::SimdMode::kNeon);
+  }
+  return modes;
+}
+
 // Streams every dataset graph through a fresh session and compares the
 // final score against the offline forward, bitwise.
 void ExpectFinalScoreParity(const NamedConfig& named, bool pool_enabled) {
@@ -122,14 +137,20 @@ void ExpectFinalScoreParity(const NamedConfig& named, bool pool_enabled) {
 }
 
 TEST(ServeParityTest, FinalScoreBitIdenticalAcrossConfigs) {
-  for (const NamedConfig& named : ParityConfigs()) {
-    ExpectFinalScoreParity(named, /*pool_enabled=*/true);
+  for (const tensor::SimdMode mode : ParityModes()) {
+    tensor::ScopedSimdMode pin(mode);
+    for (const NamedConfig& named : ParityConfigs()) {
+      ExpectFinalScoreParity(named, /*pool_enabled=*/true);
+    }
   }
 }
 
 TEST(ServeParityTest, FinalScoreBitIdenticalPoolDisabled) {
-  for (const NamedConfig& named : ParityConfigs()) {
-    ExpectFinalScoreParity(named, /*pool_enabled=*/false);
+  for (const tensor::SimdMode mode : ParityModes()) {
+    tensor::ScopedSimdMode pin(mode);
+    for (const NamedConfig& named : ParityConfigs()) {
+      ExpectFinalScoreParity(named, /*pool_enabled=*/false);
+    }
   }
 }
 
@@ -164,8 +185,11 @@ void ExpectPrefixParity(const NamedConfig& named) {
 }
 
 TEST(ServeParityTest, EveryPrefixScoreBitIdentical) {
-  for (const NamedConfig& named : ParityConfigs()) {
-    ExpectPrefixParity(named);
+  for (const tensor::SimdMode mode : ParityModes()) {
+    tensor::ScopedSimdMode pin(mode);
+    for (const NamedConfig& named : ParityConfigs()) {
+      ExpectPrefixParity(named);
+    }
   }
 }
 

@@ -1,0 +1,350 @@
+// Parity contracts of the runtime-dispatched kernel layer (tensor/kernels.h):
+//  * Bitwise class — GEMM (all three transpose variants), the linear
+//    elementwise kernels, and the time-encoding kernels must be
+//    bit-identical between the scalar table and every supported ISA table,
+//    across edge shapes: n/k/m of 0, 1, odd tails below the vector width,
+//    and multiples straddling the blocked-GEMM tiles.
+//  * ulp class — tanh_inplace / tanh_add / sigmoid_bias / gru_candidate may
+//    use a vector exp polynomial, but must stay within
+//    kTranscendentalUlpBound ULPs of the scalar kernel per element.
+//  * Dispatch — mode parsing, support queries, and the ScopedSimdMode pin.
+
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpgnn::tensor {
+namespace {
+
+// Edge shapes: empty, single element, odd tails below the 8-lane AVX2 width
+// and the GEMM k-tile, and widths straddling both.
+const int64_t kEdgeSizes[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65};
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed, float lo = -2.5f,
+                             float hi = 2.5f) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.UniformFloat(lo, hi);
+  return v;
+}
+
+int32_t UlpDistance(float a, float b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return INT32_MAX;
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float encoding onto a monotone integer line.
+  if (ia < 0) ia = INT32_MIN - ia;
+  if (ib < 0) ib = INT32_MIN - ib;
+  const int64_t d = static_cast<int64_t>(ia) - static_cast<int64_t>(ib);
+  const int64_t mag = d < 0 ? -d : d;
+  return mag > INT32_MAX ? INT32_MAX : static_cast<int32_t>(mag);
+}
+
+std::vector<const Kernels*> SupportedIsaTables() {
+  std::vector<const Kernels*> tables;
+  if (internal::Avx2Supported()) tables.push_back(&internal::Avx2Kernels());
+  if (internal::NeonSupported()) tables.push_back(&internal::NeonKernels());
+  return tables;
+}
+
+void ExpectBitwiseEq(const std::vector<float>& expected,
+                     const std::vector<float>& got, const std::string& what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], got[i]) << what << " element " << i;
+  }
+}
+
+void ExpectUlpClose(const std::vector<float>& expected,
+                    const std::vector<float>& got, const std::string& what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_LE(UlpDistance(expected[i], got[i]), kTranscendentalUlpBound)
+        << what << " element " << i << ": scalar " << expected[i] << " vs "
+        << got[i];
+  }
+}
+
+// --- GEMM bitwise parity across edge shapes --------------------------------
+
+TEST(KernelsGemmTest, AccumulateBitwiseMatchesScalarAcrossEdgeShapes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+      for (int64_t k : kEdgeSizes) {
+        for (int64_t m : kEdgeSizes) {
+          auto a = RandomVec(n * k, 17 * static_cast<uint64_t>(k + 1) + 1);
+          auto b = RandomVec(k * m, 23 * static_cast<uint64_t>(m + 1) + 2);
+          auto c_scalar = RandomVec(n * m, 5);
+          auto c_isa = c_scalar;
+          ScalarKernels().gemm_accumulate(a.data(), b.data(), c_scalar.data(),
+                                          n, k, m);
+          isa->gemm_accumulate(a.data(), b.data(), c_isa.data(), n, k, m);
+          ExpectBitwiseEq(c_scalar, c_isa,
+                          std::string(isa->name) + " gemm n=" +
+                              std::to_string(n) + " k=" + std::to_string(k) +
+                              " m=" + std::to_string(m));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsGemmTest, AccumulateNTBitwiseMatchesScalarAcrossEdgeShapes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+      for (int64_t k : kEdgeSizes) {
+        for (int64_t m : kEdgeSizes) {
+          auto a = RandomVec(n * m, 31 * static_cast<uint64_t>(m + 1) + 3);
+          auto b = RandomVec(k * m, 37 * static_cast<uint64_t>(k + 1) + 4);
+          auto c_scalar = RandomVec(n * k, 7);
+          auto c_isa = c_scalar;
+          ScalarKernels().gemm_accumulate_nt(a.data(), b.data(),
+                                             c_scalar.data(), n, k, m);
+          isa->gemm_accumulate_nt(a.data(), b.data(), c_isa.data(), n, k, m);
+          ExpectBitwiseEq(c_scalar, c_isa,
+                          std::string(isa->name) + " gemm_nt n=" +
+                              std::to_string(n) + " k=" + std::to_string(k) +
+                              " m=" + std::to_string(m));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsGemmTest, AccumulateTNBitwiseMatchesScalarAcrossEdgeShapes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+      for (int64_t k : kEdgeSizes) {
+        for (int64_t m : kEdgeSizes) {
+          auto a = RandomVec(n * k, 41 * static_cast<uint64_t>(k + 1) + 5);
+          auto b = RandomVec(n * m, 43 * static_cast<uint64_t>(m + 1) + 6);
+          auto c_scalar = RandomVec(k * m, 9);
+          auto c_isa = c_scalar;
+          ScalarKernels().gemm_accumulate_tn(a.data(), b.data(),
+                                             c_scalar.data(), n, k, m);
+          isa->gemm_accumulate_tn(a.data(), b.data(), c_isa.data(), n, k, m);
+          ExpectBitwiseEq(c_scalar, c_isa,
+                          std::string(isa->name) + " gemm_tn n=" +
+                              std::to_string(n) + " k=" + std::to_string(k) +
+                              " m=" + std::to_string(m));
+        }
+      }
+    }
+  }
+}
+
+// --- Linear elementwise bitwise parity -------------------------------------
+
+TEST(KernelsElementwiseTest, BitwiseClassMatchesScalarAcrossEdgeShapes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    for (int64_t n : kEdgeSizes) {
+      const std::string tag =
+          std::string(isa->name) + " n=" + std::to_string(n);
+      auto src = RandomVec(n, 51);
+      auto z = RandomVec(n, 52, 0.0f, 1.0f);
+      auto h = RandomVec(n, 53);
+      auto nn = RandomVec(n, 54);
+      auto c = RandomVec(n, 55, -1.0f, 1.0f);
+      auto s = RandomVec(n, 56, -1.0f, 1.0f);
+
+      auto a_scalar = RandomVec(n, 50);
+      auto a_isa = a_scalar;
+      ScalarKernels().copy(a_scalar.data(), src.data(), n);
+      isa->copy(a_isa.data(), src.data(), n);
+      ExpectBitwiseEq(a_scalar, a_isa, tag + " copy");
+
+      ScalarKernels().zero(a_scalar.data(), n);
+      isa->zero(a_isa.data(), n);
+      ExpectBitwiseEq(a_scalar, a_isa, tag + " zero");
+
+      a_scalar = RandomVec(n, 57);
+      a_isa = a_scalar;
+      ScalarKernels().add_accumulate(a_scalar.data(), src.data(), n);
+      isa->add_accumulate(a_isa.data(), src.data(), n);
+      ExpectBitwiseEq(a_scalar, a_isa, tag + " add_accumulate");
+
+      ScalarKernels().scale_inplace(a_scalar.data(), 0.3713f, n);
+      isa->scale_inplace(a_isa.data(), 0.3713f, n);
+      ExpectBitwiseEq(a_scalar, a_isa, tag + " scale_inplace");
+
+      auto out_scalar = RandomVec(n, 58);
+      auto out_isa = out_scalar;
+      ScalarKernels().gru_blend(out_scalar.data(), z.data(), h.data(),
+                                nn.data(), n);
+      isa->gru_blend(out_isa.data(), z.data(), h.data(), nn.data(), n);
+      ExpectBitwiseEq(out_scalar, out_isa, tag + " gru_blend");
+
+      // gru_blend allows out == h.
+      auto h_scalar = h;
+      auto h_isa = h;
+      ScalarKernels().gru_blend(h_scalar.data(), z.data(), h_scalar.data(),
+                                nn.data(), n);
+      isa->gru_blend(h_isa.data(), z.data(), h_isa.data(), nn.data(), n);
+      ExpectBitwiseEq(h_scalar, h_isa, tag + " gru_blend aliased");
+
+      ScalarKernels().rotate_pairs(out_scalar.data(), src.data(), nn.data(),
+                                   c.data(), s.data(), n);
+      isa->rotate_pairs(out_isa.data(), src.data(), nn.data(), c.data(),
+                        s.data(), n);
+      ExpectBitwiseEq(out_scalar, out_isa, tag + " rotate_pairs");
+    }
+  }
+}
+
+// --- Time-encoding bitwise parity ------------------------------------------
+
+TEST(KernelsTimeEncodingTest, BitwiseMatchesScalarAcrossEdgeShapesAndTimes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    // Large raw timestamps exercise the libm sin/cos range reduction that a
+    // vector polynomial could not match — these kernels keep sin/cos scalar
+    // on every ISA precisely so big-t invariant folds stay bitwise.
+    for (float t : {0.0f, 1.5f, 123.25f, 98765.0f}) {
+      for (int64_t dim : {int64_t{2}, int64_t{3}, int64_t{6}, int64_t{9},
+                          int64_t{17}}) {
+        const std::string tag = std::string(isa->name) +
+                                " dim=" + std::to_string(dim) +
+                                " t=" + std::to_string(t);
+        auto w0 = RandomVec(1, 61);
+        auto phi0 = RandomVec(1, 62);
+        auto w = RandomVec(dim - 1, 63, 0.0f, 1.0f);
+        auto phi = RandomVec(dim - 1, 64, 0.0f, 6.28f);
+
+        std::vector<float> out_scalar(static_cast<size_t>(dim));
+        std::vector<float> out_isa(static_cast<size_t>(dim));
+        ScalarKernels().time2vec(out_scalar.data(), t, w0.data(), phi0.data(),
+                                 w.data(), phi.data(), dim);
+        isa->time2vec(out_isa.data(), t, w0.data(), phi0.data(), w.data(),
+                      phi.data(), dim);
+        ExpectBitwiseEq(out_scalar, out_isa, tag + " time2vec");
+
+        const int64_t p = dim - 1;
+        std::vector<float> sin_scalar(static_cast<size_t>(p));
+        std::vector<float> cos_scalar(static_cast<size_t>(p));
+        std::vector<float> sin_isa(static_cast<size_t>(p));
+        std::vector<float> cos_isa(static_cast<size_t>(p));
+        ScalarKernels().phasor(sin_scalar.data(), cos_scalar.data(), t,
+                               w.data(), phi.data(), p);
+        isa->phasor(sin_isa.data(), cos_isa.data(), t, w.data(), phi.data(),
+                    p);
+        ExpectBitwiseEq(sin_scalar, sin_isa, tag + " phasor sin");
+        ExpectBitwiseEq(cos_scalar, cos_isa, tag + " phasor cos");
+
+        ScalarKernels().rotation(cos_scalar.data(), sin_scalar.data(), t,
+                                 w.data(), p);
+        isa->rotation(cos_isa.data(), sin_isa.data(), t, w.data(), p);
+        ExpectBitwiseEq(cos_scalar, cos_isa, tag + " rotation cos");
+        ExpectBitwiseEq(sin_scalar, sin_isa, tag + " rotation sin");
+      }
+    }
+  }
+}
+
+// --- ulp-class tolerance ----------------------------------------------------
+
+TEST(KernelsTranscendentalTest, UlpClassWithinBoundAcrossEdgeShapes) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    for (int64_t n : kEdgeSizes) {
+      const std::string tag =
+          std::string(isa->name) + " n=" + std::to_string(n);
+      // Cover the saturating tails as well as the active region.
+      auto v = RandomVec(n, 71, -12.0f, 12.0f);
+      auto src = RandomVec(n, 72, -3.0f, 3.0f);
+      auto bias = RandomVec(n, 73);
+      auto r = RandomVec(n, 74, 0.0f, 1.0f);
+      auto hu = RandomVec(n, 75);
+      auto xn = RandomVec(n, 76);
+
+      auto v_scalar = v;
+      auto v_isa = v;
+      ScalarKernels().tanh_inplace(v_scalar.data(), n);
+      isa->tanh_inplace(v_isa.data(), n);
+      ExpectUlpClose(v_scalar, v_isa, tag + " tanh_inplace");
+
+      v_scalar = v;
+      v_isa = v;
+      ScalarKernels().tanh_add(v_scalar.data(), src.data(), n);
+      isa->tanh_add(v_isa.data(), src.data(), n);
+      ExpectUlpClose(v_scalar, v_isa, tag + " tanh_add");
+
+      v_scalar = v;
+      v_isa = v;
+      ScalarKernels().sigmoid_bias(v_scalar.data(), bias.data(), n);
+      isa->sigmoid_bias(v_isa.data(), bias.data(), n);
+      ExpectUlpClose(v_scalar, v_isa, tag + " sigmoid_bias");
+
+      std::vector<float> out_scalar(static_cast<size_t>(n));
+      std::vector<float> out_isa(static_cast<size_t>(n));
+      ScalarKernels().gru_candidate(out_scalar.data(), r.data(), hu.data(),
+                                    xn.data(), bias.data(), n);
+      isa->gru_candidate(out_isa.data(), r.data(), hu.data(), xn.data(),
+                         bias.data(), n);
+      ExpectUlpClose(out_scalar, out_isa, tag + " gru_candidate");
+    }
+  }
+}
+
+TEST(KernelsTranscendentalTest, SaturatedTailsAreExactlyPlusMinusOne) {
+  for (const Kernels* isa : SupportedIsaTables()) {
+    std::vector<float> v = {-100.0f, -15.0f, 15.0f, 100.0f};
+    isa->tanh_inplace(v.data(), static_cast<int64_t>(v.size()));
+    EXPECT_EQ(v[0], -1.0f) << isa->name;
+    EXPECT_EQ(v[1], -1.0f) << isa->name;
+    EXPECT_EQ(v[2], 1.0f) << isa->name;
+    EXPECT_EQ(v[3], 1.0f) << isa->name;
+  }
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+TEST(KernelsDispatchTest, ParseSimdModeRoundTripsAndRejectsJunk) {
+  SimdMode mode;
+  ASSERT_TRUE(ParseSimdMode("scalar", &mode));
+  EXPECT_EQ(mode, SimdMode::kScalar);
+  ASSERT_TRUE(ParseSimdMode("avx2", &mode));
+  EXPECT_EQ(mode, SimdMode::kAvx2);
+  ASSERT_TRUE(ParseSimdMode("neon", &mode));
+  EXPECT_EQ(mode, SimdMode::kNeon);
+  ASSERT_TRUE(ParseSimdMode("auto", &mode));
+  EXPECT_EQ(mode, SimdMode::kAuto);
+  EXPECT_FALSE(ParseSimdMode("avx512", &mode));
+  EXPECT_FALSE(ParseSimdMode("", &mode));
+}
+
+TEST(KernelsDispatchTest, ScalarModeIsAlwaysSupported) {
+  EXPECT_TRUE(SimdModeSupported(SimdMode::kScalar));
+  EXPECT_TRUE(SimdModeSupported(SimdMode::kAuto));
+}
+
+TEST(KernelsDispatchTest, ScopedSimdModeRestoresThePreviousMode) {
+  const SimdMode before = ActiveSimdMode();
+  {
+    ScopedSimdMode pin(SimdMode::kScalar);
+    EXPECT_EQ(ActiveSimdMode(), SimdMode::kScalar);
+    EXPECT_STREQ(ActiveKernels().name, "scalar");
+  }
+  EXPECT_EQ(ActiveSimdMode(), before);
+}
+
+TEST(KernelsDispatchTest, AutoResolvesToAConcreteSupportedMode) {
+  ScopedSimdMode pin(SimdMode::kAuto);
+  const SimdMode resolved = ActiveSimdMode();
+  EXPECT_NE(resolved, SimdMode::kAuto);
+  EXPECT_TRUE(SimdModeSupported(resolved));
+  if (internal::Avx2Supported()) {
+    EXPECT_EQ(resolved, SimdMode::kAvx2);
+    EXPECT_STREQ(ActiveKernels().name, "avx2");
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::tensor

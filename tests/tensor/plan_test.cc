@@ -1,0 +1,260 @@
+// Arena-planning contracts of the compiled per-edge programs
+// (tensor/plan.h + tensor/executor.h):
+//  * Liveness slot reuse never aliases two temps whose lifetimes overlap;
+//    the GRU edge program's candidate temp provably recycles the retired
+//    message slot.
+//  * A poisoned arena (NaN pre-fill before every run) produces bit-identical
+//    results to a warm arena — no op reads a slot it did not define first.
+//  * A compiled plan is reused allocation-free: 10k executor runs grow the
+//    arena exactly once and never touch the buffer pool.
+//  * PlanCache re-plans exactly when the spec changes.
+
+#include "tensor/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/executor.h"
+#include "util/buffer_pool.h"
+#include "util/rng.h"
+
+namespace tpgnn::tensor::plan {
+namespace {
+
+constexpr int32_t kDim = 16;
+constexpr int32_t kTimeDim = 5;
+
+PlanSpec GruSpec() {
+  PlanSpec spec;
+  spec.updater = PlanSpec::Updater::kGru;
+  spec.embed_dim = kDim;
+  spec.time_dim = kTimeDim;
+  return spec;
+}
+
+PlanSpec SumSpec(bool stabilize, bool invariant) {
+  PlanSpec spec;
+  spec.updater = PlanSpec::Updater::kSum;
+  spec.embed_dim = kDim;
+  spec.time_dim = kTimeDim;
+  spec.stabilize = stabilize;
+  spec.invariant = invariant;
+  return spec;
+}
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.UniformFloat(-1.0f, 1.0f);
+  return v;
+}
+
+// A full parameter table with GRU weights for input width kDim + kTimeDim
+// and Time2Vec parameters for kTimeDim.
+struct ParamStore {
+  std::vector<float> w0, phi0, w, phi;
+  std::vector<float> wz, uz, bz, wr, ur, br, wn, un, bn;
+  std::vector<const float*> table;
+
+  ParamStore() {
+    const int64_t k = kDim + kTimeDim;
+    w0 = RandomVec(1, 1);
+    phi0 = RandomVec(1, 2);
+    w = RandomVec(kTimeDim - 1, 3);
+    phi = RandomVec(kTimeDim - 1, 4);
+    wz = RandomVec(k * kDim, 5);
+    uz = RandomVec(kDim * kDim, 6);
+    bz = RandomVec(kDim, 7);
+    wr = RandomVec(k * kDim, 8);
+    ur = RandomVec(kDim * kDim, 9);
+    br = RandomVec(kDim, 10);
+    wn = RandomVec(k * kDim, 11);
+    un = RandomVec(kDim * kDim, 12);
+    bn = RandomVec(kDim, 13);
+    table.assign(kNumParamSlots, nullptr);
+    table[kParamW0] = w0.data();
+    table[kParamPhi0] = phi0.data();
+    table[kParamW] = w.data();
+    table[kParamPhi] = phi.data();
+    table[kParamWz] = wz.data();
+    table[kParamUz] = uz.data();
+    table[kParamBz] = bz.data();
+    table[kParamWr] = wr.data();
+    table[kParamUr] = ur.data();
+    table[kParamBr] = br.data();
+    table[kParamWn] = wn.data();
+    table[kParamUn] = un.data();
+    table[kParamBn] = bn.data();
+  }
+};
+
+void ExpectNoLiveOverlap(const CompiledProgram& program, const char* what) {
+  const auto& temps = program.temps();
+  for (size_t i = 0; i < temps.size(); ++i) {
+    for (size_t j = i + 1; j < temps.size(); ++j) {
+      const TempInfo& a = temps[i];
+      const TempInfo& b = temps[j];
+      const bool lifetimes_overlap =
+          a.first_op <= b.last_op && b.first_op <= a.last_op;
+      if (!lifetimes_overlap) continue;
+      const bool ranges_disjoint =
+          a.offset + a.len <= b.offset || b.offset + b.len <= a.offset;
+      EXPECT_TRUE(ranges_disjoint)
+          << what << ": temps " << i << " and " << j
+          << " are live together but share arena range [" << a.offset << ","
+          << a.offset + a.len << ") vs [" << b.offset << ","
+          << b.offset + b.len << ")";
+    }
+  }
+  for (size_t i = 0; i < temps.size(); ++i) {
+    EXPECT_GE(temps[i].offset, 0) << what;
+    EXPECT_LE(temps[i].offset + temps[i].len, program.arena_size()) << what;
+  }
+}
+
+TEST(PlanLivenessTest, NoProgramAliasesLiveTemps) {
+  for (bool stabilize : {false, true}) {
+    for (bool invariant : {false, true}) {
+      const PlanSpec spec = SumSpec(stabilize, invariant);
+      ExpectNoLiveOverlap(BuildEdgeProgram(spec), "sum edge");
+      ExpectNoLiveOverlap(BuildTimeProgram(spec), "sum time");
+      ExpectNoLiveOverlap(BuildFinalizeProgram(spec), "sum finalize");
+    }
+  }
+  const PlanSpec gru = GruSpec();
+  ExpectNoLiveOverlap(BuildEdgeProgram(gru), "gru edge");
+  ExpectNoLiveOverlap(BuildFinalizeProgram(gru), "gru finalize");
+}
+
+TEST(PlanLivenessTest, GruCandidateRecyclesTheRetiredMessageSlot) {
+  const CompiledProgram program = BuildEdgeProgram(GruSpec());
+  // Temps in declaration order: msg, z, r, hu, xn, cand. The candidate is
+  // declared after the message's last use, so the planner must hand it the
+  // message's slot instead of growing the arena.
+  ASSERT_EQ(program.temps().size(), 6u);
+  const TempInfo& msg = program.temps()[0];
+  const TempInfo& cand = program.temps()[5];
+  EXPECT_GT(msg.last_op, 0);
+  EXPECT_GT(cand.first_op, msg.last_op);
+  EXPECT_EQ(cand.offset, msg.offset);
+  // Arena holds msg + the four gate temps; the candidate adds nothing.
+  EXPECT_EQ(program.arena_size(), (kDim + kTimeDim) + 4 * kDim);
+}
+
+TEST(PlanLivenessTest, FinalizeProgramsPlanNoArenaTemps) {
+  // FinalizeState relies on this: it runs a throwaway executor per call and
+  // stays allocation-free because the program writes rows directly.
+  for (bool invariant : {false, true}) {
+    EXPECT_EQ(BuildFinalizeProgram(SumSpec(true, invariant)).arena_size(), 0);
+  }
+  EXPECT_EQ(BuildFinalizeProgram(GruSpec()).arena_size(), 0);
+}
+
+// Runs the GRU edge program twice — once with a NaN-poisoned arena, once
+// warm — and expects bit-identical state. Any op consuming an arena slot it
+// did not define first would drag NaN into the output.
+TEST(PlanExecutorTest, PoisonedArenaMatchesWarmArenaBitwise) {
+  const ParamStore params;
+  const CompiledProgram edge = BuildEdgeProgram(GruSpec());
+
+  auto run = [&](bool poison) {
+    std::vector<float> state = RandomVec(2 * kDim, 42);
+    PlanExecutor exec;
+    exec.set_poison(poison);
+    RunContext ctx;
+    ctx.src = state.data();              // Node 0 row.
+    ctx.dst = state.data() + kDim;       // Node 1 row.
+    ctx.t = 1.75f;
+    for (int step = 0; step < 5; ++step) {
+      exec.Run(edge, params.table.data(), ctx);
+    }
+    return state;
+  };
+
+  const std::vector<float> warm = run(false);
+  const std::vector<float> poisoned = run(true);
+  ASSERT_EQ(warm.size(), poisoned.size());
+  for (size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i], poisoned[i]) << "element " << i;
+    EXPECT_FALSE(std::isnan(warm[i])) << "element " << i;
+  }
+}
+
+TEST(PlanExecutorTest, TenThousandRunsGrowTheArenaOnceAndSkipThePool) {
+  const ParamStore params;
+  const CompiledPlans plans = BuildPlans(SumSpec(true, true));
+  std::vector<float> state = RandomVec(2 * kDim, 7);
+  std::vector<float> m(static_cast<size_t>(2 * kTimeDim), 0.0f);
+
+  PlanExecutor exec;
+  const util::BufferPoolStats before = util::GetBufferPoolStats();
+  RunContext ctx;
+  for (int i = 0; i < 10000; ++i) {
+    ctx.src = state.data();
+    ctx.dst = state.data() + kDim;
+    exec.Run(plans.edge, params.table.data(), ctx);
+    ctx.m = m.data();
+    ctx.t = static_cast<float>(i);
+    exec.Run(plans.time, params.table.data(), ctx);
+  }
+  const util::BufferPoolStats after = util::GetBufferPoolStats();
+
+  // The invariant time program is the only one with temps here; its first
+  // run sizes the arena and every later run reuses it.
+  EXPECT_EQ(exec.arena_grows(), 1u);
+  EXPECT_GT(exec.arena_size(), 0u);
+  EXPECT_EQ(after.acquires, before.acquires);
+  EXPECT_EQ(after.node_acquires, before.node_acquires);
+}
+
+TEST(PlanCacheTest, RePlansExactlyOnSpecChange) {
+  PlanCache& cache = PlanCache::Global();
+  PlanSpec spec = SumSpec(true, false);
+  spec.embed_dim = 24;  // Unique to this test; first Get must build.
+  const uint64_t builds0 = cache.builds();
+
+  auto first = cache.Get(spec);
+  EXPECT_EQ(cache.builds(), builds0 + 1);
+
+  // Same spec: shared entry, no rebuild.
+  auto again = cache.Get(spec);
+  EXPECT_EQ(cache.builds(), builds0 + 1);
+  EXPECT_EQ(first.get(), again.get());
+
+  // Any field change is a new spec: exactly one more build each.
+  PlanSpec stabilized = spec;
+  stabilized.stabilize = !spec.stabilize;
+  cache.Get(stabilized);
+  EXPECT_EQ(cache.builds(), builds0 + 2);
+
+  PlanSpec wider = spec;
+  wider.time_dim += 1;
+  cache.Get(wider);
+  EXPECT_EQ(cache.builds(), builds0 + 3);
+
+  // And the original is still cached.
+  cache.Get(spec);
+  EXPECT_EQ(cache.builds(), builds0 + 3);
+}
+
+TEST(PlanProgramShapeTest, SumEdgeProgramIsASingleFusedOp) {
+  EXPECT_EQ(BuildEdgeProgram(SumSpec(true, false)).ops().size(), 1u);
+  EXPECT_EQ(BuildEdgeProgram(SumSpec(true, false)).ops()[0].code,
+            OpCode::kTanhAdd);
+  EXPECT_EQ(BuildEdgeProgram(SumSpec(false, false)).ops()[0].code,
+            OpCode::kAddAccumulate);
+}
+
+TEST(PlanProgramShapeTest, TimeProgramIsEmptyWithoutAnAccumulator) {
+  EXPECT_TRUE(BuildTimeProgram(GruSpec()).empty());
+  PlanSpec no_time = SumSpec(true, false);
+  no_time.time_dim = 0;
+  EXPECT_TRUE(BuildTimeProgram(no_time).empty());
+  EXPECT_FALSE(BuildTimeProgram(SumSpec(true, false)).empty());
+}
+
+}  // namespace
+}  // namespace tpgnn::tensor::plan
