@@ -1,0 +1,66 @@
+#ifndef TPGNN_CLUSTER_RING_H_
+#define TPGNN_CLUSTER_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+// Consistent-hash ring mapping session ids onto backend names.
+//
+// Each backend contributes `vnodes_per_backend` virtual points on a
+// 64-bit ring; a session hashes to a point and is owned by the first
+// backend point at or after it (wrapping). Virtual points smooth the
+// per-backend share toward 1/N, and adding or removing one backend moves
+// only the sessions in the ranges its points covered — ~1/N of the keys,
+// never a reshuffle of the survivors (tests/cluster/ring_test.cc pins
+// both properties).
+//
+// Determinism is part of the contract: points come from explicit FNV-1a /
+// splitmix64 mixing — never std::hash — so two routers built from the
+// same backend-name set (in any insertion order, in different processes,
+// across restarts) place every session identically. The ring is rebuilt
+// from the name set on every membership change, making placement a pure
+// function of the set.
+
+namespace tpgnn::cluster {
+
+// The session-id point hash. Exposed so tests can place sessions on
+// chosen backends; matches serve::SessionRouter's splitmix64 mixing.
+uint64_t RingPointOf(uint64_t session_id);
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_backend = 64);
+
+  // False (and no change) when the backend is already present / absent.
+  bool AddBackend(const std::string& name);
+  bool RemoveBackend(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return backends_.count(name) > 0;
+  }
+  size_t num_backends() const { return backends_.size(); }
+  std::vector<std::string> backend_names() const {
+    return {backends_.begin(), backends_.end()};
+  }
+
+  // Owning backend of `session_id`; nullptr when the ring is empty. The
+  // pointer is valid until the next membership change.
+  const std::string* OwnerOf(uint64_t session_id) const;
+
+ private:
+  void Rebuild();
+
+  const int vnodes_;
+  std::set<std::string> backends_;
+  // Virtual point -> owning backend. Point collisions between different
+  // backends keep the lexicographically smaller name, so the resolution
+  // is insertion-order independent.
+  std::map<uint64_t, std::string> points_;
+};
+
+}  // namespace tpgnn::cluster
+
+#endif  // TPGNN_CLUSTER_RING_H_

@@ -1,0 +1,1507 @@
+#include "cluster/router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace tpgnn::cluster {
+
+namespace {
+
+// Compact a buffer whose consumed prefix has grown past this many bytes.
+constexpr size_t kCompactThreshold = 1u << 20;
+
+bool IsAckOk(const net::Frame& frame) {
+  return frame.type == net::FrameType::kIngestAck &&
+         frame.status_code == StatusCode::kOk;
+}
+
+}  // namespace
+
+Router::Router(const std::vector<BackendConfig>& backends,
+               const RouterOptions& options)
+    : options_(options),
+      registry_(options.registry),
+      ring_(options.vnodes_per_backend) {
+  for (const BackendConfig& backend : backends) {
+    registry_.Add(backend);
+  }
+}
+
+Router::~Router() = default;
+
+Status Router::Start() {
+  if (Status s = ListenTcp(options_.bind_address, options_.port,
+                           options_.backlog, &listen_fd_, &port_);
+      !s.ok()) {
+    return s;
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe failed for shutdown wakeup");
+  }
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  SetNonBlocking(wake_read_.get(), true);
+  SetNonBlocking(wake_write_.get(), true);
+  return Status::Ok();
+}
+
+void Router::Run() {
+  while (PollOnce(options_.poll_timeout_ms)) {
+  }
+}
+
+void Router::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_write_.valid()) {
+    const uint8_t byte = 1;
+    [[maybe_unused]] ssize_t rc = write(wake_write_.get(), &byte, 1);
+  }
+}
+
+bool Router::PollOnce(int timeout_ms) {
+  if (stopped_) {
+    return false;
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+    BeginShutdown();
+  }
+  if (!draining_) {
+    MaintainBackends(NowSeconds());
+  }
+
+  // Poll set: listen socket, wake pipe, every client, every backend.
+  enum class EntryKind { kListen, kWake, kClient, kBackend };
+  struct Entry {
+    EntryKind kind;
+    uint64_t client_id = 0;
+    std::string backend_name;
+  };
+  std::vector<pollfd> fds;
+  std::vector<Entry> entries;
+  if (listen_fd_.valid() && !draining_ &&
+      clients_.size() < static_cast<size_t>(options_.max_connections)) {
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    entries.push_back({EntryKind::kListen, 0, {}});
+  }
+  if (wake_read_.valid()) {
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    entries.push_back({EntryKind::kWake, 0, {}});
+  }
+  for (const auto& [id, conn] : clients_) {
+    short events = 0;
+    if (!draining_ && !conn->draining) {
+      events |= POLLIN;
+    }
+    if (conn->out_sent < conn->out.size()) {
+      events |= POLLOUT;
+    }
+    if (events != 0) {
+      fds.push_back({conn->fd.get(), events, 0});
+      entries.push_back({EntryKind::kClient, id, {}});
+    }
+  }
+  for (const auto& [name, conn] : backends_) {
+    if (conn->dead) {
+      continue;
+    }
+    short events = POLLIN;
+    if (conn->out_sent < conn->out.size()) {
+      events |= POLLOUT;
+    }
+    fds.push_back({conn->fd.get(), events, 0});
+    entries.push_back({EntryKind::kBackend, 0, name});
+  }
+
+  poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+  for (size_t i = 0; i < fds.size(); ++i) {
+    const short revents = fds[i].revents;
+    if (revents == 0) {
+      continue;
+    }
+    switch (entries[i].kind) {
+      case EntryKind::kWake: {
+        uint8_t sink[64];
+        while (read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+        }
+        break;
+      }
+      case EntryKind::kListen:
+        AcceptPending();
+        break;
+      case EntryKind::kClient: {
+        auto it = clients_.find(entries[i].client_id);
+        if (it == clients_.end()) {
+          break;
+        }
+        ClientConn& conn = *it->second;
+        if ((revents & POLLOUT) != 0 && !conn.dead) {
+          HandleClientWritable(conn);
+        }
+        if ((revents & POLLIN) != 0 && !conn.dead && !conn.draining) {
+          HandleClientReadable(conn);
+        }
+        if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.dead &&
+            conn.out_sent >= conn.out.size()) {
+          conn.dead = true;
+        }
+        break;
+      }
+      case EntryKind::kBackend: {
+        auto it = backends_.find(entries[i].backend_name);
+        if (it == backends_.end() || it->second->dead) {
+          break;
+        }
+        BackendConn& conn = *it->second;
+        if ((revents & POLLOUT) != 0) {
+          HandleBackendWritable(conn);
+        }
+        if ((revents & POLLIN) != 0 && !conn.dead) {
+          HandleBackendReadable(conn);
+        }
+        if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          conn.dead = true;
+        }
+        break;
+      }
+    }
+  }
+
+  if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+    BeginShutdown();
+  }
+
+  // Connections found broken during dispatch fail over now, after the
+  // whole poll round's frames were consumed.
+  FailDeadBackends();
+
+  // Opportunistic write flushes.
+  for (auto& [name, conn] : backends_) {
+    if (!conn->dead && conn->out_sent < conn->out.size()) {
+      HandleBackendWritable(*conn);
+    }
+  }
+  FailDeadBackends();
+  for (auto& [id, conn] : clients_) {
+    if (!conn->dead && conn->out_sent < conn->out.size()) {
+      HandleClientWritable(*conn);
+    }
+    if (conn->draining && !conn->dead && conn->out_sent >= conn->out.size()) {
+      conn->dead = true;
+    }
+  }
+  ReapDeadClients();
+
+  if (draining_) {
+    const bool expired = clock_.ElapsedMicros() >= drain_deadline_micros_;
+    if ((backends_.empty() || expired) && !clients_goodbyed_) {
+      // Every backend said GOODBYE (its pending score results arrived
+      // first; the server contract flushes them before the GOODBYE), so
+      // nothing more is owed to any client.
+      clients_goodbyed_ = true;
+      for (auto& [id, conn] : clients_) {
+        if (conn->dead) {
+          continue;
+        }
+        net::Frame goodbye;
+        goodbye.type = net::FrameType::kGoodbye;
+        SendToClient(*conn, goodbye);
+        conn->draining = true;
+      }
+    }
+    if (clients_goodbyed_ && (clients_.empty() || expired)) {
+      clients_.clear();
+      backends_.clear();
+      UpdateConnectedCount();
+      stopped_ = true;
+    }
+  }
+  return !stopped_;
+}
+
+void Router::AcceptPending() {
+  while (clients_.size() < static_cast<size_t>(options_.max_connections)) {
+    UniqueFd fd;
+    if (Status s = AcceptTcp(listen_fd_.get(), &fd); !s.ok()) {
+      return;
+    }
+    if (!fd.valid()) {
+      return;  // Nothing pending.
+    }
+    auto conn = std::make_unique<ClientConn>();
+    conn->fd = std::move(fd);
+    conn->id = next_connection_id_++;
+    wire_metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    clients_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Router::HandleClientReadable(ClientConn& conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    size_t received = 0;
+    bool eof = false;
+    Status s =
+        RecvNonBlocking(conn.fd.get(), buf, sizeof(buf), &received, &eof);
+    if (!s.ok() || eof) {
+      conn.dead = true;
+      break;
+    }
+    if (received == 0) {
+      break;
+    }
+    wire_metrics_.bytes_received.fetch_add(received,
+                                           std::memory_order_relaxed);
+    conn.in.insert(conn.in.end(), buf, buf + received);
+  }
+
+  size_t offset = 0;
+  while (!conn.dead && !conn.draining) {
+    net::Frame frame;
+    size_t consumed = 0;
+    Status s =
+        DecodeFrame(conn.in.data() + offset, conn.in.size() - offset,
+                    options_.max_payload_bytes, &frame, &consumed);
+    if (!s.ok()) {
+      wire_metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      FailClient(conn, s);
+      break;
+    }
+    if (consumed == 0) {
+      break;
+    }
+    offset += consumed;
+    wire_metrics_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    HandleClientFrame(conn, frame);
+  }
+  if (offset > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<ptrdiff_t>(offset));
+  } else if (conn.in.capacity() > kCompactThreshold && conn.in.empty()) {
+    conn.in.shrink_to_fit();
+  }
+}
+
+void Router::HandleClientWritable(ClientConn& conn) {
+  while (conn.out_sent < conn.out.size()) {
+    size_t sent = 0;
+    Status s = SendNonBlocking(conn.fd.get(), conn.out.data() + conn.out_sent,
+                               conn.out.size() - conn.out_sent, &sent);
+    if (!s.ok()) {
+      conn.dead = true;
+      return;
+    }
+    if (sent == 0) {
+      break;
+    }
+    conn.out_sent += sent;
+    wire_metrics_.bytes_sent.fetch_add(sent, std::memory_order_relaxed);
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  } else if (conn.out_sent > kCompactThreshold) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<ptrdiff_t>(conn.out_sent));
+    conn.out_sent = 0;
+  }
+}
+
+void Router::HandleBackendReadable(BackendConn& conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    size_t received = 0;
+    bool eof = false;
+    Status s =
+        RecvNonBlocking(conn.fd.get(), buf, sizeof(buf), &received, &eof);
+    if (!s.ok() || eof) {
+      conn.dead = true;
+      break;
+    }
+    if (received == 0) {
+      break;
+    }
+    conn.in.insert(conn.in.end(), buf, buf + received);
+  }
+
+  size_t offset = 0;
+  for (;;) {
+    net::Frame frame;
+    size_t consumed = 0;
+    Status s =
+        DecodeFrame(conn.in.data() + offset, conn.in.size() - offset,
+                    options_.max_payload_bytes, &frame, &consumed);
+    if (!s.ok()) {
+      counters_.router_protocol_errors++;
+      conn.dead = true;
+      break;
+    }
+    if (consumed == 0) {
+      break;
+    }
+    offset += consumed;
+    ProcessBackendFrame(conn, frame);
+  }
+  if (offset > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<ptrdiff_t>(offset));
+  } else if (conn.in.capacity() > kCompactThreshold && conn.in.empty()) {
+    conn.in.shrink_to_fit();
+  }
+}
+
+void Router::HandleBackendWritable(BackendConn& conn) {
+  while (conn.out_sent < conn.out.size()) {
+    size_t sent = 0;
+    Status s = SendNonBlocking(conn.fd.get(), conn.out.data() + conn.out_sent,
+                               conn.out.size() - conn.out_sent, &sent);
+    if (!s.ok()) {
+      conn.dead = true;
+      return;
+    }
+    if (sent == 0) {
+      break;
+    }
+    conn.out_sent += sent;
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  } else if (conn.out_sent > kCompactThreshold) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<ptrdiff_t>(conn.out_sent));
+    conn.out_sent = 0;
+  }
+}
+
+void Router::SendToClient(ClientConn& conn, const net::Frame& frame) {
+  if (conn.dead) {
+    return;
+  }
+  EncodeFrame(frame, &conn.out);
+  wire_metrics_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Router::SendToBackend(BackendConn& conn, const net::Frame& frame) {
+  if (conn.dead) {
+    return;
+  }
+  EncodeFrame(frame, &conn.out);
+}
+
+void Router::FailClient(ClientConn& conn, const Status& status) {
+  net::Frame error;
+  error.type = net::FrameType::kError;
+  error.status_code = status.code();
+  error.text = status.message();
+  SendToClient(conn, error);
+  conn.draining = true;
+  // The stream past the bad frame is garbage; stop reading immediately.
+  shutdown(conn.fd.get(), SHUT_RD);
+}
+
+void Router::ReapDeadClients() {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (!it->second->dead) {
+      ++it;
+      continue;
+    }
+    // Drop the client's queued work. Score refs it still has on backends
+    // stay: their results arrive and are dropped at delivery.
+    for (uint64_t tid : it->second->task_order) {
+      tasks_.erase(tid);
+    }
+    wire_metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    it = clients_.erase(it);
+  }
+}
+
+// --- Client-side dispatch --------------------------------------------------
+
+void Router::HandleClientFrame(ClientConn& conn, const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kPing: {
+      net::Frame pong;
+      pong.type = net::FrameType::kPong;
+      pong.request_id = frame.request_id;
+      SendToClient(conn, pong);
+      break;
+    }
+    case net::FrameType::kMetricsRequest:
+      HandleMetricsRequest(conn);
+      break;
+    case net::FrameType::kIngestBatch: {
+      if (frame.events.empty()) {
+        net::Frame reply;
+        reply.type = net::FrameType::kIngestAck;
+        reply.request_id = frame.request_id;
+        reply.status_code = StatusCode::kOk;
+        SendToClient(conn, reply);
+        break;
+      }
+      IngestTask task;
+      task.id = next_task_id_++;
+      task.client_id = conn.id;
+      task.client_request_id = frame.request_id;
+      task.events = frame.events;
+      conn.task_order.push_back(task.id);
+      tasks_.emplace(task.id, std::move(task));
+      AdvanceClient(conn);
+      break;
+    }
+    case net::FrameType::kScore: {
+      // A standalone score joins the same per-client forwarding queue as
+      // ingest batches: it must not overtake events the client sent first.
+      IngestTask task;
+      task.id = next_task_id_++;
+      task.client_id = conn.id;
+      task.client_request_id = frame.request_id;
+      task.is_score_frame = true;
+      serve::Event event;
+      event.kind = serve::Event::Kind::kScore;
+      event.session_id = frame.session_id;
+      event.label = frame.label;
+      task.events.push_back(std::move(event));
+      conn.task_order.push_back(task.id);
+      tasks_.emplace(task.id, std::move(task));
+      AdvanceClient(conn);
+      break;
+    }
+    case net::FrameType::kShutdown:
+      RequestShutdown();
+      break;
+    case net::FrameType::kGoodbye:
+      conn.draining = true;
+      break;
+    default: {
+      wire_metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      FailClient(conn,
+                 Status::InvalidArgument(
+                     std::string("unexpected frame type from client: ") +
+                     net::FrameTypeName(frame.type)));
+      break;
+    }
+  }
+}
+
+Router::BackendConn* Router::OwnerFor(uint64_t session_id) {
+  const std::string* name = nullptr;
+  auto sit = sessions_.find(session_id);
+  if (sit != sessions_.end()) {
+    name = &sit->second.owner;
+  } else {
+    name = ring_.OwnerOf(session_id);
+  }
+  if (name == nullptr) {
+    return nullptr;
+  }
+  auto bit = backends_.find(*name);
+  if (bit == backends_.end() || bit->second->dead) {
+    return nullptr;
+  }
+  return bit->second.get();
+}
+
+void Router::AdvanceClient(ClientConn& client) {
+  if (forwarding_frozen_ || draining_ || client.dead) {
+    return;
+  }
+  size_t idx = 0;
+  while (idx < client.task_order.size()) {
+    auto it = tasks_.find(client.task_order[idx]);
+    if (it == tasks_.end()) {
+      // Completed (or dropped) earlier; lazily compact the queue.
+      client.task_order.erase(client.task_order.begin() +
+                              static_cast<ptrdiff_t>(idx));
+      continue;
+    }
+    IngestTask& task = it->second;
+    if (task.next >= task.events.size()) {
+      ++idx;  // Fully forwarded; pipelining past it is safe.
+      continue;
+    }
+    const TaskStep step = AdvanceTask(client, task);
+    if (step == TaskStep::kGated) {
+      return;  // Later tasks must not overtake an unforwarded prefix.
+    }
+    if (step == TaskStep::kRemoved) {
+      continue;  // The stale id is reaped on the next look.
+    }
+    ++idx;
+  }
+}
+
+Router::TaskStep Router::AdvanceTask(ClientConn& client, IngestTask& task) {
+  while (task.next < task.events.size()) {
+    if (task.awaiting_ack) {
+      return TaskStep::kGated;  // Mid-multi-run: the run ack gates the rest.
+    }
+    const serve::Event& head = task.events[task.next];
+    BackendConn* owner = OwnerFor(head.session_id);
+    if (owner == nullptr) {
+      if (ring_.num_backends() > 0 ||
+          sessions_.find(head.session_id) != sessions_.end()) {
+        // Owner known but not currently connected (mid-failover window).
+        return TaskStep::kGated;
+      }
+      // No backend anywhere: shed with the standard retryable reply.
+      counters_.overloads_shed++;
+      net::Frame reply;
+      reply.type = net::FrameType::kOverloaded;
+      reply.request_id = task.client_request_id;
+      reply.status_code = StatusCode::kOverloaded;
+      reply.events_applied = task.acked;
+      reply.text = "no backend available";
+      SendToClient(client, reply);
+      tasks_.erase(task.id);
+      return TaskStep::kRemoved;
+    }
+    if (task.is_score_frame) {
+      PendingOp op;
+      op.kind = PendingOp::Kind::kScore;
+      op.rid = NextRid();
+      op.client_id = client.id;
+      op.client_request_id = task.client_request_id;
+      op.session_id = head.session_id;
+      op.label = head.label;
+      net::Frame fwd;
+      fwd.type = net::FrameType::kScore;
+      fwd.request_id = op.rid;
+      fwd.session_id = head.session_id;
+      fwd.label = head.label;
+      owner->refs.push_back({head.session_id, client.id, head.label, op.rid, 0});
+      owner->ops.push_back(std::move(op));
+      SendToBackend(*owner, fwd);
+      tasks_.erase(task.id);
+      return TaskStep::kRemoved;
+    }
+    // Maximal same-owner run starting at task.next.
+    size_t run_end = task.next + 1;
+    while (run_end < task.events.size() &&
+           OwnerFor(task.events[run_end].session_id) == owner) {
+      ++run_end;
+    }
+    PendingOp op;
+    op.kind = PendingOp::Kind::kIngest;
+    op.rid = NextRid();
+    op.task_id = task.id;
+    op.client_id = client.id;
+    op.run_offset = task.next;
+    op.events.assign(task.events.begin() + static_cast<ptrdiff_t>(task.next),
+                     task.events.begin() + static_cast<ptrdiff_t>(run_end));
+    net::Frame fwd;
+    fwd.type = net::FrameType::kIngestBatch;
+    fwd.request_id = op.rid;
+    fwd.events = op.events;
+    // Refs go in at forward time: a result may overtake the run's ack
+    // (the backend drains its engine mid-dispatch under overload).
+    for (size_t i = 0; i < op.events.size(); ++i) {
+      const serve::Event& event = op.events[i];
+      if (event.kind == serve::Event::Kind::kScore) {
+        owner->refs.push_back(
+            {event.session_id, client.id, event.label, op.rid, i});
+      }
+    }
+    owner->ops.push_back(std::move(op));
+    SendToBackend(*owner, fwd);
+    task.next = run_end;
+    task.awaiting_ack = true;
+  }
+  return TaskStep::kDone;
+}
+
+// --- Backend-side dispatch -------------------------------------------------
+
+void Router::ProcessBackendFrame(BackendConn& conn, const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kPong: {
+      if (auto* entry = registry_.Find(conn.name)) {
+        registry_.OnPong(*entry, frame.request_id, NowSeconds());
+      }
+      break;
+    }
+    case net::FrameType::kIngestAck:
+    case net::FrameType::kOverloaded: {
+      if (sync_waiting_.count(frame.request_id) > 0) {
+        sync_done_[frame.request_id] = frame;
+        break;
+      }
+      auto oit = std::find_if(
+          conn.ops.begin(), conn.ops.end(),
+          [&](const PendingOp& op) { return op.rid == frame.request_id; });
+      if (oit == conn.ops.end()) {
+        counters_.router_protocol_errors++;
+        break;
+      }
+      PendingOp op = std::move(*oit);
+      conn.ops.erase(oit);
+      if (op.kind == PendingOp::Kind::kScore) {
+        // The backend shed (or typed-failed) a standalone score before
+        // enqueueing it; its ref resolves here, not with a result.
+        CancelRefsBeyond(conn, op.rid, 0);
+        auto cit = clients_.find(op.client_id);
+        if (op.client_request_id != 0) {
+          if (cit != clients_.end() && !cit->second->dead) {
+            net::Frame reply = frame;
+            reply.request_id = op.client_request_id;
+            SendToClient(*cit->second, reply);
+          }
+        } else {
+          // Internal reissue: exactly-once still demands one terminal
+          // outcome for the original request.
+          serve::ScoreResult result;
+          result.session_id = op.session_id;
+          result.status = Status(frame.status_code == StatusCode::kOk
+                                     ? StatusCode::kInternal
+                                     : frame.status_code,
+                                 frame.text.empty()
+                                     ? "score shed during failover reissue"
+                                     : frame.text);
+          result.label = op.label;
+          counters_.scores_failed_over++;
+          DeliverResult(op.client_id, result);
+        }
+      } else {
+        HandleIngestAck(conn, std::move(op), frame);
+      }
+      break;
+    }
+    case net::FrameType::kScoreResult:
+      HandleScoreResults(conn, frame);
+      break;
+    case net::FrameType::kSessionState: {
+      if (sync_waiting_.count(frame.request_id) > 0) {
+        sync_done_[frame.request_id] = frame;
+      } else {
+        counters_.router_protocol_errors++;
+      }
+      break;
+    }
+    case net::FrameType::kMetricsResponse: {
+      if (awaiting_metrics_) {
+        metrics_reply_ = frame;
+        metrics_done_ = true;
+      }
+      break;
+    }
+    case net::FrameType::kGoodbye:
+      // Graceful close from the backend; outside a router drain this is
+      // indistinguishable from a crash for routing purposes.
+      conn.dead = true;
+      break;
+    case net::FrameType::kError:
+    default:
+      counters_.router_protocol_errors++;
+      conn.dead = true;
+      break;
+  }
+}
+
+void Router::HandleIngestAck(BackendConn& conn, PendingOp op,
+                             const net::Frame& frame) {
+  const uint64_t applied =
+      std::min<uint64_t>(frame.events_applied, op.events.size());
+  JournalAppliedEvents(conn, op, applied);
+  const bool ok = IsAckOk(frame);
+  if (!ok) {
+    // Events past the failure point never reached the engine; their
+    // scores were never enqueued and must not wait for results.
+    CancelRefsBeyond(conn, op.rid, applied);
+  }
+  auto it = tasks_.find(op.task_id);
+  if (it == tasks_.end()) {
+    return;  // Client left; the journal update above was all that mattered.
+  }
+  IngestTask& task = it->second;
+  task.awaiting_ack = false;
+  auto cit = clients_.find(task.client_id);
+  ClientConn* client =
+      cit == clients_.end() || cit->second->dead ? nullptr : cit->second.get();
+  if (!ok) {
+    if (client != nullptr) {
+      // Relay in original-frame coordinates: the backend counted within
+      // its run, the client thinks in its own batch.
+      net::Frame reply;
+      reply.type = frame.type;
+      reply.request_id = task.client_request_id;
+      reply.status_code = frame.status_code;
+      reply.events_applied = task.acked + applied;
+      reply.text = frame.text;
+      SendToClient(*client, reply);
+    }
+    tasks_.erase(it);
+  } else {
+    task.acked += applied;
+    if (task.acked >= task.events.size()) {
+      if (client != nullptr) {
+        net::Frame reply;
+        reply.type = net::FrameType::kIngestAck;
+        reply.request_id = task.client_request_id;
+        reply.status_code = StatusCode::kOk;
+        reply.events_applied = task.acked;
+        SendToClient(*client, reply);
+      }
+      tasks_.erase(it);
+    }
+  }
+  if (client != nullptr) {
+    AdvanceClient(*client);
+  }
+}
+
+void Router::JournalAppliedEvents(const BackendConn& conn, const PendingOp& op,
+                                  uint64_t applied) {
+  for (uint64_t i = 0; i < applied; ++i) {
+    const serve::Event& event = op.events[i];
+    switch (event.kind) {
+      case serve::Event::Kind::kBegin: {
+        SessionInfo info;
+        info.owner = conn.name;
+        info.journal.push_back(event);
+        sessions_[event.session_id] = std::move(info);
+        break;
+      }
+      case serve::Event::Kind::kEdge: {
+        auto it = sessions_.find(event.session_id);
+        if (it != sessions_.end() && it->second.owner == conn.name) {
+          it->second.journal.push_back(event);
+        }
+        break;
+      }
+      case serve::Event::Kind::kEnd:
+        sessions_.erase(event.session_id);
+        break;
+      case serve::Event::Kind::kScore:
+        break;
+    }
+  }
+}
+
+void Router::CancelRefsBeyond(BackendConn& conn, uint64_t op_rid,
+                              uint64_t applied) {
+  for (auto it = conn.refs.begin(); it != conn.refs.end();) {
+    if (it->op_rid == op_rid && it->index_in_run >= applied) {
+      it = conn.refs.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Router::HandleScoreResults(BackendConn& conn, const net::Frame& frame) {
+  std::map<uint64_t, net::Frame> per_client;
+  for (const serve::ScoreResult& result : frame.results) {
+    // Oldest unresolved request of the same session. Results of one
+    // session come back in request order for everything the engine
+    // accepted; only immediate typed failures can overtake, and those
+    // carry the failure to whichever outstanding request matches first —
+    // same multiset per session, exactly-once per ref either way.
+    auto rit = std::find_if(conn.refs.begin(), conn.refs.end(),
+                            [&](const ScoreRef& ref) {
+                              return ref.session_id == result.session_id;
+                            });
+    if (rit == conn.refs.end()) {
+      counters_.router_protocol_errors++;
+      continue;
+    }
+    const ScoreRef ref = *rit;
+    conn.refs.erase(rit);
+    // A standalone-score op completes with its result.
+    auto oit = std::find_if(
+        conn.ops.begin(), conn.ops.end(),
+        [&](const PendingOp& op) { return op.rid == ref.op_rid; });
+    if (oit != conn.ops.end() && oit->kind == PendingOp::Kind::kScore) {
+      conn.ops.erase(oit);
+    }
+    auto cit = clients_.find(ref.client_id);
+    if (cit == clients_.end() || cit->second->dead) {
+      continue;  // Requester is gone; the result is dropped.
+    }
+    net::Frame& out = per_client[ref.client_id];
+    out.type = net::FrameType::kScoreResult;
+    out.results.push_back(result);
+  }
+  for (auto& [client_id, out] : per_client) {
+    auto cit = clients_.find(client_id);
+    if (cit != clients_.end()) {
+      SendToClient(*cit->second, out);
+    }
+  }
+}
+
+void Router::DeliverResult(uint64_t client_id,
+                           const serve::ScoreResult& result) {
+  auto cit = clients_.find(client_id);
+  if (cit == clients_.end() || cit->second->dead) {
+    return;
+  }
+  net::Frame frame;
+  frame.type = net::FrameType::kScoreResult;
+  frame.results.push_back(result);
+  SendToClient(*cit->second, frame);
+}
+
+// --- Membership, probes, failover, migration -------------------------------
+
+void Router::MaintainBackends(double now) {
+  bool joined = false;
+  for (const std::string& name : registry_.names()) {
+    BackendRegistry::Entry* entry = registry_.Find(name);
+    if (entry == nullptr) {
+      continue;
+    }
+    if (entry->health == BackendHealth::kUp) {
+      auto it = backends_.find(name);
+      if (it == backends_.end() || it->second->dead) {
+        continue;  // Tear-down already pending via FailDeadBackends.
+      }
+      BackendConn& conn = *it->second;
+      if (registry_.ProbeDue(*entry, now)) {
+        const uint64_t probe_id = registry_.OnProbeSent(*entry, now);
+        counters_.probes_sent++;
+        net::Frame ping;
+        ping.type = net::FrameType::kPing;
+        ping.request_id = probe_id;
+        SendToBackend(conn, ping);
+      }
+      double effective_now = now;
+      failpoint::Hit hit;
+      if (entry->last_probe_sent_at >= 0.0 &&
+          TPGNN_FAILPOINT("router.probe", &hit)) {
+        if (hit.kind == failpoint::Kind::kDelay) {
+          failpoint::ApplyDelay(hit);
+        } else {
+          // Forced miss: evaluate expiry as if the deadline had passed.
+          effective_now = entry->last_probe_sent_at +
+                          registry_.options().probe_timeout_seconds + 1.0;
+        }
+      }
+      bool crossed = false;
+      if (registry_.ProbeExpired(*entry, effective_now, &crossed)) {
+        counters_.probes_missed++;
+        if (crossed) {
+          conn.dead = true;
+        }
+      }
+    } else if (registry_.ShouldConnect(*entry, now)) {
+      joined = TryConnectBackend(*entry, now) || joined;
+    }
+  }
+  FailDeadBackends();
+  if (joined) {
+    RebalanceSessions();
+  }
+}
+
+bool Router::TryConnectBackend(BackendRegistry::Entry& entry, double now) {
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("router.backend_connect", &hit)) {
+    if (hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(hit);
+    } else {
+      registry_.OnConnectFailed(entry, now);
+      return false;
+    }
+  }
+  UniqueFd fd;
+  Status s = ConnectTcp(entry.config.host, entry.config.port,
+                        options_.backend_connect_timeout_ms, &fd);
+  if (!s.ok()) {
+    registry_.OnConnectFailed(entry, now);
+    return false;
+  }
+  SetNonBlocking(fd.get(), true);
+  registry_.OnConnected(entry, now);
+  auto conn = std::make_unique<BackendConn>();
+  conn->name = entry.config.name;
+  conn->fd = std::move(fd);
+  backends_.emplace(entry.config.name, std::move(conn));
+  counters_.backend_connects++;
+  if (!entry.draining) {
+    ring_.AddBackend(entry.config.name);
+  }
+  UpdateConnectedCount();
+  return !entry.draining;
+}
+
+void Router::FailDeadBackends() {
+  for (;;) {
+    std::string dead_name;
+    for (const auto& [name, conn] : backends_) {
+      if (conn->dead) {
+        dead_name = name;
+        break;
+      }
+    }
+    if (dead_name.empty()) {
+      return;
+    }
+    FailBackend(dead_name);
+  }
+}
+
+void Router::FailBackend(const std::string& name) {
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    return;
+  }
+  std::unique_ptr<BackendConn> conn = std::move(it->second);
+  backends_.erase(it);
+  UpdateConnectedCount();
+  ring_.RemoveBackend(name);
+  if (auto* entry = registry_.Find(name)) {
+    registry_.OnConnectionLost(*entry, NowSeconds());
+  }
+  counters_.backend_disconnects++;
+  if (draining_) {
+    return;  // Shutdown drops in-flight work by design.
+  }
+  counters_.backend_failovers++;
+
+  // 1. Rebuild every session the dead backend owned on its new ring owner
+  //    from the acked-event journal. Deterministic (sorted) order.
+  std::vector<uint64_t> owned;
+  for (const auto& [sid, info] : sessions_) {
+    if (info.owner == name) {
+      owned.push_back(sid);
+    }
+  }
+  for (uint64_t sid : owned) {
+    auto sit = sessions_.find(sid);
+    if (sit == sessions_.end() || sit->second.owner != name) {
+      continue;  // Moved by a nested failover while we worked the list.
+    }
+    if (!ReplaySessionJournal(sid, sit->second).ok()) {
+      counters_.migration_failures++;
+      sessions_.erase(sid);
+    }
+  }
+
+  // 2. Resolve the dead connection's in-flight work in its original
+  //    forward order. Acks are FIFO per connection, so every ref whose op
+  //    already completed is strictly older than every pending op: those
+  //    orphans reissue first, then the pending ops replay in deque order.
+  std::set<uint64_t> pending_rids;
+  for (const PendingOp& op : conn->ops) {
+    pending_rids.insert(op.rid);
+  }
+  for (const ScoreRef& ref : conn->refs) {
+    if (pending_rids.count(ref.op_rid) > 0) {
+      continue;  // Re-created below when its op re-forwards.
+    }
+    ReissueScore(ref);
+  }
+  for (const PendingOp& op : conn->ops) {
+    if (op.kind == PendingOp::Kind::kScore) {
+      ScoreRef ref;
+      ref.session_id = op.session_id;
+      ref.client_id = op.client_id;
+      ref.label = op.label;
+      ReissueScore(ref);
+      continue;
+    }
+    auto tit = tasks_.find(op.task_id);
+    if (tit == tasks_.end()) {
+      continue;  // Client is gone.
+    }
+    IngestTask& task = tit->second;
+    // Unacked run: rewind the task to the run start and re-forward right
+    // here so ordering against the surrounding ops is preserved.
+    task.next = op.run_offset;
+    task.awaiting_ack = false;
+    auto cit = clients_.find(task.client_id);
+    if (cit != clients_.end() && !cit->second->dead) {
+      AdvanceTask(*cit->second, task);
+    }
+  }
+
+  // 3. Whatever gated during the window resumes normally.
+  for (auto& [id, client] : clients_) {
+    if (!client->dead) {
+      AdvanceClient(*client);
+    }
+  }
+}
+
+void Router::ReissueScore(const ScoreRef& ref) {
+  BackendConn* owner = nullptr;
+  auto sit = sessions_.find(ref.session_id);
+  if (sit != sessions_.end()) {
+    auto bit = backends_.find(sit->second.owner);
+    if (bit != backends_.end() && !bit->second->dead) {
+      owner = bit->second.get();
+    }
+  }
+  if (owner == nullptr) {
+    // The session did not survive (already Ended, or its replay failed):
+    // exactly-once means the request still gets its one terminal outcome.
+    counters_.scores_failed_over++;
+    serve::ScoreResult result;
+    result.session_id = ref.session_id;
+    result.status = Status::DataLoss(
+        "backend lost before the score completed; session not recovered");
+    result.label = ref.label;
+    DeliverResult(ref.client_id, result);
+    return;
+  }
+  counters_.scores_reissued++;
+  PendingOp op;
+  op.kind = PendingOp::Kind::kScore;
+  op.rid = NextRid();
+  op.client_id = ref.client_id;
+  op.client_request_id = 0;  // Internal: overloads become typed results.
+  op.session_id = ref.session_id;
+  op.label = ref.label;
+  net::Frame fwd;
+  fwd.type = net::FrameType::kScore;
+  fwd.request_id = op.rid;
+  fwd.session_id = ref.session_id;
+  fwd.label = ref.label;
+  owner->refs.push_back({ref.session_id, ref.client_id, ref.label, op.rid, 0});
+  owner->ops.push_back(std::move(op));
+  SendToBackend(*owner, fwd);
+}
+
+void Router::RebalanceSessions() {
+  if (sessions_.empty() || ring_.num_backends() == 0) {
+    return;
+  }
+  forwarding_frozen_ = true;
+  std::vector<uint64_t> moving;
+  for (const auto& [sid, info] : sessions_) {
+    const std::string* owner = ring_.OwnerOf(sid);
+    if (owner != nullptr && *owner != info.owner) {
+      moving.push_back(sid);
+    }
+  }
+  for (uint64_t sid : moving) {
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) {
+      continue;
+    }
+    const std::string* owner = ring_.OwnerOf(sid);
+    if (owner == nullptr || *owner == it->second.owner) {
+      continue;  // The ring moved again while earlier sessions migrated.
+    }
+    if (!MigrateSessionSnapshot(sid, it->second).ok()) {
+      counters_.migration_failures++;
+    }
+  }
+  forwarding_frozen_ = false;
+  for (auto& [id, client] : clients_) {
+    if (!client->dead) {
+      AdvanceClient(*client);
+    }
+  }
+}
+
+Status Router::MigrateSessionSnapshot(uint64_t session_id, SessionInfo& info) {
+  auto sit = backends_.find(info.owner);
+  if (sit == backends_.end() || sit->second->dead) {
+    return ReplaySessionJournal(session_id, info);
+  }
+  BackendConn& source = *sit->second;
+  const std::string source_name = source.name;
+  // The snapshot may only omit what the journal doesn't know about, so
+  // every outstanding ingest run must ack (or fail) before the export.
+  if (Status s = QuiesceIngest(source); !s.ok()) {
+    if (source.dead) {
+      FailBackend(source_name);  // Replays this session from the journal.
+      return sessions_.count(session_id) > 0 ? Status::Ok() : s;
+    }
+    return s;  // Transient; the session stays put and retries later.
+  }
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("router.migrate", &hit)) {
+    if (hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(hit);
+    } else {
+      // Injected abort before the export: nothing moved; a later
+      // rebalance round retries.
+      return failpoint::InjectedError(StatusCode::kInternal, "router.migrate");
+    }
+  }
+  net::Frame req;
+  req.type = net::FrameType::kSessionExport;
+  req.request_id = NextRid();
+  req.session_id = session_id;
+  net::Frame snapshot;
+  if (Status s = SyncCall(source, req, &snapshot); !s.ok()) {
+    if (source.dead) {
+      FailBackend(source_name);
+      return sessions_.count(session_id) > 0 ? Status::Ok() : s;
+    }
+    return s;
+  }
+  if (snapshot.type != net::FrameType::kSessionState) {
+    counters_.router_protocol_errors++;
+    return Status::DataLoss("unexpected reply to SESSION_EXPORT");
+  }
+  if (snapshot.status_code != StatusCode::kOk) {
+    if (snapshot.status_code == StatusCode::kNotFound) {
+      // Evicted under our feet (TTL/LRU); accept reality.
+      sessions_.erase(session_id);
+    }
+    return Status(snapshot.status_code, snapshot.text);
+  }
+  // From here the source has Ended its copy: the blob (plus the journal,
+  // as fallback) is the only live state.
+  for (int attempt = 0; attempt < options_.migration_retries; ++attempt) {
+    if (info.owner != source_name) {
+      // A nested failover replayed this session somewhere already; the
+      // snapshot is redundant.
+      return Status::Ok();
+    }
+    const std::string* target_name = ring_.OwnerOf(session_id);
+    if (target_name == nullptr) {
+      break;
+    }
+    auto tit = backends_.find(*target_name);
+    if (tit == backends_.end() || tit->second->dead) {
+      FailBackend(*target_name);
+      continue;
+    }
+    BackendConn& target = *tit->second;
+    const std::string tname = target.name;
+    net::Frame import;
+    import.type = net::FrameType::kSessionImport;
+    import.request_id = NextRid();
+    import.blob = snapshot.blob;
+    net::Frame ack;
+    if (Status s = SyncCall(target, import, &ack); !s.ok()) {
+      if (target.dead) {
+        FailBackend(tname);
+      }
+      continue;
+    }
+    if (ack.status_code == StatusCode::kOk) {
+      info.owner = tname;
+      counters_.sessions_migrated++;
+      return Status::Ok();
+    }
+    break;  // Typed import rejection: retrying the same blob won't help.
+  }
+  // The import never landed; the journal still can rebuild the session.
+  return ReplaySessionJournal(session_id, info);
+}
+
+Status Router::ReplaySessionJournal(uint64_t session_id, SessionInfo& info) {
+  size_t cursor = 0;
+  std::string progress_owner;  // Backend holding the applied prefix.
+  Status last = Status::Internal("replay not attempted");
+  for (int attempt = 0; attempt < options_.migration_retries; ++attempt) {
+    const std::string* target_name = ring_.OwnerOf(session_id);
+    if (target_name == nullptr) {
+      last = Status::Overloaded("no backend available for session replay");
+      break;
+    }
+    auto tit = backends_.find(*target_name);
+    if (tit == backends_.end() || tit->second->dead) {
+      FailBackend(*target_name);
+      continue;
+    }
+    BackendConn& target = *tit->second;
+    const std::string tname = target.name;
+    if (cursor > 0 && tname != progress_owner) {
+      // A partial replay is stranded on a previous target; if it is still
+      // alive, End the fragment so the fresh Begin cannot collide later.
+      auto pit = backends_.find(progress_owner);
+      if (pit != backends_.end() && !pit->second->dead) {
+        net::Frame cleanup;
+        cleanup.type = net::FrameType::kIngestBatch;
+        cleanup.request_id = NextRid();
+        serve::Event end;
+        end.kind = serve::Event::Kind::kEnd;
+        end.session_id = session_id;
+        cleanup.events.push_back(std::move(end));
+        net::Frame ignored;
+        (void)SyncCall(*pit->second, cleanup, &ignored);
+      }
+      cursor = 0;
+    }
+    failpoint::Hit hit;
+    if (TPGNN_FAILPOINT("router.migrate", &hit)) {
+      if (hit.kind == failpoint::Kind::kDelay) {
+        failpoint::ApplyDelay(hit);
+      } else {
+        last =
+            failpoint::InjectedError(StatusCode::kInternal, "router.migrate");
+        continue;
+      }
+    }
+    net::Frame req;
+    req.type = net::FrameType::kIngestBatch;
+    req.request_id = NextRid();
+    req.events.assign(info.journal.begin() + static_cast<ptrdiff_t>(cursor),
+                      info.journal.end());
+    net::Frame ack;
+    if (Status s = SyncCall(target, req, &ack); !s.ok()) {
+      last = s;
+      if (target.dead) {
+        FailBackend(tname);
+      }
+      continue;
+    }
+    if (IsAckOk(ack)) {
+      info.owner = tname;
+      counters_.sessions_replayed++;
+      return Status::Ok();
+    }
+    // Partial progress (overload / typed failure mid-journal): the applied
+    // prefix is resident on this target; continue from there next round.
+    cursor += std::min<size_t>(ack.events_applied,
+                               info.journal.size() - cursor);
+    progress_owner = tname;
+    last = Status(ack.status_code == StatusCode::kOk ? StatusCode::kInternal
+                                                     : ack.status_code,
+                  ack.text.empty() ? "session replay rejected" : ack.text);
+  }
+  // Give up: clear any stranded fragment so future traffic fails typed
+  // instead of resuming a half-session.
+  if (cursor > 0) {
+    auto pit = backends_.find(progress_owner);
+    if (pit != backends_.end() && !pit->second->dead) {
+      net::Frame cleanup;
+      cleanup.type = net::FrameType::kIngestBatch;
+      cleanup.request_id = NextRid();
+      serve::Event end;
+      end.kind = serve::Event::Kind::kEnd;
+      end.session_id = session_id;
+      cleanup.events.push_back(std::move(end));
+      net::Frame ignored;
+      (void)SyncCall(*pit->second, cleanup, &ignored);
+    }
+  }
+  return last;
+}
+
+Status Router::QuiesceIngest(BackendConn& conn) {
+  const double deadline =
+      clock_.ElapsedMicros() + options_.backend_sync_timeout_ms * 1000.0;
+  for (;;) {
+    bool busy = false;
+    for (const PendingOp& op : conn.ops) {
+      if (op.kind == PendingOp::Kind::kIngest) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) {
+      return Status::Ok();
+    }
+    if (conn.dead) {
+      return Status::DataLoss("backend connection lost during quiesce");
+    }
+    if (clock_.ElapsedMicros() >= deadline) {
+      return Status::DeadlineExceeded("backend quiesce timed out");
+    }
+    if (Status s = PumpBackendOnce(conn, 20);
+        !s.ok() && s.code() != StatusCode::kDeadlineExceeded) {
+      return s;
+    }
+  }
+}
+
+Status Router::SyncCall(BackendConn& conn, const net::Frame& request,
+                        net::Frame* reply) {
+  const uint64_t rid = request.request_id;
+  const bool is_metrics = request.type == net::FrameType::kMetricsRequest;
+  sync_waiting_.insert(rid);
+  if (is_metrics) {
+    awaiting_metrics_ = true;
+    metrics_done_ = false;
+  }
+  SendToBackend(conn, request);
+  const double deadline =
+      clock_.ElapsedMicros() + options_.backend_sync_timeout_ms * 1000.0;
+  Status result = Status::Ok();
+  for (;;) {
+    if (is_metrics ? metrics_done_ : sync_done_.count(rid) > 0) {
+      *reply = is_metrics ? std::move(metrics_reply_)
+                          : std::move(sync_done_[rid]);
+      break;
+    }
+    if (conn.dead) {
+      result = Status::DataLoss("backend connection lost mid-request");
+      break;
+    }
+    if (clock_.ElapsedMicros() >= deadline) {
+      result = Status::DeadlineExceeded("backend request timed out");
+      break;
+    }
+    if (Status s = PumpBackendOnce(conn, 20);
+        !s.ok() && s.code() != StatusCode::kDeadlineExceeded) {
+      result = s;
+      break;
+    }
+  }
+  sync_waiting_.erase(rid);
+  sync_done_.erase(rid);
+  if (is_metrics) {
+    awaiting_metrics_ = false;
+  }
+  return result;
+}
+
+Status Router::PumpBackendOnce(BackendConn& conn, int timeout_ms) {
+  if (conn.dead) {
+    return Status::DataLoss("backend connection lost");
+  }
+  // Push pending writes first so the awaited request actually leaves.
+  while (conn.out_sent < conn.out.size()) {
+    size_t sent = 0;
+    Status s = SendNonBlocking(conn.fd.get(), conn.out.data() + conn.out_sent,
+                               conn.out.size() - conn.out_sent, &sent);
+    if (!s.ok()) {
+      conn.dead = true;
+      return s;
+    }
+    if (sent == 0) {
+      if (!WaitWritable(conn.fd.get(), timeout_ms).ok()) {
+        break;
+      }
+      continue;
+    }
+    conn.out_sent += sent;
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  }
+  if (Status s = WaitReadable(conn.fd.get(), timeout_ms); !s.ok()) {
+    return s;  // kDeadlineExceeded: nothing arrived within the slice.
+  }
+  HandleBackendReadable(conn);
+  if (conn.dead) {
+    return Status::DataLoss("backend connection lost");
+  }
+  return Status::Ok();
+}
+
+// --- Administrative drain / metrics / shutdown -----------------------------
+
+Status Router::DrainBackend(const std::string& name) {
+  BackendRegistry::Entry* entry = registry_.Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown backend: " + name);
+  }
+  if (entry->draining) {
+    return Status::Ok();
+  }
+  registry_.SetDraining(*entry, true);
+  ring_.RemoveBackend(name);
+  RebalanceSessions();
+  return Status::Ok();
+}
+
+Status Router::UndrainBackend(const std::string& name) {
+  BackendRegistry::Entry* entry = registry_.Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown backend: " + name);
+  }
+  if (!entry->draining) {
+    return Status::Ok();
+  }
+  registry_.SetDraining(*entry, false);
+  auto it = backends_.find(name);
+  if (entry->health == BackendHealth::kUp && it != backends_.end() &&
+      !it->second->dead) {
+    ring_.AddBackend(name);
+    RebalanceSessions();
+  }
+  return Status::Ok();
+}
+
+void Router::HandleMetricsRequest(ClientConn& conn) {
+  serve::MetricsSnapshot merged = wire_metrics_.Snapshot();
+  size_t backends_merged = 0;
+  for (auto& [name, bconn] : backends_) {
+    if (bconn->dead) {
+      continue;
+    }
+    net::Frame req;
+    req.type = net::FrameType::kMetricsRequest;
+    req.request_id = NextRid();
+    net::Frame resp;
+    if (!SyncCall(*bconn, req, &resp).ok()) {
+      continue;
+    }
+    serve::MetricsSnapshot snap;
+    if (!serve::ParseMetricsJson(resp.text, &snap).ok()) {
+      counters_.router_protocol_errors++;
+      continue;
+    }
+    merged.MergeFrom(snap);
+    ++backends_merged;
+  }
+  FailDeadBackends();
+  std::string json = merged.ToJson();
+  const size_t brace = json.rfind('}');
+  if (brace != std::string::npos) {
+    json.insert(brace, BuildClusterJson(backends_merged));
+  }
+  net::Frame reply;
+  reply.type = net::FrameType::kMetricsResponse;
+  reply.text = std::move(json);
+  SendToClient(conn, reply);
+}
+
+std::string Router::BuildClusterJson(size_t backends_merged) const {
+  auto field = [](const char* key, uint64_t value) {
+    return std::string("\"") + key + "\": " + std::to_string(value);
+  };
+  std::string out = ", \"cluster\": {";
+  out += field("backends_configured", registry_.size()) + ", ";
+  out += field("backends_up", registry_.num_up()) + ", ";
+  out += field("backends_merged", backends_merged) + ", ";
+  out += field("resident_sessions", sessions_.size()) + ", ";
+  out += field("backend_failovers", counters_.backend_failovers) + ", ";
+  out += field("sessions_migrated", counters_.sessions_migrated) + ", ";
+  out += field("sessions_replayed", counters_.sessions_replayed) + ", ";
+  out += field("migration_failures", counters_.migration_failures) + ", ";
+  out += field("scores_reissued", counters_.scores_reissued) + ", ";
+  out += field("scores_failed_over", counters_.scores_failed_over) + ", ";
+  out += field("probes_sent", counters_.probes_sent) + ", ";
+  out += field("probes_missed", counters_.probes_missed) + ", ";
+  out += field("backend_connects", counters_.backend_connects) + ", ";
+  out += field("backend_disconnects", counters_.backend_disconnects) + ", ";
+  out += field("overloads_shed", counters_.overloads_shed) + ", ";
+  out += field("router_protocol_errors", counters_.router_protocol_errors);
+  out += "}";
+  return out;
+}
+
+void Router::BeginShutdown() {
+  draining_ = true;
+  listen_fd_.reset();
+  for (auto& [name, conn] : backends_) {
+    if (conn->dead) {
+      continue;
+    }
+    net::Frame shutdown;
+    shutdown.type = net::FrameType::kShutdown;
+    SendToBackend(*conn, shutdown);
+  }
+  drain_deadline_micros_ =
+      clock_.ElapsedMicros() + options_.drain_timeout_ms * 1000.0;
+}
+
+void Router::UpdateConnectedCount() {
+  size_t up = 0;
+  for (const auto& [name, conn] : backends_) {
+    if (!conn->dead) {
+      ++up;
+    }
+  }
+  connected_backends_.store(up, std::memory_order_relaxed);
+}
+
+}  // namespace tpgnn::cluster

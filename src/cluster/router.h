@@ -1,0 +1,329 @@
+#ifndef TPGNN_CLUSTER_ROUTER_H_
+#define TPGNN_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/ring.h"
+#include "net/protocol.h"
+#include "serve/metrics.h"
+#include "util/net.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+// The router/proxy tier of the sharded serving cluster (DESIGN.md §4.7).
+//
+// A Router speaks the net/protocol wire format on both sides: clients
+// connect to it exactly as they would to a single serve_server, and it
+// keeps one pipelined connection to each backend. Sessions are placed by
+// consistent-hashing their id onto the backend ring (cluster/ring.h), so
+// every event of a session lands on one backend and the per-session
+// ordering contract is preserved end to end.
+//
+// Ingest batches are forwarded as maximal same-owner runs. A batch whose
+// events all own to one backend (the common case: session-affine load)
+// forwards as a single frame and pipelines freely; a batch spanning
+// owners forwards its runs sequentially — each run's ack gates the next —
+// so the ack the client finally sees keeps the protocol's prefix
+// semantics (events_applied counts a prefix of the ORIGINAL frame).
+// Score results are matched back to requesting clients by session id
+// against a per-backend FIFO of outstanding score requests; like the
+// single server, per-client result delivery order follows completion
+// order, not request order.
+//
+// Failover: the registry (cluster/registry.h) probes each backend with
+// PING and declares it down after consecutive misses or a broken
+// connection. The router then removes it from the ring and migrates every
+// session it owned to the session's new ring owner by replaying the
+// session's JOURNAL — the acked Begin/Edge prefix the router retains per
+// live session (never scores; an ack is the only thing that admits an
+// event to the journal, so replay can neither lose nor duplicate an
+// event). Unacked ingest runs and unresolved score requests that were in
+// flight on the dead backend are then re-forwarded in their original
+// order, which preserves exactly-once scoring: every score request
+// resolves exactly once — with a result, a typed failure, or a cancelled
+// slot accounted in an OVERLOADED ack.
+//
+// Live migration: when a backend is drained (DrainBackend) or rejoins the
+// ring, sessions move with their folded state instead of a replay — the
+// router quiesces the source, issues SESSION_EXPORT (the backend
+// snapshots the SessionShard fold state and Ends its copy), and installs
+// the snapshot on the new owner with SESSION_IMPORT. The snapshot carries
+// the raw folded tensors as exact float bits, so migrated sessions score
+// bit-identically to an engine that never moved them.
+//
+// Threading: one poll thread owns everything (Run / PollOnce), exactly
+// like net::Server. RequestShutdown is thread-safe; DrainBackend /
+// UndrainBackend must be called on the poll thread (tests drive PollOnce
+// by hand around them).
+//
+// Failpoints: `router.backend_connect` (dial flap), `router.probe`
+// (forced probe miss), `router.migrate` (mid-migration failure; the
+// migration retries and falls back from snapshot to journal replay).
+
+namespace tpgnn::cluster {
+
+struct RouterOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; see Router::port().
+  int backlog = 64;
+  int max_connections = 64;
+  uint32_t max_payload_bytes = net::kDefaultMaxPayloadBytes;
+  int poll_timeout_ms = 20;
+  int drain_timeout_ms = 5000;
+  int backend_connect_timeout_ms = 1000;
+  // Deadline for synchronous backend exchanges (migration, metrics).
+  int backend_sync_timeout_ms = 5000;
+  int vnodes_per_backend = 64;
+  // Snapshot/replay attempts per migrated session before it is dropped.
+  int migration_retries = 3;
+  RegistryOptions registry;
+};
+
+// Poll-thread-maintained cluster counters, exposed under "cluster" in the
+// merged METRICS payload. Plain integers: written only by the poll
+// thread; read cross-thread only after Run() returns (the bench joins the
+// router thread first).
+struct ClusterCounters {
+  uint64_t backend_failovers = 0;
+  uint64_t sessions_migrated = 0;   // Snapshot (export/import) moves.
+  uint64_t sessions_replayed = 0;   // Journal-replay moves.
+  uint64_t migration_failures = 0;  // Sessions dropped after retries.
+  uint64_t scores_reissued = 0;     // Orphaned scores re-sent on failover.
+  uint64_t scores_failed_over = 0;  // Resolved with a typed failure.
+  uint64_t probes_sent = 0;
+  uint64_t probes_missed = 0;
+  uint64_t backend_connects = 0;
+  uint64_t backend_disconnects = 0;
+  uint64_t overloads_shed = 0;  // Client frames shed with no backend up.
+  uint64_t router_protocol_errors = 0;
+};
+
+class Router {
+ public:
+  Router(const std::vector<BackendConfig>& backends,
+         const RouterOptions& options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Binds the client-facing listen socket. Backends are dialed lazily by
+  // the poll loop (so a router can start before its backends).
+  Status Start();
+  int port() const { return port_; }
+
+  void Run();
+  // One poll iteration; false once fully shut down.
+  bool PollOnce(int timeout_ms);
+
+  // Thread- and signal-safe.
+  void RequestShutdown();
+
+  // Administrative drain: the backend leaves the ring and every session
+  // it owns migrates away via snapshot; its connection stays for
+  // in-flight scores. Undrain re-adds it (when healthy) and rebalances
+  // sessions back. Poll-thread only.
+  Status DrainBackend(const std::string& name);
+  Status UndrainBackend(const std::string& name);
+
+  // Live observability. connected_backends is safe cross-thread (the
+  // bench spins on it while the router runs); the rest are poll-thread /
+  // post-Run reads.
+  size_t connected_backends() const {
+    return connected_backends_.load(std::memory_order_relaxed);
+  }
+  size_t num_sessions() const { return sessions_.size(); }
+  size_t num_clients() const { return clients_.size(); }
+  const ClusterCounters& counters() const { return counters_; }
+  const BackendRegistry& registry() const { return registry_; }
+  const HashRing& ring() const { return ring_; }
+
+ private:
+  struct ClientConn {
+    UniqueFd fd;
+    uint64_t id = 0;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    size_t out_sent = 0;
+    bool draining = false;
+    bool dead = false;
+    // Ids of this client's unfinished tasks, in frame-arrival order.
+    std::deque<uint64_t> task_order;
+  };
+
+  // One client frame being forwarded: an INGEST_BATCH (runs of events) or
+  // a standalone SCORE (one kScore pseudo-event, no ack on success).
+  struct IngestTask {
+    uint64_t id = 0;
+    uint64_t client_id = 0;
+    uint64_t client_request_id = 0;
+    bool is_score_frame = false;
+    std::vector<serve::Event> events;
+    size_t next = 0;   // First event not yet forwarded.
+    size_t acked = 0;  // Events acknowledged applied (an original-frame
+                       // prefix, because runs forward sequentially).
+    bool awaiting_ack = false;
+  };
+
+  // An unacknowledged request outstanding on one backend connection.
+  struct PendingOp {
+    enum class Kind : uint8_t { kIngest, kScore };
+    Kind kind = Kind::kIngest;
+    uint64_t rid = 0;  // Router-assigned wire request id.
+    uint64_t task_id = 0;           // kIngest.
+    std::vector<serve::Event> events;  // kIngest: the forwarded run.
+    size_t run_offset = 0;  // Original-frame index of events[0].
+    uint64_t client_id = 0;
+    uint64_t client_request_id = 0;  // kScore: for OVERLOADED relays.
+    uint64_t session_id = 0;         // kScore.
+    int label = -1;                  // kScore.
+  };
+
+  // One outstanding score request on a backend, pushed at forward time
+  // (results may overtake the ingest ack that admits them). Resolved by
+  // the oldest-unresolved-same-session rule.
+  struct ScoreRef {
+    uint64_t session_id = 0;
+    uint64_t client_id = 0;
+    int label = -1;
+    uint64_t op_rid = 0;       // Op that carried it.
+    size_t index_in_run = 0;   // Position among the op's events.
+  };
+
+  struct BackendConn {
+    std::string name;
+    UniqueFd fd;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    size_t out_sent = 0;
+    bool dead = false;
+    std::deque<PendingOp> ops;
+    std::deque<ScoreRef> refs;
+  };
+
+  // The router's authoritative per-session record: current owner and the
+  // acked Begin/Edge journal that makes crash failover replayable.
+  struct SessionInfo {
+    std::string owner;
+    std::vector<serve::Event> journal;
+  };
+
+  double NowSeconds() const { return clock_.ElapsedMicros() * 1e-6; }
+  uint64_t NextRid() { return next_request_id_++; }
+
+  // --- Poll plumbing -----------------------------------------------------
+  void AcceptPending();
+  void HandleClientReadable(ClientConn& conn);
+  void HandleClientWritable(ClientConn& conn);
+  void HandleBackendReadable(BackendConn& conn);
+  void HandleBackendWritable(BackendConn& conn);
+  void SendToClient(ClientConn& conn, const net::Frame& frame);
+  void SendToBackend(BackendConn& conn, const net::Frame& frame);
+  void FailClient(ClientConn& conn, const Status& status);
+  void ReapDeadClients();
+
+  // --- Client-side dispatch ----------------------------------------------
+  void HandleClientFrame(ClientConn& conn, const net::Frame& frame);
+  void HandleMetricsRequest(ClientConn& conn);
+  // Forwards ready tasks of `client` in frame order; stops at a gate (a
+  // multi-run task awaiting its run ack, or an owner that is mid-failover).
+  void AdvanceClient(ClientConn& client);
+  enum class TaskStep { kDone, kGated, kRemoved };
+  TaskStep AdvanceTask(ClientConn& client, IngestTask& task);
+  // Current owner connection for an event's session; null when the owner
+  // backend is not connected (ring empty or mid-failover).
+  BackendConn* OwnerFor(uint64_t session_id);
+
+  // --- Backend-side dispatch ---------------------------------------------
+  void ProcessBackendFrame(BackendConn& conn, const net::Frame& frame);
+  void HandleIngestAck(BackendConn& conn, PendingOp op,
+                       const net::Frame& frame);
+  void HandleScoreResults(BackendConn& conn, const net::Frame& frame);
+  // Admits the acked prefix of an ingest run to the session journals.
+  void JournalAppliedEvents(const BackendConn& conn, const PendingOp& op,
+                            uint64_t applied);
+  void CancelRefsBeyond(BackendConn& conn, uint64_t op_rid, uint64_t applied);
+  void DeliverResult(uint64_t client_id, const serve::ScoreResult& result);
+
+  // --- Membership, probes, failover, migration ---------------------------
+  void MaintainBackends(double now);
+  bool TryConnectBackend(BackendRegistry::Entry& entry, double now);
+  // Tears down every connection flagged dead during a dispatch round.
+  void FailDeadBackends();
+  // Tears down a backend: ring removal, journal-replay of its sessions to
+  // their new owners, re-forwarding of its in-flight ops in order.
+  void FailBackend(const std::string& name);
+  // One terminal outcome for a score orphaned by a failover: re-sent to
+  // the session's new owner, or a typed-failure result to the client.
+  void ReissueScore(const ScoreRef& ref);
+  // Moves every session whose ring owner differs from its current owner
+  // (after a join/drain/undrain): snapshot migration when the source is
+  // connected, journal replay otherwise.
+  void RebalanceSessions();
+  Status MigrateSessionSnapshot(uint64_t session_id, SessionInfo& info);
+  Status ReplaySessionJournal(uint64_t session_id, SessionInfo& info);
+  // Waits until `conn` has no outstanding ingest ops (their acks decide
+  // what the journal — and therefore any snapshot — may contain).
+  Status QuiesceIngest(BackendConn& conn);
+  // Blocking request/reply on one backend connection; interleaved frames
+  // (score results, acks of other ops) dispatch through
+  // ProcessBackendFrame while waiting.
+  Status SyncCall(BackendConn& conn, const net::Frame& request,
+                  net::Frame* reply);
+  Status PumpBackendOnce(BackendConn& conn, int timeout_ms);
+
+  void BeginShutdown();
+  void UpdateConnectedCount();
+  std::string BuildClusterJson(size_t backends_merged) const;
+
+  const RouterOptions options_;
+  BackendRegistry registry_;
+  HashRing ring_;
+
+  UniqueFd listen_fd_;
+  int port_ = 0;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  bool clients_goodbyed_ = false;
+  bool stopped_ = false;
+  double drain_deadline_micros_ = 0.0;
+  Stopwatch clock_;
+
+  uint64_t next_connection_id_ = 1;
+  uint64_t next_task_id_ = 1;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<ClientConn>> clients_;
+  std::map<std::string, std::unique_ptr<BackendConn>> backends_;
+  std::map<uint64_t, IngestTask> tasks_;
+  std::map<uint64_t, SessionInfo> sessions_;
+
+  // Forwarding freeze while a migration quiesces its source: acks keep
+  // flowing, but no new runs leave the router until the move completes.
+  bool forwarding_frozen_ = false;
+
+  // Synchronous-exchange bookkeeping for SyncCall.
+  std::set<uint64_t> sync_waiting_;
+  std::map<uint64_t, net::Frame> sync_done_;
+  bool awaiting_metrics_ = false;
+  bool metrics_done_ = false;
+  net::Frame metrics_reply_;
+
+  // Client-side wire accounting; merged into the METRICS payload.
+  serve::Metrics wire_metrics_;
+  ClusterCounters counters_;
+  std::atomic<size_t> connected_backends_{0};
+};
+
+}  // namespace tpgnn::cluster
+
+#endif  // TPGNN_CLUSTER_ROUTER_H_

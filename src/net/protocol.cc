@@ -14,7 +14,7 @@ constexpr uint64_t kMaxNodesPerSession = 1ull << 31;
 constexpr uint64_t kMaxFeatureDim = 1ull << 24;
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kDataLoss);
 constexpr uint8_t kMinFrameType = static_cast<uint8_t>(FrameType::kPing);
-constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kError);
+constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kSessionImport);
 
 void AppendRaw(const void* data, size_t size, std::vector<uint8_t>* out) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
@@ -49,6 +49,11 @@ void AppendF64(double value, std::vector<uint8_t>* out) {
 }
 
 void AppendString(const std::string& value, std::vector<uint8_t>* out) {
+  AppendVarint(value.size(), out);
+  AppendRaw(value.data(), value.size(), out);
+}
+
+void AppendBytes(const std::vector<uint8_t>& value, std::vector<uint8_t>* out) {
   AppendVarint(value.size(), out);
   AppendRaw(value.data(), value.size(), out);
 }
@@ -167,6 +172,15 @@ class Reader {
     if (length > remaining()) return Fail();
     value->assign(reinterpret_cast<const char*>(data_ + pos_),
                   static_cast<size_t>(length));
+    pos_ += static_cast<size_t>(length);
+    return true;
+  }
+
+  bool ReadBytes(std::vector<uint8_t>* value) {
+    uint64_t length;
+    if (!ReadVarint(&length)) return false;
+    if (length > remaining()) return Fail();
+    value->assign(data_ + pos_, data_ + pos_ + static_cast<size_t>(length));
     pos_ += static_cast<size_t>(length);
     return true;
   }
@@ -295,6 +309,12 @@ const char* FrameTypeName(FrameType type) {
       return "OVERLOADED";
     case FrameType::kError:
       return "ERROR";
+    case FrameType::kSessionExport:
+      return "SESSION_EXPORT";
+    case FrameType::kSessionState:
+      return "SESSION_STATE";
+    case FrameType::kSessionImport:
+      return "SESSION_IMPORT";
   }
   return "UNKNOWN";
 }
@@ -362,6 +382,20 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kError:
       out->push_back(static_cast<uint8_t>(frame.status_code));
       AppendString(frame.text, out);
+      break;
+    case FrameType::kSessionExport:
+      AppendVarint(frame.request_id, out);
+      AppendVarint(frame.session_id, out);
+      break;
+    case FrameType::kSessionState:
+      AppendVarint(frame.request_id, out);
+      out->push_back(static_cast<uint8_t>(frame.status_code));
+      AppendString(frame.text, out);
+      AppendBytes(frame.blob, out);
+      break;
+    case FrameType::kSessionImport:
+      AppendVarint(frame.request_id, out);
+      AppendBytes(frame.blob, out);
       break;
   }
 
@@ -483,6 +517,22 @@ Status DecodeFrame(const uint8_t* data, size_t size,
       if (ok) frame->status_code = static_cast<StatusCode>(code);
       break;
     }
+    case FrameType::kSessionExport:
+      ok = reader.ReadVarint(&frame->request_id) &&
+           reader.ReadVarint(&frame->session_id);
+      break;
+    case FrameType::kSessionState: {
+      uint8_t code = 0;
+      ok = reader.ReadVarint(&frame->request_id) && reader.ReadU8(&code) &&
+           code <= kMaxStatusCode && reader.ReadString(&frame->text) &&
+           reader.ReadBytes(&frame->blob);
+      if (ok) frame->status_code = static_cast<StatusCode>(code);
+      break;
+    }
+    case FrameType::kSessionImport:
+      ok = reader.ReadVarint(&frame->request_id) &&
+           reader.ReadBytes(&frame->blob);
+      break;
   }
   if (!ok || reader.failed()) {
     return CorruptFrame(std::string("truncated ") +

@@ -56,6 +56,11 @@ enum class FrameType : uint8_t {
   kGoodbye = 10,         // final frame before the server closes the stream.
   kOverloaded = 11,      // request_id, events_applied: shed load and retry.
   kError = 12,           // status_code + text; the connection closes after.
+  // Session migration (router <-> backend, see src/cluster/).
+  kSessionExport = 13,  // request_id + session_id: snapshot and hand over.
+  kSessionState = 14,   // request_id, status_code, text, blob: the snapshot.
+  kSessionImport = 15,  // request_id + blob: install a migrated session;
+                        // acknowledged with kIngestAck.
 };
 
 const char* FrameTypeName(FrameType type);
@@ -80,6 +85,9 @@ struct Frame {
   uint64_t events_applied = 0;
   // kIngestAck / kError message; kMetricsResponse JSON.
   std::string text;
+  // kSessionState / kSessionImport: opaque serialized serve::SessionState.
+  // The wire layer does not interpret it beyond length-checking.
+  std::vector<uint8_t> blob;
 };
 
 // Appends the complete wire encoding of `frame` to `*out`.

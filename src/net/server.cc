@@ -60,8 +60,27 @@ void Server::RequestShutdown() {
   }
 }
 
+void Server::Abort() {
+  abort_requested_.store(true, std::memory_order_release);
+  if (wake_write_.valid()) {
+    const uint8_t byte = 1;
+    [[maybe_unused]] ssize_t rc = write(wake_write_.get(), &byte, 1);
+  }
+}
+
 bool Server::PollOnce(int timeout_ms) {
   if (stopped_) {
+    return false;
+  }
+  if (abort_requested_.load(std::memory_order_acquire)) {
+    serve::Metrics& metrics = engine_->mutable_metrics();
+    metrics.connections_closed.fetch_add(connections_.size(),
+                                         std::memory_order_relaxed);
+    connections_.clear();
+    num_connections_.store(0, std::memory_order_relaxed);
+    listen_fd_.reset();
+    score_owner_.clear();
+    stopped_ = true;
     return false;
   }
   if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
@@ -326,6 +345,49 @@ void Server::HandleFrame(Connection& conn, const Frame& frame) {
     case FrameType::kShutdown:
       RequestShutdown();
       break;
+    case FrameType::kSessionExport: {
+      // Migration handover: snapshot the session and, on success, drop it —
+      // the requesting router installs the snapshot elsewhere, and two live
+      // copies would double-apply any replayed event. In-flight scores
+      // pinned here still complete against the pinned state (End defers
+      // removal to the last Unpin).
+      Frame reply;
+      reply.type = FrameType::kSessionState;
+      reply.request_id = frame.request_id;
+      serve::SessionState state;
+      Status st = engine_->ExportSession(frame.session_id, &state);
+      reply.status_code = st.code();
+      if (st.ok()) {
+        serve::SerializeSessionState(state, &reply.blob);
+        serve::Event end;
+        end.kind = serve::Event::Kind::kEnd;
+        end.session_id = frame.session_id;
+        engine_->Ingest(end);
+      } else {
+        reply.text = st.message();
+      }
+      SendFrame(conn, reply);
+      break;
+    }
+    case FrameType::kSessionImport: {
+      Frame reply;
+      reply.type = FrameType::kIngestAck;
+      reply.request_id = frame.request_id;
+      serve::SessionState state;
+      Status st = serve::ParseSessionState(frame.blob.data(),
+                                           frame.blob.size(), &state);
+      if (st.ok()) {
+        st = engine_->ImportSession(state);
+      }
+      reply.status_code = st.code();
+      if (!st.ok()) {
+        reply.text = st.message();
+      } else {
+        reply.events_applied = 1;
+      }
+      SendFrame(conn, reply);
+      break;
+    }
     case FrameType::kGoodbye:
       // Client-initiated close: flush what we owe, then close.
       conn.draining = true;

@@ -84,6 +84,14 @@ class Server {
   // Thread- and signal-safe: requests a graceful shutdown and wakes the
   // poll loop.
   void RequestShutdown();
+
+  // Hard stop, thread-safe: the next poll iteration closes the listen
+  // socket and every connection immediately — no drain, no GOODBYE, owed
+  // results dropped — exactly what a killed process looks like to its
+  // peers. The cluster chaos harness uses this to simulate a backend
+  // crash in-process (the engine object survives for post-mortem
+  // inspection; a real crash would lose it too).
+  void Abort();
   bool shutting_down() const {
     return shutdown_requested_.load(std::memory_order_acquire);
   }
@@ -131,6 +139,7 @@ class Server {
   UniqueFd wake_read_;
   UniqueFd wake_write_;
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> abort_requested_{false};
   bool draining_ = false;
   bool stopped_ = false;
   double drain_deadline_micros_ = 0.0;

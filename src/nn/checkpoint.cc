@@ -1,5 +1,7 @@
 #include "nn/checkpoint.h"
 
+#include <array>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -14,20 +16,45 @@ namespace {
 constexpr char kMagic[] = "tpgnn-params";
 constexpr int kVersionNoMeta = 1;
 constexpr int kVersionMeta = 2;
+constexpr int kVersionCrc = 3;
 
-// Reads the "<magic> <version>" header and, for version-2 files, the
-// metadata block, leaving the stream positioned at the parameter count.
+// CRC32 (IEEE 802.3 reflected polynomial) over the checkpoint's value
+// region. Table-based; the table is built once on first use.
+uint32_t Crc32(const char* data, size_t size) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(data[i])) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// Reads the "<magic> <version>" header and, for versioned files that carry
+// one (v2, v3), the metadata block, leaving the stream positioned at the
+// parameter count. Reports the parsed version via `*version_out`.
 Status ReadHeader(std::istream& is, const std::string& path,
-                  CheckpointMetadata* metadata) {
+                  CheckpointMetadata* metadata, int* version_out) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != kMagic) {
     return Status::InvalidArgument("not a tpgnn-params file: " + path);
   }
-  if (version != kVersionNoMeta && version != kVersionMeta) {
+  if (version != kVersionNoMeta && version != kVersionMeta &&
+      version != kVersionCrc) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version) + ": " + path);
   }
+  *version_out = version;
   if (version == kVersionNoMeta) {
     return Status::Ok();
   }
@@ -53,6 +80,43 @@ Status ReadHeader(std::istream& is, const std::string& path,
         !metadata->emplace(std::move(key), std::move(value)).second) {
       return Status::InvalidArgument("duplicate metadata key: " + path);
     }
+  }
+  return Status::Ok();
+}
+
+// Verifies the version-3 trailer: the last line must read "crc32 <8 hex>"
+// and the checksum must match the value region — every byte from the
+// parameter count through the final parameter line, including its newline.
+// `is` is positioned at the parameter count (just past the header), which
+// is where the protected region starts inside `bytes`.
+Status VerifyCrcTrailer(const std::string& bytes, std::istream& is,
+                        const std::string& path) {
+  const std::streampos pos = is.tellg();
+  const size_t body_start =
+      pos < std::streampos(0) ? bytes.size() : static_cast<size_t>(pos);
+  const size_t tail = bytes.rfind("\ncrc32 ");
+  if (tail == std::string::npos || tail + 1 < body_start) {
+    return Status::DataLoss("missing crc32 trailer: " + path);
+  }
+  const size_t hex_start = tail + 7;
+  const size_t hex_end = bytes.find('\n', hex_start);
+  const std::string hex =
+      hex_end == std::string::npos
+          ? std::string()
+          : bytes.substr(hex_start, hex_end - hex_start);
+  if (hex.size() != 8 ||
+      hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::DataLoss("malformed crc32 trailer: " + path);
+  }
+  const uint32_t stored =
+      static_cast<uint32_t>(std::stoul(hex, nullptr, 16));
+  const uint32_t actual =
+      Crc32(bytes.data() + body_start, tail + 1 - body_start);
+  if (stored != actual) {
+    char computed[16];
+    std::snprintf(computed, sizeof(computed), "%08x", actual);
+    return Status::DataLoss("crc32 mismatch (stored " + hex + ", computed " +
+                            computed + "): " + path);
   }
   return Status::Ok();
 }
@@ -109,26 +173,33 @@ Status SaveParameters(const Module& module, const std::string& path,
   }
   // Serialize fully in memory, then write in one pass: the intermediate
   // buffer is what lets the "checkpoint.write" failpoint model a torn write
-  // (a crash mid-flush leaves a well-formed prefix on disk).
-  std::ostringstream os;
-  const int version = metadata.empty() ? kVersionNoMeta : kVersionMeta;
-  os << kMagic << " " << version << "\n";
-  if (!metadata.empty()) {
-    os << "meta " << metadata.size() << "\n";
-    for (const auto& [key, value] : metadata) {
-      os << key << " " << value << "\n";
-    }
-  }
+  // (a crash mid-flush leaves a well-formed prefix on disk). The value
+  // region is built separately so its crc32 can be computed over the exact
+  // bytes that land in the file.
+  std::ostringstream body;
   auto named = module.NamedParameters();
-  os << named.size() << "\n";
-  os.precision(9);
+  body << named.size() << "\n";
+  body.precision(9);
   for (const auto& [name, p] : named) {
-    os << name << " " << p.numel();
+    body << name << " " << p.numel();
     for (float v : p.data()) {
-      os << " " << v;
+      body << " " << v;
     }
-    os << "\n";
+    body << "\n";
   }
+  const std::string value_region = body.str();
+
+  std::ostringstream os;
+  os << kMagic << " " << kVersionCrc << "\n";
+  os << "meta " << metadata.size() << "\n";
+  for (const auto& [key, value] : metadata) {
+    os << key << " " << value << "\n";
+  }
+  os << value_region;
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                Crc32(value_region.data(), value_region.size()));
+  os << "crc32 " << crc_hex << "\n";
   std::string bytes = os.str();
 
   failpoint::Hit hit;
@@ -177,8 +248,15 @@ Status LoadParameters(Module& module, const std::string& path,
     return s;
   }
   std::istringstream is(bytes);
-  if (Status header = ReadHeader(is, path, metadata); !header.ok()) {
+  int version = 0;
+  if (Status header = ReadHeader(is, path, metadata, &version);
+      !header.ok()) {
     return header;
+  }
+  if (version == kVersionCrc) {
+    if (Status crc = VerifyCrcTrailer(bytes, is, path); !crc.ok()) {
+      return crc;
+    }
   }
   size_t count = 0;
   if (!(is >> count)) {
@@ -233,7 +311,8 @@ Status ReadCheckpointMetadata(const std::string& path,
     return s;
   }
   std::istringstream is(bytes);
-  return ReadHeader(is, path, metadata);
+  int version = 0;
+  return ReadHeader(is, path, metadata, &version);
 }
 
 }  // namespace tpgnn::nn

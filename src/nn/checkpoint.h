@@ -10,12 +10,14 @@
 // Plain-text model checkpoints: parameters are stored by their registered
 // names, so loading verifies the architecture (name and shape) matches.
 //
-// Format (version 2; version-1 files — no `meta` block — still load):
-//   tpgnn-params 2
-//   meta <entry_count>
+// Format (version 3; version-1 files — no `meta` block — and version-2
+// files — no `crc32` trailer — still load):
+//   tpgnn-params 3
+//   meta <entry_count>                          (entry_count may be 0)
 //   <key> <value ...>                           (one line per entry)
 //   <parameter_count>
 //   <name> <numel> <v_0> ... <v_{numel-1}>      (one line per parameter)
+//   crc32 <8 lowercase hex digits>
 //
 // The metadata block carries free-form key/value strings (keys are single
 // tokens, values run to the end of the line). It lets a consumer such as
@@ -23,13 +25,22 @@
 // extractor kind, ...) before parameters are loaded, failing with a clear
 // Status instead of a shape mismatch mid-load. core/config.h provides the
 // TpGnnConfig <-> metadata mapping.
+//
+// The crc32 trailer (IEEE polynomial) covers the *value region* — every
+// byte from the parameter count line through the final parameter line.
+// Loading a version-3 file verifies it before any value is parsed, so a
+// flipped bit or torn tail anywhere in the region fails with kDataLoss
+// instead of silently loading a perturbed model. Metadata stays outside
+// the checksum: it is validated semantically by its consumers.
+// ReadCheckpointMetadata deliberately skips the check — it is a cheap
+// header-only pre-flight that never touches the payload.
 
 namespace tpgnn::nn {
 
 using CheckpointMetadata = std::map<std::string, std::string>;
 
-// Saves with an empty metadata block (written as a version-1 file, so the
-// format version only bumps when the new block is actually used).
+// Saves with an empty metadata block (`meta 0`). Always writes version 3
+// so every new checkpoint carries the integrity trailer.
 Status SaveParameters(const Module& module, const std::string& path);
 
 // Saves parameters plus the given metadata block. Keys must be non-empty

@@ -146,6 +146,16 @@ void InferenceEngine::Flush(std::vector<ScoreResult>* results) {
   }
 }
 
+Status InferenceEngine::ExportSession(uint64_t session_id,
+                                      SessionState* state) {
+  return router_.ShardFor(session_id).ExportSession(session_id, state);
+}
+
+Status InferenceEngine::ImportSession(const SessionState& state) {
+  return router_.ShardFor(state.session_id)
+      .ImportSession(state, state.last_touch);
+}
+
 size_t InferenceEngine::pending_scores() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return pending_.size();

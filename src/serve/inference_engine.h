@@ -85,6 +85,12 @@ class InferenceEngine {
   // Drains the queue completely.
   void Flush(std::vector<ScoreResult>* results);
 
+  // Migration passthroughs (cluster serving, DESIGN.md §4.7): snapshot /
+  // install a session on its owning shard. Import adopts the snapshot's
+  // last_touch as the session's stream-time LRU stamp.
+  Status ExportSession(uint64_t session_id, SessionState* state);
+  Status ImportSession(const SessionState& state);
+
   const Metrics& metrics() const { return metrics_; }
   // For front-ends (net::Server) that account wire-level traffic into the
   // engine's metrics.

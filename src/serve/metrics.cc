@@ -1,6 +1,7 @@
 #include "serve/metrics.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 namespace tpgnn::serve {
@@ -81,9 +82,15 @@ void AppendHistogramJson(std::ostringstream& os, const char* name,
                          const LatencyHistogram::Snapshot& h) {
   os << "\"" << name << "\": {\"count\": " << h.count
      << ", \"mean\": " << h.mean_micros()
+     << ", \"sum\": " << h.sum_micros
      << ", \"p50\": " << h.PercentileMicros(0.5)
      << ", \"p95\": " << h.PercentileMicros(0.95)
-     << ", \"p99\": " << h.PercentileMicros(0.99) << "}";
+     << ", \"p99\": " << h.PercentileMicros(0.99) << ", \"buckets\": [";
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    if (i > 0) os << ", ";
+    os << h.buckets[static_cast<size_t>(i)];
+  }
+  os << "]}";
 }
 
 }  // namespace
@@ -95,6 +102,8 @@ std::string MetricsSnapshot::ToJson() const {
      << ", \"sessions_begun\": " << sessions_begun
      << ", \"sessions_ended\": " << sessions_ended
      << ", \"sessions_evicted\": " << sessions_evicted
+     << ", \"sessions_exported\": " << sessions_exported
+     << ", \"sessions_imported\": " << sessions_imported
      << ", \"edges_ingested\": " << edges_ingested
      << ", \"scores_completed\": " << scores_completed
      << ", \"scores_failed\": " << scores_failed
@@ -118,6 +127,155 @@ std::string MetricsSnapshot::ToJson() const {
   return os.str();
 }
 
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  events_ingested += other.events_ingested;
+  sessions_begun += other.sessions_begun;
+  sessions_ended += other.sessions_ended;
+  sessions_evicted += other.sessions_evicted;
+  sessions_exported += other.sessions_exported;
+  sessions_imported += other.sessions_imported;
+  edges_ingested += other.edges_ingested;
+  scores_completed += other.scores_completed;
+  scores_failed += other.scores_failed;
+  overload_rejections += other.overload_rejections;
+  state_refolds += other.state_refolds;
+  state_rescales += other.state_rescales;
+  bytes_received += other.bytes_received;
+  bytes_sent += other.bytes_sent;
+  frames_received += other.frames_received;
+  frames_sent += other.frames_sent;
+  connections_accepted += other.connections_accepted;
+  connections_closed += other.connections_closed;
+  protocol_errors += other.protocol_errors;
+  auto merge_histogram = [](LatencyHistogram::Snapshot& into,
+                            const LatencyHistogram::Snapshot& from) {
+    into.count += from.count;
+    into.sum_micros += from.sum_micros;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      into.buckets[static_cast<size_t>(i)] +=
+          from.buckets[static_cast<size_t>(i)];
+    }
+  };
+  merge_histogram(ingest_latency, other.ingest_latency);
+  merge_histogram(score_latency, other.score_latency);
+  merge_histogram(e2e_latency, other.e2e_latency);
+}
+
+namespace {
+
+// Targeted extraction over the emitter's JSON shape. `Find*` locate a
+// quoted key inside [from, json.size()) and parse the value right after
+// its ':'; they tolerate unknown keys (skipped by not being asked for)
+// but not a missing requested one.
+bool FindNumber(const std::string& json, const std::string& key, size_t from,
+                double* value, size_t* value_end) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle, from);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const char* start = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  *value = std::strtod(start, &end);
+  if (end == start) {
+    return false;
+  }
+  if (value_end != nullptr) {
+    *value_end = static_cast<size_t>(end - json.c_str());
+  }
+  return true;
+}
+
+bool FindCounter(const std::string& json, const std::string& key, size_t from,
+                 uint64_t* value) {
+  double v = 0.0;
+  if (!FindNumber(json, key, from, &v, nullptr) || v < 0.0) {
+    return false;
+  }
+  *value = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseHistogram(const std::string& json, const std::string& name,
+                    size_t from, LatencyHistogram::Snapshot* h) {
+  const size_t at = json.find("\"" + name + "\":", from);
+  if (at == std::string::npos) {
+    return false;
+  }
+  if (!FindCounter(json, "count", at, &h->count) ||
+      !FindNumber(json, "sum", at, &h->sum_micros, nullptr)) {
+    return false;
+  }
+  const size_t buckets_at = json.find("\"buckets\":", at);
+  if (buckets_at == std::string::npos) {
+    return false;
+  }
+  size_t open = json.find('[', buckets_at);
+  if (open == std::string::npos) {
+    return false;
+  }
+  const char* cursor = json.c_str() + open + 1;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    char* end = nullptr;
+    const double v = std::strtod(cursor, &end);
+    if (end == cursor || v < 0.0) {
+      return false;
+    }
+    h->buckets[static_cast<size_t>(i)] = static_cast<uint64_t>(v);
+    cursor = end;
+    while (*cursor == ',' || *cursor == ' ') ++cursor;
+  }
+  return *cursor == ']';
+}
+
+}  // namespace
+
+Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap) {
+  *snap = MetricsSnapshot();
+  const size_t counters_at = json.find("\"counters\":");
+  const size_t latency_at = json.find("\"latency_us\":");
+  if (counters_at == std::string::npos || latency_at == std::string::npos) {
+    return Status::DataLoss("metrics JSON missing counters or latency_us");
+  }
+  struct Field {
+    const char* key;
+    uint64_t* value;
+  };
+  const Field fields[] = {
+      {"events_ingested", &snap->events_ingested},
+      {"sessions_begun", &snap->sessions_begun},
+      {"sessions_ended", &snap->sessions_ended},
+      {"sessions_evicted", &snap->sessions_evicted},
+      {"sessions_exported", &snap->sessions_exported},
+      {"sessions_imported", &snap->sessions_imported},
+      {"edges_ingested", &snap->edges_ingested},
+      {"scores_completed", &snap->scores_completed},
+      {"scores_failed", &snap->scores_failed},
+      {"overload_rejections", &snap->overload_rejections},
+      {"state_refolds", &snap->state_refolds},
+      {"state_rescales", &snap->state_rescales},
+      {"bytes_received", &snap->bytes_received},
+      {"bytes_sent", &snap->bytes_sent},
+      {"frames_received", &snap->frames_received},
+      {"frames_sent", &snap->frames_sent},
+      {"connections_accepted", &snap->connections_accepted},
+      {"connections_closed", &snap->connections_closed},
+      {"protocol_errors", &snap->protocol_errors},
+  };
+  for (const Field& f : fields) {
+    if (!FindCounter(json, f.key, counters_at, f.value)) {
+      return Status::DataLoss(std::string("metrics JSON missing counter ") +
+                              f.key);
+    }
+  }
+  if (!ParseHistogram(json, "ingest", latency_at, &snap->ingest_latency) ||
+      !ParseHistogram(json, "score", latency_at, &snap->score_latency) ||
+      !ParseHistogram(json, "e2e", latency_at, &snap->e2e_latency)) {
+    return Status::DataLoss("metrics JSON histogram malformed");
+  }
+  return Status::Ok();
+}
+
 std::string Metrics::ToJson() const { return Snapshot().ToJson(); }
 
 MetricsSnapshot Metrics::Snapshot() const {
@@ -126,6 +284,8 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.sessions_begun = sessions_begun.load(std::memory_order_relaxed);
   snap.sessions_ended = sessions_ended.load(std::memory_order_relaxed);
   snap.sessions_evicted = sessions_evicted.load(std::memory_order_relaxed);
+  snap.sessions_exported = sessions_exported.load(std::memory_order_relaxed);
+  snap.sessions_imported = sessions_imported.load(std::memory_order_relaxed);
   snap.edges_ingested = edges_ingested.load(std::memory_order_relaxed);
   snap.scores_completed = scores_completed.load(std::memory_order_relaxed);
   snap.scores_failed = scores_failed.load(std::memory_order_relaxed);

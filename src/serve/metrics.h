@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.h"
+
 // Serving telemetry: monotone counters plus fixed-bucket latency
 // histograms. Everything is updated with relaxed atomics on the hot path
 // and snapshotted without stopping traffic; a snapshot is internally
@@ -49,6 +51,10 @@ struct MetricsSnapshot {
   uint64_t sessions_begun = 0;
   uint64_t sessions_ended = 0;
   uint64_t sessions_evicted = 0;
+  // Session migrations (cluster serving, DESIGN.md §4.7): snapshots handed
+  // out via SESSION_EXPORT and installed via SESSION_IMPORT.
+  uint64_t sessions_exported = 0;
+  uint64_t sessions_imported = 0;
   uint64_t edges_ingested = 0;
   uint64_t scores_completed = 0;
   uint64_t scores_failed = 0;
@@ -70,10 +76,25 @@ struct MetricsSnapshot {
   // One-line human-readable summary (counts + score p50/p95/p99).
   std::string ToString() const;
   // Full snapshot as a JSON object: every counter under "counters", each
-  // latency histogram under "latency_us" as {count, mean, p50, p95, p99}.
+  // latency histogram under "latency_us" as {count, mean, sum, p50, p95,
+  // p99, buckets}. The raw buckets make the payload mergeable — a router
+  // aggregating N backends parses them back and recomputes percentiles
+  // over the combined distribution instead of averaging quantiles.
   // This is the METRICS RPC payload and the server half of BENCH_net.json.
   std::string ToJson() const;
+
+  // Field-wise aggregation: counters sum, histogram counts/sums/buckets
+  // add, so percentiles of the merged snapshot are percentiles of the
+  // union distribution. The identity element is a default snapshot.
+  void MergeFrom(const MetricsSnapshot& other);
 };
+
+// Parses a snapshot back out of MetricsSnapshot::ToJson() output — the
+// emitter's exact shape, not general JSON (unknown keys are skipped, but
+// structure is expected). The router's cluster-wide METRICS RPC uses this
+// to fold N backend payloads into one. kDataLoss when a required section
+// or histogram field is missing or malformed.
+Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap);
 
 class Metrics {
  public:
@@ -82,6 +103,9 @@ class Metrics {
   std::atomic<uint64_t> sessions_begun{0};
   std::atomic<uint64_t> sessions_ended{0};
   std::atomic<uint64_t> sessions_evicted{0};
+  // Migration traffic (SessionShard::ExportSession / ImportSession).
+  std::atomic<uint64_t> sessions_exported{0};
+  std::atomic<uint64_t> sessions_imported{0};
   std::atomic<uint64_t> edges_ingested{0};
   std::atomic<uint64_t> scores_completed{0};
   std::atomic<uint64_t> scores_failed{0};

@@ -362,6 +362,143 @@ Status SessionShard::EndSession(uint64_t session_id) {
   return Status::Ok();
 }
 
+Status SessionShard::ExportSession(uint64_t session_id,
+                                   SessionState* state) const {
+  TPGNN_CHECK(state != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  const Session& s = *it->second;
+  if (s.ended) {
+    return Status::FailedPrecondition("session " + std::to_string(session_id) +
+                                      " already ended");
+  }
+  *state = SessionState();
+  state->session_id = session_id;
+  state->num_nodes = s.graph.num_nodes();
+  state->feature_dim = s.graph.feature_dim();
+  state->features.reserve(
+      static_cast<size_t>(state->num_nodes * state->feature_dim));
+  for (int64_t node = 0; node < state->num_nodes; ++node) {
+    const std::vector<float>& row = s.graph.node_feature(node);
+    state->features.insert(state->features.end(), row.begin(), row.end());
+  }
+  state->edges = s.graph.edges();
+  state->sorted = s.sorted;
+  state->fold_chrono = s.fold_chrono;
+  state->x_edges = s.x_edges;
+  state->m_edges = s.m_edges;
+  state->x_max_time = s.x_max_time;
+  state->m_max_time = s.m_max_time;
+  state->finalized_edges = s.finalized_edges;
+  state->finalized_max = s.finalized_max;
+  state->last_touch = s.last_touch;
+  state->x0 = s.x0.data();
+  state->x = s.x.data();
+  if (model_.propagation().has_time_accumulator()) {
+    state->m = s.m.data();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->sessions_exported.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Status SessionShard::ImportSession(const SessionState& state, double now) {
+  const core::TpGnnConfig& config = model_.config();
+  const core::TemporalPropagation& prop = model_.propagation();
+  if (state.num_nodes <= 0) {
+    return Status::InvalidArgument("session needs at least one node");
+  }
+  if (state.feature_dim != config.feature_dim) {
+    return Status::InvalidArgument(
+        "feature_dim mismatch: snapshot has " +
+        std::to_string(state.feature_dim) + ", model expects " +
+        std::to_string(config.feature_dim));
+  }
+  const size_t n = static_cast<size_t>(state.num_nodes);
+  if (state.features.size() !=
+      n * static_cast<size_t>(state.feature_dim)) {
+    return Status::InvalidArgument("feature matrix size mismatch");
+  }
+  if (state.x.size() != n * static_cast<size_t>(config.embed_dim) ||
+      state.x0.size() != state.x.size()) {
+    return Status::InvalidArgument("node state width mismatch with model");
+  }
+  if (prop.has_time_accumulator()) {
+    if (state.m.size() != n * static_cast<size_t>(prop.time_state_dim())) {
+      return Status::InvalidArgument("accumulator width mismatch with model");
+    }
+  } else if (!state.m.empty()) {
+    return Status::InvalidArgument("snapshot carries an accumulator the "
+                                   "model config does not use");
+  }
+  for (const TemporalEdge& e : state.edges) {
+    if (e.src < 0 || e.src >= state.num_nodes || e.dst < 0 ||
+        e.dst >= state.num_nodes || e.time < 0.0 || std::isnan(e.time)) {
+      return Status::InvalidArgument("snapshot edge out of range");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(state.session_id) > 0) {
+    return Status::InvalidArgument("duplicate session id " +
+                                   std::to_string(state.session_id));
+  }
+  while (options_.max_resident_sessions > 0 &&
+         sessions_.size() >= options_.max_resident_sessions) {
+    if (!EvictOneLocked()) {
+      if (metrics_ != nullptr) {
+        metrics_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Overloaded(
+          "shard at resident-session cap with every session pinned");
+    }
+  }
+
+  auto session = std::make_unique<Session>(state.num_nodes, state.feature_dim);
+  std::vector<float> row(static_cast<size_t>(state.feature_dim));
+  for (int64_t node = 0; node < state.num_nodes; ++node) {
+    const float* src =
+        state.features.data() +
+        static_cast<size_t>(node) * static_cast<size_t>(state.feature_dim);
+    row.assign(src, src + state.feature_dim);
+    session->graph.SetNodeFeature(node, row);
+  }
+  for (const TemporalEdge& e : state.edges) {
+    session->graph.AddEdge(e.src, e.dst, e.time);
+  }
+  // Adopt the exporter's tensors bit-for-bit — including x0, so any later
+  // refold replays from the exporter's exact Eq.-1 embedding rather than a
+  // recomputed one.
+  session->x0 = Tensor::FromVector({state.num_nodes, config.embed_dim},
+                                   state.x0);
+  session->x = Tensor::FromVector({state.num_nodes, config.embed_dim},
+                                  state.x);
+  if (prop.has_time_accumulator()) {
+    session->m = Tensor::FromVector({state.num_nodes, prop.time_state_dim()},
+                                    state.m);
+  }
+  session->sorted = state.sorted;
+  session->fold_chrono = state.fold_chrono;
+  session->x_edges = state.x_edges;
+  session->m_edges = state.m_edges;
+  session->x_max_time = state.x_max_time;
+  session->m_max_time = state.m_max_time;
+  session->finalized_edges = state.finalized_edges;
+  session->finalized_max = state.finalized_max;
+  session->last_touch = state.last_touch > 0.0 ? state.last_touch : now;
+  lru_.push_front(state.session_id);
+  session->lru_it = lru_.begin();
+  sessions_.emplace(state.session_id, std::move(session));
+  if (metrics_ != nullptr) {
+    metrics_->sessions_imported.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
 Status SessionShard::Pin(uint64_t session_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);

@@ -12,6 +12,7 @@
 #include "graph/temporal_graph.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
+#include "serve/session_state.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -106,6 +107,21 @@ class SessionShard {
   // Releases one Pin; completes a deferred End removal when the last pin
   // drops. Unknown ids are ignored (the session may have ended).
   void Unpin(uint64_t session_id);
+
+  // Snapshots a live session for migration (SESSION_EXPORT). Safe while
+  // scores are pinned — the shard mutex serializes against Score, so the
+  // snapshot is always a consistent fold state. kNotFound for unknown
+  // sessions, kFailedPrecondition once End has been received (a deferred
+  // removal is not a migratable session).
+  Status ExportSession(uint64_t session_id, SessionState* state) const;
+
+  // Installs a migrated session (SESSION_IMPORT): rebuilds the graph from
+  // the snapshot and adopts the folded x/m tensors bit-for-bit, so the
+  // destination scores exactly as the source would have. Fails with
+  // kInvalidArgument on a duplicate id or any shape mismatch with the
+  // model config, kOverloaded at the resident cap — the same contract as
+  // BeginSession.
+  Status ImportSession(const SessionState& state, double now);
 
   // Drops sessions idle since before `now - idle_ttl_seconds` (never pinned
   // ones). No-op when TTL is disabled.

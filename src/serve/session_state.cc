@@ -1,0 +1,289 @@
+#include "serve/session_state.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace tpgnn::serve {
+
+namespace {
+
+// Plausibility caps matching the wire decoder's: a flipped bit in a count
+// field must fail the parse, not drive a giant allocation.
+constexpr uint64_t kMaxNodes = 1ull << 31;
+constexpr uint64_t kMaxFeatureDim = 1ull << 24;
+
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+void AppendZigzag(int64_t value, std::vector<uint8_t>* out) {
+  AppendVarint((static_cast<uint64_t>(value) << 1) ^
+                   static_cast<uint64_t>(value >> 63),
+               out);
+}
+
+void AppendU32(uint32_t value, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+void AppendF32(float value, std::vector<uint8_t>* out) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU32(bits, out);
+}
+
+void AppendF64(double value, std::vector<uint8_t>* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>((bits >> shift) & 0xff));
+  }
+}
+
+void AppendFloats(const std::vector<float>& values,
+                  std::vector<uint8_t>* out) {
+  AppendVarint(values.size(), out);
+  for (float f : values) {
+    AppendF32(f, out);
+  }
+}
+
+// Bounds-checked sequential reader, the session-state twin of the wire
+// decoder's: the first failure latches and all later reads fail too.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool failed() const { return failed_; }
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  bool ReadU8(uint8_t* value) {
+    if (!Require(1)) return false;
+    *value = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* value) {
+    if (!Require(4)) return false;
+    uint32_t bits = 0;
+    for (int i = 0; i < 4; ++i) {
+      bits |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+              << (8 * i);
+    }
+    pos_ += 4;
+    *value = bits;
+    return true;
+  }
+
+  bool ReadF32(float* value) {
+    uint32_t bits;
+    if (!ReadU32(&bits)) return false;
+    std::memcpy(value, &bits, sizeof(*value));
+    return true;
+  }
+
+  bool ReadF64(double* value) {
+    if (!Require(8)) return false;
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+              << (8 * i);
+    }
+    pos_ += 8;
+    std::memcpy(value, &bits, sizeof(*value));
+    return true;
+  }
+
+  bool ReadVarint(uint64_t* value) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!Require(1)) return false;
+      const uint8_t byte = data_[pos_++];
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        if (shift == 63 && byte > 1) {
+          return Fail();
+        }
+        *value = result;
+        return true;
+      }
+    }
+    return Fail();
+  }
+
+  bool ReadZigzag(int64_t* value) {
+    uint64_t raw;
+    if (!ReadVarint(&raw)) return false;
+    *value = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+
+  // Reads a varint-prefixed float array; the count must be covered by the
+  // bytes actually present (4 per float).
+  bool ReadFloats(std::vector<float>* values) {
+    uint64_t count;
+    if (!ReadVarint(&count)) return false;
+    if (count > remaining() / 4) return Fail();
+    values->resize(static_cast<size_t>(count));
+    for (float& f : *values) {
+      if (!ReadF32(&f)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Require(size_t bytes) {
+    if (failed_ || remaining() < bytes) {
+      return Fail();
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Status Corrupt(const std::string& detail) {
+  return Status::DataLoss("corrupt session state: " + detail);
+}
+
+}  // namespace
+
+void SerializeSessionState(const SessionState& state,
+                           std::vector<uint8_t>* out) {
+  AppendU32(kSessionStateMagic, out);
+  out->push_back(kSessionStateVersion);
+  AppendVarint(state.session_id, out);
+  AppendVarint(static_cast<uint64_t>(state.num_nodes), out);
+  AppendVarint(static_cast<uint64_t>(state.feature_dim), out);
+  for (float f : state.features) {
+    AppendF32(f, out);
+  }
+  AppendVarint(state.edges.size(), out);
+  for (const graph::TemporalEdge& e : state.edges) {
+    AppendZigzag(e.src, out);
+    AppendZigzag(e.dst, out);
+    AppendF64(e.time, out);
+  }
+  const uint8_t flags = (state.sorted ? 1u : 0u) |
+                        (state.fold_chrono ? 2u : 0u) |
+                        (state.m.empty() ? 0u : 4u);
+  out->push_back(flags);
+  AppendVarint(static_cast<uint64_t>(state.x_edges), out);
+  AppendF64(state.x_max_time, out);
+  AppendFloats(state.x0, out);
+  AppendFloats(state.x, out);
+  if (!state.m.empty()) {
+    AppendVarint(static_cast<uint64_t>(state.m_edges), out);
+    AppendF64(state.m_max_time, out);
+    AppendFloats(state.m, out);
+  }
+  AppendVarint(static_cast<uint64_t>(state.finalized_edges), out);
+  AppendF64(state.finalized_max, out);
+  AppendF64(state.last_touch, out);
+}
+
+Status ParseSessionState(const uint8_t* data, size_t size,
+                         SessionState* state) {
+  *state = SessionState();
+  Reader reader(data, size);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  if (!reader.ReadU32(&magic) || magic != kSessionStateMagic) {
+    return Corrupt("bad magic");
+  }
+  if (!reader.ReadU8(&version) || version != kSessionStateVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+  uint64_t num_nodes = 0, feature_dim = 0;
+  if (!reader.ReadVarint(&state->session_id) ||
+      !reader.ReadVarint(&num_nodes) || num_nodes == 0 ||
+      num_nodes > kMaxNodes || !reader.ReadVarint(&feature_dim) ||
+      feature_dim > kMaxFeatureDim) {
+    return Corrupt("bad header");
+  }
+  state->num_nodes = static_cast<int64_t>(num_nodes);
+  state->feature_dim = static_cast<int64_t>(feature_dim);
+  const uint64_t feature_count = num_nodes * feature_dim;
+  if (feature_count > reader.remaining() / 4) {
+    return Corrupt("feature matrix overruns payload");
+  }
+  state->features.resize(static_cast<size_t>(feature_count));
+  for (float& f : state->features) {
+    if (!reader.ReadF32(&f)) return Corrupt("truncated features");
+  }
+  uint64_t num_edges = 0;
+  if (!reader.ReadVarint(&num_edges) ||
+      num_edges > reader.remaining() / 10) {  // >= 1+1+8 bytes per edge.
+    return Corrupt("implausible edge count");
+  }
+  state->edges.resize(static_cast<size_t>(num_edges));
+  for (graph::TemporalEdge& e : state->edges) {
+    if (!reader.ReadZigzag(&e.src) || !reader.ReadZigzag(&e.dst) ||
+        !reader.ReadF64(&e.time)) {
+      return Corrupt("truncated edge list");
+    }
+    if (e.src < 0 || e.src >= state->num_nodes || e.dst < 0 ||
+        e.dst >= state->num_nodes || e.time < 0.0 || std::isnan(e.time)) {
+      return Corrupt("edge endpoint or time out of range");
+    }
+  }
+  uint8_t flags = 0;
+  uint64_t x_edges = 0;
+  if (!reader.ReadU8(&flags) || (flags & ~7u) != 0 ||
+      !reader.ReadVarint(&x_edges) || !reader.ReadF64(&state->x_max_time) ||
+      !reader.ReadFloats(&state->x0) || !reader.ReadFloats(&state->x)) {
+    return Corrupt("truncated fold state");
+  }
+  state->sorted = (flags & 1u) != 0;
+  state->fold_chrono = (flags & 2u) != 0;
+  state->x_edges = static_cast<int64_t>(x_edges);
+  if ((flags & 4u) != 0) {
+    uint64_t m_edges = 0;
+    if (!reader.ReadVarint(&m_edges) || !reader.ReadF64(&state->m_max_time) ||
+        !reader.ReadFloats(&state->m)) {
+      return Corrupt("truncated accumulator state");
+    }
+    state->m_edges = static_cast<int64_t>(m_edges);
+  }
+  uint64_t finalized_edges = 0;
+  if (!reader.ReadVarint(&finalized_edges) ||
+      !reader.ReadF64(&state->finalized_max) ||
+      !reader.ReadF64(&state->last_touch)) {
+    return Corrupt("truncated trailer");
+  }
+  state->finalized_edges = static_cast<int64_t>(finalized_edges);
+  if (reader.remaining() != 0) {
+    return Corrupt(std::to_string(reader.remaining()) + " trailing bytes");
+  }
+  // Structural consistency: fold counts must sit inside the edge list and
+  // the tensors must be rectangular over num_nodes.
+  const int64_t total = static_cast<int64_t>(state->edges.size());
+  if (state->x_edges < 0 || state->x_edges > total || state->m_edges < 0 ||
+      state->m_edges > total || state->finalized_edges < 0 ||
+      state->finalized_edges > total) {
+    return Corrupt("fold counts exceed edge count");
+  }
+  if (state->x0.size() != state->x.size() ||
+      state->x.size() % static_cast<size_t>(state->num_nodes) != 0 ||
+      (!state->m.empty() &&
+       state->m.size() % static_cast<size_t>(state->num_nodes) != 0)) {
+    return Corrupt("state tensor shape mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpgnn::serve

@@ -1,0 +1,157 @@
+// BackendRegistry is a socket-free state machine over (connect, probe,
+// drain) transitions with the clock as an explicit argument — so every
+// health transition is pinned here with a fake clock and no I/O.
+
+#include "cluster/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::cluster {
+namespace {
+
+RegistryOptions FastOptions() {
+  RegistryOptions options;
+  options.probe_interval_seconds = 0.5;
+  options.probe_timeout_seconds = 1.0;
+  options.probe_failures_to_down = 2;
+  options.reconnect_backoff_seconds = 0.25;
+  options.reconnect_backoff_max_seconds = 2.0;
+  return options;
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : registry_(FastOptions()) {
+    registry_.Add({"b0", "127.0.0.1", 1234});
+    entry_ = registry_.Find("b0");
+  }
+
+  BackendRegistry registry_;
+  BackendRegistry::Entry* entry_ = nullptr;
+};
+
+TEST_F(RegistryTest, StartsDownAndDialsImmediately) {
+  ASSERT_NE(entry_, nullptr);
+  EXPECT_EQ(entry_->health, BackendHealth::kDown);
+  EXPECT_EQ(registry_.num_up(), 0u);
+  EXPECT_TRUE(registry_.ShouldConnect(*entry_, 0.0));
+}
+
+TEST_F(RegistryTest, AddIsIdempotentByName) {
+  registry_.Add({"b0", "10.0.0.9", 9999});  // Repeat: config ignored.
+  EXPECT_EQ(registry_.size(), 1u);
+  EXPECT_EQ(registry_.Find("b0")->config.port, 1234);
+}
+
+TEST_F(RegistryTest, ConnectLifecycleAndProbeCadence) {
+  registry_.OnConnected(*entry_, 10.0);
+  EXPECT_EQ(entry_->health, BackendHealth::kUp);
+  EXPECT_EQ(registry_.num_up(), 1u);
+  EXPECT_EQ(entry_->connects, 1u);
+  // The connect itself proved liveness: no probe until a full interval.
+  EXPECT_FALSE(registry_.ProbeDue(*entry_, 10.4));
+  EXPECT_TRUE(registry_.ProbeDue(*entry_, 10.5));
+
+  const uint64_t probe_id = registry_.OnProbeSent(*entry_, 10.5);
+  EXPECT_GT(probe_id, 0u);
+  // One probe at a time.
+  EXPECT_FALSE(registry_.ProbeDue(*entry_, 11.0));
+
+  // A stale id does not count as an answer.
+  EXPECT_FALSE(registry_.OnPong(*entry_, probe_id + 1, 10.6));
+  EXPECT_TRUE(registry_.OnPong(*entry_, probe_id, 10.6));
+  // Liveness re-proven at 10.6; next probe a full interval later.
+  EXPECT_FALSE(registry_.ProbeDue(*entry_, 11.0));
+  EXPECT_TRUE(registry_.ProbeDue(*entry_, 11.1));
+}
+
+TEST_F(RegistryTest, ConsecutiveProbeMissesCrossTheThreshold) {
+  registry_.OnConnected(*entry_, 0.0);
+  bool crossed = true;
+
+  // First miss: recorded, threshold (2) not yet crossed.
+  registry_.OnProbeSent(*entry_, 0.5);
+  EXPECT_FALSE(registry_.ProbeExpired(*entry_, 1.0, &crossed));  // Too early.
+  EXPECT_TRUE(registry_.ProbeExpired(*entry_, 1.6, &crossed));
+  EXPECT_FALSE(crossed);
+  EXPECT_EQ(entry_->probes_missed, 1u);
+
+  // Second consecutive miss: crossed. The caller then tears the
+  // connection down, which is what actually marks the backend kDown.
+  registry_.OnProbeSent(*entry_, 1.6);
+  EXPECT_TRUE(registry_.ProbeExpired(*entry_, 2.7, &crossed));
+  EXPECT_TRUE(crossed);
+  EXPECT_EQ(entry_->health, BackendHealth::kUp);  // Until OnConnectionLost.
+  registry_.OnConnectionLost(*entry_, 2.7);
+  EXPECT_EQ(entry_->health, BackendHealth::kDown);
+  EXPECT_EQ(entry_->disconnects, 1u);
+}
+
+TEST_F(RegistryTest, APongResetsTheMissStreak) {
+  registry_.OnConnected(*entry_, 0.0);
+  bool crossed = false;
+  registry_.OnProbeSent(*entry_, 0.5);
+  EXPECT_TRUE(registry_.ProbeExpired(*entry_, 1.6, &crossed));  // Miss 1.
+  EXPECT_FALSE(crossed);
+
+  const uint64_t ok_probe = registry_.OnProbeSent(*entry_, 1.6);
+  EXPECT_TRUE(registry_.OnPong(*entry_, ok_probe, 1.7));  // Streak resets.
+
+  registry_.OnProbeSent(*entry_, 2.2);
+  EXPECT_TRUE(registry_.ProbeExpired(*entry_, 3.3, &crossed));
+  EXPECT_FALSE(crossed) << "miss streak must restart after a pong";
+}
+
+TEST_F(RegistryTest, ReconnectBackoffDoublesAndCaps) {
+  // Failed dials: 0.25, 0.5, 1.0, 2.0, then capped at 2.0.
+  double now = 0.0;
+  registry_.OnConnectFailed(*entry_, now);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 0.25);
+  EXPECT_FALSE(registry_.ShouldConnect(*entry_, 0.2));
+  EXPECT_TRUE(registry_.ShouldConnect(*entry_, 0.25));
+
+  registry_.OnConnectFailed(*entry_, 1.0);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 1.5);
+  registry_.OnConnectFailed(*entry_, 2.0);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 3.0);
+  registry_.OnConnectFailed(*entry_, 4.0);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 6.0);
+  registry_.OnConnectFailed(*entry_, 7.0);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 9.0);  // Capped at +2.0.
+
+  // A successful connect resets the backoff entirely.
+  registry_.OnConnected(*entry_, 9.0);
+  registry_.OnConnectionLost(*entry_, 10.0);
+  EXPECT_DOUBLE_EQ(entry_->next_connect_at, 10.25);
+}
+
+TEST_F(RegistryTest, DrainingBlocksDialingButKeepsHealth) {
+  registry_.SetDraining(*entry_, true);
+  EXPECT_FALSE(registry_.ShouldConnect(*entry_, 100.0));
+  registry_.SetDraining(*entry_, false);
+  EXPECT_TRUE(registry_.ShouldConnect(*entry_, 100.0));
+
+  // Draining an UP backend keeps its connection health untouched.
+  registry_.OnConnected(*entry_, 100.0);
+  registry_.SetDraining(*entry_, true);
+  EXPECT_EQ(entry_->health, BackendHealth::kUp);
+  EXPECT_TRUE(registry_.ProbeDue(*entry_, 101.0));
+}
+
+TEST_F(RegistryTest, NamesAreSortedAndCountersAccumulate) {
+  registry_.Add({"a9", "127.0.0.1", 1});
+  registry_.Add({"z1", "127.0.0.1", 2});
+  const std::vector<std::string> names = registry_.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a9");
+  EXPECT_EQ(names[1], "b0");
+  EXPECT_EQ(names[2], "z1");
+
+  registry_.OnConnected(*entry_, 0.0);
+  registry_.OnProbeSent(*entry_, 1.0);
+  registry_.OnProbeSent(*entry_, 2.0);
+  EXPECT_EQ(entry_->probes_sent, 2u);
+}
+
+}  // namespace
+}  // namespace tpgnn::cluster

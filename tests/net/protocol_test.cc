@@ -191,6 +191,51 @@ TEST(ProtocolTest, ControlFramesRoundTrip) {
   }
 }
 
+TEST(ProtocolTest, MigrationFramesRoundTrip) {
+  // The cluster router's session-migration handshake: EXPORT a session,
+  // receive its opaque state blob, IMPORT it on another backend. The blob
+  // must travel byte-exact — it carries raw fold-state float bits.
+  Frame request;
+  request.type = FrameType::kSessionExport;
+  request.request_id = 11;
+  request.session_id = 0xFEEDFACE01ull;
+  Frame decoded = DecodeAll(Encode(request));
+  EXPECT_EQ(decoded.type, FrameType::kSessionExport);
+  EXPECT_EQ(decoded.request_id, 11u);
+  EXPECT_EQ(decoded.session_id, request.session_id);
+
+  Frame state;
+  state.type = FrameType::kSessionState;
+  state.request_id = 11;
+  state.status_code = StatusCode::kOk;
+  state.blob = {0x54, 0x50, 0x53, 0x53, 0x00, 0xFF, 0x80, 0x7F};
+  decoded = DecodeAll(Encode(state));
+  EXPECT_EQ(decoded.type, FrameType::kSessionState);
+  EXPECT_EQ(decoded.request_id, 11u);
+  EXPECT_EQ(decoded.status_code, StatusCode::kOk);
+  EXPECT_EQ(decoded.blob, state.blob);
+
+  Frame failed_state;
+  failed_state.type = FrameType::kSessionState;
+  failed_state.request_id = 12;
+  failed_state.status_code = StatusCode::kNotFound;
+  failed_state.text = "unknown session 99";
+  decoded = DecodeAll(Encode(failed_state));
+  EXPECT_EQ(decoded.type, FrameType::kSessionState);
+  EXPECT_EQ(decoded.status_code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded.text, failed_state.text);
+  EXPECT_TRUE(decoded.blob.empty());
+
+  Frame import;
+  import.type = FrameType::kSessionImport;
+  import.request_id = 13;
+  import.blob = state.blob;
+  decoded = DecodeAll(Encode(import));
+  EXPECT_EQ(decoded.type, FrameType::kSessionImport);
+  EXPECT_EQ(decoded.request_id, 13u);
+  EXPECT_EQ(decoded.blob, import.blob);
+}
+
 TEST(ProtocolTest, EveryPrefixReportsNeedMore) {
   Frame batch;
   batch.type = FrameType::kIngestBatch;

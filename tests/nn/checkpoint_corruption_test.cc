@@ -1,19 +1,19 @@
 // Torn and bit-flipped snapshots: Load must return a typed error naming the
 // damaged field — never crash, and never hand back a silently-wrong model.
 //
-// Two sweeps per format version (v1 plain, v2 with metadata):
+// Two sweeps per format flavor (v3 without metadata, v3 with metadata):
 //   * truncation at every byte boundary — models a crash-torn write;
 //   * a flipped bit in every byte — models media corruption.
 // Plus the "checkpoint.read" / "checkpoint.write" failpoints, which inject
 // the same damage through the production read/write path itself.
 //
-// Known limitation, asserted as such: the format has no checksum, so damage
-// confined to the *value region* (float characters, their separators, or a
-// truncated final token) can still parse. For those bytes the contract is
-// weaker — Load either fails typed or yields a model whose scalars differ
-// from the reference in a bounded way. Structural bytes (magic, version,
-// counts, parameter names, sizes) must always fail typed. A content
-// checksum would close the gap (ROADMAP).
+// Version 3 closed the old checksum gap: the crc32 trailer covers the
+// whole value region, so damage to float characters or their separators —
+// previously able to parse into a silently perturbed model — now fails
+// typed before any value is read, and every truncation removes or damages
+// the trailer. The one remaining lenient region is the metadata *payload*
+// (key/value lines), which sits outside the checksum by design and is
+// validated semantically by its consumers, not the loader.
 
 #include "nn/checkpoint.h"
 
@@ -83,61 +83,27 @@ std::vector<float> Flatten(const Module& m) {
   return values;
 }
 
-size_t CountDifferingScalars(const std::vector<float>& a,
-                             const std::vector<float>& b) {
-  if (a.size() != b.size()) {
-    return a.size() + b.size();
-  }
-  size_t differing = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i] != b[i]) ++differing;
-  }
-  return differing;
-}
-
-// Marks the *structural* bytes of a snapshot: the magic/version line, the
-// meta-block header, the parameter count, and each parameter's name and
-// element count (with their separators and line breaks). Damaging any of
-// these must produce a typed load error. The unmarked remainder — metadata
-// payload and float characters — is the checksum gap where corruption can
-// be undetectable.
+// Marks the bytes of a v3 snapshot whose damage must produce a typed load
+// error: with the crc32 trailer that is *everything* — the header and
+// meta framing are grammar-checked, and the value region plus trailer are
+// checksummed. The only lenient bytes left are the metadata payload lines
+// (key/value content and their newlines), which sit outside the checksum
+// and are validated by their consumers, not the loader.
 std::vector<bool> StructuralMask(const std::string& bytes, bool has_meta) {
-  std::vector<bool> strict(bytes.size(), false);
-  std::vector<std::pair<size_t, size_t>> lines;  // [begin, end-of-line-'\n']
-  size_t start = 0;
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    if (bytes[i] == '\n') {
-      lines.emplace_back(start, i);
-      start = i + 1;
-    }
+  std::vector<bool> strict(bytes.size(), true);
+  if (!has_meta) {
+    return strict;  // `meta 0`: no payload lines, every byte is protected.
   }
-  size_t li = 0;
-  auto mark_whole_line = [&](size_t idx) {
-    for (size_t i = lines[idx].first; i <= lines[idx].second; ++i) {
-      strict[i] = true;
+  const size_t header_end = bytes.find('\n');
+  const size_t meta_line_end = bytes.find('\n', header_end + 1);
+  const size_t entries = std::stoul(bytes.substr(header_end + 6));
+  size_t pos = meta_line_end + 1;
+  for (size_t i = 0; i < entries; ++i) {
+    const size_t eol = bytes.find('\n', pos);
+    for (size_t j = pos; j <= eol; ++j) {
+      strict[j] = false;
     }
-  };
-  mark_whole_line(li++);  // "tpgnn-params <version>"
-  if (has_meta) {
-    const auto [b, e] = lines[li];
-    const size_t entries =
-        std::stoul(bytes.substr(b + 5, e - (b + 5)));  // after "meta "
-    mark_whole_line(li++);
-    li += entries;  // Key/value payload: free-form, lenient.
-  }
-  mark_whole_line(li++);  // Parameter count.
-  for (; li < lines.size(); ++li) {
-    const auto [b, e] = lines[li];
-    // "<name> <numel> v0 v1 ...": strict through the space after numel.
-    const size_t numel_end = bytes.find(' ', bytes.find(' ', b) + 1);
-    for (size_t i = b; i <= numel_end; ++i) {
-      strict[i] = true;
-    }
-    // The line break realigns the parser; flipping it must be caught —
-    // except at EOF, where trailing junk after the last value is inert.
-    if (e != bytes.size() - 1) {
-      strict[e] = true;
-    }
+    pos = eol + 1;
   }
   return strict;
 }
@@ -175,7 +141,7 @@ class CheckpointCorruptionTest : public ::testing::TestWithParam<bool> {
 INSTANTIATE_TEST_SUITE_P(Formats, CheckpointCorruptionTest,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "V2Metadata" : "V1Plain";
+                           return info.param ? "V3Metadata" : "V3Plain";
                          });
 
 TEST_P(CheckpointCorruptionTest, PristineSnapshotRoundtrips) {
@@ -186,27 +152,19 @@ TEST_P(CheckpointCorruptionTest, PristineSnapshotRoundtrips) {
   EXPECT_EQ(Flatten(victim), reference_values_);
 }
 
-TEST_P(CheckpointCorruptionTest, TruncationAtEveryByteFailsTypedOrIsBounded) {
-  // Any cut at or before the start of the final float leaves a required
-  // token missing and must fail typed. A cut inside the final float's
-  // characters can still parse (checksum gap) — then at most that one
-  // scalar may differ from the reference.
-  const size_t last_value_start = pristine_.rfind(' ') + 1;
+TEST_P(CheckpointCorruptionTest, TruncationAtEveryByteFailsTyped) {
+  // Every cut removes or damages the crc32 trailer (it is the last line),
+  // so no torn prefix of a v3 file may ever load — including cuts inside
+  // the final float that used to slip through the old checksum gap.
   for (size_t len = 0; len < pristine_.size(); ++len) {
     SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
     WriteFile(path_, pristine_.substr(0, len));
     TinyModel victim(99);
     Status s = LoadParameters(victim, path_);
-    if (len <= last_value_start) {
-      ExpectTypedLoadError(s, "at byte " + std::to_string(len));
-      // A failed load leaves a usable (re-savable) module behind, not a
-      // half-filled one that crashes downstream.
-      EXPECT_TRUE(SaveParameters(victim, path_).ok());
-    } else if (s.ok()) {
-      EXPECT_LE(CountDifferingScalars(Flatten(victim), reference_values_), 1u);
-    } else {
-      EXPECT_FALSE(s.message().empty());
-    }
+    ExpectTypedLoadError(s, "at byte " + std::to_string(len));
+    // A failed load leaves a usable (re-savable) module behind, not a
+    // half-filled one that crashes downstream.
+    EXPECT_TRUE(SaveParameters(victim, path_).ok());
   }
 }
 
@@ -224,8 +182,9 @@ TEST_P(CheckpointCorruptionTest, BitFlipInEveryByteFailsTypedWhereStructural) {
     } else if (!s.ok()) {
       EXPECT_FALSE(s.message().empty());
     } else {
-      // Value-region flip that survived parsing: the model must still be
-      // structurally intact (re-savable with every parameter present).
+      // Metadata-payload flip that survived parsing: the values were still
+      // checksum-verified, so the model must match the reference exactly.
+      EXPECT_EQ(Flatten(victim), reference_values_);
       EXPECT_TRUE(SaveParameters(victim, path_).ok());
     }
   }
@@ -251,6 +210,15 @@ TEST_P(CheckpointCorruptionTest, ErrorsNameTheDamagedField) {
   cases.push_back({"wrong names",
                    "tpgnn-params 1\n4\na 1 0\nb 1 0\nc 1 0\nd 1 0\n",
                    "missing parameter"});
+  cases.push_back({"missing crc trailer",
+                   "tpgnn-params 3\nmeta 0\n1\na 1 0.5\n",
+                   "missing crc32 trailer"});
+  cases.push_back({"malformed crc trailer",
+                   "tpgnn-params 3\nmeta 0\n1\na 1 0.5\ncrc32 xyz\n",
+                   "malformed crc32 trailer"});
+  cases.push_back({"crc mismatch",
+                   "tpgnn-params 3\nmeta 0\n1\na 1 0.5\ncrc32 00000000\n",
+                   "crc32 mismatch"});
   if (GetParam()) {
     cases.push_back({"bad meta header", "tpgnn-params 2\nmeXa 2\n",
                      "malformed metadata header"});
@@ -282,8 +250,10 @@ TEST_P(CheckpointCorruptionTest, InjectedReadCorruptionFailsTypedOrLoadsClean) {
       EXPECT_EQ(corrupt.fires(), 1u);
     }
     if (s.ok()) {
-      // Checksum gap: the flip landed where the grammar survives. The
-      // loaded module must still be fully usable.
+      // The flip landed outside the checksummed value region (metadata
+      // payload, or a version-byte downgrade to a trailer-less format):
+      // the values that loaded must still match the reference exactly.
+      EXPECT_EQ(Flatten(victim), reference_values_);
       EXPECT_TRUE(SaveParameters(victim, path_).ok());
       pristine_ = SnapshotBytes(GetParam(), path_);  // Restore for next seed.
     } else {

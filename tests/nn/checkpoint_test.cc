@@ -112,19 +112,39 @@ TEST(CheckpointTest, MetadataRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(CheckpointTest, EmptyMetadataWritesVersionOne) {
-  // Saving without metadata must keep producing files an old reader (which
-  // only understands version 1) accepts — the version bumps only when the
-  // meta block is present.
+// Reads a saved file and splits it into (value region, whole file). The
+// value region is the parameter count line through the last parameter
+// line — what the v3 crc32 trailer protects. Legacy-format tests splice it
+// under v1/v2 headers.
+std::string SavedValueRegion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  const size_t after_header = bytes.find('\n') + 1;
+  const size_t after_meta = bytes.find('\n', after_header) + 1;
+  const size_t crc = bytes.rfind("\ncrc32 ") + 1;
+  EXPECT_LT(after_meta, crc) << bytes;
+  return bytes.substr(after_meta, crc - after_meta);
+}
+
+TEST(CheckpointTest, EmptyMetadataWritesVersionThreeWithEmptyMetaBlock) {
+  // Every new save carries the integrity trailer, so even metadata-free
+  // files are version 3 with a `meta 0` block.
   const std::string path = ::testing::TempDir() + "/tpgnn_ckpt6.txt";
   TwoLayer source(1);
   ASSERT_TRUE(SaveParameters(source, path).ok());
   std::ifstream in(path);
-  std::string magic;
+  std::string magic, tag;
   int version = 0;
-  in >> magic >> version;
+  size_t entries = 99;
+  in >> magic >> version >> tag >> entries;
   EXPECT_EQ(magic, "tpgnn-params");
-  EXPECT_EQ(version, 1);
+  EXPECT_EQ(version, 3);
+  EXPECT_EQ(tag, "meta");
+  EXPECT_EQ(entries, 0u);
+  in.close();
 
   CheckpointMetadata metadata{{"stale", "x"}};
   ASSERT_TRUE(ReadCheckpointMetadata(path, &metadata).ok());
@@ -133,19 +153,72 @@ TEST(CheckpointTest, EmptyMetadataWritesVersionOne) {
 }
 
 TEST(CheckpointTest, VersionOneFileStillLoads) {
-  const std::string v1 = ::testing::TempDir() + "/tpgnn_ckpt7.txt";
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt7.txt";
   TwoLayer source(1);
-  ASSERT_TRUE(SaveParameters(source, v1).ok());  // Empty metadata -> v1.
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+  // Rewrite as a legacy v1 file: bare header, no meta block, no trailer.
+  {
+    const std::string body = SavedValueRegion(path);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "tpgnn-params 1\n" << body;
+  }
 
   Rng rng(9);
   tensor::Tensor x = tensor::Tensor::Uniform({3, 4}, -1, 1, rng);
   tensor::Tensor expected = source.Forward(x);
   TwoLayer target(2);
   CheckpointMetadata metadata;
-  ASSERT_TRUE(LoadParameters(target, v1, &metadata).ok());
+  ASSERT_TRUE(LoadParameters(target, path, &metadata).ok());
   EXPECT_TRUE(metadata.empty());
   EXPECT_TRUE(tensor::AllClose(target.Forward(x), expected, 1e-6f, 1e-6f));
-  std::remove(v1.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, VersionTwoFileStillLoads) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt7b.txt";
+  TwoLayer source(1);
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+  // Rewrite as a legacy v2 file: meta block, no crc32 trailer.
+  {
+    const std::string body = SavedValueRegion(path);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "tpgnn-params 2\nmeta 1\nnote legacy\n" << body;
+  }
+
+  Rng rng(9);
+  tensor::Tensor x = tensor::Tensor::Uniform({3, 4}, -1, 1, rng);
+  tensor::Tensor expected = source.Forward(x);
+  TwoLayer target(2);
+  CheckpointMetadata metadata;
+  ASSERT_TRUE(LoadParameters(target, path, &metadata).ok());
+  EXPECT_EQ(metadata, (CheckpointMetadata{{"note", "legacy"}}));
+  EXPECT_TRUE(tensor::AllClose(target.Forward(x), expected, 1e-6f, 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ValueCorruptionFailsChecksum) {
+  const std::string path = ::testing::TempDir() + "/tpgnn_ckpt7c.txt";
+  TwoLayer source(1);
+  ASSERT_TRUE(SaveParameters(source, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string bytes = buffer.str();
+  // Perturb one digit of the last value — a change the grammar alone
+  // cannot catch. The checksum must.
+  const size_t pos = bytes.rfind(' ', bytes.rfind("\ncrc32 ") - 2) + 1;
+  bytes[pos] = bytes[pos] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  TwoLayer victim(2);
+  Status s = LoadParameters(victim, path);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.ToString().find("crc32 mismatch"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, InvalidMetadataKeysRejectedAtSave) {
@@ -172,7 +245,7 @@ TEST(CheckpointTest, DuplicateMetadataKeyInFileRejected) {
 TEST(CheckpointTest, UnknownVersionRejected) {
   const std::string path = ::testing::TempDir() + "/tpgnn_ckpt10.txt";
   std::ofstream out(path);
-  out << "tpgnn-params 3\n0\n";
+  out << "tpgnn-params 9\n0\n";
   out.close();
   TwoLayer model(1);
   Status status = LoadParameters(model, path);

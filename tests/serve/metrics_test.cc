@@ -151,5 +151,154 @@ TEST(MetricsTest, ToJsonCarriesCountersAndQuantiles) {
   EXPECT_EQ(json.back(), '}');
 }
 
+// A snapshot with every counter and histogram field distinct, so a
+// roundtrip or merge that drops/swaps a field cannot pass by accident.
+// Values stay small enough that ToJson's default stream precision prints
+// the histogram sums exactly.
+MetricsSnapshot DistinctSnapshot(uint64_t seed) {
+  MetricsSnapshot snap;
+  uint64_t v = seed;
+  for (uint64_t* counter :
+       {&snap.events_ingested, &snap.sessions_begun, &snap.sessions_ended,
+        &snap.sessions_evicted, &snap.sessions_exported,
+        &snap.sessions_imported, &snap.edges_ingested, &snap.scores_completed,
+        &snap.scores_failed, &snap.overload_rejections, &snap.state_refolds,
+        &snap.state_rescales, &snap.bytes_received, &snap.bytes_sent,
+        &snap.frames_received, &snap.frames_sent, &snap.connections_accepted,
+        &snap.connections_closed, &snap.protocol_errors}) {
+    *counter = v++;
+  }
+  uint64_t bucket = seed % LatencyHistogram::kNumBuckets;
+  for (LatencyHistogram::Snapshot* h :
+       {&snap.ingest_latency, &snap.score_latency, &snap.e2e_latency}) {
+    h->count = v;
+    h->sum_micros = static_cast<double>(v) * 100.0;
+    h->buckets[bucket] = v;
+    ++v;
+    bucket = (bucket + 7) % LatencyHistogram::kNumBuckets;
+  }
+  return snap;
+}
+
+void ExpectSnapshotsEqual(const MetricsSnapshot& want,
+                          const MetricsSnapshot& got) {
+  EXPECT_EQ(want.events_ingested, got.events_ingested);
+  EXPECT_EQ(want.sessions_begun, got.sessions_begun);
+  EXPECT_EQ(want.sessions_ended, got.sessions_ended);
+  EXPECT_EQ(want.sessions_evicted, got.sessions_evicted);
+  EXPECT_EQ(want.sessions_exported, got.sessions_exported);
+  EXPECT_EQ(want.sessions_imported, got.sessions_imported);
+  EXPECT_EQ(want.edges_ingested, got.edges_ingested);
+  EXPECT_EQ(want.scores_completed, got.scores_completed);
+  EXPECT_EQ(want.scores_failed, got.scores_failed);
+  EXPECT_EQ(want.overload_rejections, got.overload_rejections);
+  EXPECT_EQ(want.state_refolds, got.state_refolds);
+  EXPECT_EQ(want.state_rescales, got.state_rescales);
+  EXPECT_EQ(want.bytes_received, got.bytes_received);
+  EXPECT_EQ(want.bytes_sent, got.bytes_sent);
+  EXPECT_EQ(want.frames_received, got.frames_received);
+  EXPECT_EQ(want.frames_sent, got.frames_sent);
+  EXPECT_EQ(want.connections_accepted, got.connections_accepted);
+  EXPECT_EQ(want.connections_closed, got.connections_closed);
+  EXPECT_EQ(want.protocol_errors, got.protocol_errors);
+  const LatencyHistogram::Snapshot* want_h[] = {
+      &want.ingest_latency, &want.score_latency, &want.e2e_latency};
+  const LatencyHistogram::Snapshot* got_h[] = {
+      &got.ingest_latency, &got.score_latency, &got.e2e_latency};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(want_h[i]->count, got_h[i]->count) << "histogram " << i;
+    EXPECT_EQ(want_h[i]->sum_micros, got_h[i]->sum_micros)
+        << "histogram " << i;
+    EXPECT_EQ(want_h[i]->buckets, got_h[i]->buckets) << "histogram " << i;
+  }
+}
+
+TEST(MetricsJsonTest, ParseRecoversEveryFieldOfToJson) {
+  const MetricsSnapshot original = DistinctSnapshot(17);
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(original.ToJson(), &parsed).ok());
+  ExpectSnapshotsEqual(original, parsed);
+}
+
+TEST(MetricsJsonTest, ParseSkipsUnknownTrailingSections) {
+  // The router splices a "cluster" object after "latency_us" before
+  // re-emitting the merged payload; the parser must shrug it off.
+  const MetricsSnapshot original = DistinctSnapshot(3);
+  std::string json = original.ToJson();
+  ASSERT_EQ(json.back(), '}');
+  json.insert(json.size() - 1,
+              ", \"cluster\": {\"backends_up\": 2, \"sessions_migrated\": 5}");
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed).ok());
+  ExpectSnapshotsEqual(original, parsed);
+}
+
+TEST(MetricsJsonTest, ParseFailsTypedOnStructuralDamage) {
+  const std::string good = DistinctSnapshot(5).ToJson();
+  MetricsSnapshot scratch;
+
+  EXPECT_EQ(ParseMetricsJson("{}", &scratch).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ParseMetricsJson("not json at all", &scratch).code(),
+            StatusCode::kDataLoss);
+
+  // A renamed counter is a missing counter.
+  std::string renamed = good;
+  const size_t at = renamed.find("\"protocol_errors\"");
+  ASSERT_NE(at, std::string::npos);
+  renamed.replace(at, 17, "\"protocol_mishaps\"");
+  EXPECT_EQ(ParseMetricsJson(renamed, &scratch).code(),
+            StatusCode::kDataLoss);
+
+  // Chopping off the histograms loses the latency section.
+  const std::string truncated = good.substr(0, good.find("\"latency_us\""));
+  EXPECT_EQ(ParseMetricsJson(truncated, &scratch).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(MetricsJsonTest, MergeFromSumsCountersAndHistograms) {
+  MetricsSnapshot merged = DistinctSnapshot(100);
+  const MetricsSnapshot a = merged;
+  const MetricsSnapshot b = DistinctSnapshot(1000);
+  merged.MergeFrom(b);
+
+  EXPECT_EQ(merged.events_ingested, a.events_ingested + b.events_ingested);
+  EXPECT_EQ(merged.protocol_errors, a.protocol_errors + b.protocol_errors);
+  EXPECT_EQ(merged.sessions_exported,
+            a.sessions_exported + b.sessions_exported);
+  EXPECT_EQ(merged.score_latency.count,
+            a.score_latency.count + b.score_latency.count);
+  EXPECT_EQ(merged.score_latency.sum_micros,
+            a.score_latency.sum_micros + b.score_latency.sum_micros);
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    EXPECT_EQ(merged.e2e_latency.buckets[idx],
+              a.e2e_latency.buckets[idx] + b.e2e_latency.buckets[idx])
+        << "bucket " << i;
+  }
+
+  // Default snapshot is the identity element.
+  MetricsSnapshot identity;
+  identity.MergeFrom(a);
+  ExpectSnapshotsEqual(a, identity);
+}
+
+TEST(MetricsJsonTest, MergedPercentilesSpanTheUnionDistribution) {
+  // 90 fast samples on one backend, 10 slow on another: the merged p50
+  // must come from the fast bucket and the merged p95 from the slow one —
+  // i.e. merging keeps raw buckets instead of averaging quantiles.
+  MetricsSnapshot fast, slow;
+  fast.score_latency.count = 90;
+  fast.score_latency.sum_micros = 9000.0;
+  fast.score_latency.buckets[6] = 90;  // [64, 128) us.
+  slow.score_latency.count = 10;
+  slow.score_latency.sum_micros = 50000.0;
+  slow.score_latency.buckets[12] = 10;  // [4096, 8192) us.
+
+  fast.MergeFrom(slow);
+  EXPECT_EQ(fast.score_latency.count, 100u);
+  EXPECT_EQ(fast.score_latency.PercentileMicros(0.5), 128.0);
+  EXPECT_EQ(fast.score_latency.PercentileMicros(0.95), 8192.0);
+}
+
 }  // namespace
 }  // namespace tpgnn::serve
