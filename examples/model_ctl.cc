@@ -1,0 +1,104 @@
+// Model lifecycle admin CLI (DESIGN.md §4.8): speaks the MODEL_LOAD /
+// MODEL_ACTIVATE / MODEL_STATUS frames to a running serve_server — or to a
+// serve_router, which rolls the verb across every backend one at a time and
+// stops at the first failure (README "Rolling a new checkpoint").
+//
+// Usage:
+//   model_ctl [--host=H] --port=N load <name> <checkpoint-path>
+//   model_ctl [--host=H] --port=N activate <name> [--rebase]
+//   model_ctl [--host=H] --port=N candidate <name> <fraction>
+//   model_ctl [--host=H] --port=N shadow <name>
+//   model_ctl [--host=H] --port=N clear-candidate|clear-shadow
+//   model_ctl [--host=H] --port=N status
+//
+// `activate` drains by default (old sessions finish on their pinned
+// version); --rebase refolds live sessions onto the new primary at their
+// next touch. `status` prints the registry's JSON (per backend when
+// pointed at a router). Exits 0 on success, 1 with the server's typed
+// error on stderr otherwise.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace net = tpgnn::net;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: model_ctl [--host=H] --port=N <command>\n"
+      "  load <name> <checkpoint-path>   register an inactive version\n"
+      "  activate <name> [--rebase]      swap primary (drain by default)\n"
+      "  candidate <name> <fraction>     A/B: fraction of sessions to name\n"
+      "  shadow <name>                   mirror scores to name (metrics only)\n"
+      "  clear-candidate | clear-shadow  stop A/B / shadow scoring\n"
+      "  status                          print registry status JSON\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ClientOptions options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      options.port = std::stoi(arg.substr(7));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (options.port == 0 || args.empty()) return Usage();
+
+  net::Client client(options);
+  tpgnn::Status status = client.Connect();
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", options.host.c_str(),
+                 options.port, status.ToString().c_str());
+    return 1;
+  }
+
+  const std::string& command = args[0];
+  std::string json;
+  if (command == "load" && args.size() == 3) {
+    status = client.ModelLoad(args[1], args[2]);
+  } else if (command == "activate" &&
+             (args.size() == 2 ||
+              (args.size() == 3 && args[2] == "--rebase"))) {
+    status = client.ModelActivate(
+        args[1], args.size() == 3 ? net::ModelAdminMode::kActivateRebase
+                                  : net::ModelAdminMode::kActivateDrain);
+  } else if (command == "candidate" && args.size() == 3) {
+    status = client.ModelActivate(args[1], net::ModelAdminMode::kSetCandidate,
+                                  std::stod(args[2]));
+  } else if (command == "shadow" && args.size() == 2) {
+    status = client.ModelActivate(args[1], net::ModelAdminMode::kSetShadow);
+  } else if (command == "clear-candidate" && args.size() == 1) {
+    status = client.ModelActivate("", net::ModelAdminMode::kClearCandidate);
+  } else if (command == "clear-shadow" && args.size() == 1) {
+    status = client.ModelActivate("", net::ModelAdminMode::kClearShadow);
+  } else if (command == "status" && args.size() == 1) {
+    status = client.ModelStatus(&json);
+  } else {
+    return Usage();
+  }
+
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", command.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (command == "status") {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::printf("ok\n");
+  }
+  return 0;
+}

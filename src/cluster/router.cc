@@ -475,6 +475,11 @@ void Router::HandleClientFrame(ClientConn& conn, const net::Frame& frame) {
       AdvanceClient(conn);
       break;
     }
+    case net::FrameType::kModelLoad:
+    case net::FrameType::kModelActivate:
+    case net::FrameType::kModelStatus:
+      HandleModelAdmin(conn, frame);
+      break;
     case net::FrameType::kShutdown:
       RequestShutdown();
       break;
@@ -677,7 +682,8 @@ void Router::ProcessBackendFrame(BackendConn& conn, const net::Frame& frame) {
     case net::FrameType::kScoreResult:
       HandleScoreResults(conn, frame);
       break;
-    case net::FrameType::kSessionState: {
+    case net::FrameType::kSessionState:
+    case net::FrameType::kModelInfo: {
       if (sync_waiting_.count(frame.request_id) > 0) {
         sync_done_[frame.request_id] = frame;
       } else {
@@ -1451,6 +1457,80 @@ void Router::HandleMetricsRequest(ClientConn& conn) {
   net::Frame reply;
   reply.type = net::FrameType::kMetricsResponse;
   reply.text = std::move(json);
+  SendToClient(conn, reply);
+}
+
+void Router::HandleModelAdmin(ClientConn& conn, const net::Frame& frame) {
+  if (frame.type == net::FrameType::kModelStatus) {
+    // Aggregate registry snapshots: {"backends": {"<name>": <StatusJson>}}.
+    // Backends that fail the exchange are omitted (and torn down below),
+    // exactly like the metrics fan-in.
+    std::string json = "{\"backends\": {";
+    bool first = true;
+    for (auto& [name, bconn] : backends_) {
+      if (bconn->dead) {
+        continue;
+      }
+      net::Frame req;
+      req.type = net::FrameType::kModelStatus;
+      req.request_id = NextRid();
+      net::Frame resp;
+      if (!SyncCall(*bconn, req, &resp).ok() ||
+          resp.status_code != StatusCode::kOk) {
+        continue;
+      }
+      if (!first) {
+        json += ", ";
+      }
+      json += "\"" + name + "\": " + resp.text;
+      first = false;
+    }
+    json += "}}";
+    FailDeadBackends();
+    net::Frame reply;
+    reply.type = net::FrameType::kModelInfo;
+    reply.request_id = frame.request_id;
+    reply.status_code = StatusCode::kOk;
+    reply.text = std::move(json);
+    SendToClient(conn, reply);
+    return;
+  }
+
+  // MODEL_LOAD / MODEL_ACTIVATE: roll across the fleet one backend at a
+  // time. Each backend's ack gates the next SyncCall, so a bad checkpoint
+  // (or an injected model.load/model.activate failure) stops the roll at
+  // the first failing backend instead of half-applying everywhere at once.
+  net::Frame reply;
+  reply.type = net::FrameType::kIngestAck;
+  reply.request_id = frame.request_id;
+  reply.status_code = StatusCode::kOk;
+  uint64_t applied = 0;
+  bool any_backend = false;
+  for (auto& [name, bconn] : backends_) {
+    if (bconn->dead) {
+      continue;
+    }
+    any_backend = true;
+    net::Frame req = frame;
+    req.request_id = NextRid();
+    net::Frame resp;
+    Status st = SyncCall(*bconn, req, &resp);
+    if (st.ok() && resp.status_code != StatusCode::kOk) {
+      st = Status(resp.status_code, resp.text);
+    }
+    if (!st.ok()) {
+      reply.status_code = st.code();
+      reply.text = "backend " + name + ": " + st.message();
+      break;
+    }
+    ++applied;
+  }
+  if (!any_backend) {
+    reply.status_code = StatusCode::kFailedPrecondition;
+    reply.text = "no backend connected";
+  }
+  reply.events_applied = applied;
+  FailDeadBackends();
   SendToClient(conn, reply);
 }
 

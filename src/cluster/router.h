@@ -233,6 +233,11 @@ class Router {
   // --- Client-side dispatch ----------------------------------------------
   void HandleClientFrame(ClientConn& conn, const net::Frame& frame);
   void HandleMetricsRequest(ClientConn& conn);
+  // Model lifecycle fan-out: MODEL_LOAD / MODEL_ACTIVATE roll across the
+  // connected backends one at a time (each backend's ack gates the next, so
+  // a failing checkpoint stops the roll with the fleet in a known state);
+  // MODEL_STATUS aggregates per-backend registry snapshots.
+  void HandleModelAdmin(ClientConn& conn, const net::Frame& frame);
   // Forwards ready tasks of `client` in frame order; stops at a gate (a
   // multi-run task awaiting its run ack, or an owner that is mid-failover).
   void AdvanceClient(ClientConn& client);

@@ -365,6 +365,72 @@ Status Client::GetMetricsJson(std::string* json) {
   return Status::Ok();
 }
 
+Status Client::ModelLoad(const std::string& name, const std::string& path) {
+  Frame request;
+  request.type = FrameType::kModelLoad;
+  request.request_id = next_request_id_++;
+  request.name = name;
+  request.text = path;
+  if (Status s = SendFrame(request); !s.ok()) {
+    return s;
+  }
+  Frame ack;
+  if (Status s = ReadUntil(FrameType::kIngestAck, &ack, request.request_id);
+      !s.ok()) {
+    return s;
+  }
+  if (ack.request_id != request.request_id) {
+    Close();
+    return Status::Internal("model load ack correlation mismatch");
+  }
+  return Status(ack.status_code, ack.text);
+}
+
+Status Client::ModelActivate(const std::string& name, ModelAdminMode mode,
+                             double fraction) {
+  Frame request;
+  request.type = FrameType::kModelActivate;
+  request.request_id = next_request_id_++;
+  request.name = name;
+  request.mode = static_cast<uint8_t>(mode);
+  request.fraction = fraction;
+  if (Status s = SendFrame(request); !s.ok()) {
+    return s;
+  }
+  Frame ack;
+  if (Status s = ReadUntil(FrameType::kIngestAck, &ack, request.request_id);
+      !s.ok()) {
+    return s;
+  }
+  if (ack.request_id != request.request_id) {
+    Close();
+    return Status::Internal("model activate ack correlation mismatch");
+  }
+  return Status(ack.status_code, ack.text);
+}
+
+Status Client::ModelStatus(std::string* json) {
+  Frame request;
+  request.type = FrameType::kModelStatus;
+  request.request_id = next_request_id_++;
+  if (Status s = SendFrame(request); !s.ok()) {
+    return s;
+  }
+  Frame info;
+  if (Status s = ReadUntil(FrameType::kModelInfo, &info); !s.ok()) {
+    return s;
+  }
+  if (info.request_id != request.request_id) {
+    Close();
+    return Status::Internal("model status correlation mismatch");
+  }
+  if (info.status_code != StatusCode::kOk) {
+    return Status(info.status_code, info.text);
+  }
+  *json = std::move(info.text);
+  return Status::Ok();
+}
+
 Status Client::Shutdown() {
   Frame request;
   request.type = FrameType::kShutdown;

@@ -96,6 +96,16 @@ class Client {
   // Fetches the server's metrics snapshot as JSON (the METRICS RPC).
   Status GetMetricsJson(std::string* json);
 
+  // Model lifecycle admin (DESIGN.md §4.8). ModelLoad registers checkpoint
+  // `path` on the server as inactive version `name`; ModelActivate runs one
+  // MODEL_ACTIVATE verb (`fraction` is only read by kSetCandidate);
+  // ModelStatus fetches the registry's StatusJson. All three block for the
+  // correlated ack and surface the server's typed status.
+  Status ModelLoad(const std::string& name, const std::string& path);
+  Status ModelActivate(const std::string& name, ModelAdminMode mode,
+                       double fraction = 0.0);
+  Status ModelStatus(std::string* json);
+
   // Asks the server to drain and stop, waiting for its GOODBYE. Outstanding
   // score results are collected (graceful shutdown delivers them first).
   Status Shutdown();

@@ -14,7 +14,7 @@ constexpr uint64_t kMaxNodesPerSession = 1ull << 31;
 constexpr uint64_t kMaxFeatureDim = 1ull << 24;
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kDataLoss);
 constexpr uint8_t kMinFrameType = static_cast<uint8_t>(FrameType::kPing);
-constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kSessionImport);
+constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kModelInfo);
 
 void AppendRaw(const void* data, size_t size, std::vector<uint8_t>* out) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
@@ -315,6 +315,14 @@ const char* FrameTypeName(FrameType type) {
       return "SESSION_STATE";
     case FrameType::kSessionImport:
       return "SESSION_IMPORT";
+    case FrameType::kModelLoad:
+      return "MODEL_LOAD";
+    case FrameType::kModelActivate:
+      return "MODEL_ACTIVATE";
+    case FrameType::kModelStatus:
+      return "MODEL_STATUS";
+    case FrameType::kModelInfo:
+      return "MODEL_INFO";
   }
   return "UNKNOWN";
 }
@@ -396,6 +404,25 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kSessionImport:
       AppendVarint(frame.request_id, out);
       AppendBytes(frame.blob, out);
+      break;
+    case FrameType::kModelLoad:
+      AppendVarint(frame.request_id, out);
+      AppendString(frame.name, out);
+      AppendString(frame.text, out);
+      break;
+    case FrameType::kModelActivate:
+      AppendVarint(frame.request_id, out);
+      AppendString(frame.name, out);
+      out->push_back(frame.mode);
+      AppendF64(frame.fraction, out);
+      break;
+    case FrameType::kModelStatus:
+      AppendVarint(frame.request_id, out);
+      break;
+    case FrameType::kModelInfo:
+      AppendVarint(frame.request_id, out);
+      out->push_back(static_cast<uint8_t>(frame.status_code));
+      AppendString(frame.text, out);
       break;
   }
 
@@ -533,6 +560,29 @@ Status DecodeFrame(const uint8_t* data, size_t size,
       ok = reader.ReadVarint(&frame->request_id) &&
            reader.ReadBytes(&frame->blob);
       break;
+    case FrameType::kModelLoad:
+      ok = reader.ReadVarint(&frame->request_id) &&
+           reader.ReadString(&frame->name) &&
+           frame->name.size() <= kMaxModelNameBytes &&
+           reader.ReadString(&frame->text);
+      break;
+    case FrameType::kModelActivate:
+      ok = reader.ReadVarint(&frame->request_id) &&
+           reader.ReadString(&frame->name) &&
+           frame->name.size() <= kMaxModelNameBytes &&
+           reader.ReadU8(&frame->mode) && frame->mode <= kMaxModelAdminMode &&
+           reader.ReadF64(&frame->fraction);
+      break;
+    case FrameType::kModelStatus:
+      ok = reader.ReadVarint(&frame->request_id);
+      break;
+    case FrameType::kModelInfo: {
+      uint8_t code = 0;
+      ok = reader.ReadVarint(&frame->request_id) && reader.ReadU8(&code) &&
+           code <= kMaxStatusCode && reader.ReadString(&frame->text);
+      if (ok) frame->status_code = static_cast<StatusCode>(code);
+      break;
+    }
   }
   if (!ok || reader.failed()) {
     return CorruptFrame(std::string("truncated ") +

@@ -61,7 +61,31 @@ enum class FrameType : uint8_t {
   kSessionState = 14,   // request_id, status_code, text, blob: the snapshot.
   kSessionImport = 15,  // request_id + blob: install a migrated session;
                         // acknowledged with kIngestAck.
+  // Model lifecycle admin (DESIGN.md §4.8).
+  kModelLoad = 16,      // request_id, name, text = checkpoint path: register
+                        // an inactive version; acknowledged with kIngestAck.
+  kModelActivate = 17,  // request_id, name, mode (ModelAdminMode), fraction:
+                        // swap / A/B / shadow verbs; acknowledged with
+                        // kIngestAck.
+  kModelStatus = 18,    // request_id: registry snapshot request.
+  kModelInfo = 19,      // request_id, status_code, text: the registry's
+                        // StatusJson (or the error message).
 };
+
+// kModelActivate sub-verbs, carried in Frame::mode.
+enum class ModelAdminMode : uint8_t {
+  kActivateDrain = 0,   // Primary swap; live sessions drain on their version.
+  kActivateRebase = 1,  // Primary swap; live sessions refold at next touch.
+  kSetCandidate = 2,    // A/B: route `fraction` of sessions to `name`.
+  kSetShadow = 3,       // Re-score every primary score under `name`.
+  kClearCandidate = 4,  // `name` ignored.
+  kClearShadow = 5,     // `name` ignored.
+};
+inline constexpr uint8_t kMaxModelAdminMode =
+    static_cast<uint8_t>(ModelAdminMode::kClearShadow);
+// Decoder cap for Frame::name, matching serve::kMaxModelVersionName:
+// version names are short handles, not payloads.
+inline constexpr size_t kMaxModelNameBytes = 256;
 
 const char* FrameTypeName(FrameType type);
 
@@ -88,6 +112,12 @@ struct Frame {
   // kSessionState / kSessionImport: opaque serialized serve::SessionState.
   // The wire layer does not interpret it beyond length-checking.
   std::vector<uint8_t> blob;
+  // kModelLoad / kModelActivate: registry version name (the checkpoint path
+  // rides in `text` for kModelLoad).
+  std::string name;
+  // kModelActivate sub-verb (ModelAdminMode) and A/B fraction.
+  uint8_t mode = 0;
+  double fraction = 0.0;
 };
 
 // Appends the complete wire encoding of `frame` to `*out`.

@@ -388,6 +388,65 @@ void Server::HandleFrame(Connection& conn, const Frame& frame) {
       SendFrame(conn, reply);
       break;
     }
+    case FrameType::kModelLoad: {
+      Frame reply;
+      reply.type = FrameType::kIngestAck;
+      reply.request_id = frame.request_id;
+      Status st = engine_->LoadModelVersion(frame.name, frame.text);
+      reply.status_code = st.code();
+      if (st.ok()) {
+        reply.events_applied = 1;
+      } else {
+        reply.text = st.message();
+      }
+      SendFrame(conn, reply);
+      break;
+    }
+    case FrameType::kModelActivate: {
+      Frame reply;
+      reply.type = FrameType::kIngestAck;
+      reply.request_id = frame.request_id;
+      model::ModelRegistry& registry = engine_->registry();
+      Status st;
+      switch (static_cast<ModelAdminMode>(frame.mode)) {
+        case ModelAdminMode::kActivateDrain:
+          st = engine_->ActivateModel(frame.name, model::SwapPolicy::kDrain);
+          break;
+        case ModelAdminMode::kActivateRebase:
+          st = engine_->ActivateModel(frame.name,
+                                      model::SwapPolicy::kImmediateRebase);
+          break;
+        case ModelAdminMode::kSetCandidate:
+          st = registry.SetCandidate(frame.name, frame.fraction);
+          break;
+        case ModelAdminMode::kSetShadow:
+          st = registry.SetShadow(frame.name);
+          break;
+        case ModelAdminMode::kClearCandidate:
+          st = registry.ClearCandidate();
+          break;
+        case ModelAdminMode::kClearShadow:
+          st = registry.ClearShadow();
+          break;
+      }
+      reply.status_code = st.code();
+      if (st.ok()) {
+        reply.events_applied = 1;
+      } else {
+        reply.text = st.message();
+      }
+      SendFrame(conn, reply);
+      break;
+    }
+    case FrameType::kModelStatus: {
+      Frame reply;
+      reply.type = FrameType::kModelInfo;
+      reply.request_id = frame.request_id;
+      reply.status_code = StatusCode::kOk;
+      reply.text = engine_->registry().StatusJson();
+      SendFrame(conn, reply);
+      break;
+    }
     case FrameType::kGoodbye:
       // Client-initiated close: flush what we owe, then close.
       conn.draining = true;

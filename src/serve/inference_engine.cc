@@ -10,8 +10,8 @@ namespace tpgnn::serve {
 InferenceEngine::InferenceEngine(const core::TpGnnConfig& config,
                                  uint64_t seed, const EngineOptions& options)
     : options_(options),
-      model_(config, seed),
-      router_(model_,
+      registry_(config, seed),
+      router_(registry_,
               SessionRouter::Options{
                   options.num_shards,
                   options.max_resident_sessions,
@@ -23,15 +23,34 @@ InferenceEngine::InferenceEngine(const core::TpGnnConfig& config,
 }
 
 Status InferenceEngine::LoadSnapshot(const std::string& path) {
+  core::TpGnnModel& model = registry_.initial_model();
   nn::CheckpointMetadata metadata;
   if (Status s = nn::ReadCheckpointMetadata(path, &metadata); !s.ok()) {
     return s;
   }
-  if (Status s = core::ValidateConfigMetadata(model_.config(), metadata);
+  if (Status s = core::ValidateConfigMetadata(model.config(), metadata);
       !s.ok()) {
     return s;
   }
-  return nn::LoadParameters(model_, path);
+  return nn::LoadParameters(model, path);
+}
+
+Status InferenceEngine::LoadModelVersion(const std::string& name,
+                                         const std::string& path) {
+  Status status = registry_.Load(name, path);
+  if (status.ok()) {
+    metrics_.model_loads.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status InferenceEngine::ActivateModel(const std::string& name,
+                                      model::SwapPolicy policy) {
+  Status status = registry_.Activate(name, policy);
+  if (status.ok()) {
+    metrics_.model_activations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
 }
 
 Status InferenceEngine::Ingest(const Event& event) {
@@ -124,7 +143,6 @@ size_t InferenceEngine::ProcessPending(std::vector<ScoreResult>* results) {
         SessionShard& shard = router_.ShardFor(request.session_id);
         const double start_micros = clock_.ElapsedMicros();
         shard.Score(request.session_id, &result);
-        shard.Unpin(request.session_id);
         result.label = request.label;
         result.queue_micros = start_micros - request.enqueue_micros;
         metrics_.score_latency.Record(result.score_micros);
@@ -132,9 +150,14 @@ size_t InferenceEngine::ProcessPending(std::vector<ScoreResult>* results) {
                                     request.enqueue_micros);
         if (result.status.ok()) {
           metrics_.scores_completed.fetch_add(1, std::memory_order_relaxed);
+          // Shadow re-score off the hot path: the primary's latency is
+          // already recorded, the session is still pinned, and the shadow
+          // logit only ever reaches the metrics shadow block.
+          shard.ShadowScore(request.session_id, result.logit);
         } else {
           metrics_.scores_failed.fetch_add(1, std::memory_order_relaxed);
         }
+        shard.Unpin(request.session_id);
         return result;
       });
   results->insert(results->end(), scored.begin(), scored.end());

@@ -9,6 +9,7 @@
 
 #include "core/config.h"
 #include "core/model.h"
+#include "model/registry.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/session_shard.h"
@@ -31,12 +32,23 @@
 //   * Latency accounting: ingest_latency per Ingest call, score_latency for
 //     the scoring computation, e2e_latency from Score enqueue to result.
 //
-// Snapshots: LoadSnapshot reads a nn::checkpoint file. A version-2 file
+// Model lifecycle (DESIGN.md §4.8): the engine owns a model::ModelRegistry
+// and every session scores against the version handle it resolved at Begin.
+// LoadModelVersion / ActivateModel are the process-local verbs behind the
+// MODEL_LOAD / MODEL_ACTIVATE admin frames; registry() exposes the full
+// surface (A/B candidate, shadow, retire). When a shadow version is set,
+// every completed primary score is re-scored under it on the same worker,
+// after the primary's latency is recorded — the shadow logit feeds only the
+// metrics shadow block and is never part of any ScoreResult.
+//
+// Snapshots: LoadSnapshot reads a nn::checkpoint file into the initial
+// version in place (the pre-serving bootstrap path). A version-2 file
 // carries the producing TpGnnConfig as a metadata block, which is validated
 // against the engine's config before any parameter is touched; a mismatch
 // (e.g. different hidden_dim or extractor kind) fails with a
 // FailedPrecondition naming the offending field. Version-1 files load with
-// name/shape verification only.
+// name/shape verification only. Hot swaps under live traffic go through
+// LoadModelVersion + ActivateModel instead.
 //
 // Threading: Ingest and ProcessPending are thread-safe. Events of one
 // session must be submitted in order (one producer per session); scores are
@@ -62,15 +74,28 @@ class InferenceEngine {
   InferenceEngine(const core::TpGnnConfig& config, uint64_t seed,
                   const EngineOptions& options);
 
-  // Loads model parameters from `path`, validating the config metadata
-  // block first (see class comment).
+  // Loads model parameters into the initial version from `path`, validating
+  // the config metadata block first (see class comment). Pre-serving
+  // bootstrap only; use LoadModelVersion/ActivateModel under live traffic.
   Status LoadSnapshot(const std::string& path);
 
-  // The served model. Mutable so a caller can train it in place or copy
-  // parameters in before serving starts; must not be mutated while traffic
-  // is in flight.
-  core::TpGnnModel& model() { return model_; }
-  const core::TpGnnModel& model() const { return model_; }
+  // Registers checkpoint `path` as inactive version `name` (MODEL_LOAD).
+  Status LoadModelVersion(const std::string& name, const std::string& path);
+  // Makes `name` the primary (MODEL_ACTIVATE): kDrain pins live sessions to
+  // their version until they end, kImmediateRebase refolds them onto the
+  // new primary at their next touch.
+  Status ActivateModel(const std::string& name, model::SwapPolicy policy);
+
+  // The initial version's model. Mutable so a caller can train it in place
+  // or copy parameters in before serving starts; must not be mutated while
+  // traffic is in flight.
+  core::TpGnnModel& model() { return registry_.initial_model(); }
+  const core::TpGnnModel& model() const {
+    return const_cast<InferenceEngine*>(this)->registry_.initial_model();
+  }
+
+  model::ModelRegistry& registry() { return registry_; }
+  const model::ModelRegistry& registry() const { return registry_; }
 
   // Applies one event. Begin/Edge/End run inline; Score enqueues. Returns
   // kOverloaded when the score queue (or the resident cap, with every
@@ -108,7 +133,7 @@ class InferenceEngine {
   };
 
   const EngineOptions options_;
-  core::TpGnnModel model_;
+  model::ModelRegistry registry_;
   Metrics metrics_;
   SessionRouter router_;
   Stopwatch clock_;  // Monotone engine clock for latency accounting.

@@ -1,7 +1,9 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace tpgnn::serve {
@@ -62,6 +64,22 @@ double LatencyHistogram::Snapshot::PercentileMicros(double q) const {
   return std::ldexp(1.0, kNumBuckets);
 }
 
+void Metrics::RecordShadowDelta(double abs_delta) {
+  if (abs_delta < 0.0 || std::isnan(abs_delta)) {
+    abs_delta = 0.0;
+  }
+  shadow_delta_sum_nanos.fetch_add(static_cast<uint64_t>(abs_delta * 1e9),
+                                   std::memory_order_relaxed);
+  // CAS max over raw double bits: for non-negative doubles the bit pattern
+  // orders like the value.
+  uint64_t bits;
+  std::memcpy(&bits, &abs_delta, sizeof(bits));
+  uint64_t seen = shadow_delta_max_bits.load(std::memory_order_relaxed);
+  while (bits > seen && !shadow_delta_max_bits.compare_exchange_weak(
+                            seen, bits, std::memory_order_relaxed)) {
+  }
+}
+
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream os;
   os << "events=" << events_ingested << " sessions=" << sessions_begun << "/"
@@ -69,6 +87,9 @@ std::string MetricsSnapshot::ToString() const {
      << " edges=" << edges_ingested << " scores=" << scores_completed << "/"
      << scores_failed << " overloads=" << overload_rejections
      << " refolds=" << state_refolds << " rescales=" << state_rescales
+     << " rebases=" << version_rebases
+     << " mixed_version=" << mixed_version_scores
+     << " shadow=" << shadow_scores << "/" << shadow_failures
      << " score_us{p50=" <<
       score_latency.PercentileMicros(0.5)
      << " p95=" << score_latency.PercentileMicros(0.95)
@@ -110,6 +131,12 @@ std::string MetricsSnapshot::ToJson() const {
      << ", \"overload_rejections\": " << overload_rejections
      << ", \"state_refolds\": " << state_refolds
      << ", \"state_rescales\": " << state_rescales
+     << ", \"model_loads\": " << model_loads
+     << ", \"model_activations\": " << model_activations
+     << ", \"version_rebases\": " << version_rebases
+     << ", \"mixed_version_scores\": " << mixed_version_scores
+     << ", \"shadow_scores\": " << shadow_scores
+     << ", \"shadow_failures\": " << shadow_failures
      << ", \"bytes_received\": " << bytes_received
      << ", \"bytes_sent\": " << bytes_sent
      << ", \"frames_received\": " << frames_received
@@ -117,12 +144,17 @@ std::string MetricsSnapshot::ToJson() const {
      << ", \"connections_accepted\": " << connections_accepted
      << ", \"connections_closed\": " << connections_closed
      << ", \"protocol_errors\": " << protocol_errors
+     << "}, \"shadow\": {"
+     << "\"sum_abs_delta\": " << shadow_delta_sum
+     << ", \"max_abs_delta\": " << shadow_delta_max
      << "}, \"latency_us\": {";
   AppendHistogramJson(os, "ingest", ingest_latency);
   os << ", ";
   AppendHistogramJson(os, "score", score_latency);
   os << ", ";
   AppendHistogramJson(os, "e2e", e2e_latency);
+  os << ", ";
+  AppendHistogramJson(os, "shadow", shadow_latency);
   os << "}}";
   return os.str();
 }
@@ -140,6 +172,14 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   overload_rejections += other.overload_rejections;
   state_refolds += other.state_refolds;
   state_rescales += other.state_rescales;
+  model_loads += other.model_loads;
+  model_activations += other.model_activations;
+  version_rebases += other.version_rebases;
+  mixed_version_scores += other.mixed_version_scores;
+  shadow_scores += other.shadow_scores;
+  shadow_failures += other.shadow_failures;
+  shadow_delta_sum += other.shadow_delta_sum;
+  shadow_delta_max = std::max(shadow_delta_max, other.shadow_delta_max);
   bytes_received += other.bytes_received;
   bytes_sent += other.bytes_sent;
   frames_received += other.frames_received;
@@ -159,6 +199,7 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   merge_histogram(ingest_latency, other.ingest_latency);
   merge_histogram(score_latency, other.score_latency);
   merge_histogram(e2e_latency, other.e2e_latency);
+  merge_histogram(shadow_latency, other.shadow_latency);
 }
 
 namespace {
@@ -254,6 +295,12 @@ Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap) {
       {"overload_rejections", &snap->overload_rejections},
       {"state_refolds", &snap->state_refolds},
       {"state_rescales", &snap->state_rescales},
+      {"model_loads", &snap->model_loads},
+      {"model_activations", &snap->model_activations},
+      {"version_rebases", &snap->version_rebases},
+      {"mixed_version_scores", &snap->mixed_version_scores},
+      {"shadow_scores", &snap->shadow_scores},
+      {"shadow_failures", &snap->shadow_failures},
       {"bytes_received", &snap->bytes_received},
       {"bytes_sent", &snap->bytes_sent},
       {"frames_received", &snap->frames_received},
@@ -268,9 +315,18 @@ Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap) {
                               f.key);
     }
   }
+  const size_t shadow_at = json.find("\"shadow\":");
+  if (shadow_at == std::string::npos || shadow_at > latency_at ||
+      !FindNumber(json, "sum_abs_delta", shadow_at, &snap->shadow_delta_sum,
+                  nullptr) ||
+      !FindNumber(json, "max_abs_delta", shadow_at, &snap->shadow_delta_max,
+                  nullptr)) {
+    return Status::DataLoss("metrics JSON shadow block malformed");
+  }
   if (!ParseHistogram(json, "ingest", latency_at, &snap->ingest_latency) ||
       !ParseHistogram(json, "score", latency_at, &snap->score_latency) ||
-      !ParseHistogram(json, "e2e", latency_at, &snap->e2e_latency)) {
+      !ParseHistogram(json, "e2e", latency_at, &snap->e2e_latency) ||
+      !ParseHistogram(json, "shadow", latency_at, &snap->shadow_latency)) {
     return Status::DataLoss("metrics JSON histogram malformed");
   }
   return Status::Ok();
@@ -293,6 +349,22 @@ MetricsSnapshot Metrics::Snapshot() const {
       overload_rejections.load(std::memory_order_relaxed);
   snap.state_refolds = state_refolds.load(std::memory_order_relaxed);
   snap.state_rescales = state_rescales.load(std::memory_order_relaxed);
+  snap.model_loads = model_loads.load(std::memory_order_relaxed);
+  snap.model_activations = model_activations.load(std::memory_order_relaxed);
+  snap.version_rebases = version_rebases.load(std::memory_order_relaxed);
+  snap.mixed_version_scores =
+      mixed_version_scores.load(std::memory_order_relaxed);
+  snap.shadow_scores = shadow_scores.load(std::memory_order_relaxed);
+  snap.shadow_failures = shadow_failures.load(std::memory_order_relaxed);
+  snap.shadow_delta_sum =
+      static_cast<double>(
+          shadow_delta_sum_nanos.load(std::memory_order_relaxed)) *
+      1e-9;
+  {
+    const uint64_t bits =
+        shadow_delta_max_bits.load(std::memory_order_relaxed);
+    std::memcpy(&snap.shadow_delta_max, &bits, sizeof(bits));
+  }
   snap.bytes_received = bytes_received.load(std::memory_order_relaxed);
   snap.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
   snap.frames_received = frames_received.load(std::memory_order_relaxed);
@@ -304,6 +376,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.ingest_latency = ingest_latency.Snap();
   snap.score_latency = score_latency.Snap();
   snap.e2e_latency = e2e_latency.Snap();
+  snap.shadow_latency = shadow_latency.Snap();
   return snap;
 }
 

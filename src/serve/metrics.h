@@ -61,6 +61,11 @@ struct MetricsSnapshot {
   uint64_t overload_rejections = 0;
   uint64_t state_refolds = 0;
   uint64_t state_rescales = 0;
+  // Model lifecycle (versioned registry, DESIGN.md §4.8).
+  uint64_t model_loads = 0;
+  uint64_t model_activations = 0;
+  uint64_t version_rebases = 0;
+  uint64_t mixed_version_scores = 0;
   // Network front-end (zero unless a net::Server drives the engine).
   uint64_t bytes_received = 0;
   uint64_t bytes_sent = 0;
@@ -69,9 +74,17 @@ struct MetricsSnapshot {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
   uint64_t protocol_errors = 0;
+  // Shadow scoring block (never returned to clients): how many primary
+  // scores the shadow version re-scored, how many shadow attempts failed,
+  // and the primary-vs-shadow logit divergence.
+  uint64_t shadow_scores = 0;
+  uint64_t shadow_failures = 0;
+  double shadow_delta_sum = 0.0;  // Σ |primary_logit − shadow_logit|.
+  double shadow_delta_max = 0.0;  // max |primary_logit − shadow_logit|.
   LatencyHistogram::Snapshot ingest_latency;
   LatencyHistogram::Snapshot score_latency;
   LatencyHistogram::Snapshot e2e_latency;
+  LatencyHistogram::Snapshot shadow_latency;
 
   // One-line human-readable summary (counts + score p50/p95/p99).
   std::string ToString() const;
@@ -117,6 +130,27 @@ class Metrics {
   // finalize-time correction instead of a refold (SessionShard; the O(1)
   // counterpart of state_refolds).
   std::atomic<uint64_t> state_rescales{0};
+  // Model lifecycle (model::ModelRegistry through InferenceEngine /
+  // SessionShard): checkpoint versions loaded, primary activations,
+  // sessions refolded onto a new version after an immediate-rebase swap or
+  // an A/B assignment change, and — the hot-swap safety gate, asserted zero
+  // by bench_swap and the chaos sweep — scores whose folded state mixed
+  // parameters from two versions.
+  std::atomic<uint64_t> model_loads{0};
+  std::atomic<uint64_t> model_activations{0};
+  std::atomic<uint64_t> version_rebases{0};
+  std::atomic<uint64_t> mixed_version_scores{0};
+  // Shadow scoring: candidate re-scores of primary scores (off the client
+  // path), failed shadow attempts, and logit divergence. The divergence
+  // accumulators stay integral (nanounits / double bits) so the hot path
+  // needs no atomic<double> CAS loop for the common add.
+  std::atomic<uint64_t> shadow_scores{0};
+  std::atomic<uint64_t> shadow_failures{0};
+  std::atomic<uint64_t> shadow_delta_sum_nanos{0};
+  std::atomic<uint64_t> shadow_delta_max_bits{0};
+  // Records one |primary − shadow| logit delta into the sum and running
+  // max (CAS max over double bits; monotone for non-negative doubles).
+  void RecordShadowDelta(double abs_delta);
   // Network front-end counters, maintained by net::Server: wire bytes and
   // frames in each direction, connection churn, and streams torn down for
   // protocol violations (kDataLoss frames).
@@ -132,6 +166,7 @@ class Metrics {
   LatencyHistogram ingest_latency;  // One Ingest(event) call.
   LatencyHistogram score_latency;   // The scoring computation.
   LatencyHistogram e2e_latency;     // Score enqueue -> result ready.
+  LatencyHistogram shadow_latency;  // One shadow re-score (off hot path).
 
   MetricsSnapshot Snapshot() const;
   // Shorthand for Snapshot().ToJson().

@@ -23,6 +23,18 @@ struct SessionShard::Session {
   Tensor m;   // Raw folded SUM time accumulator, when the config has one.
   core::PropagationScratch scratch;
 
+  // Pinned model version: every kernel this session runs (X0, folds,
+  // finalize, extractor, classifier) comes from exactly this version. The
+  // shared_ptr keeps a retired version alive until the session ends.
+  model::ModelVersionPtr version;
+  // Seq of the version x0/x/m were produced under. The mixed-version guard
+  // compares this against version->seq() at score time; a rebase re-stamps
+  // it after recomputing the state.
+  uint64_t state_seq = 0;
+  // Registry assignment epoch the version was resolved under; a moved
+  // epoch triggers re-resolution at the next touch.
+  uint64_t assign_epoch = 0;
+
   // Fold bookkeeping: how many chronological-prefix edges are folded into
   // x / m, and under which normalization max-time.
   int64_t x_edges = 0;
@@ -53,9 +65,9 @@ struct SessionShard::Session {
   std::list<uint64_t>::iterator lru_it;
 };
 
-SessionShard::SessionShard(const core::TpGnnModel& model,
+SessionShard::SessionShard(const model::ModelRegistry& registry,
                            const ShardOptions& options, Metrics* metrics)
-    : model_(model), options_(options), metrics_(metrics) {}
+    : registry_(registry), options_(options), metrics_(metrics) {}
 
 SessionShard::~SessionShard() = default;
 
@@ -63,7 +75,7 @@ Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
                                   int64_t feature_dim,
                                   const std::vector<NodeInit>& features,
                                   double now) {
-  const core::TpGnnConfig& config = model_.config();
+  const core::TpGnnConfig& config = registry_.config();
   if (num_nodes <= 0) {
     return Status::InvalidArgument("session needs at least one node");
   }
@@ -118,13 +130,19 @@ Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
   for (const NodeInit& f : features) {
     session->graph.SetNodeFeature(f.node, f.features);
   }
+  // Resolve and pin the model version: primary, or the A/B candidate per
+  // the registry's deterministic per-session split.
+  session->version = registry_.ResolveForSession(session_id,
+                                                 &session->assign_epoch);
+  session->state_seq = session->version->seq();
   {
     tensor::NoGradGuard no_grad;
-    session->x0 = model_.propagation().EmbedInitial(session->graph);
+    const core::TemporalPropagation& prop = session->version->model()
+                                                .propagation();
+    session->x0 = prop.EmbedInitial(session->graph);
     session->x = session->x0.Clone();
-    if (model_.propagation().has_time_accumulator()) {
-      session->m =
-          Tensor::Zeros({num_nodes, model_.propagation().time_state_dim()});
+    if (prop.has_time_accumulator()) {
+      session->m = Tensor::Zeros({num_nodes, prop.time_state_dim()});
     }
   }
   session->last_touch = now;
@@ -135,6 +153,45 @@ Status SessionShard::BeginSession(uint64_t session_id, int64_t num_nodes,
     metrics_->sessions_begun.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Ok();
+}
+
+void SessionShard::MaybeRebaseLocked(uint64_t session_id, Session& s) {
+  const uint64_t epoch = registry_.assignment_epoch();
+  if (epoch == s.assign_epoch) {
+    return;
+  }
+  model::ModelVersionPtr resolved =
+      registry_.ResolveForSession(session_id, &s.assign_epoch);
+  if (resolved->seq() == s.version->seq()) {
+    s.version = std::move(resolved);  // Same version; just re-stamp.
+    return;
+  }
+  // The assignment moved the session onto different parameters: recompute
+  // X0 and discard every folded component so the next EnsureFolded replays
+  // the full edge list under the new version. Nothing derived from the old
+  // parameters survives — that is the zero-mixed-versions invariant.
+  s.version = std::move(resolved);
+  s.state_seq = s.version->seq();
+  {
+    tensor::NoGradGuard no_grad;
+    const core::TemporalPropagation& prop = s.version->model().propagation();
+    s.x0 = prop.EmbedInitial(s.graph);
+    s.x = s.x0.Clone();
+    s.x_edges = 0;
+    s.x_max_time = 0.0;
+    if (prop.has_time_accumulator()) {
+      s.m = Tensor::Zeros({s.graph.num_nodes(), prop.time_state_dim()});
+      s.m_edges = 0;
+      s.m_max_time = 0.0;
+    }
+  }
+  // An empty folded prefix is trivially a chronological prefix.
+  s.fold_chrono = true;
+  s.finalized_edges = 0;
+  s.finalized_max = 0.0;
+  if (metrics_ != nullptr) {
+    metrics_->version_rebases.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
@@ -156,6 +213,9 @@ Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
   if (edge_time < 0.0 || std::isnan(edge_time)) {
     return Status::InvalidArgument("edge time must be non-negative");
   }
+  // Pick up an immediate-rebase swap before folding: the eager fold below
+  // must run the same version as the state it extends.
+  MaybeRebaseLocked(session_id, s);
   const double old_max = s.graph.MaxTime();
   const bool has_edges = s.graph.num_edges() > 0;
   if (has_edges && edge_time < s.graph.edges().back().time) {
@@ -173,8 +233,8 @@ Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
   // or above the running max is chronologically last even in a session that
   // saw earlier disorder, so eager folding resumes once a refold has
   // re-synced the prefixes.
-  const core::TemporalPropagation& prop = model_.propagation();
-  const core::TpGnnConfig& config = model_.config();
+  const core::TemporalPropagation& prop = s.version->model().propagation();
+  const core::TpGnnConfig& config = registry_.config();
   if (s.fold_chrono && config.use_temporal_propagation()) {
     tensor::NoGradGuard no_grad;
     const double max_time = s.graph.MaxTime();
@@ -207,8 +267,8 @@ Status SessionShard::AddEdge(uint64_t session_id, int64_t src, int64_t dst,
 
 const std::vector<TemporalEdge>& SessionShard::EnsureFolded(
     Session& s, bool force_refold) {
-  const core::TemporalPropagation& prop = model_.propagation();
-  const core::TpGnnConfig& config = model_.config();
+  const core::TemporalPropagation& prop = s.version->model().propagation();
+  const core::TpGnnConfig& config = registry_.config();
   const std::vector<TemporalEdge>* order = &s.graph.edges();
   if (!s.sorted) {
     s.chrono = s.graph.ChronologicalEdges();
@@ -302,6 +362,15 @@ Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
     return result->status;
   }
   Session& s = *it->second;
+  MaybeRebaseLocked(session_id, s);
+  // Mixed-version tripwire (the hot-swap safety gate): the pinned version
+  // and the stamp of the state it will finalize must agree. They can only
+  // disagree if some path re-bound the version handle without rebasing the
+  // state — counted, never silently scored away. bench_swap and the chaos
+  // sweep assert this stays zero.
+  if (s.version->seq() != s.state_seq && metrics_ != nullptr) {
+    metrics_->mixed_version_scores.fetch_add(1, std::memory_order_relaxed);
+  }
   // Injected rescale fallback: any non-delay fire forces EnsureFolded to
   // discard every folded component and replay it — the legacy refold path —
   // which must reproduce the eagerly folded state bit-for-bit. Evaluated
@@ -317,8 +386,9 @@ Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
   }
   {
     tensor::NoGradGuard no_grad;
+    const core::TpGnnModel& model = s.version->model();
     const std::vector<TemporalEdge>& order = EnsureFolded(s, force_refold);
-    const core::TpGnnConfig& config = model_.config();
+    const core::TpGnnConfig& config = model.config();
     const double max_time = s.graph.MaxTime();
     // A score whose finalize carries previously finalized folded state
     // across a max-time move is the invariant basis absorbing what the
@@ -333,15 +403,94 @@ Status SessionShard::Score(uint64_t session_id, ScoreResult* result) {
     }
     s.finalized_edges = s.graph.num_edges();
     s.finalized_max = max_time;
-    Tensor h = model_.propagation().FinalizeState(s.x, s.m, max_time);
-    Tensor g = model_.EmbedFromNodeStates(h, order);
-    result->logit = model_.ClassifyEmbedding(g).item();
+    Tensor h = model.propagation().FinalizeState(s.x, s.m, max_time);
+    Tensor g = model.EmbedFromNodeStates(h, order);
+    result->logit = model.ClassifyEmbedding(g).item();
   }
   result->probability = 1.0f / (1.0f + std::exp(-result->logit));
   result->edges_scored = s.graph.num_edges();
   result->score_micros = watch.ElapsedMicros();
   result->status = Status::Ok();
   return result->status;
+}
+
+Status SessionShard::ShadowScore(uint64_t session_id, float primary_logit) {
+  model::ModelVersionPtr shadow = registry_.shadow();
+  if (shadow == nullptr) {
+    return Status::Ok();
+  }
+  // Injected shadow failure: the shadow path must be able to die without
+  // the primary result noticing — callers only account the failure.
+  failpoint::Hit hit;
+  if (TPGNN_FAILPOINT("model.shadow_score", &hit)) {
+    if (hit.kind == failpoint::Kind::kDelay) {
+      failpoint::ApplyDelay(hit);
+    } else {
+      if (metrics_ != nullptr) {
+        metrics_->shadow_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      return failpoint::InjectedError(StatusCode::kInternal,
+                                      "model.shadow_score");
+    }
+  }
+  Stopwatch watch;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    // The session ended between the primary score and the shadow pass.
+    if (metrics_ != nullptr) {
+      metrics_->shadow_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  Session& s = *it->second;
+  float shadow_logit = 0.0f;
+  {
+    // Full offline replay under the shadow version — nothing is shared with
+    // the session's folded state (which belongs to its pinned version), so
+    // the result is exactly the shadow model's ForwardLogit on this graph.
+    tensor::NoGradGuard no_grad;
+    const core::TpGnnModel& model = shadow->model();
+    const core::TemporalPropagation& prop = model.propagation();
+    const core::TpGnnConfig& config = model.config();
+    const std::vector<TemporalEdge>* order = &s.graph.edges();
+    std::vector<TemporalEdge> chrono;
+    if (!s.sorted) {
+      chrono = s.graph.ChronologicalEdges();
+      order = &chrono;
+    }
+    Tensor x = prop.EmbedInitial(s.graph);
+    Tensor m;
+    if (prop.has_time_accumulator()) {
+      m = Tensor::Zeros({s.graph.num_nodes(), prop.time_state_dim()});
+    }
+    const double max_time = s.graph.MaxTime();
+    if (config.use_temporal_propagation()) {
+      const int64_t total = s.graph.num_edges();
+      for (int64_t i = 0; i < total; ++i) {
+        const double prev_time =
+            i > 0 ? (*order)[static_cast<size_t>(i - 1)].time : 0.0;
+        prop.PropagateEdgeState(x, (*order)[static_cast<size_t>(i)], max_time,
+                                prev_time, s.scratch);
+      }
+      if (prop.has_time_accumulator()) {
+        for (int64_t i = 0; i < total; ++i) {
+          prop.AccumulateEdgeTime(m, (*order)[static_cast<size_t>(i)],
+                                  max_time, s.scratch);
+        }
+      }
+    }
+    Tensor h = prop.FinalizeState(x, m, max_time);
+    Tensor g = model.EmbedFromNodeStates(h, *order);
+    shadow_logit = model.ClassifyEmbedding(g).item();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->shadow_scores.fetch_add(1, std::memory_order_relaxed);
+    metrics_->RecordShadowDelta(std::fabs(static_cast<double>(primary_logit) -
+                                          static_cast<double>(shadow_logit)));
+    metrics_->shadow_latency.Record(watch.ElapsedMicros());
+  }
+  return Status::Ok();
 }
 
 Status SessionShard::EndSession(uint64_t session_id) {
@@ -395,9 +544,10 @@ Status SessionShard::ExportSession(uint64_t session_id,
   state->finalized_edges = s.finalized_edges;
   state->finalized_max = s.finalized_max;
   state->last_touch = s.last_touch;
+  state->model_version = s.version->name();
   state->x0 = s.x0.data();
   state->x = s.x.data();
-  if (model_.propagation().has_time_accumulator()) {
+  if (s.version->model().propagation().has_time_accumulator()) {
     state->m = s.m.data();
   }
   if (metrics_ != nullptr) {
@@ -407,8 +557,19 @@ Status SessionShard::ExportSession(uint64_t session_id,
 }
 
 Status SessionShard::ImportSession(const SessionState& state, double now) {
-  const core::TpGnnConfig& config = model_.config();
-  const core::TemporalPropagation& prop = model_.propagation();
+  const core::TpGnnConfig& config = registry_.config();
+  // The fold is parameter-dependent: the snapshot's tensors are only valid
+  // under the exact version that produced them. An empty tag is a
+  // version-1 snapshot and resolves to the primary; an unknown tag is a
+  // typed precondition failure so the caller can fall back to journal
+  // replay instead of silently rebinding the state to other parameters.
+  model::ModelVersionPtr version = registry_.Find(state.model_version);
+  if (version == nullptr) {
+    return Status::FailedPrecondition("snapshot pinned to unknown model "
+                                      "version " +
+                                      state.model_version);
+  }
+  const core::TemporalPropagation& prop = version->model().propagation();
   if (state.num_nodes <= 0) {
     return Status::InvalidArgument("session needs at least one node");
   }
@@ -481,6 +642,12 @@ Status SessionShard::ImportSession(const SessionState& state, double now) {
     session->m = Tensor::FromVector({state.num_nodes, prop.time_state_dim()},
                                     state.m);
   }
+  // Pin the snapshot's version and stamp the session current: the imported
+  // pin survives a destination whose primary differs (that is the point of
+  // shipping the tag); only a later epoch bump may rebase it.
+  session->version = std::move(version);
+  session->state_seq = session->version->seq();
+  session->assign_epoch = registry_.assignment_epoch();
   session->sorted = state.sorted;
   session->fold_chrono = state.fold_chrono;
   session->x_edges = state.x_edges;
@@ -582,18 +749,7 @@ void SessionShard::TouchLocked(uint64_t session_id, Session& s, double now) {
 
 // --- SessionRouter ----------------------------------------------------------
 
-namespace {
-
-uint64_t SplitMix64(uint64_t h) {
-  h += 0x9e3779b97f4a7c15ULL;
-  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
-  return h ^ (h >> 31);
-}
-
-}  // namespace
-
-SessionRouter::SessionRouter(const core::TpGnnModel& model,
+SessionRouter::SessionRouter(const model::ModelRegistry& registry,
                              const Options& options, Metrics* metrics) {
   const int num_shards = options.num_shards < 1 ? 1 : options.num_shards;
   ShardOptions shard_options;
@@ -606,12 +762,12 @@ SessionRouter::SessionRouter(const core::TpGnnModel& model,
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(
-        std::make_unique<SessionShard>(model, shard_options, metrics));
+        std::make_unique<SessionShard>(registry, shard_options, metrics));
   }
 }
 
 SessionShard& SessionRouter::ShardFor(uint64_t session_id) {
-  return *shards_[SplitMix64(session_id) % shards_.size()];
+  return *shards_[model::SplitMix64(session_id) % shards_.size()];
 }
 
 size_t SessionRouter::resident_sessions() const {

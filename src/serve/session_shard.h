@@ -8,8 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/model.h"
 #include "graph/temporal_graph.h"
+#include "model/registry.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/session_state.h"
@@ -25,6 +25,18 @@
 // a copy of the folded state and runs the extractor + classifier stages of
 // the model — bit-identical to TpGnnModel::ForwardLogit on the fully built
 // graph (see tests/serve/parity_test.cc).
+//
+// Model versions (DESIGN.md §4.8): there is no process-wide model. Every
+// session resolves a refcounted model::ModelVersion handle at Begin (or
+// Import) and *pins* it — X0 and the folded x/m are parameter-dependent,
+// so every kernel the session ever runs must come from that one version,
+// or the score silently blends two models. An atomic primary swap therefore
+// never touches live sessions; under SwapPolicy::kImmediateRebase (or an
+// A/B assignment change) the registry bumps its assignment epoch and the
+// shard re-resolves each session at its next touch, recomputing X0 and
+// discarding the folds under the new version (`version_rebases`). A score
+// whose pinned version and state stamp ever disagree counts
+// `mixed_version_scores` — asserted zero by bench_swap and the chaos sweep.
 //
 // Fold validity (DESIGN.md §4.3 "Time renormalization algebra"): the SUM
 // updater's X-hat fold is time-independent, so it always advances in O(1)
@@ -67,10 +79,10 @@ struct ShardOptions {
 
 class SessionShard {
  public:
-  // `model` must outlive the shard and is shared read-only across shards
+  // `registry` must outlive the shard and is shared read-only across shards
   // (inference does not mutate module state). `metrics` may be null.
-  SessionShard(const core::TpGnnModel& model, const ShardOptions& options,
-               Metrics* metrics);
+  SessionShard(const model::ModelRegistry& registry,
+               const ShardOptions& options, Metrics* metrics);
   ~SessionShard();
 
   SessionShard(const SessionShard&) = delete;
@@ -78,9 +90,11 @@ class SessionShard {
 
   // Opens a session with its node set and features (unlisted nodes keep
   // zero features). `now` is the stream time, used for LRU/TTL bookkeeping.
-  // Fails with kInvalidArgument on a duplicate id or a feature-dim mismatch
-  // with the model config, kOverloaded when the shard is at its cap with
-  // every resident session pinned.
+  // The session resolves and pins its model version here (primary, or the
+  // A/B candidate per the registry's deterministic split). Fails with
+  // kInvalidArgument on a duplicate id or a feature-dim mismatch with the
+  // model config, kOverloaded when the shard is at its cap with every
+  // resident session pinned.
   Status BeginSession(uint64_t session_id, int64_t num_nodes,
                       int64_t feature_dim,
                       const std::vector<NodeInit>& features, double now);
@@ -90,11 +104,20 @@ class SessionShard {
   Status AddEdge(uint64_t session_id, int64_t src, int64_t dst,
                  double edge_time, double now);
 
-  // Scores the session's current state: result.logit is bit-identical to
-  // model.ForwardLogit(session graph, /*training=*/false) at this edge
-  // count. Fills logit/probability/edges_scored; status kNotFound for
-  // unknown sessions.
+  // Scores the session's current state under its pinned model version:
+  // result.logit is bit-identical to that version's ForwardLogit(session
+  // graph, /*training=*/false) at this edge count. Fills
+  // logit/probability/edges_scored; status kNotFound for unknown sessions.
   Status Score(uint64_t session_id, ScoreResult* result);
+
+  // Re-scores the session's current graph under the registry's shadow
+  // version — a full offline replay, so the result is bit-identical to the
+  // shadow version's ForwardLogit on the session graph. The logit never
+  // leaves the process: |primary − shadow| lands in the metrics shadow
+  // block. No-op kOk when no shadow version is set; a missing session or an
+  // injected `model.shadow_score` failure counts shadow_failures and never
+  // affects the primary result.
+  Status ShadowScore(uint64_t session_id, float primary_logit);
 
   // Closes a session. If score requests are in flight (pinned), removal is
   // deferred until the last Unpin; the session stops accepting edges either
@@ -108,19 +131,23 @@ class SessionShard {
   // drops. Unknown ids are ignored (the session may have ended).
   void Unpin(uint64_t session_id);
 
-  // Snapshots a live session for migration (SESSION_EXPORT). Safe while
-  // scores are pinned — the shard mutex serializes against Score, so the
-  // snapshot is always a consistent fold state. kNotFound for unknown
-  // sessions, kFailedPrecondition once End has been received (a deferred
-  // removal is not a migratable session).
+  // Snapshots a live session for migration (SESSION_EXPORT). The snapshot
+  // carries the session's pinned model-version name, so the destination
+  // keeps scoring under the same parameters. Safe while scores are pinned —
+  // the shard mutex serializes against Score, so the snapshot is always a
+  // consistent fold state. kNotFound for unknown sessions,
+  // kFailedPrecondition once End has been received (a deferred removal is
+  // not a migratable session).
   Status ExportSession(uint64_t session_id, SessionState* state) const;
 
   // Installs a migrated session (SESSION_IMPORT): rebuilds the graph from
   // the snapshot and adopts the folded x/m tensors bit-for-bit, so the
-  // destination scores exactly as the source would have. Fails with
-  // kInvalidArgument on a duplicate id or any shape mismatch with the
-  // model config, kOverloaded at the resident cap — the same contract as
-  // BeginSession.
+  // destination scores exactly as the source would have. The snapshot's
+  // model-version tag resolves against this registry: an empty tag means
+  // the primary, an unknown tag fails with kFailedPrecondition (the caller
+  // falls back to journal replay). Fails with kInvalidArgument on a
+  // duplicate id or any shape mismatch with the model config, kOverloaded
+  // at the resident cap — the same contract as BeginSession.
   Status ImportSession(const SessionState& state, double now);
 
   // Drops sessions idle since before `now - idle_ttl_seconds` (never pinned
@@ -140,12 +167,18 @@ class SessionShard {
   // invalidation.
   const std::vector<graph::TemporalEdge>& EnsureFolded(Session& s,
                                                        bool force_refold);
+  // Re-resolves the session's model version when the registry's assignment
+  // epoch moved past the session's stamp (immediate-rebase activation or an
+  // A/B change). A changed version recomputes X0 and discards the folds so
+  // the next EnsureFolded replays everything under the new parameters
+  // (`version_rebases`).
+  void MaybeRebaseLocked(uint64_t session_id, Session& s);
   // Evicts the least recently used unpinned session; false if none exists.
   bool EvictOneLocked();
   void RemoveLocked(uint64_t session_id, Session& s);
   void TouchLocked(uint64_t session_id, Session& s, double now);
 
-  const core::TpGnnModel& model_;
+  const model::ModelRegistry& registry_;
   const ShardOptions options_;
   Metrics* const metrics_;
 
@@ -168,7 +201,7 @@ class SessionRouter {
     double idle_ttl_seconds = 0.0;
   };
 
-  SessionRouter(const core::TpGnnModel& model, const Options& options,
+  SessionRouter(const model::ModelRegistry& registry, const Options& options,
                 Metrics* metrics);
 
   SessionShard& ShardFor(uint64_t session_id);

@@ -129,6 +129,18 @@ class Reader {
     return true;
   }
 
+  // Reads a varint-prefixed byte string, capped so a corrupt length cannot
+  // drive a giant allocation (and a tag is a short handle anyway).
+  bool ReadShortString(std::string* value, size_t max_length) {
+    uint64_t length;
+    if (!ReadVarint(&length)) return false;
+    if (length > max_length || length > remaining()) return Fail();
+    value->assign(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(length));
+    pos_ += static_cast<size_t>(length);
+    return true;
+  }
+
   // Reads a varint-prefixed float array; the count must be covered by the
   // bytes actually present (4 per float).
   bool ReadFloats(std::vector<float>* values) {
@@ -194,6 +206,9 @@ void SerializeSessionState(const SessionState& state,
   AppendVarint(static_cast<uint64_t>(state.finalized_edges), out);
   AppendF64(state.finalized_max, out);
   AppendF64(state.last_touch, out);
+  AppendVarint(state.model_version.size(), out);
+  out->insert(out->end(), state.model_version.begin(),
+              state.model_version.end());
 }
 
 Status ParseSessionState(const uint8_t* data, size_t size,
@@ -205,7 +220,8 @@ Status ParseSessionState(const uint8_t* data, size_t size,
   if (!reader.ReadU32(&magic) || magic != kSessionStateMagic) {
     return Corrupt("bad magic");
   }
-  if (!reader.ReadU8(&version) || version != kSessionStateVersion) {
+  if (!reader.ReadU8(&version) || version < 1 ||
+      version > kSessionStateVersion) {
     return Corrupt("unsupported version " + std::to_string(version));
   }
   uint64_t num_nodes = 0, feature_dim = 0;
@@ -266,6 +282,10 @@ Status ParseSessionState(const uint8_t* data, size_t size,
     return Corrupt("truncated trailer");
   }
   state->finalized_edges = static_cast<int64_t>(finalized_edges);
+  if (version >= 2 &&
+      !reader.ReadShortString(&state->model_version, kMaxModelVersionName)) {
+    return Corrupt("truncated model version tag");
+  }
   if (reader.remaining() != 0) {
     return Corrupt(std::to_string(reader.remaining()) + " trailing bytes");
   }

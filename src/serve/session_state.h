@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/temporal_graph.h"
@@ -26,7 +27,13 @@
 namespace tpgnn::serve {
 
 inline constexpr uint32_t kSessionStateMagic = 0x53535054u;  // "TPSS"
-inline constexpr uint8_t kSessionStateVersion = 1;
+// Version 2 appends the model-version tag (the registry name the session's
+// fold is pinned to) after last_touch. Version-1 blobs still parse, with an
+// empty tag — the importer resolves that to its primary.
+inline constexpr uint8_t kSessionStateVersion = 2;
+// Plausibility cap for the model-version tag, matching the registry's
+// admin-frame expectations: names are short handles, not payloads.
+inline constexpr size_t kMaxModelVersionName = 256;
 
 struct SessionState {
   uint64_t session_id = 0;
@@ -47,6 +54,12 @@ struct SessionState {
   int64_t finalized_edges = 0;
   double finalized_max = 0.0;
   double last_touch = 0.0;
+
+  // Registry name of the model version the folded tensors were produced
+  // under (empty = importer's primary, the version-1 behaviour). The folded
+  // state is parameter-dependent, so a migrated session must keep scoring
+  // under this exact version to stay bit-identical.
+  std::string model_version;
 
   // Raw folded tensors as exact float bits. x0 is shipped rather than
   // recomputed so a refold on the destination replays from the exporter's

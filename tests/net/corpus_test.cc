@@ -163,6 +163,36 @@ std::vector<CorpusEntry> BuildCorpus() {
   session_import.blob = session_state.blob;
   AddValid(&corpus, "session_import", session_import);
 
+  // Model lifecycle admin (DESIGN.md §4.8): LOAD with a path, ACTIVATE
+  // carrying the verb byte + A/B fraction, STATUS, and the MODEL_INFO JSON
+  // reply.
+  Frame model_load;
+  model_load.type = FrameType::kModelLoad;
+  model_load.request_id = 31;
+  model_load.name = "v2";
+  model_load.text = "/ckpt/model_v2.ckpt";
+  AddValid(&corpus, "model_load", model_load);
+
+  Frame model_activate;
+  model_activate.type = FrameType::kModelActivate;
+  model_activate.request_id = 32;
+  model_activate.name = "v2";
+  model_activate.mode = static_cast<uint8_t>(ModelAdminMode::kSetCandidate);
+  model_activate.fraction = 0.125;  // Exact in binary: frozen byte-stable.
+  AddValid(&corpus, "model_activate_candidate", model_activate);
+
+  Frame model_status;
+  model_status.type = FrameType::kModelStatus;
+  model_status.request_id = 33;
+  AddValid(&corpus, "model_status", model_status);
+
+  Frame model_info;
+  model_info.type = FrameType::kModelInfo;
+  model_info.request_id = 33;
+  model_info.status_code = StatusCode::kOk;
+  model_info.text = "{\"primary\": \"v2\", \"versions\": []}";
+  AddValid(&corpus, "model_info_ok", model_info);
+
   const struct {
     FrameType type;
     const char* name;
@@ -234,6 +264,18 @@ std::vector<CorpusEntry> BuildCorpus() {
     entry.name = "unknown_frame_type";
     entry.bytes = Encode(empty_batch);
     entry.bytes[5] = 0xEE;
+    entry.expected_code = StatusCode::kDataLoss;
+    corpus.push_back(std::move(entry));
+  }
+
+  {
+    // An out-of-range admin verb byte: typed kDataLoss at decode, so a
+    // hostile peer can never push an unknown verb into dispatch.
+    CorpusEntry entry;
+    entry.name = "model_activate_bad_mode";
+    entry.bytes = Encode(model_activate);
+    // Payload: rid varint (1 byte), name length varint (1), "v2" (2), mode.
+    entry.bytes[kFrameHeaderBytes + 4] = kMaxModelAdminMode + 1;
     entry.expected_code = StatusCode::kDataLoss;
     corpus.push_back(std::move(entry));
   }

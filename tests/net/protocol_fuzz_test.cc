@@ -114,6 +114,39 @@ std::vector<std::vector<uint8_t>> Corpus() {
     corpus.emplace_back();
     EncodeFrame(frame, &corpus.back());
   }
+
+  // Model lifecycle admin frames: string name + path, verb byte + f64
+  // fraction, and the JSON-bearing MODEL_INFO reply.
+  Frame model_load;
+  model_load.type = FrameType::kModelLoad;
+  model_load.request_id = 41;
+  model_load.name = "v2";
+  model_load.text = "/ckpt/v2.ckpt";
+  corpus.emplace_back();
+  EncodeFrame(model_load, &corpus.back());
+
+  Frame model_activate;
+  model_activate.type = FrameType::kModelActivate;
+  model_activate.request_id = 42;
+  model_activate.name = "v2";
+  model_activate.mode = static_cast<uint8_t>(ModelAdminMode::kSetCandidate);
+  model_activate.fraction = 0.25;
+  corpus.emplace_back();
+  EncodeFrame(model_activate, &corpus.back());
+
+  Frame model_status;
+  model_status.type = FrameType::kModelStatus;
+  model_status.request_id = 43;
+  corpus.emplace_back();
+  EncodeFrame(model_status, &corpus.back());
+
+  Frame model_info;
+  model_info.type = FrameType::kModelInfo;
+  model_info.request_id = 43;
+  model_info.status_code = StatusCode::kOk;
+  model_info.text = "{\"primary\": \"v2\", \"versions\": []}";
+  corpus.emplace_back();
+  EncodeFrame(model_info, &corpus.back());
   return corpus;
 }
 
@@ -171,7 +204,8 @@ TEST(ProtocolFuzzTest, GarbageWithValidHeaderNeverCrashes) {
   // varint / string / count inside is attacker-controlled.
   uint64_t rng = 0xFEEDFACEull;
   for (int round = 0; round < 2000; ++round) {
-    const uint8_t types[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    const uint8_t types[] = {1, 2,  3,  4,  5,  6,  7,  8,  9, 10,
+                             11, 12, 13, 14, 15, 16, 17, 18, 19};
     const size_t payload_len = SplitMix(&rng) % 128;
     std::vector<uint8_t> wire(kFrameHeaderBytes + payload_len);
     const uint32_t magic = kFrameMagic;

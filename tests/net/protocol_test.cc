@@ -236,6 +236,91 @@ TEST(ProtocolTest, MigrationFramesRoundTrip) {
   EXPECT_EQ(decoded.blob, import.blob);
 }
 
+TEST(ProtocolTest, ModelAdminFramesRoundTrip) {
+  // The model lifecycle admin surface (DESIGN.md §4.8): LOAD registers a
+  // checkpoint, ACTIVATE runs one ModelAdminMode verb, STATUS fetches the
+  // registry JSON as a MODEL_INFO reply.
+  Frame load;
+  load.type = FrameType::kModelLoad;
+  load.request_id = 31;
+  load.name = "v2";
+  load.text = "/ckpt/model_v2.ckpt";
+  Frame decoded = DecodeAll(Encode(load));
+  EXPECT_EQ(decoded.type, FrameType::kModelLoad);
+  EXPECT_EQ(decoded.request_id, 31u);
+  EXPECT_EQ(decoded.name, "v2");
+  EXPECT_EQ(decoded.text, load.text);
+
+  Frame activate;
+  activate.type = FrameType::kModelActivate;
+  activate.request_id = 32;
+  activate.name = "v2";
+  activate.mode = static_cast<uint8_t>(ModelAdminMode::kSetCandidate);
+  activate.fraction = 0.125;  // Exact in binary: byte-exact round-trip.
+  decoded = DecodeAll(Encode(activate));
+  EXPECT_EQ(decoded.type, FrameType::kModelActivate);
+  EXPECT_EQ(decoded.request_id, 32u);
+  EXPECT_EQ(decoded.name, "v2");
+  EXPECT_EQ(decoded.mode,
+            static_cast<uint8_t>(ModelAdminMode::kSetCandidate));
+  EXPECT_EQ(decoded.fraction, 0.125);
+
+  Frame status;
+  status.type = FrameType::kModelStatus;
+  status.request_id = 33;
+  decoded = DecodeAll(Encode(status));
+  EXPECT_EQ(decoded.type, FrameType::kModelStatus);
+  EXPECT_EQ(decoded.request_id, 33u);
+
+  Frame info;
+  info.type = FrameType::kModelInfo;
+  info.request_id = 33;
+  info.status_code = StatusCode::kOk;
+  info.text = "{\"primary\": \"v2\"}";
+  decoded = DecodeAll(Encode(info));
+  EXPECT_EQ(decoded.type, FrameType::kModelInfo);
+  EXPECT_EQ(decoded.request_id, 33u);
+  EXPECT_EQ(decoded.status_code, StatusCode::kOk);
+  EXPECT_EQ(decoded.text, info.text);
+}
+
+TEST(ProtocolTest, ModelAdminValidationRejectsHostileFields) {
+  Frame frame;
+  size_t consumed = 0;
+
+  // A version name past the cap cannot drive an allocation downstream.
+  Frame long_name;
+  long_name.type = FrameType::kModelLoad;
+  long_name.request_id = 1;
+  long_name.name.assign(kMaxModelNameBytes + 1, 'x');
+  std::vector<uint8_t> wire = Encode(long_name);
+  Status s = DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes,
+                         &frame, &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+
+  // An out-of-range admin verb fails at decode, before any dispatch.
+  Frame bad_mode;
+  bad_mode.type = FrameType::kModelActivate;
+  bad_mode.request_id = 2;
+  bad_mode.name = "v2";
+  bad_mode.mode = kMaxModelAdminMode + 1;
+  wire = Encode(bad_mode);
+  s = DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes, &frame,
+                  &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+
+  // MODEL_INFO with an unknown status byte is corruption, not a status.
+  Frame info;
+  info.type = FrameType::kModelInfo;
+  info.request_id = 3;
+  info.text = "{}";
+  wire = Encode(info);
+  wire[kFrameHeaderBytes + 1] = 0xEE;  // Status byte follows the rid varint.
+  s = DecodeFrame(wire.data(), wire.size(), kDefaultMaxPayloadBytes, &frame,
+                  &consumed);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+}
+
 TEST(ProtocolTest, EveryPrefixReportsNeedMore) {
   Frame batch;
   batch.type = FrameType::kIngestBatch;

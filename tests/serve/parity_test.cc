@@ -13,6 +13,7 @@
 
 #include "core/model.h"
 #include "data/datasets.h"
+#include "model/registry.h"
 #include "serve/session_shard.h"
 #include "serve_test_util.h"
 #include "tensor/kernels.h"
@@ -114,8 +115,9 @@ std::vector<tensor::SimdMode> ParityModes() {
 // final score against the offline forward, bitwise.
 void ExpectFinalScoreParity(const NamedConfig& named, bool pool_enabled) {
   ScopedPoolEnabled pool(pool_enabled);
-  core::TpGnnModel model(named.config, /*seed=*/5);
-  SessionShard shard(model, ShardOptions{}, /*metrics=*/nullptr);
+  model::ModelRegistry registry(named.config, /*seed=*/5);
+  core::TpGnnModel& model = registry.initial_model();
+  SessionShard shard(registry, ShardOptions{}, /*metrics=*/nullptr);
   graph::GraphDataset dataset = ParityDataset();
   for (size_t i = 0; i < dataset.size(); ++i) {
     const graph::TemporalGraph& g = dataset[i].graph;
@@ -159,8 +161,9 @@ TEST(ServeParityTest, FinalScoreBitIdenticalPoolDisabled) {
 // with normalize_time on, each new max timestamp invalidates time-coupled
 // state and forces a refold, which must land on exactly the same floats.
 void ExpectPrefixParity(const NamedConfig& named) {
-  core::TpGnnModel model(named.config, /*seed=*/5);
-  SessionShard shard(model, ShardOptions{}, /*metrics=*/nullptr);
+  model::ModelRegistry registry(named.config, /*seed=*/5);
+  core::TpGnnModel& model = registry.initial_model();
+  SessionShard shard(registry, ShardOptions{}, /*metrics=*/nullptr);
   graph::GraphDataset dataset = ParityDataset();
   const graph::TemporalGraph& g = dataset[0].graph;
   const uint64_t id = 7;
@@ -197,8 +200,9 @@ TEST(ServeParityTest, EveryPrefixScoreBitIdentical) {
 // the offline forward does over a graph holding the same arrival order.
 TEST(ServeParityTest, OutOfOrderArrivalMatchesOfflineForward) {
   for (const NamedConfig& named : ParityConfigs()) {
-    core::TpGnnModel model(named.config, /*seed=*/5);
-    SessionShard shard(model, ShardOptions{}, /*metrics=*/nullptr);
+    model::ModelRegistry registry(named.config, /*seed=*/5);
+    core::TpGnnModel& model = registry.initial_model();
+    SessionShard shard(registry, ShardOptions{}, /*metrics=*/nullptr);
     graph::GraphDataset dataset = ParityDataset();
     const graph::TemporalGraph& g = dataset[1].graph;
     const uint64_t id = 8;
@@ -231,8 +235,9 @@ TEST(ServeParityTest, OutOfOrderArrivalMatchesOfflineForward) {
 TEST(ServeParityTest, InterleavedSessionsStayIndependent) {
   core::TpGnnConfig config = TinyServeConfig();
   config.updater = core::Updater::kGru;
-  core::TpGnnModel model(config, /*seed=*/5);
-  SessionShard shard(model, ShardOptions{}, /*metrics=*/nullptr);
+  model::ModelRegistry registry(config, /*seed=*/5);
+  core::TpGnnModel& model = registry.initial_model();
+  SessionShard shard(registry, ShardOptions{}, /*metrics=*/nullptr);
   graph::GraphDataset dataset = ParityDataset();
   const graph::TemporalGraph& a = dataset[2].graph;
   const graph::TemporalGraph& b = dataset[3].graph;

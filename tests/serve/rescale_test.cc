@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "model/registry.h"
 #include "serve/session_shard.h"
 #include "serve_test_util.h"
 #include "util/failpoint.h"
@@ -98,9 +99,10 @@ core::TpGnnConfig CellConfig(const Cell& cell) {
 // comparing bitwise against the offline forward over the same prefix.
 // Returns the final metrics snapshot for counter assertions.
 MetricsSnapshot RunPrefixParity(const Cell& cell, Arrival arrival) {
-  core::TpGnnModel model(CellConfig(cell), /*seed=*/5);
+  model::ModelRegistry registry(CellConfig(cell), /*seed=*/5);
+  core::TpGnnModel& model = registry.initial_model();
   Metrics metrics;
-  SessionShard shard(model, ShardOptions{}, &metrics);
+  SessionShard shard(registry, ShardOptions{}, &metrics);
   const std::vector<graph::TemporalEdge> stream = StreamFor(arrival);
   const int64_t num_nodes = 4;
   const int64_t feature_dim = model.config().feature_dim;
@@ -210,7 +212,8 @@ TEST(RescaleTest, OutOfOrderStillRefoldsInInvariantBasis) {
 TEST(RescaleTest, ForcedRefoldFallbackIsBitIdentical) {
   for (core::Updater u : {core::Updater::kSum, core::Updater::kGru}) {
     Cell cell{u, /*normalize_time=*/true, core::TimeBasis::kInvariant};
-    core::TpGnnModel model(CellConfig(cell), /*seed=*/5);
+    model::ModelRegistry registry(CellConfig(cell), /*seed=*/5);
+    core::TpGnnModel& model = registry.initial_model();
     const std::vector<graph::TemporalEdge> stream =
         StreamFor(Arrival::kMonotone);
     const int64_t num_nodes = 4;
@@ -226,7 +229,7 @@ TEST(RescaleTest, ForcedRefoldFallbackIsBitIdentical) {
 
     auto stream_and_score = [&](Metrics* metrics,
                                 std::vector<float>* logits) {
-      SessionShard shard(model, ShardOptions{}, metrics);
+      SessionShard shard(registry, ShardOptions{}, metrics);
       ASSERT_TRUE(shard
                       .BeginSession(1, num_nodes, model.config().feature_dim,
                                     AllNodeFeatures(full), /*now=*/0.0)

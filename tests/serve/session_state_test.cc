@@ -31,6 +31,8 @@ SessionState SampleState(bool with_accumulator) {
   state.finalized_edges = 1;
   state.finalized_max = 1.25;
   state.last_touch = 123.5;
+  // Nonempty so the truncation/bit-flip sweeps cover the v2 tag bytes.
+  state.model_version = "ckpt-b";
   state.x0 = {0.1f, -0.2f, 0.3f, 1.5f, -2.5f, 3.5f};
   state.x = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
   if (with_accumulator) {
@@ -56,6 +58,7 @@ void ExpectStatesEqual(const SessionState& a, const SessionState& b) {
   EXPECT_EQ(a.finalized_edges, b.finalized_edges);
   EXPECT_EQ(a.finalized_max, b.finalized_max);
   EXPECT_EQ(a.last_touch, b.last_touch);
+  EXPECT_EQ(a.model_version, b.model_version);
   EXPECT_EQ(a.x0, b.x0);
   EXPECT_EQ(a.x, b.x);
   EXPECT_EQ(a.m, b.m);
@@ -164,6 +167,45 @@ TEST(SessionStateTest, StructuralLiesFailEvenWhenWellFramed) {
   EXPECT_EQ(s.code(), StatusCode::kDataLoss);
   EXPECT_NE(s.ToString().find("out of range"), std::string::npos)
       << s.ToString();
+}
+
+TEST(SessionStateTest, OversizedModelVersionTagRejected) {
+  // A tag one byte past the cap must fail typed — the cap is what keeps a
+  // corrupt length varint from driving an allocation.
+  SessionState bloated = SampleState(false);
+  bloated.model_version.assign(kMaxModelVersionName + 1, 'x');
+  std::vector<uint8_t> blob;
+  SerializeSessionState(bloated, &blob);
+  SessionState scratch;
+  Status s = ParseSessionState(blob.data(), blob.size(), &scratch);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.ToString().find("model version"), std::string::npos)
+      << s.ToString();
+
+  // At exactly the cap it round-trips.
+  SessionState max_tag = SampleState(false);
+  max_tag.model_version.assign(kMaxModelVersionName, 'y');
+  blob.clear();
+  SerializeSessionState(max_tag, &blob);
+  ASSERT_TRUE(ParseSessionState(blob.data(), blob.size(), &scratch).ok());
+  EXPECT_EQ(scratch.model_version, max_tag.model_version);
+}
+
+TEST(SessionStateTest, VersionOneBlobParsesWithEmptyTag) {
+  // A v1 blob is a v2 blob with an empty tag, minus the trailing zero
+  // length byte, stamped version 1 — pre-upgrade exporters keep migrating,
+  // and the empty tag resolves to the importer's primary.
+  SessionState legacy = SampleState(true);
+  legacy.model_version.clear();
+  std::vector<uint8_t> blob;
+  SerializeSessionState(legacy, &blob);
+  ASSERT_EQ(blob.back(), 0u);  // The empty tag's length varint.
+  blob.pop_back();
+  blob[4] = 1;  // Version byte follows the 4-byte magic.
+  SessionState decoded;
+  ASSERT_TRUE(ParseSessionState(blob.data(), blob.size(), &decoded).ok());
+  EXPECT_TRUE(decoded.model_version.empty());
+  ExpectStatesEqual(legacy, decoded);
 }
 
 TEST(SessionStateTest, EveryBitFlipParsesOrFailsTypedNeverCrashes) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "model/registry.h"
 #include "data/datasets.h"
 #include "serve/metrics.h"
 #include "serve/session_shard.h"
@@ -17,7 +18,7 @@ namespace {
 
 class ShardTest : public ::testing::Test {
  protected:
-  ShardTest() : model_(TinyServeConfig(), /*seed=*/3) {}
+  ShardTest() : registry_(TinyServeConfig(), /*seed=*/3) {}
 
   // Opens a minimal two-node session.
   Status Begin(SessionShard& shard, uint64_t id, double now = 0.0) {
@@ -25,12 +26,12 @@ class ShardTest : public ::testing::Test {
                               {{0, {1.0f, 0.0f, 0.0f}}}, now);
   }
 
-  core::TpGnnModel model_;
+  model::ModelRegistry registry_;
   Metrics metrics_;
 };
 
 TEST_F(ShardTest, LifecycleAndValidation) {
-  SessionShard shard(model_, ShardOptions{}, &metrics_);
+  SessionShard shard(registry_, ShardOptions{}, &metrics_);
   ASSERT_TRUE(Begin(shard, 1).ok());
   EXPECT_EQ(shard.resident_sessions(), 1u);
 
@@ -70,7 +71,7 @@ TEST_F(ShardTest, LifecycleAndValidation) {
 TEST_F(ShardTest, ScoringEmptySessionWorks) {
   // A session with zero edges scores the initial embedding (no extractor
   // input edges) without crashing.
-  SessionShard shard(model_, ShardOptions{}, &metrics_);
+  SessionShard shard(registry_, ShardOptions{}, &metrics_);
   ASSERT_TRUE(Begin(shard, 1).ok());
   ScoreResult result;
   ASSERT_TRUE(shard.Score(1, &result).ok());
@@ -80,7 +81,7 @@ TEST_F(ShardTest, ScoringEmptySessionWorks) {
 TEST_F(ShardTest, LruEvictionAtCap) {
   ShardOptions options;
   options.max_resident_sessions = 2;
-  SessionShard shard(model_, options, &metrics_);
+  SessionShard shard(registry_, options, &metrics_);
   ASSERT_TRUE(Begin(shard, 1, /*now=*/1.0).ok());
   ASSERT_TRUE(Begin(shard, 2, /*now=*/2.0).ok());
   // Touch session 1 so session 2 becomes least recently used.
@@ -99,7 +100,7 @@ TEST_F(ShardTest, LruEvictionAtCap) {
 TEST_F(ShardTest, PinnedSessionsAreNotEvicted) {
   ShardOptions options;
   options.max_resident_sessions = 2;
-  SessionShard shard(model_, options, &metrics_);
+  SessionShard shard(registry_, options, &metrics_);
   ASSERT_TRUE(Begin(shard, 1, 1.0).ok());
   ASSERT_TRUE(Begin(shard, 2, 2.0).ok());
   ASSERT_TRUE(shard.Pin(1).ok());  // LRU but pinned.
@@ -121,7 +122,7 @@ TEST_F(ShardTest, PinnedSessionsAreNotEvicted) {
 }
 
 TEST_F(ShardTest, EndWhilePinnedDefersRemoval) {
-  SessionShard shard(model_, ShardOptions{}, &metrics_);
+  SessionShard shard(registry_, ShardOptions{}, &metrics_);
   ASSERT_TRUE(Begin(shard, 1).ok());
   ASSERT_TRUE(shard.AddEdge(1, 0, 1, 1.0, 0.0).ok());
   ASSERT_TRUE(shard.Pin(1).ok());
@@ -143,7 +144,7 @@ TEST_F(ShardTest, EndWhilePinnedDefersRemoval) {
 TEST_F(ShardTest, TtlEvictsIdleSessionsOnly) {
   ShardOptions options;
   options.idle_ttl_seconds = 10.0;
-  SessionShard shard(model_, options, &metrics_);
+  SessionShard shard(registry_, options, &metrics_);
   ASSERT_TRUE(Begin(shard, 1, /*now=*/0.0).ok());
   ASSERT_TRUE(Begin(shard, 2, /*now=*/0.0).ok());
   ASSERT_TRUE(Begin(shard, 3, /*now=*/0.0).ok());
@@ -158,7 +159,7 @@ TEST_F(ShardTest, TtlEvictsIdleSessionsOnly) {
   EXPECT_TRUE(shard.Score(3, &result).ok());
 
   // TTL disabled: sweep is a no-op.
-  SessionShard no_ttl(model_, ShardOptions{}, &metrics_);
+  SessionShard no_ttl(registry_, ShardOptions{}, &metrics_);
   ASSERT_TRUE(Begin(no_ttl, 1, 0.0).ok());
   no_ttl.EvictIdle(1e9);
   EXPECT_EQ(no_ttl.resident_sessions(), 1u);
@@ -167,7 +168,7 @@ TEST_F(ShardTest, TtlEvictsIdleSessionsOnly) {
 TEST_F(ShardTest, RouterPlacesSessionsConsistently) {
   SessionRouter::Options options;
   options.num_shards = 3;
-  SessionRouter router(model_, options, &metrics_);
+  SessionRouter router(registry_, options, &metrics_);
   ASSERT_EQ(router.num_shards(), 3u);
   for (uint64_t id = 1; id <= 30; ++id) {
     SessionShard& shard = router.ShardFor(id);
@@ -184,7 +185,7 @@ TEST_F(ShardTest, RouterPlacesSessionsConsistently) {
 }
 
 TEST_F(ShardTest, MetricsCountLifecycleEvents) {
-  SessionShard shard(model_, ShardOptions{}, &metrics_);
+  SessionShard shard(registry_, ShardOptions{}, &metrics_);
   ASSERT_TRUE(Begin(shard, 1).ok());
   ASSERT_TRUE(shard.AddEdge(1, 0, 1, 1.0, 0.0).ok());
   ASSERT_TRUE(shard.AddEdge(1, 1, 0, 2.0, 0.0).ok());
