@@ -1,0 +1,171 @@
+// Paper-scale streaming soak (DESIGN.md §4.9): runs the serve stack for
+// minutes against a generated multi-tenant workload — overload waves,
+// eviction churn, armed failpoints — while the soak harness continuously
+// asserts exact accounting, bounded memory high-water marks, latency SLOs,
+// and sampled bitwise offline parity. Writes BENCH_soak.json and exits
+// nonzero if any invariant was violated, making it CI-gateable as-is.
+//
+// Environment knobs:
+//   TPGNN_SOAK_SECONDS      minimum wall seconds (default 60)
+//   TPGNN_SOAK_SESSIONS     minimum sessions begun (default 100000)
+//   TPGNN_SOAK_PROFILE      paper | churn | wave | mini (default wave)
+//   TPGNN_SOAK_SEED         workload seed (default 42)
+//   TPGNN_SOAK_FAILPOINTS   failpoint spec ("" disables; default arms
+//                           shard.begin + engine.score_enqueue lightly)
+//   TPGNN_SOAK_CHECKPOINT   events between checkpoints (default 200000)
+//   TPGNN_SOAK_WARMUP       events before memory baselines (default 4000000)
+//   TPGNN_SOAK_SCORE_P99_US score-latency p99 SLO in us (default 12000)
+//   TPGNN_SOAK_E2E_P99_US   e2e-latency p99 SLO in us (default 300000)
+//   TPGNN_BENCH_SOAK_JSON   output path (default BENCH_soak.json)
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/config.h"
+#include "util/env.h"
+#include "workload/profiles.h"
+#include "workload/soak.h"
+
+namespace {
+
+using tpgnn::workload::SoakCheckpoint;
+using tpgnn::workload::SoakOptions;
+using tpgnn::workload::SoakReport;
+using tpgnn::workload::WorkloadOptions;
+
+WorkloadOptions ProfileByName(const std::string& name, uint64_t seed) {
+  if (name == "paper") return tpgnn::workload::PaperMixProfile(seed);
+  if (name == "churn") return tpgnn::workload::EvictionChurnProfile(seed);
+  if (name == "wave") return tpgnn::workload::OverloadWaveProfile(seed);
+  if (name == "mini") return tpgnn::workload::MiniSoakProfile(seed);
+  std::fprintf(stderr, "unknown TPGNN_SOAK_PROFILE '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::string ReportJson(const std::string& profile, const SoakReport& r) {
+  const auto& m = r.final_metrics;
+  std::ostringstream os;
+  os << "[\n  {\"bench\": \"soak\", \"variant\": \"" << profile << "\""
+     << ", \"wall_seconds\": " << r.wall_seconds
+     << ", \"events\": " << r.events
+     << ", \"events_per_second\": "
+     << (r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
+                            : 0.0)
+     << ", \"sessions\": " << r.sessions_started
+     << ", \"scores_completed\": " << r.scores_completed
+     << ", \"scores_per_second\": "
+     << (r.wall_seconds > 0
+             ? static_cast<double>(r.scores_completed) / r.wall_seconds
+             : 0.0)
+     << ", \"scores_failed\": " << r.scores_failed
+     << ", \"events_shed\": " << r.events_shed
+     << ", \"events_rejected\": " << r.events_rejected
+     << ", \"overload_rejections\": " << m.overload_rejections
+     << ", \"sessions_evicted\": " << m.sessions_evicted
+     << ", \"failpoint_fires\": " << r.failpoint_fires
+     << ", \"invariant_violations\": " << r.violations.size()
+     << ", \"parity_checks\": " << r.parity_checks
+     << ", \"parity_mismatches\": " << r.parity_mismatches
+     << ", \"pool_bytes_peak\": " << m.pool_bytes_peak
+     << ", \"arena_bytes_peak\": " << m.arena_bytes_peak
+     << ", \"rss_peak_kb\": " << m.rss_peak_kb
+     << ", \"score_p99_us\": " << m.score_latency.PercentileMicros(0.99)
+     << ", \"e2e_p99_us\": " << m.e2e_latency.PercentileMicros(0.99)
+     << ", \"checkpoints\": " << r.checkpoints.size() << "}\n]\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const int64_t seconds = tpgnn::GetEnvInt("TPGNN_SOAK_SECONDS", 60);
+  const int64_t sessions = tpgnn::GetEnvInt("TPGNN_SOAK_SESSIONS", 100000);
+  const std::string profile =
+      tpgnn::GetEnvString("TPGNN_SOAK_PROFILE", "wave");
+  const uint64_t seed =
+      static_cast<uint64_t>(tpgnn::GetEnvInt("TPGNN_SOAK_SEED", 42));
+
+  SoakOptions options;
+  options.workload = ProfileByName(profile, seed);
+  options.workload.num_sessions = 0;  // Unbounded; driver decides the end.
+  options.min_sessions = static_cast<uint64_t>(sessions);
+  options.min_wall_seconds = static_cast<double>(seconds);
+  options.engine.num_shards = 8;
+  options.engine.max_resident_sessions = 4096;
+  options.engine.idle_ttl_seconds = 30.0;
+  options.engine.max_pending_scores = 512;
+  options.engine.max_batch = 128;
+  // Paper-default model dims (d=32, d_t=6) — this is the serving-scale
+  // config every other serve bench runs.
+  options.config = tpgnn::core::TpGnnConfig();
+  options.checkpoint_every_events =
+      static_cast<uint64_t>(tpgnn::GetEnvInt("TPGNN_SOAK_CHECKPOINT", 200000));
+  // RSS ramps for the first few million events while the allocator's
+  // per-thread arenas and free lists grow to their steady-state high-water;
+  // the memory baselines are only meaningful after that ramp. A 60s run at
+  // paper scale ingests ~10M events, so 4M leaves most of the run under an
+  // armed bound.
+  options.warmup_events =
+      static_cast<uint64_t>(tpgnn::GetEnvInt("TPGNN_SOAK_WARMUP", 4000000));
+  options.slos.score_p99_us = static_cast<double>(
+      tpgnn::GetEnvInt("TPGNN_SOAK_SCORE_P99_US", 12000));
+  options.slos.e2e_p99_us = static_cast<double>(
+      tpgnn::GetEnvInt("TPGNN_SOAK_E2E_P99_US", 300000));
+  options.failpoint_spec = tpgnn::GetEnvString(
+      "TPGNN_SOAK_FAILPOINTS",
+      "shard.begin=0.001:return_error,engine.score_enqueue=0.001:return_error");
+  options.failpoint_seed = seed;
+  options.on_checkpoint = [](const SoakCheckpoint& cp) {
+    std::printf(
+        "[soak] t=%7.1fs events=%-10llu sessions=%-8llu scores=%-9llu "
+        "resident=%-5llu rss=%llukB parity=%llu/%llu violations=%llu\n",
+        cp.wall_seconds, static_cast<unsigned long long>(cp.events),
+        static_cast<unsigned long long>(cp.sessions_begun),
+        static_cast<unsigned long long>(cp.scores_completed),
+        static_cast<unsigned long long>(cp.resident_sessions),
+        static_cast<unsigned long long>(cp.rss_peak_kb),
+        static_cast<unsigned long long>(cp.parity_checks -
+                                        cp.parity_mismatches),
+        static_cast<unsigned long long>(cp.parity_checks),
+        static_cast<unsigned long long>(cp.violations));
+    std::fflush(stdout);
+  };
+
+  std::printf("soak: profile=%s seed=%llu min=%llds/%lld sessions fp='%s'\n",
+              profile.c_str(), static_cast<unsigned long long>(seed),
+              static_cast<long long>(seconds),
+              static_cast<long long>(sessions),
+              options.failpoint_spec.c_str());
+  const SoakReport report = tpgnn::workload::RunSoak(options);
+
+  const std::string path =
+      tpgnn::GetEnvString("TPGNN_BENCH_SOAK_JSON", "BENCH_soak.json");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << ReportJson(profile, report);
+  std::printf("wrote %s\n", path.c_str());
+
+  for (const std::string& v : report.violations) {
+    std::fprintf(stderr, "VIOLATION: %s\n", v.c_str());
+  }
+  std::printf(
+      "soak %s: %.1fs, %llu events (%.0f/s), %llu sessions, %llu scores, "
+      "%llu parity checks, %llu mismatches, %zu violations\n",
+      report.ok() ? "PASS" : "FAIL", report.wall_seconds,
+      static_cast<unsigned long long>(report.events),
+      report.wall_seconds > 0
+          ? static_cast<double>(report.events) / report.wall_seconds
+          : 0.0,
+      static_cast<unsigned long long>(report.sessions_started),
+      static_cast<unsigned long long>(report.scores_completed),
+      static_cast<unsigned long long>(report.parity_checks),
+      static_cast<unsigned long long>(report.parity_mismatches),
+      report.violations.size());
+  return report.ok() ? 0 : 1;
+}

@@ -299,6 +299,10 @@ void Server::HandleFrame(Connection& conn, const Frame& frame) {
     case FrameType::kMetricsRequest: {
       Frame response;
       response.type = FrameType::kMetricsResponse;
+      // Fold current memory high-water readings into the gauges so remote
+      // scrapers (router aggregation, the soak harness) see them without a
+      // separate RPC.
+      engine_->mutable_metrics().UpdateResourcePeaks();
       response.text = engine_->metrics().ToJson();
       SendFrame(conn, response);
       break;

@@ -6,6 +6,10 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/executor.h"
+#include "util/buffer_pool.h"
+#include "util/resource.h"
+
 namespace tpgnn::serve {
 
 namespace {
@@ -144,6 +148,10 @@ std::string MetricsSnapshot::ToJson() const {
      << ", \"connections_accepted\": " << connections_accepted
      << ", \"connections_closed\": " << connections_closed
      << ", \"protocol_errors\": " << protocol_errors
+     << ", \"pool_bytes_peak\": " << pool_bytes_peak
+     << ", \"pool_bytes_cached\": " << pool_bytes_cached
+     << ", \"arena_bytes_peak\": " << arena_bytes_peak
+     << ", \"rss_peak_kb\": " << rss_peak_kb
      << "}, \"shadow\": {"
      << "\"sum_abs_delta\": " << shadow_delta_sum
      << ", \"max_abs_delta\": " << shadow_delta_max
@@ -187,6 +195,12 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   connections_accepted += other.connections_accepted;
   connections_closed += other.connections_closed;
   protocol_errors += other.protocol_errors;
+  // Memory peaks are gauges: the cluster-wide peak is the worst single
+  // process, not a sum. Cached pool bytes do sum (memory parked per process).
+  pool_bytes_peak = std::max(pool_bytes_peak, other.pool_bytes_peak);
+  pool_bytes_cached += other.pool_bytes_cached;
+  arena_bytes_peak = std::max(arena_bytes_peak, other.arena_bytes_peak);
+  rss_peak_kb = std::max(rss_peak_kb, other.rss_peak_kb);
   auto merge_histogram = [](LatencyHistogram::Snapshot& into,
                             const LatencyHistogram::Snapshot& from) {
     into.count += from.count;
@@ -308,6 +322,10 @@ Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap) {
       {"connections_accepted", &snap->connections_accepted},
       {"connections_closed", &snap->connections_closed},
       {"protocol_errors", &snap->protocol_errors},
+      {"pool_bytes_peak", &snap->pool_bytes_peak},
+      {"pool_bytes_cached", &snap->pool_bytes_cached},
+      {"arena_bytes_peak", &snap->arena_bytes_peak},
+      {"rss_peak_kb", &snap->rss_peak_kb},
   };
   for (const Field& f : fields) {
     if (!FindCounter(json, f.key, counters_at, f.value)) {
@@ -330,6 +348,20 @@ Status ParseMetricsJson(const std::string& json, MetricsSnapshot* snap) {
     return Status::DataLoss("metrics JSON histogram malformed");
   }
   return Status::Ok();
+}
+
+void Metrics::UpdateResourcePeaks() {
+  auto raise = [](std::atomic<uint64_t>& gauge, uint64_t reading) {
+    uint64_t seen = gauge.load(std::memory_order_relaxed);
+    while (reading > seen && !gauge.compare_exchange_weak(
+                                 seen, reading, std::memory_order_relaxed)) {
+    }
+  };
+  const util::BufferPoolStats pool = util::GetBufferPoolStats();
+  raise(pool_bytes_peak, pool.bytes_peak);
+  pool_bytes_cached.store(pool.bytes_cached, std::memory_order_relaxed);
+  raise(arena_bytes_peak, tensor::plan::ArenaBytesPeak());
+  raise(rss_peak_kb, util::PeakRssKb());
 }
 
 std::string Metrics::ToJson() const { return Snapshot().ToJson(); }
@@ -373,6 +405,10 @@ MetricsSnapshot Metrics::Snapshot() const {
       connections_accepted.load(std::memory_order_relaxed);
   snap.connections_closed = connections_closed.load(std::memory_order_relaxed);
   snap.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+  snap.pool_bytes_peak = pool_bytes_peak.load(std::memory_order_relaxed);
+  snap.pool_bytes_cached = pool_bytes_cached.load(std::memory_order_relaxed);
+  snap.arena_bytes_peak = arena_bytes_peak.load(std::memory_order_relaxed);
+  snap.rss_peak_kb = rss_peak_kb.load(std::memory_order_relaxed);
   snap.ingest_latency = ingest_latency.Snap();
   snap.score_latency = score_latency.Snap();
   snap.e2e_latency = e2e_latency.Snap();

@@ -74,6 +74,17 @@ struct MetricsSnapshot {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
   uint64_t protocol_errors = 0;
+  // Process memory high-water marks (soak harness, DESIGN.md §4.9),
+  // captured by Metrics::UpdateResourcePeaks — zero until the first probe:
+  // the buffer pool's live-bytes peak, its currently cached bytes, the
+  // summed planned-executor arena peak, and the kernel's RSS high-water
+  // mark (VmHWM). The peaks are gauges, not flows: MergeFrom takes the max
+  // (a cluster's value is its worst single process), while bytes_cached
+  // sums (total memory parked across processes).
+  uint64_t pool_bytes_peak = 0;
+  uint64_t pool_bytes_cached = 0;
+  uint64_t arena_bytes_peak = 0;
+  uint64_t rss_peak_kb = 0;
   // Shadow scoring block (never returned to clients): how many primary
   // scores the shadow version re-scored, how many shadow attempts failed,
   // and the primary-vs-shadow logit divergence.
@@ -98,7 +109,9 @@ struct MetricsSnapshot {
 
   // Field-wise aggregation: counters sum, histogram counts/sums/buckets
   // add, so percentiles of the merged snapshot are percentiles of the
-  // union distribution. The identity element is a default snapshot.
+  // union distribution; the memory peaks take the max (worst single
+  // process) and pool_bytes_cached sums. The identity element is a default
+  // snapshot.
   void MergeFrom(const MetricsSnapshot& other);
 };
 
@@ -161,6 +174,19 @@ class Metrics {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_closed{0};
   std::atomic<uint64_t> protocol_errors{0};
+  // Memory high-water gauges, written only by UpdateResourcePeaks below
+  // (checkpoint-rate probes, never the per-event hot path).
+  std::atomic<uint64_t> pool_bytes_peak{0};
+  std::atomic<uint64_t> pool_bytes_cached{0};
+  std::atomic<uint64_t> arena_bytes_peak{0};
+  std::atomic<uint64_t> rss_peak_kb{0};
+
+  // Probes the buffer pool, the planned-executor arena accounting, and the
+  // kernel's VmHWM, folding the readings into the gauges above (peaks only
+  // ever rise; bytes_cached tracks the current reading). Callers that
+  // export metrics for bounded-memory gating — the METRICS RPC, the soak
+  // harness's checkpoints — call this right before Snapshot/ToJson.
+  void UpdateResourcePeaks();
 
   // Latency distributions, all in microseconds.
   LatencyHistogram ingest_latency;  // One Ingest(event) call.

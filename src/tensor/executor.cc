@@ -1,10 +1,42 @@
 #include "tensor/executor.h"
 
+#include <atomic>
 #include <limits>
 
 #include "util/logging.h"
 
 namespace tpgnn::tensor::plan {
+
+namespace {
+
+// Summed bytes of all live executor arenas + high-water mark. Updated on
+// the (rare) grow path and in the destructor, never per Run.
+std::atomic<uint64_t> g_arena_bytes_live{0};
+std::atomic<uint64_t> g_arena_bytes_peak{0};
+
+void AddArenaBytes(uint64_t bytes) {
+  const uint64_t live =
+      g_arena_bytes_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = g_arena_bytes_peak.load(std::memory_order_relaxed);
+  while (live > peak && !g_arena_bytes_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint64_t ArenaBytesLive() {
+  return g_arena_bytes_live.load(std::memory_order_relaxed);
+}
+
+uint64_t ArenaBytesPeak() {
+  return g_arena_bytes_peak.load(std::memory_order_relaxed);
+}
+
+PlanExecutor::~PlanExecutor() {
+  g_arena_bytes_live.fetch_sub(arena_.size() * sizeof(float),
+                               std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -50,8 +82,11 @@ inline float* Out(const ValueRef& ref, const RunContext& ctx, float* arena) {
 void PlanExecutor::Run(const CompiledProgram& program, ParamTable params,
                        const RunContext& ctx) {
   if (static_cast<size_t>(program.arena_size()) > arena_.size()) {
+    const size_t grown =
+        static_cast<size_t>(program.arena_size()) - arena_.size();
     arena_.resize(static_cast<size_t>(program.arena_size()));
     ++arena_grows_;
+    AddArenaBytes(grown * sizeof(float));
   }
   float* arena = arena_.data();
   if (poison_) {

@@ -27,6 +27,15 @@ struct RunContext {
 
 class PlanExecutor {
  public:
+  PlanExecutor() = default;
+  ~PlanExecutor();
+  // Arena bytes are tracked in the process-wide live/peak accounting below,
+  // so executors move (the arena travels with its bytes) but never copy.
+  PlanExecutor(PlanExecutor&&) noexcept = default;
+  PlanExecutor& operator=(PlanExecutor&&) noexcept = default;
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
   // Runs `program` with the given parameter table (kNumParamSlots entries)
   // and bindings. Grows the arena on first use of a larger program; never
   // shrinks, so steady-state runs are allocation-free.
@@ -48,6 +57,14 @@ class PlanExecutor {
   uint64_t arena_grows_ = 0;
   bool poison_ = false;
 };
+
+// Process-wide arena accounting (relaxed atomics): the summed bytes of every
+// live executor arena, and its high-water mark. One session's arena is a
+// constant of the plan config, so live bytes track the resident-session
+// count — exactly the quantity the soak harness asserts stays bounded once
+// eviction reaches steady state (DESIGN.md §4.9).
+uint64_t ArenaBytesLive();
+uint64_t ArenaBytesPeak();
 
 }  // namespace tpgnn::tensor::plan
 

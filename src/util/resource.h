@@ -1,0 +1,25 @@
+#ifndef TPGNN_UTIL_RESOURCE_H_
+#define TPGNN_UTIL_RESOURCE_H_
+
+#include <cstdint>
+
+// Process resource probes for the soak harness and serving metrics
+// (DESIGN.md §4.9): resident-set readings from the kernel, used to assert
+// that memory stays bounded over sustained runs. Both calls are cheap (one
+// /proc read) but not hot-path cheap — they are meant for checkpoint-rate
+// sampling, not per-event accounting.
+
+namespace tpgnn::util {
+
+// Current resident set size in KiB (Linux: VmRSS from /proc/self/status).
+// 0 when the platform offers no probe — callers must treat 0 as "unknown",
+// never as "no memory".
+uint64_t CurrentRssKb();
+
+// Peak resident set size in KiB (Linux: VmHWM — the kernel's own high-water
+// mark, monotone over the process lifetime). 0 when unavailable.
+uint64_t PeakRssKb();
+
+}  // namespace tpgnn::util
+
+#endif  // TPGNN_UTIL_RESOURCE_H_

@@ -1,0 +1,26 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpgnn::workload {
+
+int64_t ClampedLogNormal(Rng& rng, double log_mean, double log_sigma,
+                         int64_t min_value, int64_t max_value) {
+  const double sample = std::exp(rng.Normal(log_mean, log_sigma));
+  // llround saturates on overflow; the clamp below makes the huge-tail case
+  // well-defined either way.
+  const int64_t rounded = static_cast<int64_t>(std::llround(sample));
+  return std::clamp(rounded, min_value, max_value);
+}
+
+double ExponentialGap(Rng& rng, double mean) {
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  // Inverse CDF on u in (0, 1]: Uniform() is [0, 1), so flip it.
+  const double u = 1.0 - rng.Uniform();
+  return -mean * std::log(u);
+}
+
+}  // namespace tpgnn::workload

@@ -1,0 +1,28 @@
+#ifndef TPGNN_WORKLOAD_DISTRIBUTIONS_H_
+#define TPGNN_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+// The paper-shaped sampling primitives behind the workload generators
+// (DESIGN.md §4.9): session sizes follow a clamped lognormal — the
+// benchmark datasets' edge-count histograms are right-skewed with a hard
+// floor — and event interarrival gaps follow an exponential, the memoryless
+// arrival process the overload waves modulate.
+
+namespace tpgnn::workload {
+
+// Lognormal sample exp(N(log_mean, log_sigma)) rounded to an integer and
+// clamped into [min_value, max_value]. log_mean/log_sigma parameterize the
+// underlying normal (so the median is exp(log_mean)).
+int64_t ClampedLogNormal(Rng& rng, double log_mean, double log_sigma,
+                         int64_t min_value, int64_t max_value);
+
+// Exponential interarrival gap with the given mean (seconds). mean <= 0
+// degenerates to 0 (back-to-back arrivals).
+double ExponentialGap(Rng& rng, double mean);
+
+}  // namespace tpgnn::workload
+
+#endif  // TPGNN_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,112 @@
+#include "workload/profiles.h"
+
+namespace tpgnn::workload {
+
+namespace {
+
+TenantProfile SmallTenant() {
+  TenantProfile t;
+  t.name = "small";
+  t.weight = 6.0;
+  t.edges_log_mean = 2.7;  // Median ~15 edges.
+  t.edges_log_sigma = 0.5;
+  t.min_edges = 4;
+  t.max_edges = 96;
+  t.nodes_per_edge = 0.5;
+  t.min_nodes = 4;
+  t.max_nodes = 48;
+  t.score_every_edges = 8;
+  t.event_gap_mean = 0.02;
+  return t;
+}
+
+TenantProfile MidTenant() {
+  TenantProfile t;
+  t.name = "mid";
+  t.weight = 3.0;
+  t.edges_log_mean = 3.9;  // Median ~50 edges.
+  t.edges_log_sigma = 0.6;
+  t.min_edges = 16;
+  t.max_edges = 256;
+  t.nodes_per_edge = 0.4;
+  t.min_nodes = 8;
+  t.max_nodes = 96;
+  t.score_every_edges = 16;
+  t.event_gap_mean = 0.03;
+  return t;
+}
+
+TenantProfile HeavyTenant() {
+  TenantProfile t;
+  t.name = "heavy";
+  t.weight = 1.0;
+  t.edges_log_mean = 5.0;  // Median ~150 edges.
+  t.edges_log_sigma = 0.5;
+  t.min_edges = 64;
+  t.max_edges = 512;
+  t.nodes_per_edge = 0.3;
+  t.min_nodes = 16;
+  t.max_nodes = 128;
+  t.score_every_edges = 32;
+  t.event_gap_mean = 0.05;
+  return t;
+}
+
+}  // namespace
+
+WorkloadOptions PaperMixProfile(uint64_t seed) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.session_arrival_rate = 300.0;
+  options.max_open_sessions = 512;
+  TenantProfile small = SmallTenant();
+  small.abandon_probability = 0.02;
+  options.tenants = {small, MidTenant(), HeavyTenant()};
+  return options;
+}
+
+WorkloadOptions EvictionChurnProfile(uint64_t seed) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.session_arrival_rate = 800.0;
+  options.max_open_sessions = 768;
+  TenantProfile churn = SmallTenant();
+  churn.name = "churn";
+  churn.edges_log_mean = 2.2;  // Median ~9 edges.
+  churn.max_edges = 48;
+  churn.score_every_edges = 0;  // Final score only — when not abandoned.
+  churn.abandon_probability = 0.5;
+  churn.event_gap_mean = 0.01;
+  options.tenants = {churn, SmallTenant()};
+  return options;
+}
+
+WorkloadOptions OverloadWaveProfile(uint64_t seed) {
+  WorkloadOptions options = PaperMixProfile(seed);
+  options.wave.period_seconds = 20.0;
+  options.wave.burst_fraction = 0.2;
+  options.wave.burst_multiplier = 6.0;
+  return options;
+}
+
+WorkloadOptions MiniSoakProfile(uint64_t seed) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.session_arrival_rate = 400.0;
+  options.max_open_sessions = 64;
+  TenantProfile tiny = SmallTenant();
+  tiny.name = "tiny";
+  tiny.edges_log_mean = 2.3;
+  tiny.max_edges = 48;
+  tiny.max_nodes = 24;
+  tiny.score_every_edges = 8;
+  tiny.event_gap_mean = 0.01;
+  tiny.abandon_probability = 0.1;
+  options.tenants = {tiny};
+  options.wave.period_seconds = 2.0;
+  options.wave.burst_fraction = 0.25;
+  options.wave.burst_multiplier = 4.0;
+  return options;
+}
+
+}  // namespace tpgnn::workload

@@ -1,0 +1,37 @@
+#ifndef TPGNN_WORKLOAD_PROFILES_H_
+#define TPGNN_WORKLOAD_PROFILES_H_
+
+#include <cstdint>
+
+#include "workload/generator.h"
+
+// Canned workload shapes (DESIGN.md §4.9). Each returns a complete
+// WorkloadOptions a caller may tweak further; only the seed is mandatory so
+// distinct runs stay deterministic and distinct.
+
+namespace tpgnn::workload {
+
+// The paper-scale serving mix: three tenant classes shaped after the
+// evaluation datasets' session-size spread — many small sessions (tens of
+// edges), a mid tier, and a heavy tail (hundreds of edges) — with periodic
+// mid-session scores. No overload wave, light abandonment.
+WorkloadOptions PaperMixProfile(uint64_t seed);
+
+// Eviction-churn stressor: high arrival rate of short sessions with a
+// large abandoned fraction, so resident state is reclaimed almost entirely
+// by TTL/cap eviction instead of End events.
+WorkloadOptions EvictionChurnProfile(uint64_t seed);
+
+// Overload waves: the paper mix with a square-wave burst that multiplies
+// the arrival rate for part of every period, driving the engine into its
+// kOverloaded backpressure path and back out.
+WorkloadOptions OverloadWaveProfile(uint64_t seed);
+
+// Tier-1 smoke shape: small sessions, modest concurrency, every stressor
+// enabled a little (waves, abandonment), sized so a full bounded run plus
+// invariant checks fits in ~2 seconds.
+WorkloadOptions MiniSoakProfile(uint64_t seed);
+
+}  // namespace tpgnn::workload
+
+#endif  // TPGNN_WORKLOAD_PROFILES_H_

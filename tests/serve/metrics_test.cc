@@ -165,7 +165,9 @@ MetricsSnapshot DistinctSnapshot(uint64_t seed) {
         &snap.scores_failed, &snap.overload_rejections, &snap.state_refolds,
         &snap.state_rescales, &snap.bytes_received, &snap.bytes_sent,
         &snap.frames_received, &snap.frames_sent, &snap.connections_accepted,
-        &snap.connections_closed, &snap.protocol_errors}) {
+        &snap.connections_closed, &snap.protocol_errors,
+        &snap.pool_bytes_peak, &snap.pool_bytes_cached,
+        &snap.arena_bytes_peak, &snap.rss_peak_kb}) {
     *counter = v++;
   }
   uint64_t bucket = seed % LatencyHistogram::kNumBuckets;
@@ -201,6 +203,10 @@ void ExpectSnapshotsEqual(const MetricsSnapshot& want,
   EXPECT_EQ(want.connections_accepted, got.connections_accepted);
   EXPECT_EQ(want.connections_closed, got.connections_closed);
   EXPECT_EQ(want.protocol_errors, got.protocol_errors);
+  EXPECT_EQ(want.pool_bytes_peak, got.pool_bytes_peak);
+  EXPECT_EQ(want.pool_bytes_cached, got.pool_bytes_cached);
+  EXPECT_EQ(want.arena_bytes_peak, got.arena_bytes_peak);
+  EXPECT_EQ(want.rss_peak_kb, got.rss_peak_kb);
   const LatencyHistogram::Snapshot* want_h[] = {
       &want.ingest_latency, &want.score_latency, &want.e2e_latency};
   const LatencyHistogram::Snapshot* got_h[] = {
@@ -280,6 +286,57 @@ TEST(MetricsJsonTest, MergeFromSumsCountersAndHistograms) {
   MetricsSnapshot identity;
   identity.MergeFrom(a);
   ExpectSnapshotsEqual(a, identity);
+}
+
+TEST(MetricsJsonTest, MergeTakesMaxOfMemoryPeaksAndSumsCachedBytes) {
+  // The router folds N backends: a cluster's peak is its worst single
+  // process (max), while cached pool bytes are parked per process (sum).
+  MetricsSnapshot a, b;
+  a.pool_bytes_peak = 700;
+  a.pool_bytes_cached = 40;
+  a.arena_bytes_peak = 60;
+  a.rss_peak_kb = 9000;
+  b.pool_bytes_peak = 300;
+  b.pool_bytes_cached = 25;
+  b.arena_bytes_peak = 180;
+  b.rss_peak_kb = 12000;
+
+  MetricsSnapshot merged = a;
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.pool_bytes_peak, 700u);
+  EXPECT_EQ(merged.pool_bytes_cached, 65u);
+  EXPECT_EQ(merged.arena_bytes_peak, 180u);
+  EXPECT_EQ(merged.rss_peak_kb, 12000u);
+
+  // Merge order must not matter for the maxes.
+  MetricsSnapshot reversed = b;
+  reversed.MergeFrom(a);
+  EXPECT_EQ(reversed.pool_bytes_peak, merged.pool_bytes_peak);
+  EXPECT_EQ(reversed.arena_bytes_peak, merged.arena_bytes_peak);
+  EXPECT_EQ(reversed.rss_peak_kb, merged.rss_peak_kb);
+  EXPECT_EQ(reversed.pool_bytes_cached, merged.pool_bytes_cached);
+}
+
+TEST(MetricsTest, UpdateResourcePeaksIsMonotoneAndSurvivesRoundtrip) {
+  Metrics metrics;
+  metrics.UpdateResourcePeaks();
+  const MetricsSnapshot first = metrics.Snapshot();
+  // On Linux the process certainly has a nonzero RSS high-water mark.
+  EXPECT_GT(first.rss_peak_kb, 0u);
+
+  metrics.UpdateResourcePeaks();
+  const MetricsSnapshot second = metrics.Snapshot();
+  EXPECT_GE(second.rss_peak_kb, first.rss_peak_kb);
+  EXPECT_GE(second.pool_bytes_peak, first.pool_bytes_peak);
+  EXPECT_GE(second.arena_bytes_peak, first.arena_bytes_peak);
+
+  // The gauges ride the METRICS RPC like any counter.
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(second.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.rss_peak_kb, second.rss_peak_kb);
+  EXPECT_EQ(parsed.pool_bytes_peak, second.pool_bytes_peak);
+  EXPECT_EQ(parsed.pool_bytes_cached, second.pool_bytes_cached);
+  EXPECT_EQ(parsed.arena_bytes_peak, second.arena_bytes_peak);
 }
 
 TEST(MetricsJsonTest, MergedPercentilesSpanTheUnionDistribution) {
